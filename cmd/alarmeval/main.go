@@ -1,0 +1,56 @@
+// Command alarmeval runs the alarm-quality experiments: smart-alarm
+// layering (E3), EHR-personalized thresholds (E7) and mixed-criticality
+// context suppression (E11).
+//
+// Usage:
+//
+//	alarmeval [-exp e3|e7|e11|all] [-seed N] [-patients N] [-hours H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "which study: e3, e7, e11 or all")
+	seed := flag.Int64("seed", 3, "simulation seed")
+	patients := flag.Int("patients", 6, "ward size (e3/e7)")
+	hours := flag.Float64("hours", 6, "observation length in virtual hours")
+	flag.Parse()
+
+	dur := sim.FromSeconds(*hours * 3600)
+	want := strings.ToLower(*exp)
+	run := func(id string, f func() (experiments.Table, error)) {
+		if want != "all" && want != strings.ToLower(id) {
+			return
+		}
+		tab, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alarmeval: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab)
+		fmt.Println()
+	}
+	run("E3", func() (experiments.Table, error) {
+		return experiments.E3SmartAlarms(experiments.E3Options{
+			Seed: *seed, Patients: *patients, Duration: dur,
+		})
+	})
+	run("E7", func() (experiments.Table, error) {
+		return experiments.E7AdaptiveThresholds(experiments.E7Options{
+			Seed: *seed, Athletes: *patients / 2, Average: *patients - *patients/2, Duration: dur,
+		})
+	})
+	run("E11", func() (experiments.Table, error) {
+		return experiments.E11MixedCriticality(experiments.E11Options{
+			Seed: *seed, Duration: dur,
+		})
+	})
+}

@@ -1,0 +1,97 @@
+// Command icerun regenerates the experiment tables of DESIGN.md /
+// EXPERIMENTS.md (the benchmark harness in human-readable form).
+//
+// Usage:
+//
+//	icerun [-exp F1,E2,...|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner func(seed int64) (experiments.Table, error)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (F1,E2,...,E12) or 'all'")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	flag.Parse()
+
+	runners := map[string]runner{
+		"F1": func(s int64) (experiments.Table, error) {
+			return experiments.F1PCAControlLoop(experiments.F1Options{Seed: s})
+		},
+		"E2": func(s int64) (experiments.Table, error) {
+			opt := experiments.DefaultE2()
+			opt.Seed = s
+			return experiments.E2XrayVentSync(opt)
+		},
+		"E3": func(s int64) (experiments.Table, error) {
+			return experiments.E3SmartAlarms(experiments.E3Options{Seed: s})
+		},
+		"E4": func(s int64) (experiments.Table, error) {
+			return experiments.E4SupervisoryControl(experiments.E4Options{Seed: s})
+		},
+		"E5": func(int64) (experiments.Table, error) { return experiments.E5WorkflowVerify() },
+		"E6": func(s int64) (experiments.Table, error) {
+			opt := experiments.DefaultE6()
+			opt.Seed = s
+			return experiments.E6CommFailure(opt)
+		},
+		"E7": func(s int64) (experiments.Table, error) {
+			return experiments.E7AdaptiveThresholds(experiments.E7Options{Seed: s})
+		},
+		"E8": func(int64) (experiments.Table, error) { return experiments.E8IncrementalCert() },
+		"E9": func(s int64) (experiments.Table, error) {
+			return experiments.E9Security(experiments.E9Options{Seed: s})
+		},
+		"E10": func(s int64) (experiments.Table, error) {
+			return experiments.E10Telemetry(experiments.E10Options{Seed: s})
+		},
+		"E11": func(s int64) (experiments.Table, error) {
+			return experiments.E11MixedCriticality(experiments.E11Options{Seed: s})
+		},
+		"E12": func(int64) (experiments.Table, error) { return experiments.E12TemporalInduction() },
+		"E13": func(s int64) (experiments.Table, error) {
+			opt := experiments.DefaultE13()
+			opt.Seed = s
+			return experiments.E13UserModel(opt)
+		},
+		"A1": func(s int64) (experiments.Table, error) {
+			opt := experiments.DefaultA1()
+			opt.Seed = s
+			return experiments.A1SupervisorAblation(opt)
+		},
+	}
+	order := []string{"F1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "icerun: unknown experiment %q (have %s)\n", id, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		tab, err := runners[id](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icerun: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab)
+	}
+}

@@ -1,0 +1,56 @@
+// Command pcasim runs the paper's Figure 1 closed-loop PCA scenario and
+// prints the outcome table and (optionally) the ground-truth time series.
+//
+// Usage:
+//
+//	pcasim [-seed N] [-hours H] [-trace] [-no-supervisor]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/closedloop"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	hours := flag.Float64("hours", 2, "session length in virtual hours")
+	trace := flag.Bool("trace", false, "print the ground-truth time series of the supervised run")
+	noSup := flag.Bool("no-supervisor", false, "run only the unsupervised configuration")
+	flag.Parse()
+
+	dur := sim.FromSeconds(*hours * 3600)
+	if *noSup {
+		cfg := closedloop.DefaultPCAScenario(*seed)
+		cfg.Duration = dur
+		cfg.SupervisorEnabled = false
+		out, _, err := closedloop.RunPCAScenario(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcasim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("unsupervised: min SpO2 %.1f%%, %.0f s below 85%%, distress=%v, %.1f mg delivered\n",
+			out.MinSpO2, out.SecondsBelow85, out.Distressed, out.TotalDrugMg)
+		return
+	}
+
+	tab, err := experiments.F1PCAControlLoop(experiments.F1Options{Seed: *seed, Duration: dur})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcasim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tab)
+	if *trace {
+		txt, err := experiments.F1Trace(experiments.F1Options{Seed: *seed, Duration: dur}, 5*sim.Minute)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcasim:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(txt)
+	}
+}

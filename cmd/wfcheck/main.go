@@ -1,0 +1,116 @@
+// Command wfcheck parses and verifies clinical workflows written in the
+// workflow DSL: invariants over all reachable states, terminal-goal
+// analysis, user-error fault injection, and temporal-induction proofs.
+//
+// Usage:
+//
+//	wfcheck -builtin xray_vent [-goal ventilated] [-omit step] [-skip step] [-induction]
+//	wfcheck -file scenario.wf  [...]
+//	wfcheck -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/verify"
+	"repro/internal/workflow"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "verify a built-in scenario by name")
+	file := flag.String("file", "", "verify a workflow source file")
+	goalVar := flag.String("goal", "", "boolean variable that must hold in every terminal state")
+	omit := flag.String("omit", "", "inject an omission fault on this step")
+	skip := flag.String("skip", "", "inject a skip-guard (out-of-order) fault on this step")
+	induction := flag.Bool("induction", false, "also attempt a temporal-induction proof")
+	list := flag.Bool("list", false, "list built-in scenarios")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for n := range workflow.Builtins() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var w *workflow.Workflow
+	switch {
+	case *builtin != "":
+		var ok bool
+		w, ok = workflow.Builtins()[*builtin]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wfcheck: no built-in %q (try -list)\n", *builtin)
+			os.Exit(2)
+		}
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfcheck:", err)
+			os.Exit(1)
+		}
+		w, err = workflow.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfcheck:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "wfcheck: need -builtin or -file (see -list)")
+		os.Exit(2)
+	}
+
+	a := workflow.Analysis{W: w}
+	if *omit != "" {
+		a.Faults = append(a.Faults, workflow.Fault{Kind: workflow.FaultOmit, Step: *omit})
+	}
+	if *skip != "" {
+		a.Faults = append(a.Faults, workflow.Fault{Kind: workflow.FaultSkipGuard, Step: *skip})
+	}
+	var goal workflow.Expr
+	if *goalVar != "" {
+		goal = workflow.VarExpr{Name: *goalVar}
+	}
+
+	rep, err := a.CheckSafety(goal, verify.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workflow %s: %d states, %d transitions\n", rep.Workflow, rep.States, rep.Transitions)
+	if rep.Holds {
+		fmt.Println("invariants: hold in every reachable state")
+	} else {
+		fmt.Printf("invariants VIOLATED: %v\n%s", rep.ViolatedLabels, rep.Counterexample)
+	}
+	if goal != nil {
+		if rep.TerminalGoalHolds {
+			fmt.Printf("terminal goal %q: holds\n", *goalVar)
+		} else {
+			fmt.Printf("terminal goal %q VIOLATED:\n%s", *goalVar, rep.TerminalGoalTrace)
+		}
+	} else if !rep.DeadlockFree {
+		fmt.Printf("DEADLOCK before completion:\n%s", rep.DeadlockTrace)
+	}
+
+	if *induction {
+		res, err := a.ProveByInduction(10)
+		if err != nil {
+			fmt.Printf("induction: %v\n", err)
+		} else if res.Proved {
+			fmt.Printf("induction: proved at k=%d (%d base states, %d step paths, universe %d)\n",
+				res.K, res.BaseStates, res.StepPaths, res.UniverseSize)
+		} else {
+			fmt.Printf("induction: refuted at k=%d\n", res.K)
+		}
+	}
+	if !rep.Holds || (goal != nil && !rep.TerminalGoalHolds) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// The paper's Figure 1, end to end: a misprogrammed PCA pump and a
+// button-pressing visitor (PCA-by-proxy) push a post-operative patient
+// toward respiratory failure; the ICE supervisor watches the pulse
+// oximeter stream and stops the pump when desaturation begins.
+//
+// The same scenario runs twice — without and with the supervisor — and
+// prints what each configuration did to the patient.
+//
+//	go run ./examples/pca_closedloop
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/closedloop"
+	"repro/internal/sim"
+)
+
+func main() {
+	const seed = 42
+
+	fmt.Println("== scenario: 2x drug concentration, lax limits, visitor pressing every 3 min ==")
+	fmt.Println()
+
+	for _, supervised := range []bool{false, true} {
+		cfg := closedloop.DefaultPCAScenario(seed)
+		cfg.SupervisorEnabled = supervised
+
+		sc := closedloop.BuildPCAScenario(cfg)
+		if supervised {
+			sc.Sup.OnAlarm(func(a closedloop.Alarm) {
+				fmt.Printf("   [%v] ALARM %s: %s\n", a.At.Duration(), a.Kind, a.Msg)
+			})
+		}
+		out, err := sc.Run(cfg.Duration)
+		if err != nil {
+			panic(err)
+		}
+
+		name := "WITHOUT supervisor"
+		if supervised {
+			name = "WITH supervisor"
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("   drug delivered: %.1f mg  (boluses %d, denied by lockout %d)\n",
+			out.TotalDrugMg, out.Boluses, out.BolusesDenied)
+		fmt.Printf("   min SpO2 %.1f%%, time below 90%%: %.0f s, below 85%%: %.0f s\n",
+			out.MinSpO2, out.SecondsBelow90, out.SecondsBelow85)
+		if out.Distressed {
+			fmt.Println("   outcome: PATIENT IN RESPIRATORY DISTRESS")
+		} else {
+			fmt.Println("   outcome: patient safe")
+		}
+		if supervised {
+			fmt.Printf("   supervisor: %d stops, mean decision-to-ack latency %v\n",
+				out.PumpStops, out.MeanStopLatency.Duration())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The supervisor cannot retrieve drug already on board; it wins by cutting")
+	fmt.Println("delivery at the first sustained desaturation — the paper's closed-loop case.")
+	_ = sim.Second
+}

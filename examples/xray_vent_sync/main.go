@@ -1,0 +1,74 @@
+// The paper's X-ray/ventilator interoperability scenario (Section II.b):
+// take chest images of an anesthetized, mechanically ventilated patient.
+// Three coordination protocols compete:
+//
+//	manual         — shoot whenever asked (current practice)
+//	pause-restart  — pause the ventilator, shoot, restart it
+//	state-sync     — predict the end-of-exhale window from the
+//	                 ventilator's transmitted cycle state and fire inside it
+//
+//	go run ./examples/xray_vent_sync
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/closedloop"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+func run(proto closedloop.SyncProtocol) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(5)
+	net := mednet.MustNew(k, rng.Fork("net"), mednet.DefaultLink())
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	patient := physio.DefaultPatient(rng.Fork("patient"))
+
+	vent := device.MustNewVentilator(k, net, "vent1", physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
+	xray := device.MustNewXRay(k, net, "xr1", vent, core.ConnectConfig{})
+	ward := device.NewWard(k, patient, sim.Second)
+	ward.AttachVentSupport(vent)
+	tr := sim.NewTrace()
+	ward.Trace = tr
+
+	sync := closedloop.MustNewXRaySync(k, mgr, closedloop.DefaultXRaySyncConfig("xr1", "vent1", proto))
+
+	// Ten images requested over five minutes.
+	for i := 0; i < 10; i++ {
+		at := 20*sim.Second + sim.Time(i)*30*sim.Second
+		k.At(at, func() { sync.RequestImage() })
+	}
+	if err := k.Run(8 * sim.Minute); err != nil {
+		panic(err)
+	}
+
+	unventilated := 0.0
+	ev := tr.Series("true/extvent")
+	for i := 0; i+1 < len(ev); i++ {
+		if ev[i].V < 0.5 {
+			unventilated += (ev[i+1].T - ev[i].T).Seconds()
+		}
+	}
+	fmt.Printf("%-14s sharp=%d blurred=%d deferred=%d | unventilated %.0f s, min SpO2 %.1f%%\n",
+		proto, xray.Sharp, xray.Blurred, sync.Deferred,
+		unventilated, tr.Stats("true/spo2").Min)
+}
+
+func main() {
+	fmt.Println("10 chest images during mechanical ventilation, healthy 2 ms network:")
+	fmt.Println()
+	for _, p := range []closedloop.SyncProtocol{
+		closedloop.ProtocolManual,
+		closedloop.ProtocolPauseRestart,
+		closedloop.ProtocolStateSync,
+	} {
+		run(p)
+	}
+	fmt.Println()
+	fmt.Println("state-sync gets sharp images with zero interruption of ventilation —")
+	fmt.Println("the paper's \"safer alternative, although presenting tighter timing constraints\".")
+}

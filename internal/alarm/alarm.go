@@ -1,0 +1,266 @@
+// Package alarm implements the paper's smart-alarm challenge (i) and the
+// mixed-criticality context scenario (l): threshold alarms, multivariate
+// corroboration ("a sudden SpO2 drop with normal blood pressure is more
+// likely a disconnected wire than heart failure"), context-event
+// suppression (bed raised -> MAP artifact), and alarm-fatigue scoring.
+package alarm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Priority grades an alarm.
+type Priority int
+
+const (
+	Advisory Priority = iota
+	Warning
+	Crisis
+)
+
+// String names the priority.
+func (p Priority) String() string {
+	switch p {
+	case Advisory:
+		return "advisory"
+	case Warning:
+		return "warning"
+	case Crisis:
+		return "crisis"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one emitted alarm.
+type Event struct {
+	At       sim.Time
+	Rule     string
+	Signal   string
+	Priority Priority
+	Value    float64
+	Msg      string
+}
+
+// ThresholdRule fires when a signal leaves [Low, High] continuously for
+// Sustain.
+type ThresholdRule struct {
+	Name     string
+	Signal   string
+	Low      float64 // -Inf semantics: set very low to disable
+	High     float64
+	Sustain  sim.Time
+	Priority Priority
+	// Refractory suppresses re-firing for this long after an emission,
+	// so one sustained episode produces one alarm, not a stream.
+	Refractory sim.Time
+}
+
+// Validate reports an error for unusable rules.
+func (r ThresholdRule) Validate() error {
+	if r.Name == "" || r.Signal == "" {
+		return errors.New("alarm: rule needs name and signal")
+	}
+	if r.High <= r.Low {
+		return errors.New("alarm: High must exceed Low")
+	}
+	if r.Sustain < 0 || r.Refractory < 0 {
+		return errors.New("alarm: negative durations")
+	}
+	return nil
+}
+
+// Corroboration gates a rule on independent evidence: when the rule would
+// fire, at least one listed condition must also be abnormal (its signal
+// outside its [Low, High]) within MaxAge; otherwise the alarm is
+// suppressed as a probable single-sensor artifact.
+type Corroboration struct {
+	Rule       string
+	Conditions []Condition
+	MaxAge     sim.Time
+}
+
+// Condition describes what "abnormal" means for a corroborating signal.
+type Condition struct {
+	Signal    string
+	Low, High float64 // abnormal when outside this band
+}
+
+// ContextSuppression mutes a rule for Window after a named context event
+// (the bed-height change of the paper's scenario).
+type ContextSuppression struct {
+	Rule   string
+	Event  string
+	Window sim.Time
+}
+
+type obs struct {
+	at    sim.Time
+	value float64
+}
+
+type ruleState struct {
+	rule         ThresholdRule
+	outSince     sim.Time
+	out          bool
+	lastEmission sim.Time
+	everEmitted  bool
+}
+
+// Engine evaluates rules over observed signals. Feed it with Observe (for
+// measurements) and ObserveContext (for discrete context events); it
+// accumulates emitted and suppressed alarms.
+type Engine struct {
+	rules        []*ruleState
+	corr         map[string]Corroboration
+	suppressions []ContextSuppression
+	latest       map[string]obs
+	ctxEvents    map[string]sim.Time // last occurrence per context event
+
+	events  []Event
+	onEvent []func(Event)
+
+	// Counters for experiments.
+	SuppressedByCorroboration uint64
+	SuppressedByContext       uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		corr:      make(map[string]Corroboration),
+		latest:    make(map[string]obs),
+		ctxEvents: make(map[string]sim.Time),
+	}
+}
+
+// AddRule installs a threshold rule.
+func (e *Engine) AddRule(r ThresholdRule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	for _, st := range e.rules {
+		if st.rule.Name == r.Name {
+			return fmt.Errorf("alarm: duplicate rule %q", r.Name)
+		}
+	}
+	e.rules = append(e.rules, &ruleState{rule: r})
+	return nil
+}
+
+// MustAddRule is AddRule, panicking on error.
+func (e *Engine) MustAddRule(r ThresholdRule) {
+	if err := e.AddRule(r); err != nil {
+		panic(err)
+	}
+}
+
+// AddCorroboration gates the named rule (multivariate smart alarm).
+func (e *Engine) AddCorroboration(c Corroboration) error {
+	if c.Rule == "" || len(c.Conditions) == 0 || c.MaxAge <= 0 {
+		return errors.New("alarm: corroboration needs rule, conditions and max age")
+	}
+	e.corr[c.Rule] = c
+	return nil
+}
+
+// AddContextSuppression mutes the named rule around a context event.
+func (e *Engine) AddContextSuppression(s ContextSuppression) error {
+	if s.Rule == "" || s.Event == "" || s.Window <= 0 {
+		return errors.New("alarm: suppression needs rule, event and window")
+	}
+	e.suppressions = append(e.suppressions, s)
+	return nil
+}
+
+// OnEvent registers a listener for emitted alarms.
+func (e *Engine) OnEvent(fn func(Event)) { e.onEvent = append(e.onEvent, fn) }
+
+// Events returns all emitted alarms.
+func (e *Engine) Events() []Event { return e.events }
+
+// ObserveContext records a discrete context event (e.g. "bed-moved").
+func (e *Engine) ObserveContext(t sim.Time, name string) {
+	e.ctxEvents[name] = t
+}
+
+// Observe feeds one measurement. Invalid measurements clear the rule's
+// sustain timer (missing data is not evidence of derangement — the data
+// watchdog in the supervisor covers missing-data hazards).
+func (e *Engine) Observe(t sim.Time, signal string, value float64, valid bool) {
+	if valid {
+		e.latest[signal] = obs{at: t, value: value}
+	}
+	for _, st := range e.rules {
+		if st.rule.Signal != signal {
+			continue
+		}
+		if !valid {
+			st.out = false
+			continue
+		}
+		inRange := value >= st.rule.Low && value <= st.rule.High
+		if inRange {
+			st.out = false
+			continue
+		}
+		if !st.out {
+			st.out = true
+			st.outSince = t
+		}
+		if t-st.outSince >= st.rule.Sustain {
+			e.maybeEmit(st, t, value)
+		}
+	}
+}
+
+func (e *Engine) maybeEmit(st *ruleState, t sim.Time, value float64) {
+	if st.everEmitted && t-st.lastEmission < st.rule.Refractory {
+		return
+	}
+	// Context suppression.
+	for _, s := range e.suppressions {
+		if s.Rule != st.rule.Name {
+			continue
+		}
+		if at, ok := e.ctxEvents[s.Event]; ok && t >= at && t-at < s.Window {
+			e.SuppressedByContext++
+			return
+		}
+	}
+	// Multivariate corroboration.
+	if c, ok := e.corr[st.rule.Name]; ok {
+		if !e.corroborated(c, t) {
+			e.SuppressedByCorroboration++
+			return
+		}
+	}
+	st.lastEmission = t
+	st.everEmitted = true
+	ev := Event{
+		At: t, Rule: st.rule.Name, Signal: st.rule.Signal,
+		Priority: st.rule.Priority, Value: value,
+		Msg: fmt.Sprintf("%s: %s=%.1f outside [%.1f,%.1f]",
+			st.rule.Name, st.rule.Signal, value, st.rule.Low, st.rule.High),
+	}
+	e.events = append(e.events, ev)
+	for _, fn := range e.onEvent {
+		fn(ev)
+	}
+}
+
+func (e *Engine) corroborated(c Corroboration, t sim.Time) bool {
+	for _, cond := range c.Conditions {
+		o, ok := e.latest[cond.Signal]
+		if !ok || t-o.at > c.MaxAge {
+			continue
+		}
+		if o.value < cond.Low || o.value > cond.High {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,297 @@
+package alarm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func spo2Rule() ThresholdRule {
+	return ThresholdRule{
+		Name: "spo2-low", Signal: "spo2", Low: 90, High: 101,
+		Sustain: 10 * sim.Second, Priority: Crisis, Refractory: sim.Minute,
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	if err := spo2Rule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ThresholdRule{
+		{Name: "", Signal: "x", Low: 0, High: 1},
+		{Name: "a", Signal: "", Low: 0, High: 1},
+		{Name: "a", Signal: "x", Low: 1, High: 1},
+		{Name: "a", Signal: "x", Low: 0, High: 1, Sustain: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d: invalid rule accepted", i)
+		}
+	}
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	if err := e.AddRule(spo2Rule()); err == nil {
+		t.Fatal("duplicate rule accepted")
+	}
+}
+
+func TestThresholdFiresAfterSustain(t *testing.T) {
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	// Brief dip (5 s): no alarm.
+	for i := 0; i < 5; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 85, true)
+	}
+	e.Observe(5*sim.Second, "spo2", 97, true)
+	if len(e.Events()) != 0 {
+		t.Fatalf("brief dip alarmed: %v", e.Events())
+	}
+	// Sustained dip (12 s): exactly one alarm (refractory).
+	for i := 6; i < 40; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 85, true)
+	}
+	if got := len(e.Events()); got != 1 {
+		t.Fatalf("events = %d, want 1", got)
+	}
+	ev := e.Events()[0]
+	if ev.Rule != "spo2-low" || ev.Priority != Crisis {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestRefractoryAllowsReFireAfterWindow(t *testing.T) {
+	e := NewEngine()
+	r := spo2Rule()
+	r.Refractory = 30 * sim.Second
+	e.MustAddRule(r)
+	for i := 0; i < 120; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 85, true)
+	}
+	// 120 s continuously low, refractory 30 s, sustain 10 s: alarms at
+	// ~10, 40, 70, 100 s -> 4 alarms.
+	if got := len(e.Events()); got != 4 {
+		t.Fatalf("events = %d, want 4", got)
+	}
+}
+
+func TestInvalidDataResetsSustain(t *testing.T) {
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	for i := 0; i < 8; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 85, true)
+	}
+	e.Observe(8*sim.Second, "spo2", 0, false) // probe off
+	for i := 9; i < 17; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 85, true)
+	}
+	if len(e.Events()) != 0 {
+		t.Fatal("sustain survived an invalid-data gap")
+	}
+}
+
+func TestCorroborationSuppressesArtifact(t *testing.T) {
+	// The paper's example: SpO2 drop with normal blood pressure is a
+	// disconnected wire, not heart failure.
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	if err := e.AddCorroboration(Corroboration{
+		Rule:   "spo2-low",
+		MaxAge: 30 * sim.Second,
+		Conditions: []Condition{
+			{Signal: "map", Low: 60, High: 110}, // abnormal MAP corroborates
+			{Signal: "hr", Low: 50, High: 120},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy MAP and HR observed, then SpO2 "drops" (artifact).
+	e.Observe(0, "map", 88, true)
+	e.Observe(0, "hr", 72, true)
+	for i := 1; i < 30; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 60, true)
+	}
+	if len(e.Events()) != 0 {
+		t.Fatalf("uncorroborated artifact alarmed: %v", e.Events())
+	}
+	if e.SuppressedByCorroboration == 0 {
+		t.Fatal("suppression not counted")
+	}
+
+	// Now the heart rate also derails: genuine deterioration -> alarm.
+	e2 := NewEngine()
+	e2.MustAddRule(spo2Rule())
+	_ = e2.AddCorroboration(Corroboration{
+		Rule: "spo2-low", MaxAge: 30 * sim.Second,
+		Conditions: []Condition{{Signal: "hr", Low: 50, High: 120}},
+	})
+	e2.Observe(0, "hr", 139, true) // tachycardia
+	for i := 1; i < 30; i++ {
+		e2.Observe(sim.Time(i)*sim.Second, "spo2", 60, true)
+	}
+	if len(e2.Events()) != 1 {
+		t.Fatalf("corroborated deterioration events = %d, want 1", len(e2.Events()))
+	}
+}
+
+func TestCorroborationIgnoresStaleEvidence(t *testing.T) {
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	_ = e.AddCorroboration(Corroboration{
+		Rule: "spo2-low", MaxAge: 10 * sim.Second,
+		Conditions: []Condition{{Signal: "hr", Low: 50, High: 120}},
+	})
+	e.Observe(0, "hr", 140, true) // abnormal but will be stale
+	for i := 60; i < 90; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 60, true)
+	}
+	if len(e.Events()) != 0 {
+		t.Fatal("stale corroborating evidence accepted")
+	}
+}
+
+func TestContextSuppressionMutesBedArtifact(t *testing.T) {
+	mapRule := ThresholdRule{
+		Name: "map-low", Signal: "map", Low: 60, High: 110,
+		Sustain: 4 * sim.Second, Priority: Warning, Refractory: sim.Minute,
+	}
+	e := NewEngine()
+	e.MustAddRule(mapRule)
+	if err := e.AddContextSuppression(ContextSuppression{
+		Rule: "map-low", Event: "bed-moved", Window: sim.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Bed moves, MAP reading drops (hydrostatic artifact).
+	e.ObserveContext(10*sim.Second, "bed-moved")
+	for i := 11; i < 40; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "map", 45, true)
+	}
+	if len(e.Events()) != 0 {
+		t.Fatalf("bed artifact alarmed: %v", e.Events())
+	}
+	if e.SuppressedByContext == 0 {
+		t.Fatal("context suppression not counted")
+	}
+	// After the window, a persisting low MAP is real and must alarm.
+	for i := 75; i < 90; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "map", 45, true)
+	}
+	if len(e.Events()) != 1 {
+		t.Fatalf("real hypotension after window: events = %d, want 1", len(e.Events()))
+	}
+}
+
+func TestOnEventListener(t *testing.T) {
+	e := NewEngine()
+	e.MustAddRule(spo2Rule())
+	var got []Event
+	e.OnEvent(func(ev Event) { got = append(got, ev) })
+	for i := 0; i < 15; i++ {
+		e.Observe(sim.Time(i)*sim.Second, "spo2", 80, true)
+	}
+	if len(got) != 1 {
+		t.Fatalf("listener received %d events", len(got))
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.AddCorroboration(Corroboration{}); err == nil {
+		t.Fatal("empty corroboration accepted")
+	}
+	if err := e.AddContextSuppression(ContextSuppression{}); err == nil {
+		t.Fatal("empty suppression accepted")
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := []Episode{{Start: 100 * sim.Second, End: 200 * sim.Second}}
+	events := []Event{
+		{At: 150 * sim.Second}, // inside: TP
+		{At: 95 * sim.Second},  // within 10s slack: TP
+		{At: 500 * sim.Second}, // FP
+	}
+	m := Score(events, truth, 10*sim.Second, sim.Hour)
+	if m.TruePositives != 2 || m.FalsePositives != 1 || m.MissedEpisodes != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Sensitivity != 1 {
+		t.Fatalf("sensitivity = %f", m.Sensitivity)
+	}
+	if m.FalsePerHour != 1 {
+		t.Fatalf("false/hour = %f", m.FalsePerHour)
+	}
+	if m.String() == "" {
+		t.Fatal("empty metrics string")
+	}
+
+	// Missed episode.
+	m2 := Score(nil, truth, 0, sim.Hour)
+	if m2.MissedEpisodes != 1 || m2.Sensitivity != 0 {
+		t.Fatalf("metrics = %+v", m2)
+	}
+	// Vacuous truth.
+	m3 := Score(nil, nil, 0, sim.Hour)
+	if m3.Sensitivity != 1 || m3.Precision != 1 {
+		t.Fatalf("vacuous metrics = %+v", m3)
+	}
+}
+
+func TestEpisodesFromTrace(t *testing.T) {
+	tr := sim.NewTrace()
+	vals := []float64{95, 95, 80, 80, 80, 95, 95, 80, 95}
+	for i, v := range vals {
+		tr.Record("spo2", sim.Time(i)*sim.Minute, v)
+	}
+	eps := EpisodesFromTrace(tr, "spo2", 90, 2*sim.Minute)
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %v, want exactly the 3-sample run", eps)
+	}
+	if eps[0].Start != 2*sim.Minute || eps[0].End != 5*sim.Minute {
+		t.Fatalf("episode = %+v", eps[0])
+	}
+	// Open-ended final episode.
+	tr2 := sim.NewTrace()
+	for i, v := range []float64{95, 80, 80, 80} {
+		tr2.Record("spo2", sim.Time(i)*sim.Minute, v)
+	}
+	if eps := EpisodesFromTrace(tr2, "spo2", 90, 2*sim.Minute); len(eps) != 1 {
+		t.Fatalf("open-ended episode missed: %v", eps)
+	}
+}
+
+// Property: with a single rule and no gating, the number of emitted
+// alarms never exceeds the number of sustained excursions.
+func TestAlarmCountBoundedByExcursionsProperty(t *testing.T) {
+	f := func(samples []uint8) bool {
+		e := NewEngine()
+		r := ThresholdRule{Name: "r", Signal: "s", Low: 50, High: 200, Sustain: 2 * sim.Second, Refractory: sim.Hour}
+		e.MustAddRule(r)
+		excursions := 0
+		wasOut := false
+		for i, s := range samples {
+			v := float64(s)
+			out := v < 50 || v > 200
+			if out && !wasOut {
+				excursions++
+			}
+			wasOut = out
+			e.Observe(sim.Time(i)*sim.Second, "s", v, true)
+		}
+		return len(e.Events()) <= excursions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for p, want := range map[Priority]string{
+		Advisory: "advisory", Warning: "warning", Crisis: "crisis", Priority(9): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package alarm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Episode is one ground-truth interval of genuine patient deterioration.
+type Episode struct {
+	Start, End sim.Time
+}
+
+// Metrics quantify alarm quality against ground truth — the currency of
+// the paper's alarm-fatigue discussion.
+type Metrics struct {
+	TruePositives  int // alarms during (or shortly before/after) an episode
+	FalsePositives int // alarms with no episode nearby
+	MissedEpisodes int // episodes with no alarm at all
+	TotalEpisodes  int
+	TotalAlarms    int
+
+	Sensitivity  float64 // detected episodes / total episodes
+	Precision    float64 // true alarms / total alarms
+	FalsePerHour float64
+}
+
+// Score classifies alarms against episodes. An alarm within
+// [start-slack, end+slack] of an episode is true; an episode with at
+// least one such alarm is detected. horizon is the total observation
+// time, for the false-alarm rate.
+func Score(events []Event, truth []Episode, slack sim.Time, horizon sim.Time) Metrics {
+	m := Metrics{TotalEpisodes: len(truth), TotalAlarms: len(events)}
+	detected := make([]bool, len(truth))
+	for _, ev := range events {
+		matched := false
+		for i, ep := range truth {
+			if ev.At >= ep.Start-slack && ev.At <= ep.End+slack {
+				matched = true
+				detected[i] = true
+			}
+		}
+		if matched {
+			m.TruePositives++
+		} else {
+			m.FalsePositives++
+		}
+	}
+	for _, d := range detected {
+		if !d {
+			m.MissedEpisodes++
+		}
+	}
+	if len(truth) > 0 {
+		m.Sensitivity = float64(len(truth)-m.MissedEpisodes) / float64(len(truth))
+	} else {
+		m.Sensitivity = 1 // nothing to miss
+	}
+	if len(events) > 0 {
+		m.Precision = float64(m.TruePositives) / float64(len(events))
+	} else if len(truth) == 0 {
+		m.Precision = 1
+	}
+	if h := horizon.Seconds() / 3600; h > 0 {
+		m.FalsePerHour = float64(m.FalsePositives) / h
+	}
+	return m
+}
+
+// String renders the metrics as a table row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("alarms=%d tp=%d fp=%d missed=%d/%d sens=%.2f prec=%.2f fph=%.2f",
+		m.TotalAlarms, m.TruePositives, m.FalsePositives,
+		m.MissedEpisodes, m.TotalEpisodes, m.Sensitivity, m.Precision, m.FalsePerHour)
+}
+
+// EpisodesFromTrace extracts ground-truth deterioration episodes from a
+// recorded series: maximal runs where the value stays below the threshold
+// for at least minLen.
+func EpisodesFromTrace(tr *sim.Trace, series string, below float64, minLen sim.Time) []Episode {
+	s := tr.Series(series)
+	var out []Episode
+	var start sim.Time
+	in := false
+	for i, smp := range s {
+		if smp.V < below {
+			if !in {
+				in = true
+				start = smp.T
+			}
+			continue
+		}
+		if in {
+			in = false
+			if smp.T-start >= minLen {
+				out = append(out, Episode{Start: start, End: smp.T})
+			}
+		}
+		_ = i
+	}
+	if in {
+		end := s[len(s)-1].T
+		if end-start >= minLen {
+			out = append(out, Episode{Start: start, End: end})
+		}
+	}
+	return out
+}

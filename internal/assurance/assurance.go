@@ -1,0 +1,240 @@
+// Package assurance implements the paper's challenge (n): evidence-based
+// certification with Goal Structuring Notation (GSN) assurance cases and
+// incremental re-certification. An assurance case is a tree of goals,
+// decomposed by strategies into subgoals, ultimately supported by
+// solutions (evidence artifacts: test reports, proofs, analyses). Each
+// evidence item records which component version it was produced against;
+// upgrading a component invalidates exactly the evidence depending on it,
+// and the re-certification pass re-examines only the affected subtree —
+// the incremental alternative to reconsidering "the whole assurance case
+// from scratch".
+package assurance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeKind discriminates GSN node types.
+type NodeKind int
+
+const (
+	KindGoal NodeKind = iota
+	KindStrategy
+	KindSolution
+	KindContext
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindGoal:
+		return "goal"
+	case KindStrategy:
+		return "strategy"
+	case KindSolution:
+		return "solution"
+	case KindContext:
+		return "context"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one GSN element.
+type Node struct {
+	ID       string
+	Kind     NodeKind
+	Text     string
+	Children []string // supported-by links (goals/strategies); empty for solutions
+	// Evidence fields (solutions only):
+	Component string // which component the evidence is about
+	Version   string // the component version the evidence was produced against
+	Valid     bool
+}
+
+// Case is an assurance case.
+type Case struct {
+	Root  string
+	nodes map[string]*Node
+	// componentVersion is the currently deployed version per component.
+	componentVersion map[string]string
+}
+
+// NewCase returns an empty case with the given root goal.
+func NewCase(rootID, text string) *Case {
+	c := &Case{
+		Root:             rootID,
+		nodes:            make(map[string]*Node),
+		componentVersion: make(map[string]string),
+	}
+	c.nodes[rootID] = &Node{ID: rootID, Kind: KindGoal, Text: text}
+	return c
+}
+
+// AddGoal attaches a subgoal under a parent goal or strategy.
+func (c *Case) AddGoal(parent, id, text string) error {
+	return c.add(parent, &Node{ID: id, Kind: KindGoal, Text: text})
+}
+
+// AddStrategy attaches a strategy under a goal.
+func (c *Case) AddStrategy(parent, id, text string) error {
+	return c.add(parent, &Node{ID: id, Kind: KindStrategy, Text: text})
+}
+
+// AddEvidence attaches a solution to a goal: an evidence artifact about a
+// component at a version. Fresh evidence is valid.
+func (c *Case) AddEvidence(parent, id, text, component, version string) error {
+	n := &Node{
+		ID: id, Kind: KindSolution, Text: text,
+		Component: component, Version: version, Valid: true,
+	}
+	if err := c.add(parent, n); err != nil {
+		return err
+	}
+	if _, ok := c.componentVersion[component]; !ok {
+		c.componentVersion[component] = version
+	}
+	return nil
+}
+
+// AddContext attaches context (not load-bearing for support evaluation).
+func (c *Case) AddContext(parent, id, text string) error {
+	return c.add(parent, &Node{ID: id, Kind: KindContext, Text: text})
+}
+
+func (c *Case) add(parent string, n *Node) error {
+	p, ok := c.nodes[parent]
+	if !ok {
+		return fmt.Errorf("assurance: unknown parent %q", parent)
+	}
+	if _, dup := c.nodes[n.ID]; dup {
+		return fmt.Errorf("assurance: duplicate node %q", n.ID)
+	}
+	switch n.Kind {
+	case KindGoal:
+		if p.Kind != KindGoal && p.Kind != KindStrategy {
+			return fmt.Errorf("assurance: goal %q under %s", n.ID, p.Kind)
+		}
+	case KindStrategy, KindSolution, KindContext:
+		if p.Kind != KindGoal && p.Kind != KindStrategy {
+			return fmt.Errorf("assurance: %s %q under %s", n.Kind, n.ID, p.Kind)
+		}
+	}
+	c.nodes[n.ID] = n
+	p.Children = append(p.Children, n.ID)
+	return nil
+}
+
+// Node fetches a node.
+func (c *Case) Node(id string) (*Node, bool) {
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Size reports the node count.
+func (c *Case) Size() int { return len(c.nodes) }
+
+// Supported evaluates whether a goal is currently supported: a solution
+// supports iff its evidence is valid; a strategy supports iff all its
+// children support; a goal supports iff it has at least one supporting
+// child (context nodes are ignored).
+func (c *Case) Supported(id string) (bool, error) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return false, fmt.Errorf("assurance: unknown node %q", id)
+	}
+	switch n.Kind {
+	case KindSolution:
+		return n.Valid, nil
+	case KindContext:
+		return true, nil
+	case KindGoal, KindStrategy:
+		loadBearing := 0
+		for _, ch := range n.Children {
+			child := c.nodes[ch]
+			if child.Kind == KindContext {
+				continue
+			}
+			loadBearing++
+			ok, err := c.Supported(ch)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return loadBearing > 0, nil
+	default:
+		return false, fmt.Errorf("assurance: unknown kind %d", n.Kind)
+	}
+}
+
+// UpgradeComponent records a new version of a component and invalidates
+// all evidence produced against older versions. It returns the IDs of the
+// invalidated solutions.
+func (c *Case) UpgradeComponent(component, newVersion string) []string {
+	c.componentVersion[component] = newVersion
+	var out []string
+	for _, n := range c.nodes {
+		if n.Kind == KindSolution && n.Component == component && n.Version != newVersion && n.Valid {
+			n.Valid = false
+			out = append(out, n.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reexamine re-validates a solution with fresh evidence at the current
+// component version (a re-run test suite, a re-checked proof).
+func (c *Case) Reexamine(id string) error {
+	n, ok := c.nodes[id]
+	if !ok || n.Kind != KindSolution {
+		return errors.New("assurance: Reexamine needs a solution node")
+	}
+	n.Version = c.componentVersion[n.Component]
+	n.Valid = true
+	return nil
+}
+
+// RecertPlan is what an incremental re-certification must do after an
+// upgrade, compared against the full-review baseline.
+type RecertPlan struct {
+	InvalidEvidence []string // solutions needing re-examination
+	AffectedGoals   []string // ancestor goals whose support is lost
+	TotalEvidence   int
+	TotalGoals      int
+}
+
+// PlanRecertification computes the incremental plan: which evidence is
+// invalid and which goals lost support. The fraction
+// len(InvalidEvidence)/TotalEvidence is experiment E8's headline metric.
+func (c *Case) PlanRecertification() RecertPlan {
+	var plan RecertPlan
+	for _, n := range c.nodes {
+		switch n.Kind {
+		case KindSolution:
+			plan.TotalEvidence++
+			if !n.Valid {
+				plan.InvalidEvidence = append(plan.InvalidEvidence, n.ID)
+			}
+		case KindGoal:
+			plan.TotalGoals++
+		}
+	}
+	for _, n := range c.nodes {
+		if n.Kind != KindGoal {
+			continue
+		}
+		ok, err := c.Supported(n.ID)
+		if err == nil && !ok {
+			plan.AffectedGoals = append(plan.AffectedGoals, n.ID)
+		}
+	}
+	sort.Strings(plan.InvalidEvidence)
+	sort.Strings(plan.AffectedGoals)
+	return plan
+}

@@ -1,0 +1,135 @@
+package assurance
+
+import (
+	"testing"
+)
+
+func TestBuildAndSupport(t *testing.T) {
+	c := BuildPCACase()
+	if c.Size() < 15 {
+		t.Fatalf("case size = %d, implausibly small", c.Size())
+	}
+	ok, err := c.Supported("G0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("fresh case root not supported")
+	}
+}
+
+func TestStructuralRules(t *testing.T) {
+	c := NewCase("G0", "root")
+	if err := c.AddGoal("ghost", "G1", "x"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := c.AddGoal("G0", "G0", "dup"); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := c.AddStrategy("G0", "S1", "strategy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEvidence("S1", "E1", "ev", "comp", "1.0"); err != nil {
+		t.Fatal(err)
+	}
+	// A goal under a solution is malformed.
+	if err := c.AddGoal("E1", "G2", "x"); err == nil {
+		t.Fatal("goal under solution accepted")
+	}
+	if _, ok := c.Node("E1"); !ok {
+		t.Fatal("node lookup failed")
+	}
+	if _, err := c.Supported("ghost"); err == nil {
+		t.Fatal("support query on unknown node succeeded")
+	}
+}
+
+func TestGoalWithoutEvidenceUnsupported(t *testing.T) {
+	c := NewCase("G0", "root")
+	ok, err := c.Supported("G0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("evidence-free goal reported supported")
+	}
+	// Context alone does not support.
+	if err := c.AddContext("G0", "C1", "context"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := c.Supported("G0"); ok {
+		t.Fatal("context-only goal reported supported")
+	}
+}
+
+func TestUpgradeInvalidatesOnlyDependentEvidence(t *testing.T) {
+	c := BuildPCACase()
+	invalidated := c.UpgradeComponent("oximeter-firmware", "2.2")
+	if len(invalidated) != 2 {
+		t.Fatalf("invalidated = %v, want the two oximeter artifacts", invalidated)
+	}
+	// Root support collapses through G2a.
+	if ok, _ := c.Supported("G0"); ok {
+		t.Fatal("root still supported with stale oximeter evidence")
+	}
+	// Unrelated goals remain supported.
+	for _, g := range []string{"G1", "G3", "G4", "G2b"} {
+		if ok, _ := c.Supported(g); !ok {
+			t.Fatalf("unrelated goal %s lost support", g)
+		}
+	}
+}
+
+func TestRecertificationPlanIsIncremental(t *testing.T) {
+	c := BuildPCACase()
+	c.UpgradeComponent("oximeter-firmware", "2.2")
+	plan := c.PlanRecertification()
+	if plan.TotalEvidence != 11 {
+		t.Fatalf("total evidence = %d", plan.TotalEvidence)
+	}
+	if len(plan.InvalidEvidence) != 2 {
+		t.Fatalf("invalid = %v", plan.InvalidEvidence)
+	}
+	// The whole point: the incremental plan re-examines a strict subset.
+	if len(plan.InvalidEvidence) >= plan.TotalEvidence {
+		t.Fatal("incremental plan degenerated to full review")
+	}
+	if len(plan.AffectedGoals) == 0 {
+		t.Fatal("no affected goals listed")
+	}
+}
+
+func TestReexamineRestoresSupport(t *testing.T) {
+	c := BuildPCACase()
+	invalidated := c.UpgradeComponent("supervisor-app", "3.1")
+	if len(invalidated) != 4 {
+		t.Fatalf("invalidated = %v", invalidated)
+	}
+	for _, id := range invalidated {
+		if err := c.Reexamine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := c.Supported("G0"); !ok {
+		t.Fatal("root not restored after re-examination")
+	}
+	// Evidence now carries the new version: re-upgrading to the same
+	// version invalidates nothing.
+	if again := c.UpgradeComponent("supervisor-app", "3.1"); len(again) != 0 {
+		t.Fatalf("same-version upgrade invalidated %v", again)
+	}
+	if err := c.Reexamine("G0"); err == nil {
+		t.Fatal("Reexamine accepted a goal node")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		KindGoal: "goal", KindStrategy: "strategy", KindSolution: "solution",
+		KindContext: "context", NodeKind(9): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

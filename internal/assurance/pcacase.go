@@ -1,0 +1,45 @@
+package assurance
+
+// BuildPCACase constructs a realistic assurance case for the closed-loop
+// PCA system of Figure 1, mirroring how its safety argument decomposes
+// across the devices and apps in this repository. It is the subject of
+// experiment E8.
+func BuildPCACase() *Case {
+	c := NewCase("G0", "The closed-loop PCA system does not cause opioid overdose harm")
+
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(c.AddContext("G0", "C0", "Deployment: PCA pump + pulse oximeter + ICE supervisor on a hospital network"))
+	must(c.AddStrategy("G0", "S0", "Argue over hazard classes: overdose delivery, detection failure, actuation failure, security"))
+
+	// Hazard 1: pump delivers beyond safe limits.
+	must(c.AddGoal("S0", "G1", "The pump enforces programmed dose limits"))
+	must(c.AddEvidence("G1", "E1a", "Pump lockout/hourly-limit unit tests", "pump-firmware", "1.0"))
+	must(c.AddEvidence("G1", "E1b", "Pump stop-delay timing analysis", "pump-firmware", "1.0"))
+
+	// Hazard 2: deterioration goes undetected.
+	must(c.AddGoal("S0", "G2", "Respiratory depression is detected within 30 s"))
+	must(c.AddStrategy("G2", "S2", "Argue over sensing and decision separately"))
+	must(c.AddGoal("S2", "G2a", "Oximeter estimates are accurate and flag artifacts"))
+	must(c.AddEvidence("G2a", "E2a", "SpO2 estimation accuracy report (±3%)", "oximeter-firmware", "2.1"))
+	must(c.AddEvidence("G2a", "E2b", "Artifact-rejection validation", "oximeter-firmware", "2.1"))
+	must(c.AddGoal("S2", "G2b", "Supervisor decision logic is correct"))
+	must(c.AddEvidence("G2b", "E2c", "Model-checking proof of the interlock automaton", "supervisor-app", "3.0"))
+	must(c.AddEvidence("G2b", "E2d", "Closed-loop simulation campaign (1000 patients)", "supervisor-app", "3.0"))
+
+	// Hazard 3: the stop command fails to act.
+	must(c.AddGoal("S0", "G3", "A commanded stop halts infusion despite network faults"))
+	must(c.AddEvidence("G3", "E3a", "Stop-retry fault-injection tests (30% loss)", "supervisor-app", "3.0"))
+	must(c.AddEvidence("G3", "E3b", "Fail-safe data-timeout verification", "supervisor-app", "3.0"))
+	must(c.AddEvidence("G3", "E3c", "Pump command-interface conformance tests", "pump-firmware", "1.0"))
+
+	// Hazard 4: network attacker.
+	must(c.AddGoal("S0", "G4", "Network attackers cannot command the pump"))
+	must(c.AddEvidence("G4", "E4a", "HMAC authentication penetration tests", "ice-platform", "1.2"))
+	must(c.AddEvidence("G4", "E4b", "Role-based authorization review", "ice-platform", "1.2"))
+
+	return c
+}

@@ -1,0 +1,229 @@
+package closedloop
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+func TestPCAConfigValidate(t *testing.T) {
+	if err := DefaultPCAConfig("p", "o").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*PCAConfig){
+		func(c *PCAConfig) { c.PumpID = "" },
+		func(c *PCAConfig) { c.OximeterID = "" },
+		func(c *PCAConfig) { c.StopSpO2 = 0 },
+		func(c *PCAConfig) { c.StopSpO2 = 101 },
+		func(c *PCAConfig) { c.ResumeSpO2 = c.StopSpO2 - 1 },
+		func(c *PCAConfig) { c.DataTimeout = 0 },
+		func(c *PCAConfig) { c.CommandTimeout = 0 },
+		func(c *PCAConfig) { c.AlgorithmDelay = -time.Second },
+	}
+	for i, mut := range bad {
+		c := DefaultPCAConfig("p", "o")
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// The headline safety result (Figure 1 / F1): a misprogrammed pump plus a
+// demanding patient overdoses without the supervisor and does not with it.
+func TestSupervisorPreventsOverdose(t *testing.T) {
+	without := DefaultPCAScenario(42)
+	without.SupervisorEnabled = false
+	outNo, _, err := RunPCAScenario(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	with := DefaultPCAScenario(42)
+	outYes, sc, err := RunPCAScenario(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !outNo.Distressed {
+		t.Fatalf("unsupervised misprogrammed pump did not endanger the patient: %+v", outNo)
+	}
+	if outYes.Distressed {
+		t.Fatalf("supervised run still reached distress: %+v", outYes)
+	}
+	if outYes.MinSpO2 <= outNo.MinSpO2 {
+		t.Fatalf("supervisor did not improve minimum SpO2: %f vs %f", outYes.MinSpO2, outNo.MinSpO2)
+	}
+	if outYes.PumpStops == 0 {
+		t.Fatal("supervisor never stopped the pump")
+	}
+	if outYes.Alarms == 0 {
+		t.Fatal("supervisor raised no alarms")
+	}
+	if sc.Sup.MeanStopLatency() <= 0 {
+		t.Fatal("no acked stops recorded")
+	}
+	// End-to-end stop latency should be dominated by algorithm delay +
+	// network round trip: well under a second on a healthy LAN.
+	if sc.Sup.MeanStopLatency() > sim.Second {
+		t.Fatalf("mean stop latency %v implausibly high", sc.Sup.MeanStopLatency())
+	}
+}
+
+func TestSupervisorAllowsTherapeuticUse(t *testing.T) {
+	cfg := DefaultPCAScenario(7)
+	cfg.Pump = device.DefaultPumpSettings() // correctly programmed
+	cfg.ProxyPressInterval = 0              // patient presses for themselves
+	out, _, err := RunPCAScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Distressed {
+		t.Fatalf("correctly programmed pump reached distress: %+v", out)
+	}
+	if out.Boluses == 0 {
+		t.Fatal("patient never received a dose")
+	}
+	if out.FinalPain >= physio.DefaultTraits().InitialPain-0.5 {
+		t.Fatalf("pain not relieved: %f", out.FinalPain)
+	}
+}
+
+func TestFailSafeStopsOnDropout(t *testing.T) {
+	cfg := DefaultPCAScenario(11)
+	cfg.Pump.ConcentrationFactor = 1
+	sc := BuildPCAScenario(cfg)
+	// Kill the oximeter probe for 5 minutes mid-run.
+	sc.K.At(20*sim.Minute, func() { sc.Oximeter.InjectDropout(5 * sim.Minute) })
+	if _, err := sc.Run(40 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sup.DataTimeouts == 0 {
+		t.Fatal("data timeout never detected during 5-minute dropout")
+	}
+	found := false
+	for _, a := range sc.Sup.Alarms() {
+		if a.Kind == "data-timeout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no data-timeout alarm raised")
+	}
+	if sc.Sup.StopsIssued == 0 {
+		t.Fatal("fail-safe supervisor did not stop the pump on data loss")
+	}
+}
+
+func TestFailOperationalContinuesOnDropout(t *testing.T) {
+	cfg := DefaultPCAScenario(11)
+	cfg.Pump.ConcentrationFactor = 1
+	cfg.Supervisor = DefaultPCAConfig("pump1", "ox1")
+	cfg.Supervisor.FailSafe = false
+	sc := BuildPCAScenario(cfg)
+	sc.K.At(20*sim.Minute, func() { sc.Oximeter.InjectDropout(5 * sim.Minute) })
+	if _, err := sc.Run(40 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sup.DataTimeouts == 0 {
+		t.Fatal("data timeout not detected")
+	}
+	if sc.Sup.StopsIssued != 0 {
+		t.Fatal("fail-operational supervisor stopped the pump on data loss")
+	}
+}
+
+func TestAutoResumeAfterRecovery(t *testing.T) {
+	cfg := DefaultPCAScenario(13)
+	cfg.Duration = 4 * sim.Hour
+	out, sc, err := RunPCAScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PumpStops == 0 {
+		t.Skip("no stop occurred with this seed; nothing to resume")
+	}
+	if sc.Sup.ResumesIssued == 0 {
+		t.Fatal("supervisor never auto-resumed after recovery")
+	}
+}
+
+func TestSupervisorSurvivesLossyNetwork(t *testing.T) {
+	cfg := DefaultPCAScenario(17)
+	cfg.Link = mednet.LinkParams{
+		Latency: 5 * time.Millisecond, Jitter: 3 * time.Millisecond, LossProb: 0.2,
+	}
+	out, _, err := RunPCAScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With stop-command retries, 20% loss must not defeat the interlock.
+	if out.Distressed {
+		t.Fatalf("supervisor failed under 20%% loss: %+v", out)
+	}
+}
+
+func TestProxyPressesAreBounded(t *testing.T) {
+	// PCA-by-proxy against a *correctly* programmed pump: the visitor
+	// presses every 2 minutes, but the lockout plus the supervisor keep
+	// the patient out of danger.
+	cfg := DefaultPCAScenario(23)
+	cfg.Pump = device.DefaultPumpSettings()
+	cfg.ProxyPressInterval = 2 * sim.Minute
+	out, _, err := RunPCAScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BolusesDenied == 0 {
+		t.Fatal("lockout never denied the proxy presser")
+	}
+	if out.Distressed {
+		t.Fatalf("proxy pressing defeated the supervised system: %+v", out)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, _, err := RunPCAScenario(DefaultPCAScenario(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunPCAScenario(DefaultPCAScenario(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, _, err := RunPCAScenario(DefaultPCAScenario(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical outcomes (suspicious)")
+	}
+}
+
+func TestPumpCrashTimesOutCommands(t *testing.T) {
+	cfg := DefaultPCAScenario(31)
+	sc := BuildPCAScenario(cfg)
+	sc.K.At(10*sim.Minute, func() { sc.Pump.Conn().Crash() })
+	if _, err := sc.Run(cfg.Duration); err != nil {
+		t.Fatal(err)
+	}
+	// The supervisor should have exhausted retries and raised
+	// command-failed at some point after the crash (it cannot stop a dead
+	// pump, but it must tell the caregiver).
+	failed := false
+	for _, a := range sc.Sup.Alarms() {
+		if a.Kind == "command-failed" {
+			failed = true
+		}
+	}
+	if sc.Sup.StopsIssued > 0 && !failed {
+		t.Fatal("stop on crashed pump produced no command-failed alarm")
+	}
+}

@@ -1,0 +1,196 @@
+package closedloop
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// PCAScenarioConfig assembles the complete Figure 1 rig: patient, pump,
+// pulse oximeter, ICE manager and supervisor over a lossy network.
+type PCAScenarioConfig struct {
+	Seed     int64
+	Duration sim.Time
+
+	Patient       physio.Traits // zero value => default traits
+	PatientIdx    int           // population index when sampling
+	UsePopulation bool
+	Population    physio.PopulationSpec
+
+	Pump              device.PumpSettings
+	Link              mednet.LinkParams
+	Supervisor        PCAConfig // PumpID/OximeterID filled in by the builder
+	SupervisorEnabled bool
+
+	// ProxyPresses injects PCA-by-proxy abuse: a visitor pressing the
+	// button every interval regardless of the patient's state.
+	ProxyPressInterval sim.Time
+}
+
+// DefaultPCAScenario returns a 2-hour session reproducing the adverse-
+// event setup of the paper's PCA discussion: the pump is misprogrammed
+// with lax safety limits (short lockout, inflated hourly cap — "the pump
+// programmer overestimates the maximum dose") and double-concentration
+// drug is loaded, while a well-meaning visitor presses the button for the
+// patient (PCA-by-proxy). The built-in safeguards are thereby defeated,
+// and only the network supervisor stands between the patient and
+// respiratory failure.
+func DefaultPCAScenario(seed int64) PCAScenarioConfig {
+	pump := device.DefaultPumpSettings()
+	pump.ConcentrationFactor = 2           // wrong vial loaded
+	pump.LockoutInterval = 2 * time.Minute // misprogrammed lockout
+	pump.HourlyLimitMg = 30                // misprogrammed hourly cap
+	return PCAScenarioConfig{
+		Seed:               seed,
+		Duration:           2 * sim.Hour,
+		Pump:               pump,
+		Link:               mednet.DefaultLink(),
+		Supervisor:         DefaultPCAConfig("pump1", "ox1"),
+		SupervisorEnabled:  true,
+		ProxyPressInterval: 3 * sim.Minute,
+	}
+}
+
+// PCAScenario is the assembled rig.
+type PCAScenario struct {
+	K        *sim.Kernel
+	Net      *mednet.Network
+	Mgr      *core.Manager
+	Patient  *physio.Patient
+	Pump     *device.Pump
+	Oximeter *device.Oximeter
+	Ward     *device.Ward
+	Sup      *PCASupervisor // nil when disabled
+	Trace    *sim.Trace
+}
+
+// PCAOutcome summarizes a finished run for scoring.
+type PCAOutcome struct {
+	MinSpO2         float64
+	SecondsBelow90  float64
+	SecondsBelow85  float64
+	Distressed      bool // ever entered the danger zone
+	TotalDrugMg     float64
+	Boluses         uint64
+	BolusesDenied   uint64
+	PumpStops       uint64
+	Alarms          int
+	DataTimeouts    uint64
+	MeanStopLatency sim.Time
+	FinalPain       float64
+}
+
+// BuildPCAScenario constructs (but does not run) the rig.
+func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(cfg.Seed)
+	net := mednet.MustNew(k, rng.Fork("net"), cfg.Link)
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+
+	var patient *physio.Patient
+	if cfg.UsePopulation {
+		patient = cfg.Population.Sample(cfg.PatientIdx, rng.Fork("population"))
+	} else {
+		tr := cfg.Patient
+		if tr.ID == "" {
+			tr = physio.DefaultTraits()
+		}
+		patient = physio.NewPatient(tr, physio.MustPK(physio.DefaultMorphinePK()),
+			physio.MustPD(physio.DefaultMorphinePD()), rng.Fork("patient"))
+	}
+
+	pumpSettings := cfg.Pump
+	if pumpSettings.HourlyLimitMg == 0 {
+		pumpSettings = device.DefaultPumpSettings()
+	}
+	pump := device.MustNewPump(k, net, "pump1", pumpSettings, core.ConnectConfig{})
+	ox := device.MustNewOximeter(k, net, "ox1", patient, rng.Fork("ox"), core.ConnectConfig{})
+
+	trace := sim.NewTrace()
+	ward := device.NewWard(k, patient, sim.Second)
+	ward.Trace = trace
+	ward.AttachDrugSource(pump)
+
+	sc := &PCAScenario{
+		K: k, Net: net, Mgr: mgr, Patient: patient,
+		Pump: pump, Oximeter: ox, Ward: ward, Trace: trace,
+	}
+	if cfg.SupervisorEnabled {
+		supCfg := cfg.Supervisor
+		if supCfg.PumpID == "" {
+			supCfg = DefaultPCAConfig("pump1", "ox1")
+		}
+		sc.Sup = MustNewPCASupervisor(k, mgr, supCfg)
+		sc.Sup.OnAlarm(func(a Alarm) { trace.Annotate(a.At, "alarm", "%s: %s", a.Kind, a.Msg) })
+	}
+
+	// Patient demand behaviour: check the urge every 30 s.
+	k.Every(30*time.Second, func(sim.Time) {
+		if patient.WantsBolus(30 * sim.Second) {
+			pump.PressButton()
+		}
+	})
+	// PCA-by-proxy abuse, if configured.
+	if cfg.ProxyPressInterval > 0 {
+		k.Every(cfg.ProxyPressInterval.Duration(), func(sim.Time) { pump.PressButton() })
+	}
+	// Record supervisor-visible signals.
+	mgr.Subscribe("ox1/spo2", func(_ string, d core.Datum) {
+		if d.Valid {
+			trace.Record("obs/spo2", k.Now(), d.Value)
+		}
+	})
+	return sc
+}
+
+// Run executes the scenario to its horizon and scores it.
+func (sc *PCAScenario) Run(d sim.Time) (PCAOutcome, error) {
+	if err := sc.K.Run(d); err != nil {
+		return PCAOutcome{}, err
+	}
+	return sc.score(), nil
+}
+
+func (sc *PCAScenario) score() PCAOutcome {
+	st := sc.Trace.Stats("true/spo2")
+	below90 := 0.0
+	below85 := 0.0
+	s := sc.Trace.Series("true/spo2")
+	for i := 0; i+1 < len(s); i++ {
+		dt := (s[i+1].T - s[i].T).Seconds()
+		if s[i].V < 90 {
+			below90 += dt
+		}
+		if s[i].V < 85 {
+			below85 += dt
+		}
+	}
+	out := PCAOutcome{
+		MinSpO2:        st.Min,
+		SecondsBelow90: below90,
+		SecondsBelow85: below85,
+		Distressed:     below85 > 0,
+		TotalDrugMg:    sc.Patient.PK().TotalInfused(),
+		Boluses:        sc.Pump.BolusesDelivered,
+		BolusesDenied:  sc.Pump.BolusesDenied,
+		FinalPain:      sc.Patient.Vitals().Pain,
+	}
+	if sc.Sup != nil {
+		out.PumpStops = sc.Sup.StopsIssued
+		out.Alarms = len(sc.Sup.Alarms())
+		out.DataTimeouts = sc.Sup.DataTimeouts
+		out.MeanStopLatency = sc.Sup.MeanStopLatency()
+	}
+	return out
+}
+
+// RunPCAScenario builds and runs in one call.
+func RunPCAScenario(cfg PCAScenarioConfig) (PCAOutcome, *PCAScenario, error) {
+	sc := BuildPCAScenario(cfg)
+	out, err := sc.Run(cfg.Duration)
+	return out, sc, err
+}

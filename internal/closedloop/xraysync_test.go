@@ -1,0 +1,217 @@
+package closedloop
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// xrayRig assembles ventilator + x-ray + synchronizer over a configurable
+// link.
+type xrayRig struct {
+	k       *sim.Kernel
+	net     *mednet.Network
+	mgr     *core.Manager
+	vent    *device.Ventilator
+	xray    *device.XRay
+	sync    *XRaySync
+	patient *physio.Patient
+}
+
+func newXRayRig(t *testing.T, link mednet.LinkParams, proto SyncProtocol, mutate func(*XRaySyncConfig)) *xrayRig {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(5)
+	net := mednet.MustNew(k, rng.Fork("net"), link)
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	patient := physio.DefaultPatient(rng.Fork("patient"))
+	r := &xrayRig{k: k, net: net, mgr: mgr, patient: patient}
+	k.At(0, func() {
+		r.vent = device.MustNewVentilator(k, net, "vent1", physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
+		r.xray = device.MustNewXRay(k, net, "xr1", r.vent, core.ConnectConfig{})
+		w := device.NewWard(k, patient, sim.Second)
+		w.AttachVentSupport(r.vent)
+		cfg := DefaultXRaySyncConfig("xr1", "vent1", proto)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r.sync = MustNewXRaySync(k, mgr, cfg)
+	})
+	return r
+}
+
+func TestXRaySyncConfigValidate(t *testing.T) {
+	if err := DefaultXRaySyncConfig("x", "v", ProtocolStateSync).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*XRaySyncConfig){
+		func(c *XRaySyncConfig) { c.XRayID = "" },
+		func(c *XRaySyncConfig) { c.Exposure = 0 },
+		func(c *XRaySyncConfig) { c.DelayBound = -time.Second },
+		func(c *XRaySyncConfig) { c.CommandTimeout = 0 },
+		func(c *XRaySyncConfig) { c.Cycle.RatePerMin = 0 },
+		func(c *XRaySyncConfig) { c.ResumeRetries = -1 },
+	}
+	for i, mut := range bad {
+		c := DefaultXRaySyncConfig("x", "v", ProtocolStateSync)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func requestImages(r *xrayRig, n int, spacing sim.Time) {
+	for i := 0; i < n; i++ {
+		at := sim.Time(i+1) * spacing
+		r.k.At(at, func() { r.sync.RequestImage() })
+	}
+}
+
+func TestStateSyncProducesSharpImages(t *testing.T) {
+	r := newXRayRig(t, mednet.DefaultLink(), ProtocolStateSync, nil)
+	requestImages(r, 20, 20*sim.Second)
+	if err := r.k.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.xray.Blurred != 0 {
+		t.Fatalf("state-sync produced %d blurred images (sharp %d)", r.xray.Blurred, r.xray.Sharp)
+	}
+	if r.xray.Sharp < 15 {
+		t.Fatalf("state-sync produced only %d sharp images of 20 requests (deferred %d)",
+			r.xray.Sharp, r.sync.Deferred)
+	}
+	// Ventilation was never interrupted.
+	if r.vent.Pauses != 0 {
+		t.Fatal("state-sync paused the ventilator")
+	}
+}
+
+func TestManualShotsOftenBlurred(t *testing.T) {
+	r := newXRayRig(t, mednet.DefaultLink(), ProtocolManual, nil)
+	requestImages(r, 20, 17*sim.Second) // unaligned with the 5 s cycle
+	if err := r.k.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.xray.Blurred == 0 {
+		t.Fatal("uncoordinated imaging never hit a moving chest (implausible)")
+	}
+}
+
+func TestPauseRestartIsSharpButStopsVentilation(t *testing.T) {
+	r := newXRayRig(t, mednet.DefaultLink(), ProtocolPauseRestart, nil)
+	requestImages(r, 5, sim.Minute)
+	if err := r.k.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.xray.Blurred != 0 {
+		t.Fatalf("pause-restart produced %d blurred images", r.xray.Blurred)
+	}
+	if r.vent.Pauses != 5 || r.vent.Resumes != 5 {
+		t.Fatalf("pauses=%d resumes=%d, want 5/5", r.vent.Pauses, r.vent.Resumes)
+	}
+	if r.vent.Paused() {
+		t.Fatal("ventilator left paused after healthy run")
+	}
+}
+
+func TestPauseRestartLostResumeKillsWithoutRetries(t *testing.T) {
+	// The paper's fatal scenario: the resume command is lost and there is
+	// no retry. The ventilator stays paused and the anesthetized patient
+	// desaturates.
+	link := mednet.LinkParams{Latency: 2 * time.Millisecond}
+	r := newXRayRig(t, link, ProtocolPauseRestart, func(c *XRaySyncConfig) {
+		c.ResumeRetries = 0
+	})
+	// Drop exactly the resume command: a window after the shot completes.
+	// Pause settle 2 s + exposure 100 ms; resume goes out ~2.2 s after the
+	// request at t=60 s. Drop supervisor->ventilator traffic 61-70 s.
+	if err := r.net.Outage("ice-manager", "vent1", 61*sim.Second, 70*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.k.At(sim.Minute, func() { r.sync.RequestImage() })
+	if err := r.k.Run(12 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !r.vent.Paused() {
+		t.Skip("resume survived the outage window; timing shifted")
+	}
+	if r.sync.ResumeFailures == 0 {
+		t.Fatal("lost resume not counted as failure")
+	}
+	if v := r.patient.Vitals(); v.SpO2 > 90 {
+		t.Fatalf("patient SpO2 = %f despite 10 min without ventilation", v.SpO2)
+	}
+}
+
+func TestPauseRestartRetriesSurviveLoss(t *testing.T) {
+	link := mednet.LinkParams{Latency: 2 * time.Millisecond, LossProb: 0.3}
+	r := newXRayRig(t, link, ProtocolPauseRestart, func(c *XRaySyncConfig) {
+		c.ResumeRetries = 10
+	})
+	requestImages(r, 5, sim.Minute)
+	if err := r.k.Run(15 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.vent.Paused() {
+		t.Fatal("ventilator left paused despite retries")
+	}
+	if v := r.patient.Vitals(); v.SpO2 < 90 {
+		t.Fatalf("patient harmed despite resume retries: SpO2 %f", v.SpO2)
+	}
+}
+
+func TestStateSyncDefersWhenWindowTooTight(t *testing.T) {
+	// With a delay bound close to the whole quiescent window, no shot fits.
+	r := newXRayRig(t, mednet.DefaultLink(), ProtocolStateSync, func(c *XRaySyncConfig) {
+		c.DelayBound = 2 * time.Second // quiescent window is ~2.1 s
+		c.Exposure = 500 * sim.Millisecond
+	})
+	requestImages(r, 10, 20*sim.Second)
+	if err := r.k.Run(5 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.sync.Deferred != 10 {
+		t.Fatalf("deferred = %d, want all 10 (window cannot fit exposure)", r.sync.Deferred)
+	}
+	if r.xray.Sharp+r.xray.Blurred != 0 {
+		t.Fatal("shots were taken despite infeasible window")
+	}
+}
+
+func TestStateSyncBeforeAnyAnchorDefers(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	s := MustNewXRaySync(k, mgr, DefaultXRaySyncConfig("xr1", "vent1", ProtocolStateSync))
+	k.At(sim.Millisecond, func() { s.RequestImage() })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1 (no anchor yet)", s.Deferred)
+	}
+}
+
+func TestProtocolStringNames(t *testing.T) {
+	for p, want := range map[SyncProtocol]string{
+		ProtocolManual: "manual", ProtocolPauseRestart: "pause-restart",
+		ProtocolStateSync: "state-sync", SyncProtocol(9): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", p, got, want)
+		}
+	}
+	r := newXRayRig(t, mednet.DefaultLink(), ProtocolStateSync, nil)
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.sync.Describe() == "" {
+		t.Fatal("empty Describe")
+	}
+}

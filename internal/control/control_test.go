@@ -1,0 +1,256 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// firstOrderPlant simulates y' = (-y + g*u)/tau.
+type firstOrderPlant struct {
+	g, tau, y float64
+}
+
+func (p *firstOrderPlant) step(u, dt float64) float64 {
+	alpha := math.Exp(-dt / p.tau)
+	p.y = p.y*alpha + p.g*u*(1-alpha)
+	return p.y
+}
+
+func TestPIDValidate(t *testing.T) {
+	bad := []PIDParams{
+		{Kp: 1, OutMin: 1, OutMax: 0, DerivFilter: 1},
+		{Kp: -1, OutMin: 0, OutMax: 1, DerivFilter: 1},
+		{Kp: 1, OutMin: 0, OutMax: 1, DerivFilter: 0},
+		{Kp: 1, OutMin: 0, OutMax: 1, DerivFilter: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := NewPID(p); err == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPIDConvergesOnFirstOrderPlant(t *testing.T) {
+	plant := &firstOrderPlant{g: 2, tau: 60}
+	pid := MustPID(TunePIDFor(plant.g, plant.tau, 0, 10))
+	y := 0.0
+	const dt = 1.0
+	for i := 0; i < 1200; i++ {
+		u := pid.Update(1.0, y, dt)
+		y = plant.step(u, dt)
+	}
+	if math.Abs(y-1.0) > 0.02 {
+		t.Fatalf("PID settled at %f, want 1.0", y)
+	}
+}
+
+func TestPIDOutputClamped(t *testing.T) {
+	pid := MustPID(PIDParams{Kp: 100, Ki: 10, OutMin: 0, OutMax: 5, DerivFilter: 1})
+	for i := 0; i < 100; i++ {
+		u := pid.Update(1000, 0, 1)
+		if u < 0 || u > 5 {
+			t.Fatalf("output %f outside [0,5]", u)
+		}
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	// Drive into deep saturation, then reverse the error; a wound-up
+	// integrator would keep the output pinned high for a long time.
+	pid := MustPID(PIDParams{Kp: 1, Ki: 0.5, OutMin: 0, OutMax: 2, DerivFilter: 1})
+	for i := 0; i < 500; i++ {
+		pid.Update(10, 0, 1) // impossible setpoint: saturated high
+	}
+	// Error flips sign: output should unwind within a few steps.
+	steps := 0
+	for ; steps < 20; steps++ {
+		if pid.Update(0, 10, 1) <= 0 {
+			break
+		}
+	}
+	if steps >= 20 {
+		t.Fatalf("anti-windup failed: output still high after %d reversed steps", steps)
+	}
+}
+
+func TestPIDZeroDTDoesNotDivide(t *testing.T) {
+	pid := MustPID(PIDParams{Kp: 1, Ki: 1, Kd: 1, OutMin: -1, OutMax: 1, DerivFilter: 0.5})
+	pid.Update(1, 0, 1)
+	got := pid.Update(1, 0, 0) // must not NaN/panic
+	if math.IsNaN(got) {
+		t.Fatal("NaN on zero dt")
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	pid := MustPID(PIDParams{Kp: 1, Ki: 1, OutMin: -10, OutMax: 10, DerivFilter: 1})
+	for i := 0; i < 10; i++ {
+		pid.Update(1, 0, 1)
+	}
+	pid.Reset()
+	if got := pid.Update(0, 0, 1); got != 0 {
+		t.Fatalf("output after reset with zero error = %f, want 0", got)
+	}
+}
+
+func TestBangBangHysteresis(t *testing.T) {
+	bb := &BangBang{High: 1, Low: 0, Band: 0.5}
+	if got := bb.Update(10, 0, 1); got != 1 {
+		t.Fatalf("below band: %f, want High", got)
+	}
+	if got := bb.Update(10, 10.1, 1); got != 1 {
+		t.Fatalf("inside band should hold previous state: %f", got)
+	}
+	if got := bb.Update(10, 11, 1); got != 0 {
+		t.Fatalf("above band: %f, want Low", got)
+	}
+	if got := bb.Update(10, 9.9, 1); got != 0 {
+		t.Fatalf("inside band after off: %f, want Low (hysteresis)", got)
+	}
+	bb.Reset()
+	if bb.on {
+		t.Fatal("reset failed")
+	}
+}
+
+func candidateSet(outMax float64) []Candidate {
+	mk := func(name string, g, tau float64) Candidate {
+		return Candidate{Name: name, Gain: g, Tau: tau, Ctrl: MustPID(TunePIDFor(g, tau, 0, outMax))}
+	}
+	return []Candidate{
+		mk("insensitive", 0.5, 60),
+		mk("nominal", 2, 60),
+		mk("sensitive", 8, 60),
+	}
+}
+
+func TestSupervisorValidation(t *testing.T) {
+	if _, err := NewSupervisor(DefaultSupervisorParams(), nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+	bad := DefaultSupervisorParams()
+	bad.Forgetting = 0
+	if _, err := NewSupervisor(bad, candidateSet(10)); err == nil {
+		t.Fatal("bad forgetting accepted")
+	}
+	if _, err := NewSupervisor(DefaultSupervisorParams(), []Candidate{{Name: "x", Gain: 0, Tau: 1, Ctrl: &BangBang{}}}); err == nil {
+		t.Fatal("zero-gain candidate accepted")
+	}
+}
+
+func TestSupervisorIdentifiesTruePlant(t *testing.T) {
+	for _, tc := range []struct {
+		plantGain float64
+		want      string
+	}{
+		{0.5, "insensitive"}, {2, "nominal"}, {8, "sensitive"},
+	} {
+		sup := MustSupervisor(SupervisorParams{Forgetting: 0.99, DwellSeconds: 30, Hysteresis: 0.05}, candidateSet(10))
+		plant := &firstOrderPlant{g: tc.plantGain, tau: 60}
+		y := 0.0
+		for i := 0; i < 3600; i++ {
+			u := sup.Update(1.0, y, 1)
+			y = plant.step(u, 1)
+		}
+		if got := sup.Active(); got != tc.want {
+			t.Fatalf("plant gain %f: active = %q (monitors %v), want %q",
+				tc.plantGain, got, sup.MonitorSignals(), tc.want)
+		}
+	}
+}
+
+func TestSupervisorOutperformsMismatchedPID(t *testing.T) {
+	// Fixed PID tuned for the nominal gain applied to a highly sensitive
+	// plant overshoots; the supervisor switches to the sensitive candidate
+	// and keeps the overshoot bounded.
+	const plantGain, tau = 8.0, 60.0
+	run := func(c Controller) (maxY float64) {
+		plant := &firstOrderPlant{g: plantGain, tau: tau}
+		y := 0.0
+		for i := 0; i < 3600; i++ {
+			u := c.Update(1.0, y, 1)
+			y = plant.step(u, 1)
+			if y > maxY {
+				maxY = y
+			}
+		}
+		return maxY
+	}
+	fixed := run(MustPID(TunePIDFor(2, tau, 0, 10))) // tuned for nominal
+	adaptive := run(MustSupervisor(SupervisorParams{Forgetting: 0.99, DwellSeconds: 30, Hysteresis: 0.05}, candidateSet(10)))
+	if adaptive >= fixed {
+		t.Fatalf("supervisor overshoot %f not better than fixed PID %f", adaptive, fixed)
+	}
+	if adaptive > 2.0 {
+		t.Fatalf("supervisor overshoot %f exceeds 2x setpoint", adaptive)
+	}
+}
+
+func TestSupervisorDwellTimeLimitsSwitchRate(t *testing.T) {
+	sup := MustSupervisor(SupervisorParams{Forgetting: 0.9, DwellSeconds: 100, Hysteresis: 0}, candidateSet(10))
+	plant := &firstOrderPlant{g: 3, tau: 60}
+	y := 0.0
+	for i := 0; i < 1000; i++ {
+		u := sup.Update(1.0, y, 1)
+		y = plant.step(u, 1)
+	}
+	// With 100 s dwell over 1000 s, at most 10 switches are possible.
+	if sup.Switches > 10 {
+		t.Fatalf("switches = %d, dwell time not enforced", sup.Switches)
+	}
+}
+
+func TestSupervisorReset(t *testing.T) {
+	sup := MustSupervisor(DefaultSupervisorParams(), candidateSet(10))
+	plant := &firstOrderPlant{g: 8, tau: 60}
+	y := 0.0
+	for i := 0; i < 600; i++ {
+		u := sup.Update(1.0, y, 1)
+		y = plant.step(u, 1)
+	}
+	sup.Reset()
+	if sup.Active() != "insensitive" { // first candidate
+		t.Fatalf("active after reset = %q, want first candidate", sup.Active())
+	}
+	for _, m := range sup.MonitorSignals() {
+		if m != 0 {
+			t.Fatalf("monitor not cleared: %v", sup.MonitorSignals())
+		}
+	}
+}
+
+// Property: supervisor output always respects the candidates' actuator
+// bounds, for any plant in a broad random family.
+func TestSupervisorOutputBoundsProperty(t *testing.T) {
+	f := func(gainSeed, tauSeed uint8) bool {
+		g := 0.2 + float64(gainSeed%100)/10 // 0.2..10.1
+		tau := 10 + float64(tauSeed%200)    // 10..209 s
+		sup := MustSupervisor(SupervisorParams{Forgetting: 0.99, DwellSeconds: 20, Hysteresis: 0.05}, candidateSet(5))
+		plant := &firstOrderPlant{g: g, tau: tau}
+		y := 0.0
+		for i := 0; i < 600; i++ {
+			u := sup.Update(1.0, y, 1)
+			if u < 0 || u > 5 || math.IsNaN(u) {
+				return false
+			}
+			y = plant.step(u, 1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunePIDForShape(t *testing.T) {
+	p := TunePIDFor(2, 60, 0, 10)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Higher plant gain should yield gentler controller gains.
+	q := TunePIDFor(8, 60, 0, 10)
+	if q.Kp >= p.Kp {
+		t.Fatalf("Kp did not shrink with plant gain: %f vs %f", q.Kp, p.Kp)
+	}
+}

@@ -1,0 +1,137 @@
+// Package control provides the control-theoretic substrate for the
+// paper's physiological closed-loop challenge (g): classical PID and
+// bang-bang controllers, and a Morse-style supervisory adaptive controller
+// (multi-estimator, monitor, and dwell-time switching logic) designed for
+// the high parametric uncertainty of drug-response dynamics — the paper
+// cites exactly this family of methods [17].
+package control
+
+import "errors"
+
+// Controller maps (setpoint, measurement) to an actuator output each step.
+type Controller interface {
+	// Update advances the controller by dtSeconds and returns the output.
+	Update(setpoint, measured, dtSeconds float64) float64
+	// Reset clears internal state (integrators, filters).
+	Reset()
+}
+
+// PIDParams tune a PID controller.
+type PIDParams struct {
+	Kp, Ki, Kd  float64
+	OutMin      float64 // actuator lower bound
+	OutMax      float64 // actuator upper bound
+	DerivFilter float64 // derivative low-pass coefficient in (0,1]; 1 = unfiltered
+}
+
+// Validate reports an error for unusable gains.
+func (p PIDParams) Validate() error {
+	if p.OutMax <= p.OutMin {
+		return errors.New("control: OutMax must exceed OutMin")
+	}
+	if p.Kp < 0 || p.Ki < 0 || p.Kd < 0 {
+		return errors.New("control: negative PID gains")
+	}
+	if p.DerivFilter <= 0 || p.DerivFilter > 1 {
+		return errors.New("control: DerivFilter must lie in (0,1]")
+	}
+	return nil
+}
+
+// PID is a textbook PID with clamped output and conditional-integration
+// anti-windup: the integrator freezes while the output saturates in the
+// direction that would deepen saturation.
+type PID struct {
+	p        PIDParams
+	integral float64
+	prevErr  float64
+	dFilt    float64
+	primed   bool
+}
+
+// NewPID returns a PID controller.
+func NewPID(p PIDParams) (*PID, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &PID{p: p}, nil
+}
+
+// MustPID is NewPID for known-good parameters.
+func MustPID(p PIDParams) *PID {
+	c, err := NewPID(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Update implements Controller.
+func (c *PID) Update(setpoint, measured, dt float64) float64 {
+	if dt <= 0 {
+		return c.clamp(c.raw())
+	}
+	err := setpoint - measured
+	var deriv float64
+	if c.primed {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.primed = true
+	c.dFilt += c.p.DerivFilter * (deriv - c.dFilt)
+
+	// Tentative integral; commit only if it does not deepen saturation.
+	newIntegral := c.integral + err*dt
+	out := c.p.Kp*err + c.p.Ki*newIntegral + c.p.Kd*c.dFilt
+	if (out > c.p.OutMax && err > 0) || (out < c.p.OutMin && err < 0) {
+		// Anti-windup: hold the integrator.
+		out = c.p.Kp*err + c.p.Ki*c.integral + c.p.Kd*c.dFilt
+	} else {
+		c.integral = newIntegral
+	}
+	return c.clamp(out)
+}
+
+func (c *PID) raw() float64 {
+	return c.p.Kp*c.prevErr + c.p.Ki*c.integral + c.p.Kd*c.dFilt
+}
+
+func (c *PID) clamp(v float64) float64 {
+	if v < c.p.OutMin {
+		return c.p.OutMin
+	}
+	if v > c.p.OutMax {
+		return c.p.OutMax
+	}
+	return v
+}
+
+// Reset implements Controller.
+func (c *PID) Reset() {
+	c.integral, c.prevErr, c.dFilt, c.primed = 0, 0, 0, false
+}
+
+// BangBang is the simplest safety controller: full output below the
+// setpoint band, zero above it. Used as the PCA interlock baseline.
+type BangBang struct {
+	High, Low float64 // output levels
+	Band      float64 // hysteresis half-width around the setpoint
+	on        bool
+}
+
+// Update implements Controller.
+func (c *BangBang) Update(setpoint, measured, dt float64) float64 {
+	switch {
+	case measured < setpoint-c.Band:
+		c.on = true
+	case measured > setpoint+c.Band:
+		c.on = false
+	}
+	if c.on {
+		return c.High
+	}
+	return c.Low
+}
+
+// Reset implements Controller.
+func (c *BangBang) Reset() { c.on = false }

@@ -1,0 +1,192 @@
+package control
+
+import (
+	"errors"
+	"math"
+)
+
+// Candidate pairs a plant hypothesis with the controller that would be
+// used if that hypothesis were true (certainty equivalence). The plant
+// hypothesis is first-order, y' = (-y + Gain*u)/Tau, optionally cascaded
+// with a second lag Tau2 (drug-effect dynamics are two-lag: distribution
+// then effect-site equilibration; estimators sharing that structure
+// identify the patient correctly where a single lag systematically
+// favours low-gain hypotheses during the S-shaped onset).
+type Candidate struct {
+	Name string
+	Gain float64 // steady-state output per unit input
+	Tau  float64 // first time constant, seconds
+	Tau2 float64 // optional second time constant, seconds (0 = first-order)
+	Ctrl Controller
+}
+
+// SupervisorParams tune the switching logic.
+type SupervisorParams struct {
+	// Forgetting is the exponential forgetting factor lambda in (0,1];
+	// effective memory is ~1/(1-lambda) steps.
+	Forgetting float64
+	// DwellSeconds is the minimum time between switches — the key
+	// stability mechanism of supervisory control: switching too fast can
+	// destabilize even when every candidate controller is stabilizing.
+	DwellSeconds float64
+	// Hysteresis requires the challenger's monitor signal to undercut the
+	// incumbent's by this relative margin before a switch.
+	Hysteresis float64
+}
+
+// DefaultSupervisorParams returns conservative switching behaviour.
+func DefaultSupervisorParams() SupervisorParams {
+	return SupervisorParams{Forgetting: 0.995, DwellSeconds: 120, Hysteresis: 0.1}
+}
+
+// Validate reports an error for unusable parameters.
+func (p SupervisorParams) Validate() error {
+	if p.Forgetting <= 0 || p.Forgetting > 1 {
+		return errors.New("control: forgetting factor must lie in (0,1]")
+	}
+	if p.DwellSeconds < 0 {
+		return errors.New("control: negative dwell time")
+	}
+	if p.Hysteresis < 0 {
+		return errors.New("control: negative hysteresis")
+	}
+	return nil
+}
+
+type candidateState struct {
+	c       Candidate
+	x       float64 // first-lag state
+	yhat    float64 // estimator output (second-lag state, or = x when Tau2 == 0)
+	monitor float64 // exponentially forgotten squared prediction error
+}
+
+// Supervisor is the supervisory adaptive controller: it runs one estimator
+// per candidate, monitors their prediction errors, and routes control to
+// the candidate currently explaining the patient best, subject to dwell
+// time and hysteresis.
+type Supervisor struct {
+	p          SupervisorParams
+	cands      []candidateState
+	active     int
+	sinceSwith float64 // seconds since the last switch
+	lastU      float64
+	Switches   uint64 // total switch count, for experiments
+}
+
+// NewSupervisor builds the supervisor. At least one candidate is required;
+// the first is the initial incumbent.
+func NewSupervisor(p SupervisorParams, cands []Candidate) (*Supervisor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("control: supervisor needs at least one candidate")
+	}
+	s := &Supervisor{p: p, sinceSwith: p.DwellSeconds}
+	for _, c := range cands {
+		if c.Gain <= 0 || c.Tau <= 0 || c.Ctrl == nil {
+			return nil, errors.New("control: candidate needs positive gain, tau and a controller")
+		}
+		if c.Tau2 < 0 {
+			return nil, errors.New("control: negative second time constant")
+		}
+		s.cands = append(s.cands, candidateState{c: c})
+	}
+	return s, nil
+}
+
+// MustSupervisor is NewSupervisor for known-good inputs.
+func MustSupervisor(p SupervisorParams, cands []Candidate) *Supervisor {
+	s, err := NewSupervisor(p, cands)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Active returns the incumbent candidate's name.
+func (s *Supervisor) Active() string { return s.cands[s.active].c.Name }
+
+// MonitorSignals returns each candidate's current monitor value, keyed by
+// name (diagnostics and tests).
+func (s *Supervisor) MonitorSignals() map[string]float64 {
+	out := make(map[string]float64, len(s.cands))
+	for _, cs := range s.cands {
+		out[cs.c.Name] = cs.monitor
+	}
+	return out
+}
+
+// Update implements Controller: it propagates every estimator with the
+// previously applied input, updates monitors, possibly switches, and
+// returns the incumbent controller's output.
+func (s *Supervisor) Update(setpoint, measured, dt float64) float64 {
+	if dt > 0 {
+		for i := range s.cands {
+			cs := &s.cands[i]
+			// Exact first-order steps under zero-order-hold input.
+			alpha := math.Exp(-dt / cs.c.Tau)
+			cs.x = cs.x*alpha + cs.c.Gain*s.lastU*(1-alpha)
+			if cs.c.Tau2 > 0 {
+				beta := math.Exp(-dt / cs.c.Tau2)
+				cs.yhat = cs.yhat*beta + cs.x*(1-beta)
+			} else {
+				cs.yhat = cs.x
+			}
+			e := cs.yhat - measured
+			cs.monitor = s.p.Forgetting*cs.monitor + e*e*dt
+		}
+		s.sinceSwith += dt
+		s.maybeSwitch()
+	}
+	u := s.cands[s.active].c.Ctrl.Update(setpoint, measured, dt)
+	s.lastU = u
+	return u
+}
+
+func (s *Supervisor) maybeSwitch() {
+	if s.sinceSwith < s.p.DwellSeconds {
+		return
+	}
+	best := s.active
+	for i := range s.cands {
+		if s.cands[i].monitor < s.cands[best].monitor {
+			best = i
+		}
+	}
+	if best == s.active {
+		return
+	}
+	if s.cands[best].monitor*(1+s.p.Hysteresis) >= s.cands[s.active].monitor {
+		return // challenger not convincingly better
+	}
+	// Hand over: the new controller starts fresh to avoid inheriting a
+	// wound-up integrator tuned for a different plant.
+	s.cands[best].c.Ctrl.Reset()
+	s.active = best
+	s.sinceSwith = 0
+	s.Switches++
+}
+
+// Reset implements Controller.
+func (s *Supervisor) Reset() {
+	for i := range s.cands {
+		s.cands[i].x = 0
+		s.cands[i].yhat = 0
+		s.cands[i].monitor = 0
+		s.cands[i].c.Ctrl.Reset()
+	}
+	s.active = 0
+	s.lastU = 0
+	s.sinceSwith = s.p.DwellSeconds
+}
+
+// TunePIDFor returns certainty-equivalence PID gains for a first-order
+// plant (gain g, time constant tau) using a lambda-tuning rule with the
+// closed-loop constant set to tau/2, bounded by the actuator range.
+func TunePIDFor(g, tau, outMin, outMax float64) PIDParams {
+	lambda := tau / 2
+	kp := tau / (g * lambda)
+	ki := kp / tau
+	return PIDParams{Kp: kp, Ki: ki, Kd: 0, OutMin: outMin, OutMax: outMax, DerivFilter: 1}
+}

@@ -1,0 +1,19 @@
+// Package core implements the paper's central infrastructure challenge
+// (III.k): an Integrated Clinical Environment (ICE) in the spirit of ASTM
+// F2761 / the MD PnP initiative. It provides
+//
+//   - a capability model describing what each medical device senses,
+//     actuates and accepts as settings;
+//   - plug-and-play discovery: devices announce themselves to the ICE
+//     manager, are admitted against a required-capability check, and are
+//     monitored for liveness by heartbeats;
+//   - a typed publish/subscribe topic bus carrying physiological data;
+//   - a command channel with acknowledgements for actuator control;
+//   - hooks for message authentication (internal/security) and auditing.
+//
+// Everything runs over a simulated lossy network (internal/mednet) on the
+// shared virtual clock, so supervisors built on this package (see
+// internal/closedloop) are exercised against realistic communication
+// faults — the paper's prerequisite for arguing safety of closed-loop
+// medical device systems.
+package core

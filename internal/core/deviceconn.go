@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// CommandHandler executes one actuator command on the device. A non-nil
+// error is reported back to the manager in the acknowledgement.
+type CommandHandler func(args map[string]float64) error
+
+// DeviceConn is the device-side ICE endpoint: it announces the device,
+// sends heartbeats, publishes sensor data, and dispatches incoming
+// commands to registered handlers. Concrete devices in internal/device
+// embed one.
+type DeviceConn struct {
+	desc    Descriptor
+	mgrAddr string
+	k       *sim.Kernel
+	net     *mednet.Network
+	auth    Authenticator
+	seq     uint64
+	beat    *sim.Ticker
+	replay  replayWindow
+
+	admitted  bool
+	admitErr  string
+	onAdmit   []func(ok bool, reason string)
+	handlers  map[string]CommandHandler
+	connected bool
+
+	// Counters for experiments.
+	CommandsOK     uint64
+	CommandsFailed uint64
+	AuthRejected   uint64
+}
+
+// ConnectConfig carries the optional knobs for a device connection.
+type ConnectConfig struct {
+	ManagerAddr       string        // default "ice-manager"
+	HeartbeatInterval time.Duration // default 1 s
+	Auth              Authenticator // nil disables signing
+}
+
+// Connect registers the device on the network and announces it to the
+// manager. The returned connection is live immediately; admission status
+// arrives asynchronously via OnAdmit.
+func Connect(k *sim.Kernel, net *mednet.Network, desc Descriptor, cfg ConnectConfig) (*DeviceConn, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ManagerAddr == "" {
+		cfg.ManagerAddr = "ice-manager"
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	c := &DeviceConn{
+		desc:      desc,
+		mgrAddr:   cfg.ManagerAddr,
+		k:         k,
+		net:       net,
+		auth:      cfg.Auth,
+		handlers:  make(map[string]CommandHandler),
+		connected: true,
+	}
+	net.Register(desc.ID, c.onMessage)
+	c.sendEnvelope(MsgAnnounce, desc)
+	c.beat = k.Every(cfg.HeartbeatInterval, func(sim.Time) {
+		if c.connected {
+			c.sendEnvelope(MsgHeartbeat, nil)
+		}
+	})
+	return c, nil
+}
+
+// MustConnect is Connect for known-good descriptors.
+func MustConnect(k *sim.Kernel, net *mednet.Network, desc Descriptor, cfg ConnectConfig) *DeviceConn {
+	c, err := Connect(k, net, desc, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the device's network identity.
+func (c *DeviceConn) ID() string { return c.desc.ID }
+
+// Descriptor returns the announced self-description.
+func (c *DeviceConn) Descriptor() Descriptor { return c.desc }
+
+// Admitted reports the admission state (false until the admit reply lands).
+func (c *DeviceConn) Admitted() bool { return c.admitted }
+
+// OnAdmit registers fn to run when the admission result arrives.
+func (c *DeviceConn) OnAdmit(fn func(ok bool, reason string)) {
+	c.onAdmit = append(c.onAdmit, fn)
+}
+
+// Handle registers the executor for a named actuator command. The
+// capability must have been declared in the descriptor; otherwise the
+// registration panics — it is a programming error for a device to accept
+// commands it did not advertise.
+func (c *DeviceConn) Handle(name string, h CommandHandler) {
+	if !c.desc.Has(name, ClassActuator) && !c.desc.Has(name, ClassSetting) {
+		panic(fmt.Sprintf("core: device %s handling unadvertised command %q", c.desc.ID, name))
+	}
+	c.handlers[name] = h
+}
+
+// Publish sends one observation for a declared sensor or event capability.
+func (c *DeviceConn) Publish(capability string, value float64, valid bool, quality float64, sampled sim.Time) {
+	if !c.connected {
+		return
+	}
+	if !c.desc.Has(capability, ClassSensor) && !c.desc.Has(capability, ClassEvent) {
+		panic(fmt.Sprintf("core: device %s publishing unadvertised capability %q", c.desc.ID, capability))
+	}
+	c.sendEnvelope(MsgPublish, Datum{
+		Topic: Topic(c.desc.ID, capability), Value: value, Valid: valid,
+		Quality: quality, Sampled: sampled,
+	})
+}
+
+// Bye leaves the ICE in an orderly fashion and detaches from the network.
+func (c *DeviceConn) Bye() {
+	if !c.connected {
+		return
+	}
+	c.sendEnvelope(MsgBye, nil)
+	c.Crash()
+}
+
+// Crash detaches abruptly: no farewell, heartbeats stop. The manager will
+// notice via liveness timeout — this is the failure mode experiments inject.
+func (c *DeviceConn) Crash() {
+	c.connected = false
+	c.beat.Stop()
+	c.net.Unregister(c.desc.ID)
+}
+
+// Connected reports whether the device endpoint is attached.
+func (c *DeviceConn) Connected() bool { return c.connected }
+
+func (c *DeviceConn) sendEnvelope(t MsgType, body any) {
+	c.seq++
+	data, err := Encode(t, c.desc.ID, c.mgrAddr, c.seq, c.k.Now(), body)
+	if err != nil {
+		panic(err)
+	}
+	if c.auth != nil {
+		env, _ := Decode(data)
+		if tag, err := c.auth.Sign(c.desc.ID, env.SigningBytes()); err == nil {
+			env.Auth = tag
+			data = mustMarshalEnvelope(env)
+		}
+	}
+	c.net.Send(c.desc.ID, c.mgrAddr, string(t), data)
+}
+
+func (c *DeviceConn) onMessage(msg mednet.Message) {
+	env, err := Decode(msg.Payload)
+	if err != nil {
+		return
+	}
+	if c.auth != nil {
+		if err := c.auth.Verify(env.From, env.SigningBytes(), env.Auth); err != nil {
+			c.AuthRejected++
+			return
+		}
+	}
+	if !c.replay.admit(env.Seq) {
+		return
+	}
+	switch env.Type {
+	case MsgAdmit:
+		var res AdmitResult
+		if env.DecodeBody(&res) != nil {
+			return
+		}
+		c.admitted = res.OK
+		c.admitErr = res.Reason
+		for _, fn := range c.onAdmit {
+			fn(res.OK, res.Reason)
+		}
+	case MsgCommand:
+		var cmd Command
+		if env.DecodeBody(&cmd) != nil {
+			return
+		}
+		ack := CommandAck{ID: cmd.ID, OK: true}
+		if h, ok := c.handlers[cmd.Name]; !ok {
+			ack.OK = false
+			ack.Err = fmt.Sprintf("unknown command %q", cmd.Name)
+		} else if err := h(cmd.Args); err != nil {
+			ack.OK = false
+			ack.Err = err.Error()
+		}
+		if ack.OK {
+			c.CommandsOK++
+		} else {
+			c.CommandsFailed++
+		}
+		c.sendEnvelope(MsgCommandAck, ack)
+	}
+}

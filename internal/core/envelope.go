@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MsgType enumerates the ICE wire protocol message types.
+type MsgType string
+
+const (
+	MsgAnnounce   MsgType = "announce"    // device -> manager: descriptor
+	MsgAdmit      MsgType = "admit"       // manager -> device: admission result
+	MsgPublish    MsgType = "publish"     // device -> manager: sensor datum
+	MsgCommand    MsgType = "command"     // manager -> device: actuator command
+	MsgCommandAck MsgType = "command-ack" // device -> manager
+	MsgHeartbeat  MsgType = "heartbeat"   // device -> manager liveness
+	MsgBye        MsgType = "bye"         // device -> manager: orderly leave
+)
+
+// Envelope is the wire representation of every ICE message. Auth carries
+// the optional HMAC tag added by internal/security; it covers every field
+// except itself.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	From string          `json:"from"`
+	To   string          `json:"to"`
+	Seq  uint64          `json:"seq"`
+	At   sim.Time        `json:"at"`
+	Body json.RawMessage `json:"body,omitempty"`
+	Auth []byte          `json:"auth,omitempty"`
+}
+
+// Datum is the body of a MsgPublish: one sensor observation.
+type Datum struct {
+	Topic   string   `json:"topic"`
+	Value   float64  `json:"value"`
+	Valid   bool     `json:"valid"`
+	Quality float64  `json:"quality"` // [0,1] signal-quality index
+	Sampled sim.Time `json:"sampled"` // when the underlying signal was measured
+}
+
+// Command is the body of a MsgCommand.
+type Command struct {
+	ID   uint64             `json:"id"`
+	Name string             `json:"name"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// CommandAck is the body of a MsgCommandAck.
+type CommandAck struct {
+	ID  uint64 `json:"id"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+// AdmitResult is the body of a MsgAdmit.
+type AdmitResult struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Encode marshals an envelope with the given typed body.
+func Encode(t MsgType, from, to string, seq uint64, at sim.Time, body any) ([]byte, error) {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding %s body: %w", t, err)
+		}
+		raw = b
+	}
+	env := Envelope{Type: t, From: from, To: to, Seq: seq, At: at, Body: raw}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding %s envelope: %w", t, err)
+	}
+	return out, nil
+}
+
+// Decode unmarshals an envelope from the wire.
+func Decode(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("core: decoding envelope: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, errors.New("core: envelope missing type")
+	}
+	if env.From == "" {
+		return Envelope{}, errors.New("core: envelope missing sender")
+	}
+	return env, nil
+}
+
+// DecodeBody unmarshals the body into out.
+func (e Envelope) DecodeBody(out any) error {
+	if len(e.Body) == 0 {
+		return fmt.Errorf("core: %s envelope has empty body", e.Type)
+	}
+	if err := json.Unmarshal(e.Body, out); err != nil {
+		return fmt.Errorf("core: decoding %s body: %w", e.Type, err)
+	}
+	return nil
+}
+
+// mustMarshalEnvelope re-serializes an envelope (used after attaching an
+// authentication tag). Marshaling an Envelope cannot fail.
+func mustMarshalEnvelope(e Envelope) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal envelope: %v", err))
+	}
+	return b
+}
+
+// SigningBytes returns the canonical byte string an authenticator signs:
+// the envelope with the Auth field cleared. Deterministic because
+// encoding/json marshals struct fields in declaration order.
+func (e Envelope) SigningBytes() []byte {
+	e.Auth = nil
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Envelope fields are all marshalable types; this cannot fail.
+		panic(fmt.Sprintf("core: signing bytes: %v", err))
+	}
+	return b
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// rig is a complete ICE test fixture.
+type rig struct {
+	k   *sim.Kernel
+	net *mednet.Network
+	mgr *Manager
+}
+
+func newRig(t *testing.T, cfg ManagerConfig) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	mgr, err := NewManager(k, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, net: net, mgr: mgr}
+}
+
+func TestManagerConfigValidation(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	bad := []ManagerConfig{
+		{HeartbeatInterval: 0, LivenessTimeout: time.Second},
+		{HeartbeatInterval: time.Second, LivenessTimeout: 0},
+		{HeartbeatInterval: 2 * time.Second, LivenessTimeout: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := NewManager(k, net, cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAnnounceAdmitPublishSubscribe(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var data []Datum
+	r.mgr.Subscribe("ox1/spo2", func(from string, d Datum) {
+		if from != "ox1" {
+			t.Errorf("from = %q", from)
+		}
+		data = append(data, d)
+	})
+
+	var admitted bool
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		c.OnAdmit(func(ok bool, reason string) { admitted = ok })
+		r.k.After(100*time.Millisecond, func() {
+			c.Publish("spo2", 97.5, true, 0.9, r.k.Now())
+			c.Publish("heart-rate", 72, true, 0.9, r.k.Now()) // not subscribed
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !admitted {
+		t.Fatal("device not admitted")
+	}
+	if len(data) != 1 {
+		t.Fatalf("received %d data, want 1", len(data))
+	}
+	if data[0].Value != 97.5 || !data[0].Valid {
+		t.Fatalf("datum = %+v", data[0])
+	}
+	st, ok := r.mgr.Device("ox1")
+	if !ok || !st.Admitted || !st.Alive {
+		t.Fatalf("status = %+v, %v", st, ok)
+	}
+}
+
+func TestAdmissionPolicyRejects(t *testing.T) {
+	cfg := DefaultManagerConfig()
+	cfg.Admission = RequireAny(Requirement{Kind: KindInfusionPump})
+	r := newRig(t, cfg)
+	var ok bool
+	var reason string
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		c.OnAdmit(func(o bool, re string) { ok, reason = o, re })
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oximeter admitted by pump-only policy")
+	}
+	if reason == "" {
+		t.Fatal("rejection carried no reason")
+	}
+	if _, found := r.mgr.Device("ox1"); found {
+		t.Fatal("rejected device present in registry")
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	topics := map[string]int{}
+	r.mgr.Subscribe("*/*", func(_ string, d Datum) { topics[d.Topic]++ })
+	r.k.At(0, func() {
+		ox := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		pu := MustConnect(r.k, r.net, pumpDesc("pump1"), ConnectConfig{})
+		r.k.After(50*time.Millisecond, func() {
+			ox.Publish("spo2", 98, true, 1, r.k.Now())
+			pu.Publish("infusion-rate", 0.05, true, 1, r.k.Now())
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if topics["ox1/spo2"] != 1 || topics["pump1/infusion-rate"] != 1 {
+		t.Fatalf("topics = %v", topics)
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	stopped := false
+	var ackOK bool
+	var ackErr error
+	r.k.At(0, func() {
+		p := MustConnect(r.k, r.net, pumpDesc("pump1"), ConnectConfig{})
+		p.Handle("stop", func(map[string]float64) error { stopped = true; return nil })
+		r.k.After(50*time.Millisecond, func() {
+			r.mgr.SendCommand("pump1", "stop", nil, time.Second, func(a CommandAck, err error) {
+				ackOK, ackErr = a.OK, err
+			})
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Fatal("command did not execute")
+	}
+	if !ackOK || ackErr != nil {
+		t.Fatalf("ack = %v, err = %v", ackOK, ackErr)
+	}
+}
+
+func TestCommandErrorPropagates(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var ack CommandAck
+	r.k.At(0, func() {
+		p := MustConnect(r.k, r.net, pumpDesc("pump1"), ConnectConfig{})
+		p.Handle("stop", func(map[string]float64) error { return errors.New("valve jammed") })
+		r.k.After(50*time.Millisecond, func() {
+			r.mgr.SendCommand("pump1", "stop", nil, time.Second, func(a CommandAck, err error) { ack = a })
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK || ack.Err != "valve jammed" {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestUnknownCommandNacked(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var ack CommandAck
+	r.k.At(0, func() {
+		MustConnect(r.k, r.net, pumpDesc("pump1"), ConnectConfig{})
+		r.k.After(50*time.Millisecond, func() {
+			r.mgr.SendCommand("pump1", "self-destruct", nil, time.Second, func(a CommandAck, err error) { ack = a })
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK {
+		t.Fatal("unknown command acked OK")
+	}
+}
+
+func TestCommandTimeoutOnDeadDevice(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var timedOut bool
+	r.k.At(0, func() {
+		p := MustConnect(r.k, r.net, pumpDesc("pump1"), ConnectConfig{})
+		r.k.After(50*time.Millisecond, func() {
+			p.Crash()
+			r.mgr.SendCommand("pump1", "stop", nil, 500*time.Millisecond, func(a CommandAck, err error) {
+				timedOut = err != nil
+			})
+		})
+	})
+	if err := r.k.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("command to crashed device did not time out")
+	}
+}
+
+func TestLivenessDetectsCrash(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	transitions := map[bool]int{}
+	var lastAlive bool
+	r.mgr.WatchDevices(func(id string, st DeviceStatus) {
+		if id == "ox1" {
+			transitions[st.Alive]++
+			lastAlive = st.Alive
+		}
+	})
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		r.k.After(2*time.Second, func() { c.Crash() })
+	})
+	if err := r.k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if transitions[true] == 0 {
+		t.Fatal("no admission notification")
+	}
+	if transitions[false] == 0 {
+		t.Fatal("crash never detected by liveness sweep")
+	}
+	if lastAlive {
+		t.Fatal("device still considered alive at end")
+	}
+	st, _ := r.mgr.Device("ox1")
+	if st.Alive {
+		t.Fatal("status.Alive = true after crash")
+	}
+}
+
+func TestLivenessRecovery(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var events []bool
+	r.mgr.WatchDevices(func(id string, st DeviceStatus) { events = append(events, st.Alive) })
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		r.k.After(2*time.Second, func() { c.Crash() })
+		// Reconnect (device restart) at t=8s with a fresh connection.
+		r.k.After(8*time.Second, func() {
+			MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		})
+	})
+	if err := r.k.Run(15 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Expect alive -> dead -> alive somewhere in the sequence.
+	wantSeq := []bool{true, false, true}
+	i := 0
+	for _, e := range events {
+		if i < len(wantSeq) && e == wantSeq[i] {
+			i++
+		}
+	}
+	if i != len(wantSeq) {
+		t.Fatalf("liveness transitions = %v, want to contain %v in order", events, wantSeq)
+	}
+}
+
+func TestByeRemovesDevice(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		r.k.After(time.Second, func() { c.Bye() })
+	})
+	if err := r.k.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.mgr.Device("ox1"); ok {
+		t.Fatal("device still registered after Bye")
+	}
+	if got := r.mgr.Devices(); len(got) != 0 {
+		t.Fatalf("devices = %v", got)
+	}
+}
+
+func TestPublishUnderForeignPrefixRejected(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	var received int
+	r.mgr.Subscribe("*/*", func(string, Datum) { received++ })
+	r.k.At(0, func() {
+		// A malicious or buggy device publishing under another device's ID.
+		c := MustConnect(r.k, r.net, oximeterDesc("evil"), ConnectConfig{})
+		r.k.After(100*time.Millisecond, func() {
+			// Hand-craft a publish claiming pump1's topic.
+			data, err := Encode(MsgPublish, "evil", r.mgr.Addr(), 99, r.k.Now(), Datum{
+				Topic: "pump1/infusion-rate", Value: 0, Valid: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.net.Send("evil", r.mgr.Addr(), "publish", data)
+			_ = c
+		})
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 {
+		t.Fatal("spoofed-topic publish was routed")
+	}
+	if r.mgr.Malformed == 0 {
+		t.Fatal("spoofed publish not counted as malformed")
+	}
+}
+
+func TestDuplicatedFramesDeduplicated(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.LinkParams{
+		Latency: 2 * time.Millisecond, DupProb: 1, // every frame duplicated
+	})
+	mgr := MustNewManager(k, net, DefaultManagerConfig())
+	var data int
+	mgr.Subscribe("*/*", func(string, Datum) { data++ })
+	k.At(0, func() {
+		c := MustConnect(k, net, oximeterDesc("ox1"), ConnectConfig{})
+		k.After(100*time.Millisecond, func() {
+			c.Publish("spo2", 97, true, 1, k.Now())
+		})
+	})
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if data != 1 {
+		t.Fatalf("received %d copies, want 1 (anti-replay dedup)", data)
+	}
+	if mgr.ReplayRejected == 0 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestMalformedPayloadCounted(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	r.k.At(0, func() {
+		r.net.Send("x", r.mgr.Addr(), "junk", []byte("{not json"))
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.mgr.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", r.mgr.Malformed)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	data, err := Encode(MsgPublish, "d1", "mgr", 7, 123*sim.Millisecond, Datum{
+		Topic: "d1/spo2", Value: 96.5, Valid: true, Quality: 0.8, Sampled: 120 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != MsgPublish || env.From != "d1" || env.Seq != 7 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	var d Datum
+	if err := env.DecodeBody(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 96.5 || d.Topic != "d1/spo2" {
+		t.Fatalf("datum = %+v", d)
+	}
+	// Signing bytes must not depend on the Auth field.
+	sig1 := env.SigningBytes()
+	env.Auth = []byte("tag")
+	sig2 := env.SigningBytes()
+	if string(sig1) != string(sig2) {
+		t.Fatal("SigningBytes varies with Auth field")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("{}"), []byte(`{"type":"x"}`), []byte("][")} {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("Decode(%q) accepted", b)
+		}
+	}
+}
+
+func TestPublishUnadvertisedCapabilityPanics(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		defer func() {
+			if recover() == nil {
+				t.Error("publishing unadvertised capability did not panic")
+			}
+		}()
+		c.Publish("etco2", 38, true, 1, r.k.Now())
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleUnadvertisedCommandPanics(t *testing.T) {
+	r := newRig(t, DefaultManagerConfig())
+	r.k.At(0, func() {
+		c := MustConnect(r.k, r.net, oximeterDesc("ox1"), ConnectConfig{})
+		defer func() {
+			if recover() == nil {
+				t.Error("handling unadvertised command did not panic")
+			}
+		}()
+		c.Handle("stop", func(map[string]float64) error { return nil })
+	})
+	if err := r.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// Bed is the hospital bed of the paper's mixed-criticality scenario: a
+// Class I device (lowest FDA criticality) whose height changes corrupt a
+// Class III monitoring function's MAP reading. Publishing its height as a
+// context event is exactly the "provide all sources of interactions as
+// explicit inputs" design the paper recommends.
+//
+// Capabilities:
+//
+//	event    height (m)  — published whenever the height changes
+//	actuator set-height  — args: height (m)
+type Bed struct {
+	conn   *core.DeviceConn
+	k      *sim.Kernel
+	height float64 // meters above the reference position
+
+	// Moves counts height adjustments, for experiment accounting.
+	Moves uint64
+}
+
+// BedDescriptor returns the ICE descriptor a bed announces. Note the
+// criticality: this is deliberately a Class I device.
+func BedDescriptor(id string) core.Descriptor {
+	return core.Descriptor{
+		ID: id, Kind: core.KindBed,
+		Manufacturer: "Repro Medical", Model: "BED-2", Version: "1.0",
+		Capabilities: []core.Capability{
+			{Name: "height", Class: core.ClassEvent, Unit: "m", Criticality: 1},
+			{Name: "set-height", Class: core.ClassActuator, Unit: "m", Criticality: 1},
+		},
+	}
+}
+
+// NewBed connects a bed at height zero.
+func NewBed(k *sim.Kernel, net *mednet.Network, id string, cfg core.ConnectConfig) (*Bed, error) {
+	conn, err := core.Connect(k, net, BedDescriptor(id), cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bed{conn: conn, k: k}
+	conn.Handle("set-height", func(args map[string]float64) error {
+		h, ok := args["height"]
+		if !ok {
+			return fmt.Errorf("set-height requires height arg")
+		}
+		return b.SetHeight(h)
+	})
+	return b, nil
+}
+
+// MustNewBed is NewBed, panicking on error.
+func MustNewBed(k *sim.Kernel, net *mednet.Network, id string, cfg core.ConnectConfig) *Bed {
+	b, err := NewBed(k, net, id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Conn exposes the ICE connection.
+func (b *Bed) Conn() *core.DeviceConn { return b.conn }
+
+// Height reports the current height above reference (meters).
+func (b *Bed) Height() float64 { return b.height }
+
+// SetHeight moves the bed and publishes the context event.
+func (b *Bed) SetHeight(h float64) error {
+	if h < -0.5 || h > 1.0 {
+		return fmt.Errorf("device: bed height %f outside mechanical range [-0.5,1.0]", h)
+	}
+	if h == b.height {
+		return nil
+	}
+	b.height = h
+	b.Moves++
+	if b.conn.Connected() {
+		b.conn.Publish("height", h, true, 1, b.k.Now())
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package device
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// Capnograph measures end-tidal CO2 — the second, independent respiratory
+// channel the smart-alarm experiments use for multivariate corroboration
+// (challenge (i)): hypoventilation raises EtCO2 while it lowers SpO2, so
+// requiring both to move before alarming rejects single-sensor artifacts.
+//
+// Capabilities:
+//
+//	sensor etco2 (mmHg)
+//	sensor rr    (bpm)
+type Capnograph struct {
+	conn    *core.DeviceConn
+	k       *sim.Kernel
+	patient *physio.Patient
+	rng     *sim.RNG
+}
+
+// CapnographDescriptor returns the ICE descriptor a capnograph announces.
+func CapnographDescriptor(id string) core.Descriptor {
+	return core.Descriptor{
+		ID: id, Kind: core.KindCapnograph,
+		Manufacturer: "Repro Medical", Model: "CAP-5", Version: "1.0",
+		Capabilities: []core.Capability{
+			{Name: "etco2", Class: core.ClassSensor, Unit: "mmHg", Criticality: 3},
+			{Name: "rr", Class: core.ClassSensor, Unit: "bpm", Criticality: 3},
+		},
+	}
+}
+
+// NewCapnograph connects a capnograph publishing every interval.
+func NewCapnograph(k *sim.Kernel, net *mednet.Network, id string, patient *physio.Patient, interval time.Duration, rng *sim.RNG, cfg core.ConnectConfig) (*Capnograph, error) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	conn, err := core.Connect(k, net, CapnographDescriptor(id), cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Capnograph{conn: conn, k: k, patient: patient, rng: rng}
+	k.Every(interval, func(now sim.Time) { c.publish(now) })
+	return c, nil
+}
+
+// MustNewCapnograph is NewCapnograph, panicking on error.
+func MustNewCapnograph(k *sim.Kernel, net *mednet.Network, id string, patient *physio.Patient, interval time.Duration, rng *sim.RNG, cfg core.ConnectConfig) *Capnograph {
+	c, err := NewCapnograph(k, net, id, patient, interval, rng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Conn exposes the ICE connection.
+func (c *Capnograph) Conn() *core.DeviceConn { return c.conn }
+
+func (c *Capnograph) publish(now sim.Time) {
+	if !c.conn.Connected() {
+		return
+	}
+	v := c.patient.Vitals()
+	// EtCO2 rises as alveolar ventilation falls (CO2 retention); with no
+	// breaths at all there is no exhalate to measure.
+	if v.RespRate < 4 {
+		c.conn.Publish("etco2", 0, false, 0, now)
+		c.conn.Publish("rr", 0, false, 0, now)
+		return
+	}
+	vent := v.Ventilation
+	if vent < 0.25 {
+		vent = 0.25
+	}
+	etco2 := 38/vent + c.rng.Normal(0, 1)
+	c.conn.Publish("etco2", etco2, true, 1, now)
+	c.conn.Publish("rr", v.RespRate+c.rng.Normal(0, 0.5), true, 1, now)
+}

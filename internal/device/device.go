@@ -1,0 +1,95 @@
+// Package device implements the simulated medical devices the paper's
+// scenarios compose: a PCA infusion pump, a pulse oximeter, a ventilator,
+// an X-ray machine, a multi-parameter patient monitor, a hospital bed (the
+// Class I context device of the mixed-criticality scenario) and a
+// capnograph. Each device owns a core.DeviceConn, announces a capability
+// descriptor, publishes observations on the ICE bus, and executes actuator
+// commands — exactly the integration surface challenge (k) calls for.
+//
+// Devices observe and affect the patient only through their transducers;
+// ground-truth physiology lives in internal/physio and is advanced by the
+// Ward runner below.
+package device
+
+import (
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// DrugSource reports the drug flow a device is currently delivering.
+// The PCA pump implements it; the Ward polls it when stepping physiology.
+type DrugSource interface {
+	// CurrentRateMgPerMin returns the instantaneous infusion rate.
+	CurrentRateMgPerMin() float64
+	// TakePendingBolusMg returns and clears any bolus mass delivered
+	// since the last call.
+	TakePendingBolusMg() float64
+}
+
+// VentSupport reports the mechanical ventilation scale a device provides.
+// The ventilator implements it.
+type VentSupport interface {
+	// VentilationScale is 1 while ventilating, 0 while paused.
+	VentilationScale() float64
+}
+
+// Ward advances the shared patient physiology from the device layer's
+// inputs. It is the glue between the cyber side (devices) and the physical
+// side (the patient) — the "patient model" box of Figure 1.
+type Ward struct {
+	Patient *physio.Patient
+	k       *sim.Kernel
+	drug    []DrugSource
+	vent    []VentSupport
+	tick    *sim.Ticker
+	Trace   *sim.Trace // optional: records ground truth each step
+}
+
+// NewWard starts stepping the patient every step interval.
+func NewWard(k *sim.Kernel, p *physio.Patient, step sim.Time) *Ward {
+	w := &Ward{Patient: p, k: k}
+	w.tick = k.Every(step.Duration(), func(now sim.Time) { w.step(now, step) })
+	return w
+}
+
+// AttachDrugSource registers an infusion source (e.g. the PCA pump).
+func (w *Ward) AttachDrugSource(s DrugSource) { w.drug = append(w.drug, s) }
+
+// AttachVentSupport registers a ventilation provider. With at least one
+// provider attached, the patient is treated as anesthetized: effective
+// support is the maximum over providers (a second ventilator can cover).
+func (w *Ward) AttachVentSupport(v VentSupport) { w.vent = append(w.vent, v) }
+
+// Stop halts physiology stepping.
+func (w *Ward) Stop() { w.tick.Stop() }
+
+func (w *Ward) step(now sim.Time, dt sim.Time) {
+	rate := 0.0
+	for _, s := range w.drug {
+		rate += s.CurrentRateMgPerMin()
+		if b := s.TakePendingBolusMg(); b > 0 {
+			w.Patient.Bolus(b)
+		}
+	}
+	if len(w.vent) > 0 {
+		scale := 0.0
+		for _, v := range w.vent {
+			if s := v.VentilationScale(); s > scale {
+				scale = s
+			}
+		}
+		w.Patient.SetExternalVentilation(scale)
+	}
+	w.Patient.Step(dt, rate)
+	if w.Trace != nil {
+		v := w.Patient.Vitals()
+		w.Trace.Record("true/spo2", now, v.SpO2)
+		w.Trace.Record("true/hr", now, v.HeartRate)
+		w.Trace.Record("true/rr", now, v.RespRate)
+		w.Trace.Record("true/drug-plasma", now, v.DrugPlasma)
+		w.Trace.Record("true/depression", now, v.Depression)
+		w.Trace.Record("true/pain", now, v.Pain)
+		w.Trace.Record("true/infusion-rate", now, rate)
+		w.Trace.Record("true/extvent", now, w.Patient.ExternalVentilation())
+	}
+}

@@ -1,0 +1,347 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+func TestWardDrivesPatientFromPump(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	s := DefaultPumpSettings()
+	s.BasalRateMgPerHour = 3
+	var pump *Pump
+	f.k.At(0, func() {
+		pump = MustNewPump(f.k, f.net, "pump1", s, core.ConnectConfig{})
+		w := NewWard(f.k, patient, sim.Second)
+		w.AttachDrugSource(pump)
+	})
+	if err := f.k.Run(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := patient.PK().TotalInfused(); math.Abs(got-3) > 0.1 {
+		t.Fatalf("infused %f mg in 1h at 3 mg/h", got)
+	}
+	if patient.PK().Concentration() <= 0 {
+		t.Fatal("no drug reached the patient")
+	}
+}
+
+func TestWardDeliversBoluses(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	s := DefaultPumpSettings()
+	s.BasalRateMgPerHour = 0
+	f.k.At(0, func() {
+		pump := MustNewPump(f.k, f.net, "pump1", s, core.ConnectConfig{})
+		w := NewWard(f.k, patient, sim.Second)
+		w.AttachDrugSource(pump)
+		f.k.At(10*sim.Second, func() { pump.PressButton() })
+	})
+	// The bolus infuses over its BolusDuration; give it time to finish.
+	if err := f.k.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := patient.PK().TotalInfused(); math.Abs(got-1) > 0.05 {
+		t.Fatalf("infused = %f, want ~1 (one bolus)", got)
+	}
+}
+
+func TestWardTraceRecordsGroundTruth(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	tr := sim.NewTrace()
+	f.k.At(0, func() {
+		w := NewWard(f.k, patient, sim.Second)
+		w.Trace = tr
+	})
+	if err := f.k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"true/spo2", "true/hr", "true/rr", "true/depression"} {
+		if len(tr.Series(name)) == 0 {
+			t.Fatalf("trace missing %s", name)
+		}
+	}
+}
+
+func TestOximeterPublishesCloseToTruth(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	var spo2s, hrs []core.Datum
+	f.mgr.Subscribe("ox1/spo2", func(_ string, d core.Datum) { spo2s = append(spo2s, d) })
+	f.mgr.Subscribe("ox1/heart-rate", func(_ string, d core.Datum) { hrs = append(hrs, d) })
+	f.k.At(0, func() {
+		NewWard(f.k, patient, sim.Second)
+		MustNewOximeter(f.k, f.net, "ox1", patient, f.rng.Fork("ox"), core.ConnectConfig{})
+	})
+	if err := f.k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(spo2s) < 10 {
+		t.Fatalf("got %d spo2 estimates in 60s with a 4s window, want ~15", len(spo2s))
+	}
+	truth := patient.Vitals()
+	last := spo2s[len(spo2s)-1]
+	if !last.Valid {
+		t.Fatalf("clean-signal estimate invalid: %+v", last)
+	}
+	if math.Abs(last.Value-truth.SpO2) > 3 {
+		t.Fatalf("oximeter spo2 %f vs truth %f", last.Value, truth.SpO2)
+	}
+	lastHR := hrs[len(hrs)-1]
+	if math.Abs(lastHR.Value-truth.HeartRate) > 6 {
+		t.Fatalf("oximeter hr %f vs truth %f", lastHR.Value, truth.HeartRate)
+	}
+}
+
+func TestOximeterDropoutPublishesInvalid(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	var data []core.Datum
+	f.mgr.Subscribe("ox1/spo2", func(_ string, d core.Datum) { data = append(data, d) })
+	var ox *Oximeter
+	f.k.At(0, func() {
+		NewWard(f.k, patient, sim.Second)
+		ox = MustNewOximeter(f.k, f.net, "ox1", patient, f.rng.Fork("ox"), core.ConnectConfig{})
+		f.k.At(10*sim.Second, func() { ox.InjectDropout(20 * sim.Second) })
+	})
+	if err := f.k.Run(40 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	invalid := 0
+	for _, d := range data {
+		if !d.Valid {
+			invalid++
+		}
+	}
+	if invalid < 3 {
+		t.Fatalf("only %d invalid estimates during a 20s dropout", invalid)
+	}
+	if ox.InvalidEstimates == 0 {
+		t.Fatal("oximeter did not count invalid estimates")
+	}
+}
+
+func TestVentilatorPauseRemovesSupport(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	var vent *Ventilator
+	f.k.At(0, func() {
+		vent = MustNewVentilator(f.k, f.net, "vent1", physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
+		w := NewWard(f.k, patient, sim.Second)
+		w.AttachVentSupport(vent)
+		f.k.At(sim.Minute, func() {
+			if err := vent.Pause(); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	// 6 minutes paused: an anesthetized patient desaturates.
+	if err := f.k.Run(7 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if v := patient.Vitals(); v.SpO2 > 90 {
+		t.Fatalf("SpO2 = %f after 6 min unventilated, expected desaturation", v.SpO2)
+	}
+	f.k.At(f.k.Now(), func() { vent.Resume() })
+	if err := f.k.Run(f.k.Now() + 15*sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if v := patient.Vitals(); v.SpO2 < 93 {
+		t.Fatalf("SpO2 = %f after resuming ventilation, expected recovery", v.SpO2)
+	}
+}
+
+func TestVentilatorDoublePauseErrors(t *testing.T) {
+	f := newFixture(t)
+	f.k.At(0, func() {
+		v := MustNewVentilator(f.k, f.net, "vent1", physio.DefaultBreathCycle(), nil, core.ConnectConfig{})
+		if err := v.Pause(); err != nil {
+			t.Error(err)
+		}
+		if err := v.Pause(); err == nil {
+			t.Error("double pause accepted")
+		}
+		v.Resume()
+		v.Resume() // idempotent
+		if v.Paused() {
+			t.Error("still paused after resume")
+		}
+	})
+	if err := f.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVentilatorPublishesCycleAnchor(t *testing.T) {
+	f := newFixture(t)
+	var anchors []core.Datum
+	f.mgr.Subscribe("vent1/cycle-anchor", func(_ string, d core.Datum) { anchors = append(anchors, d) })
+	f.k.At(0, func() {
+		MustNewVentilator(f.k, f.net, "vent1", physio.DefaultBreathCycle(), nil, core.ConnectConfig{})
+	})
+	if err := f.k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) < 8 {
+		t.Fatalf("got %d anchor publications in 10s", len(anchors))
+	}
+	if anchors[0].Value != 0 {
+		t.Fatalf("anchor = %f, want 0 (started at t=0)", anchors[0].Value)
+	}
+}
+
+func TestXRayImageSharpOnlyWhenChestStill(t *testing.T) {
+	f := newFixture(t)
+	var vent *Ventilator
+	var xray *XRay
+	f.k.At(0, func() {
+		vent = MustNewVentilator(f.k, f.net, "vent1", physio.DefaultBreathCycle(), nil, core.ConnectConfig{})
+		xray = MustNewXRay(f.k, f.net, "xr1", vent, core.ConnectConfig{})
+		// Shot 1: during inhalation (cycle starts at 0; inhale ~1.5s).
+		f.k.At(200*sim.Millisecond, func() {
+			if err := xray.Shoot(100 * sim.Millisecond); err != nil {
+				t.Error(err)
+			}
+		})
+		// Shot 2: inside the quiescent window.
+		f.k.At(sim.Second, func() {
+			ws, _ := vent.Cycle().NextQuiescentWindow(f.k.Now(), vent.Anchor())
+			f.k.At(ws+50*sim.Millisecond, func() {
+				if err := xray.Shoot(100 * sim.Millisecond); err != nil {
+					t.Error(err)
+				}
+			})
+		})
+	})
+	if err := f.k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if xray.Blurred != 1 || xray.Sharp != 1 {
+		t.Fatalf("sharp=%d blurred=%d, want 1/1", xray.Sharp, xray.Blurred)
+	}
+}
+
+func TestXRayRefusesOverlappingExposure(t *testing.T) {
+	f := newFixture(t)
+	f.k.At(0, func() {
+		vent := MustNewVentilator(f.k, f.net, "vent1", physio.DefaultBreathCycle(), nil, core.ConnectConfig{})
+		xray := MustNewXRay(f.k, f.net, "xr1", vent, core.ConnectConfig{})
+		if err := xray.Shoot(200 * sim.Millisecond); err != nil {
+			t.Error(err)
+		}
+		if err := xray.Shoot(100 * sim.Millisecond); err == nil {
+			t.Error("overlapping exposure accepted")
+		}
+		if err := xray.Shoot(0); err == nil {
+			t.Error("zero exposure accepted")
+		}
+	})
+	if err := f.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorMAPBedArtifact(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	var maps []float64
+	f.mgr.Subscribe("mon1/map", func(_ string, d core.Datum) { maps = append(maps, d.Value) })
+	var bed *Bed
+	f.k.At(0, func() {
+		NewWard(f.k, patient, sim.Second)
+		bed = MustNewBed(f.k, f.net, "bed1", core.ConnectConfig{})
+		MustNewMonitor(f.k, f.net, "mon1", patient, bed, 2*time.Second, f.rng.Fork("mon"), core.ConnectConfig{})
+		f.k.At(30*sim.Second, func() {
+			if err := bed.SetHeight(0.3); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	if err := f.k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) < 20 {
+		t.Fatalf("got %d MAP readings", len(maps))
+	}
+	before := mean(maps[:10])
+	after := mean(maps[len(maps)-10:])
+	// 0.3 m * 75 mmHg/m = 22.5 mmHg artifact drop.
+	if before-after < 15 {
+		t.Fatalf("bed raise shifted MAP by %f mmHg, want > 15", before-after)
+	}
+}
+
+func TestBedHeightValidationAndEvents(t *testing.T) {
+	f := newFixture(t)
+	var events []float64
+	f.mgr.Subscribe("bed1/height", func(_ string, d core.Datum) { events = append(events, d.Value) })
+	f.k.At(0, func() {
+		bed := MustNewBed(f.k, f.net, "bed1", core.ConnectConfig{})
+		if err := bed.SetHeight(2.0); err == nil {
+			t.Error("out-of-range height accepted")
+		}
+		if err := bed.SetHeight(0.2); err != nil {
+			t.Error(err)
+		}
+		if err := bed.SetHeight(0.2); err != nil { // no-op move
+			t.Error(err)
+		}
+		if bed.Moves != 1 {
+			t.Errorf("moves = %d, want 1", bed.Moves)
+		}
+	})
+	if err := f.k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != 0.2 {
+		t.Fatalf("height events = %v", events)
+	}
+}
+
+func TestCapnographTracksHypoventilation(t *testing.T) {
+	f := newFixture(t)
+	patient := physio.DefaultPatient(f.rng.Fork("patient"))
+	var etco2 []core.Datum
+	f.mgr.Subscribe("cap1/etco2", func(_ string, d core.Datum) { etco2 = append(etco2, d) })
+	f.k.At(0, func() {
+		NewWard(f.k, patient, sim.Second)
+		MustNewCapnograph(f.k, f.net, "cap1", patient, 2*time.Second, f.rng.Fork("cap"), core.ConnectConfig{})
+		// Heavy sedation at t=60s.
+		f.k.At(sim.Minute, func() { patient.Bolus(30) })
+	})
+	if err := f.k.Run(30 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(etco2) < 100 {
+		t.Fatalf("got %d etco2 readings", len(etco2))
+	}
+	baseline := etco2[5].Value
+	late := etco2[len(etco2)-1]
+	if late.Valid && late.Value < baseline+5 {
+		t.Fatalf("etco2 did not rise under hypoventilation: %f -> %f", baseline, late.Value)
+	}
+}
+
+func TestBedIsClassOneDevice(t *testing.T) {
+	d := BedDescriptor("bed1")
+	for _, c := range d.Capabilities {
+		if c.Criticality != 1 {
+			t.Fatalf("bed capability %s has criticality %d, want 1 (Class I)", c.Name, c.Criticality)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,147 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DrugEntry is one drug's dosing envelope in the hospital's drug library —
+// the safeguard the paper notes is standard practice yet "not adequate to
+// address all the scenarios seen in clinical practice": it catches
+// programming outside the envelope but not a wrong-but-plausible program,
+// a wrong vial, or PCA-by-proxy. The closed-loop supervisor exists for
+// what the library cannot see.
+type DrugEntry struct {
+	Name                 string
+	ConcentrationMgPerMl float64 // expected vial concentration
+	MaxBolusMg           float64
+	MinLockout           time.Duration
+	MaxBasalMgPerHour    float64
+	MaxHourlyMg          float64
+	// HardLimit marks limits that cannot be overridden; soft limits may
+	// be overridden with a second clinician's sign-off.
+	HardLimit bool
+}
+
+// Validate reports an error for unusable entries.
+func (d DrugEntry) Validate() error {
+	if d.Name == "" {
+		return errors.New("device: drug entry needs a name")
+	}
+	if d.ConcentrationMgPerMl <= 0 || d.MaxBolusMg <= 0 || d.MaxHourlyMg <= 0 {
+		return errors.New("device: drug entry limits must be positive")
+	}
+	if d.MinLockout < 0 || d.MaxBasalMgPerHour < 0 {
+		return errors.New("device: negative drug entry limits")
+	}
+	return nil
+}
+
+// DrugLibrary maps drug names to dosing envelopes.
+type DrugLibrary struct {
+	entries map[string]DrugEntry
+}
+
+// NewDrugLibrary returns an empty library.
+func NewDrugLibrary() *DrugLibrary {
+	return &DrugLibrary{entries: make(map[string]DrugEntry)}
+}
+
+// StandardPCALibrary returns a typical adult post-operative PCA library.
+func StandardPCALibrary() *DrugLibrary {
+	l := NewDrugLibrary()
+	for _, e := range []DrugEntry{
+		{
+			Name: "morphine", ConcentrationMgPerMl: 1,
+			MaxBolusMg: 2, MinLockout: 6 * time.Minute,
+			MaxBasalMgPerHour: 1, MaxHourlyMg: 10, HardLimit: true,
+		},
+		{
+			Name: "hydromorphone", ConcentrationMgPerMl: 0.2,
+			MaxBolusMg: 0.4, MinLockout: 6 * time.Minute,
+			MaxBasalMgPerHour: 0.2, MaxHourlyMg: 2, HardLimit: true,
+		},
+		{
+			Name: "fentanyl", ConcentrationMgPerMl: 0.01,
+			MaxBolusMg: 0.025, MinLockout: 5 * time.Minute,
+			MaxBasalMgPerHour: 0.01, MaxHourlyMg: 0.1, HardLimit: true,
+		},
+	} {
+		if err := l.Add(e); err != nil {
+			panic(err)
+		}
+	}
+	return l
+}
+
+// Add registers an entry.
+func (l *DrugLibrary) Add(e DrugEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if _, dup := l.entries[e.Name]; dup {
+		return fmt.Errorf("device: duplicate drug %q", e.Name)
+	}
+	l.entries[e.Name] = e
+	return nil
+}
+
+// Lookup fetches an entry.
+func (l *DrugLibrary) Lookup(drug string) (DrugEntry, bool) {
+	e, ok := l.entries[drug]
+	return e, ok
+}
+
+// CheckViolation describes one library check failure.
+type CheckViolation struct {
+	Field string
+	Msg   string
+	Hard  bool // true: must not be overridden
+}
+
+// CheckProgram validates pump settings against the library envelope for a
+// drug. It returns every violation found; an empty slice means the
+// program is inside the envelope. Note what this CANNOT catch: a
+// ConcentrationFactor error (wrong vial) is invisible here because the
+// pump believes the programmed concentration — exactly the gap the
+// paper's closed-loop supervisor covers.
+func (l *DrugLibrary) CheckProgram(drug string, s PumpSettings) ([]CheckViolation, error) {
+	e, ok := l.Lookup(drug)
+	if !ok {
+		return nil, fmt.Errorf("device: drug %q not in library", drug)
+	}
+	var out []CheckViolation
+	add := func(field, format string, args ...any) {
+		out = append(out, CheckViolation{Field: field, Msg: fmt.Sprintf(format, args...), Hard: e.HardLimit})
+	}
+	if s.BolusMg > e.MaxBolusMg {
+		add("bolus", "bolus %.2f mg exceeds library maximum %.2f mg", s.BolusMg, e.MaxBolusMg)
+	}
+	if s.LockoutInterval < e.MinLockout {
+		add("lockout", "lockout %v below library minimum %v", s.LockoutInterval, e.MinLockout)
+	}
+	if s.BasalRateMgPerHour > e.MaxBasalMgPerHour {
+		add("basal", "basal %.2f mg/h exceeds library maximum %.2f mg/h", s.BasalRateMgPerHour, e.MaxBasalMgPerHour)
+	}
+	if s.HourlyLimitMg > e.MaxHourlyMg {
+		add("hourly", "hourly cap %.1f mg exceeds library maximum %.1f mg", s.HourlyLimitMg, e.MaxHourlyMg)
+	}
+	return out, nil
+}
+
+// GuardedProgram applies a program to settings only if the library allows
+// it (or every violation is soft and override is true). This is the
+// "program the pump through the drug library" flow.
+func (l *DrugLibrary) GuardedProgram(drug string, s PumpSettings, override bool) (PumpSettings, error) {
+	violations, err := l.CheckProgram(drug, s)
+	if err != nil {
+		return PumpSettings{}, err
+	}
+	for _, v := range violations {
+		if v.Hard || !override {
+			return PumpSettings{}, fmt.Errorf("device: drug library rejects program: %s", v.Msg)
+		}
+	}
+	return s, nil
+}

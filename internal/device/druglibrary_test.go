@@ -1,0 +1,116 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDrugEntryValidate(t *testing.T) {
+	bad := []DrugEntry{
+		{},
+		{Name: "x", ConcentrationMgPerMl: 0, MaxBolusMg: 1, MaxHourlyMg: 1},
+		{Name: "x", ConcentrationMgPerMl: 1, MaxBolusMg: 0, MaxHourlyMg: 1},
+		{Name: "x", ConcentrationMgPerMl: 1, MaxBolusMg: 1, MaxHourlyMg: 1, MinLockout: -time.Second},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, e)
+		}
+	}
+}
+
+func TestLibraryAddAndLookup(t *testing.T) {
+	l := StandardPCALibrary()
+	if _, ok := l.Lookup("morphine"); !ok {
+		t.Fatal("morphine missing from standard library")
+	}
+	if _, ok := l.Lookup("etomidate"); ok {
+		t.Fatal("phantom drug found")
+	}
+	if err := l.Add(DrugEntry{Name: "morphine", ConcentrationMgPerMl: 1, MaxBolusMg: 1, MaxHourlyMg: 5}); err == nil {
+		t.Fatal("duplicate drug accepted")
+	}
+}
+
+func TestCheckProgramWithinEnvelope(t *testing.T) {
+	l := StandardPCALibrary()
+	v, err := l.CheckProgram("morphine", DefaultPumpSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("default program flagged: %+v", v)
+	}
+}
+
+func TestCheckProgramCatchesMisprogramming(t *testing.T) {
+	l := StandardPCALibrary()
+	s := DefaultPumpSettings()
+	s.BolusMg = 5                       // over 2 mg max
+	s.LockoutInterval = 2 * time.Minute // under 6 min
+	s.HourlyLimitMg = 30                // over 10 mg
+	v, err := l.CheckProgram("morphine", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 {
+		t.Fatalf("violations = %+v, want 3", v)
+	}
+	for _, viol := range v {
+		if !viol.Hard {
+			t.Fatalf("morphine limits should be hard: %+v", viol)
+		}
+	}
+	if _, err := l.GuardedProgram("morphine", s, true); err == nil {
+		t.Fatal("hard-limit violation overridden")
+	}
+}
+
+// The gap the paper identifies: the library validates what the pump
+// BELIEVES, so a wrong-concentration vial (ConcentrationFactor != 1)
+// passes every check while quadrupling the actual dose.
+func TestLibraryCannotSeeWrongVial(t *testing.T) {
+	l := StandardPCALibrary()
+	s := DefaultPumpSettings()
+	s.ConcentrationFactor = 4 // wrong vial loaded
+	v, err := l.CheckProgram("morphine", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("library flagged the invisible vial error: %+v (it cannot know)", v)
+	}
+	// The program is accepted...
+	accepted, err := l.GuardedProgram("morphine", s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and the actual delivery is 4x what the library approved.
+	actualPerBolus := accepted.BolusMg * accepted.ConcentrationFactor
+	entry, _ := l.Lookup("morphine")
+	if actualPerBolus <= entry.MaxBolusMg {
+		t.Fatal("test premise broken: actual dose should exceed the library max")
+	}
+}
+
+func TestGuardedProgramSoftOverride(t *testing.T) {
+	l := NewDrugLibrary()
+	if err := l.Add(DrugEntry{
+		Name: "ketamine", ConcentrationMgPerMl: 10,
+		MaxBolusMg: 10, MinLockout: 2 * time.Minute,
+		MaxBasalMgPerHour: 5, MaxHourlyMg: 60, HardLimit: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := DefaultPumpSettings()
+	s.BolusMg = 12 // soft violation
+	if _, err := l.GuardedProgram("ketamine", s, false); err == nil {
+		t.Fatal("soft violation accepted without override")
+	}
+	if _, err := l.GuardedProgram("ketamine", s, true); err != nil {
+		t.Fatalf("soft violation not overridable: %v", err)
+	}
+	if _, err := l.GuardedProgram("propofol", s, true); err == nil {
+		t.Fatal("unknown drug programmed")
+	}
+}

@@ -1,0 +1,91 @@
+package device
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// Monitor is a multi-parameter patient monitor publishing heart rate,
+// mean arterial pressure and respiratory rate. Its MAP channel exhibits
+// the mixed-criticality artifact of the paper (III.l): the pressure
+// transducer reading depends on the patient-to-sensor height difference,
+// so raising the bed shifts the published MAP even though the patient is
+// unchanged.
+//
+// Capabilities:
+//
+//	sensor hr   (bpm)
+//	sensor map  (mmHg)
+//	sensor rr   (bpm)
+type Monitor struct {
+	conn    *core.DeviceConn
+	k       *sim.Kernel
+	patient *physio.Patient
+	rng     *sim.RNG
+	bed     *Bed // optional physical coupling for the MAP artifact
+}
+
+// MonitorDescriptor returns the ICE descriptor a monitor announces.
+func MonitorDescriptor(id string) core.Descriptor {
+	return core.Descriptor{
+		ID: id, Kind: core.KindMonitor,
+		Manufacturer: "Repro Medical", Model: "MON-12", Version: "1.0",
+		Capabilities: []core.Capability{
+			{Name: "hr", Class: core.ClassSensor, Unit: "bpm", Criticality: 3},
+			{Name: "map", Class: core.ClassSensor, Unit: "mmHg", Criticality: 3},
+			{Name: "rr", Class: core.ClassSensor, Unit: "bpm", Criticality: 3},
+		},
+	}
+}
+
+// NewMonitor connects a monitor publishing every interval. bed may be nil
+// to disable the MAP position artifact.
+func NewMonitor(k *sim.Kernel, net *mednet.Network, id string, patient *physio.Patient, bed *Bed, interval time.Duration, rng *sim.RNG, cfg core.ConnectConfig) (*Monitor, error) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	conn, err := core.Connect(k, net, MonitorDescriptor(id), cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{conn: conn, k: k, patient: patient, rng: rng, bed: bed}
+	k.Every(interval, func(now sim.Time) { m.publish(now) })
+	return m, nil
+}
+
+// MustNewMonitor is NewMonitor, panicking on error.
+func MustNewMonitor(k *sim.Kernel, net *mednet.Network, id string, patient *physio.Patient, bed *Bed, interval time.Duration, rng *sim.RNG, cfg core.ConnectConfig) *Monitor {
+	m, err := NewMonitor(k, net, id, patient, bed, interval, rng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Conn exposes the ICE connection.
+func (m *Monitor) Conn() *core.DeviceConn { return m.conn }
+
+// mapOffsetPerMeter is the hydrostatic error of a fluid-filled pressure
+// line: ~7.5 mmHg per 10 cm of height difference.
+const mapOffsetPerMeter = 75.0
+
+func (m *Monitor) publish(now sim.Time) {
+	if !m.conn.Connected() {
+		return
+	}
+	v := m.patient.Vitals()
+	hr := v.HeartRate + m.rng.Normal(0, 1.0)
+	rr := v.RespRate + m.rng.Normal(0, 0.5)
+	mapReading := v.MAP + m.rng.Normal(0, 1.5)
+	if m.bed != nil {
+		// Transducer fixed to the pole; patient moves with the bed.
+		mapReading -= m.bed.Height() * mapOffsetPerMeter
+	}
+	m.conn.Publish("hr", hr, true, 1, now)
+	m.conn.Publish("rr", rr, true, 1, now)
+	m.conn.Publish("map", mapReading, true, 1, now)
+}

@@ -1,0 +1,234 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	k   *sim.Kernel
+	net *mednet.Network
+	mgr *core.Manager
+	rng *sim.RNG
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	return &fixture{k: k, net: net, mgr: mgr, rng: sim.NewRNG(2)}
+}
+
+func TestPumpSettingsValidate(t *testing.T) {
+	if err := DefaultPumpSettings().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*PumpSettings){
+		func(s *PumpSettings) { s.BolusMg = -1 },
+		func(s *PumpSettings) { s.BasalRateMgPerHour = -1 },
+		func(s *PumpSettings) { s.LockoutInterval = -time.Second },
+		func(s *PumpSettings) { s.HourlyLimitMg = 0 },
+		func(s *PumpSettings) { s.ConcentrationFactor = 0 },
+		func(s *PumpSettings) { s.StopDelay = -time.Second },
+		func(s *PumpSettings) { s.BolusDuration = 0 },
+	}
+	for i, mut := range bad {
+		s := DefaultPumpSettings()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: invalid settings accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestPumpLockoutEnforced(t *testing.T) {
+	f := newFixture(t)
+	var delivered, denied int
+	f.k.At(0, func() {
+		p := MustNewPump(f.k, f.net, "pump1", DefaultPumpSettings(), core.ConnectConfig{})
+		// Press every minute for 30 min; lockout is 8 min.
+		f.k.Every(time.Minute, func(sim.Time) {
+			if p.PressButton() {
+				delivered++
+			} else {
+				denied++
+			}
+		})
+	})
+	if err := f.k.Run(30 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Presses at 1,9,17,25 min succeed -> 4 deliveries.
+	if delivered != 4 {
+		t.Fatalf("delivered = %d, want 4", delivered)
+	}
+	if denied != 26 {
+		t.Fatalf("denied = %d, want 26", denied)
+	}
+}
+
+func TestPumpHourlyLimitEnforced(t *testing.T) {
+	f := newFixture(t)
+	s := DefaultPumpSettings()
+	s.LockoutInterval = time.Minute // permissive lockout so the cap binds
+	s.BolusMg = 1
+	s.HourlyLimitMg = 5
+	var delivered int
+	f.k.At(0, func() {
+		p := MustNewPump(f.k, f.net, "pump1", s, core.ConnectConfig{})
+		f.k.Every(time.Minute+time.Second, func(sim.Time) {
+			if p.PressButton() {
+				delivered++
+			}
+		})
+	})
+	if err := f.k.Run(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered = %d in first hour, want hourly limit 5", delivered)
+	}
+	// The sliding window frees capacity in the second hour.
+	delivered = 0
+	if err := f.k.Run(2 * sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if delivered == 0 {
+		t.Fatal("sliding window never freed capacity")
+	}
+}
+
+func TestPumpStopDelayAndResume(t *testing.T) {
+	f := newFixture(t)
+	s := DefaultPumpSettings()
+	s.StopDelay = 2 * time.Second
+	var atStop, after1s, after3s, afterResume float64
+	f.k.At(0, func() {
+		p := MustNewPump(f.k, f.net, "pump1", s, core.ConnectConfig{})
+		f.k.At(10*sim.Second, func() {
+			p.Stop()
+			atStop = p.CurrentRateMgPerMin()
+			if p.State() != PumpStopping {
+				t.Errorf("state after Stop = %v, want stopping", p.State())
+			}
+		})
+		f.k.At(11*sim.Second, func() { after1s = p.CurrentRateMgPerMin() })
+		f.k.At(13*sim.Second, func() {
+			after3s = p.CurrentRateMgPerMin()
+			if p.State() != PumpStopped {
+				t.Errorf("state after delay = %v, want stopped", p.State())
+			}
+			p.Resume()
+			afterResume = p.CurrentRateMgPerMin()
+		})
+	})
+	if err := f.k.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultPumpSettings().BasalRateMgPerHour / 60
+	if atStop != want || after1s != want {
+		t.Fatalf("rate during stop delay = %f/%f, want %f (still flowing)", atStop, after1s, want)
+	}
+	if after3s != 0 {
+		t.Fatalf("rate after stop delay = %f, want 0", after3s)
+	}
+	if afterResume != want {
+		t.Fatalf("rate after resume = %f, want %f", afterResume, want)
+	}
+}
+
+func TestPumpStoppedDeniesBolus(t *testing.T) {
+	f := newFixture(t)
+	f.k.At(0, func() {
+		p := MustNewPump(f.k, f.net, "pump1", DefaultPumpSettings(), core.ConnectConfig{})
+		p.Stop()
+		f.k.At(10*sim.Second, func() {
+			if p.PressButton() {
+				t.Error("stopped pump delivered a bolus")
+			}
+		})
+	})
+	if err := f.k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPumpMisprogrammedConcentration(t *testing.T) {
+	f := newFixture(t)
+	s := DefaultPumpSettings()
+	s.ConcentrationFactor = 4 // 4x drug loaded (the paper's wrong-vial error)
+	f.k.At(0, func() {
+		p := MustNewPump(f.k, f.net, "pump1", s, core.ConnectConfig{})
+		f.k.At(sim.Second, func() {
+			if !p.PressButton() {
+				t.Error("press denied")
+			}
+			// During the bolus the actual rate is 4x the displayed dose
+			// spread over the bolus duration, on top of 4x basal.
+			want := s.BasalRateMgPerHour/60*4 + s.BolusMg*4/s.BolusDuration.Minutes()
+			if got := p.CurrentRateMgPerMin(); got != want {
+				t.Errorf("rate during bolus = %f, want %f", got, want)
+			}
+		})
+		f.k.At(sim.Second+sim.Time(s.BolusDuration)+sim.Second, func() {
+			want := s.BasalRateMgPerHour / 60 * 4
+			if got := p.CurrentRateMgPerMin(); got != want {
+				t.Errorf("rate after bolus = %f, want %f", got, want)
+			}
+		})
+	})
+	if err := f.k.Run(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPumpCommandsOverICE(t *testing.T) {
+	f := newFixture(t)
+	var p *Pump
+	f.k.At(0, func() {
+		p = MustNewPump(f.k, f.net, "pump1", DefaultPumpSettings(), core.ConnectConfig{})
+	})
+	f.k.At(sim.Second, func() {
+		f.mgr.SendCommand("pump1", "stop", nil, time.Second, nil)
+	})
+	f.k.At(10*sim.Second, func() {
+		if p.State() != PumpStopped {
+			t.Errorf("state = %v after networked stop, want stopped", p.State())
+		}
+		f.mgr.SendCommand("pump1", "resume", nil, time.Second, nil)
+	})
+	f.k.At(15*sim.Second, func() {
+		if p.State() != PumpRunning {
+			t.Errorf("state = %v after networked resume, want running", p.State())
+		}
+		f.mgr.SendCommand("pump1", "set-basal", map[string]float64{"rate": 2.4}, time.Second, nil)
+	})
+	if err := f.k.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Settings().BasalRateMgPerHour != 2.4 {
+		t.Fatalf("basal = %f after set-basal, want 2.4", p.Settings().BasalRateMgPerHour)
+	}
+}
+
+func TestPumpPublishesInfusionRate(t *testing.T) {
+	f := newFixture(t)
+	var rates []float64
+	f.mgr.Subscribe("pump1/infusion-rate", func(_ string, d core.Datum) {
+		rates = append(rates, d.Value)
+	})
+	f.k.At(0, func() {
+		MustNewPump(f.k, f.net, "pump1", DefaultPumpSettings(), core.ConnectConfig{})
+	})
+	if err := f.k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) < 8 {
+		t.Fatalf("received %d rate publications in 10s, want ~10", len(rates))
+	}
+}

@@ -1,0 +1,179 @@
+// Package ehr implements the electronic-health-record store the paper's
+// adaptive-algorithm challenge (i) depends on: per-patient history —
+// including exercise history, the paper's athlete example — from which
+// alarm thresholds are personalized so that a trained athlete's resting
+// heart rate of 45 does not page a nurse, while the same value in a
+// deconditioned patient still does.
+package ehr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Observation is one historical vital-sign measurement.
+type Observation struct {
+	Signal string // "hr", "spo2", "map", "rr"
+	Value  float64
+}
+
+// Record is one patient's chart.
+type Record struct {
+	PatientID string
+	Age       int
+	// ExerciseHoursPerWeek is the exercise history; >= 6 marks athletic
+	// conditioning for threshold purposes.
+	ExerciseHoursPerWeek float64
+	// ChronicHypoxemia notes a condition (e.g. COPD) where a baseline
+	// SpO2 in the low 90s is the patient's normal.
+	ChronicHypoxemia bool
+
+	history map[string][]float64
+}
+
+// NewRecord returns an empty chart.
+func NewRecord(patientID string) *Record {
+	return &Record{PatientID: patientID, history: make(map[string][]float64)}
+}
+
+// Athlete reports whether the exercise history indicates athletic
+// conditioning.
+func (r *Record) Athlete() bool { return r.ExerciseHoursPerWeek >= 6 }
+
+// AddObservation appends a historical measurement.
+func (r *Record) AddObservation(o Observation) {
+	if r.history == nil {
+		r.history = make(map[string][]float64)
+	}
+	r.history[o.Signal] = append(r.history[o.Signal], o.Value)
+}
+
+// ObservationCount reports how many values are on file for a signal.
+func (r *Record) ObservationCount(signal string) int { return len(r.history[signal]) }
+
+// Percentile returns the p-th percentile (0-100) of the recorded values
+// for a signal. ok is false with no history.
+func (r *Record) Percentile(signal string, p float64) (float64, bool) {
+	vals := r.history[signal]
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], true
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], true
+	}
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1], true
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, true
+}
+
+// Store is a concurrency-safe in-memory EHR.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{records: make(map[string]*Record)}
+}
+
+// Put registers a record, replacing any existing one for the patient.
+func (s *Store) Put(r *Record) error {
+	if r == nil || r.PatientID == "" {
+		return errors.New("ehr: record needs a patient ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[r.PatientID] = r
+	return nil
+}
+
+// Get fetches a record.
+func (s *Store) Get(patientID string) (*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.records[patientID]
+	if !ok {
+		return nil, fmt.Errorf("ehr: no record for patient %q", patientID)
+	}
+	return r, nil
+}
+
+// Thresholds are alarm limits for the standard vitals.
+type Thresholds struct {
+	HRLow, HRHigh   float64
+	SpO2Low         float64
+	MAPLow, MAPHigh float64
+	RRLow, RRHigh   float64
+}
+
+// PopulationThresholds are the one-size-fits-all limits the paper
+// criticizes as generating alarm fatigue.
+func PopulationThresholds() Thresholds {
+	return Thresholds{
+		HRLow: 50, HRHigh: 120,
+		SpO2Low: 90,
+		MAPLow:  60, MAPHigh: 110,
+		RRLow: 8, RRHigh: 24,
+	}
+}
+
+// Personalize adapts population thresholds to the patient's chart:
+//
+//   - athletes (by exercise history) get a lower HR floor anchored at the
+//     5th percentile of their recorded resting heart rates;
+//   - chronic hypoxemia lowers the SpO2 limit toward the patient's own
+//     baseline (5th percentile), never below a hard floor of 85;
+//   - with enough history, HR ceiling adapts to the 95th percentile plus
+//     a margin.
+//
+// Limits only relax toward the patient's demonstrated normal; they never
+// become stricter than a hard safety floor.
+func Personalize(rec *Record, pop Thresholds) Thresholds {
+	out := pop
+	const minHistory = 10
+
+	if rec.ObservationCount("hr") >= minHistory {
+		if p5, ok := rec.Percentile("hr", 5); ok {
+			candidate := p5 - 5
+			if rec.Athlete() && candidate < out.HRLow {
+				if candidate < 35 {
+					candidate = 35 // hard floor
+				}
+				out.HRLow = candidate
+			}
+		}
+		if p95, ok := rec.Percentile("hr", 95); ok {
+			candidate := p95 + 15
+			if candidate > out.HRHigh {
+				if candidate > 150 {
+					candidate = 150
+				}
+				out.HRHigh = candidate
+			}
+		}
+	}
+	if rec.ChronicHypoxemia && rec.ObservationCount("spo2") >= minHistory {
+		if p5, ok := rec.Percentile("spo2", 5); ok {
+			candidate := p5 - 2
+			if candidate < 85 {
+				candidate = 85 // hard floor
+			}
+			if candidate < out.SpO2Low {
+				out.SpO2Low = candidate
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package ehr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func athleteRecord() *Record {
+	r := NewRecord("athlete-1")
+	r.ExerciseHoursPerWeek = 10
+	for _, hr := range []float64{44, 45, 46, 44, 43, 47, 45, 44, 46, 45, 44, 43} {
+		r.AddObservation(Observation{Signal: "hr", Value: hr})
+	}
+	return r
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(nil); err == nil {
+		t.Fatal("nil record accepted")
+	}
+	if err := s.Put(NewRecord("")); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	r := athleteRecord()
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("athlete-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatal("wrong record returned")
+	}
+	if _, err := s.Get("ghost"); err == nil {
+		t.Fatal("missing record returned no error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	r := NewRecord("p")
+	for i := 1; i <= 100; i++ {
+		r.AddObservation(Observation{Signal: "hr", Value: float64(i)})
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, c := range cases {
+		got, ok := r.Percentile("hr", c.p)
+		if !ok || math.Abs(got-c.want) > 0.01 {
+			t.Fatalf("P%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if _, ok := r.Percentile("nothing", 50); ok {
+		t.Fatal("percentile of empty history reported ok")
+	}
+}
+
+func TestAthleteClassification(t *testing.T) {
+	r := NewRecord("p")
+	r.ExerciseHoursPerWeek = 2
+	if r.Athlete() {
+		t.Fatal("casual exerciser classified as athlete")
+	}
+	r.ExerciseHoursPerWeek = 8
+	if !r.Athlete() {
+		t.Fatal("8h/week not classified as athlete")
+	}
+}
+
+func TestPersonalizeAthleteHRFloor(t *testing.T) {
+	pop := PopulationThresholds()
+	pers := Personalize(athleteRecord(), pop)
+	if pers.HRLow >= pop.HRLow {
+		t.Fatalf("athlete HR floor %f not lowered from %f", pers.HRLow, pop.HRLow)
+	}
+	if pers.HRLow < 35 {
+		t.Fatalf("HR floor %f below hard safety floor", pers.HRLow)
+	}
+	// Other limits unchanged.
+	if pers.SpO2Low != pop.SpO2Low || pers.MAPLow != pop.MAPLow {
+		t.Fatalf("unrelated thresholds moved: %+v", pers)
+	}
+}
+
+func TestPersonalizeNonAthleteUnchanged(t *testing.T) {
+	r := NewRecord("sedentary")
+	r.ExerciseHoursPerWeek = 1
+	for i := 0; i < 12; i++ {
+		r.AddObservation(Observation{Signal: "hr", Value: 46}) // bradycardic but NOT athletic
+	}
+	pop := PopulationThresholds()
+	pers := Personalize(r, pop)
+	if pers.HRLow != pop.HRLow {
+		t.Fatalf("non-athlete HR floor moved to %f; low HR without exercise history is pathological", pers.HRLow)
+	}
+}
+
+func TestPersonalizeRequiresHistory(t *testing.T) {
+	r := NewRecord("new-patient")
+	r.ExerciseHoursPerWeek = 12
+	r.AddObservation(Observation{Signal: "hr", Value: 45}) // single reading
+	pop := PopulationThresholds()
+	if pers := Personalize(r, pop); pers.HRLow != pop.HRLow {
+		t.Fatal("thresholds personalized from insufficient history")
+	}
+}
+
+func TestPersonalizeChronicHypoxemia(t *testing.T) {
+	r := NewRecord("copd")
+	r.ChronicHypoxemia = true
+	for i := 0; i < 15; i++ {
+		r.AddObservation(Observation{Signal: "spo2", Value: 91})
+	}
+	pop := PopulationThresholds()
+	pers := Personalize(r, pop)
+	if pers.SpO2Low >= pop.SpO2Low {
+		t.Fatalf("COPD SpO2 limit %f not lowered", pers.SpO2Low)
+	}
+	if pers.SpO2Low < 85 {
+		t.Fatalf("SpO2 limit %f below hard floor", pers.SpO2Low)
+	}
+}
+
+func TestPersonalizeHighHRCeiling(t *testing.T) {
+	r := NewRecord("anxious")
+	for i := 0; i < 20; i++ {
+		r.AddObservation(Observation{Signal: "hr", Value: 115})
+	}
+	pop := PopulationThresholds()
+	pers := Personalize(r, pop)
+	if pers.HRHigh <= pop.HRHigh {
+		t.Fatalf("HR ceiling %f not raised for chronically fast heart", pers.HRHigh)
+	}
+	if pers.HRHigh > 150 {
+		t.Fatalf("HR ceiling %f above hard cap", pers.HRHigh)
+	}
+}
+
+// Property: personalization never crosses the hard safety floors and
+// only ever relaxes limits (never tightens into the normal range).
+func TestPersonalizeSafetyFloorsProperty(t *testing.T) {
+	f := func(hrs []uint8, exercise uint8, hypox bool) bool {
+		r := NewRecord("p")
+		r.ExerciseHoursPerWeek = float64(exercise % 15)
+		r.ChronicHypoxemia = hypox
+		for _, h := range hrs {
+			r.AddObservation(Observation{Signal: "hr", Value: 30 + float64(h%120)})
+			r.AddObservation(Observation{Signal: "spo2", Value: 80 + float64(h%21)})
+		}
+		pop := PopulationThresholds()
+		pers := Personalize(r, pop)
+		return pers.HRLow >= 35 && pers.HRLow <= pop.HRLow &&
+			pers.HRHigh >= pop.HRHigh && pers.HRHigh <= 150 &&
+			pers.SpO2Low >= 85 && pers.SpO2Low <= pop.SpO2Low
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservationCount(t *testing.T) {
+	r := NewRecord("p")
+	if r.ObservationCount("hr") != 0 {
+		t.Fatal("fresh record has observations")
+	}
+	r.AddObservation(Observation{Signal: "hr", Value: 60})
+	if r.ObservationCount("hr") != 1 {
+		t.Fatal("count wrong")
+	}
+}

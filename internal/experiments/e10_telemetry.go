@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// E10Options scale the tele-ICU study.
+type E10Options struct {
+	Seed     int64
+	Patients int // 0 = 8
+}
+
+// e10Run measures mean detection latency of a genuine desaturation for
+// one uplink configuration across the cohort.
+func e10Run(opt E10Options, mode telemetry.Mode, flush time.Duration) (sim.Time, int, error) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(opt.Seed)
+	// Home-to-hospital WAN.
+	net := mednet.MustNew(k, rng.Fork("net"), mednet.LinkParams{
+		Latency: 60 * time.Millisecond, Jitter: 20 * time.Millisecond, LossProb: 0.01,
+	})
+	agg := telemetry.NewAggregator(k, net, "tele-icu", []telemetry.AlertRule{
+		{Signal: "spo2", Below: 90},
+	})
+	for i := 0; i < opt.Patients; i++ {
+		i := i
+		prng := rng.Fork(fmt.Sprintf("p%d", i))
+		patient := physio.DefaultPopulation().Sample(i, prng)
+		mon := telemetry.MustNewRemoteMonitor(k, net, fmt.Sprintf("home-%d", i), telemetry.UplinkConfig{
+			Mode: mode, FlushInterval: flush, Aggregator: "tele-icu",
+		})
+		// Local sampling every 15 s; the patient deteriorates (large
+		// opioid ingestion at home) at a per-patient time.
+		k.Every(15*time.Second, func(now sim.Time) {
+			patient.Step(15*sim.Second, 0)
+			mon.Record("spo2", patient.Vitals().SpO2+prng.Normal(0, 0.5))
+		})
+		deteriorateAt := sim.Hour + sim.Time(i)*13*sim.Minute
+		k.At(deteriorateAt, func() { patient.Bolus(25) })
+	}
+	horizon := sim.Hour + sim.Time(opt.Patients)*13*sim.Minute + sim.Hour
+	if err := k.Run(horizon); err != nil {
+		return 0, 0, err
+	}
+	return agg.MeanDetectionLatency(), len(agg.Alerts()), nil
+}
+
+// E10Telemetry quantifies the paper's II.d claim: store-and-forward home
+// monitoring has "no real-time diagnostic capability" — detection latency
+// is the forwarding period — while streaming detects within transport
+// latency.
+func E10Telemetry(opt E10Options) (Table, error) {
+	if opt.Patients == 0 {
+		opt.Patients = 8
+	}
+	t := Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("Tele-ICU detection latency: %d home patients, each with one desaturation event", opt.Patients),
+		Header: []string{"uplink", "events detected", "mean detection latency"},
+	}
+	type cfg struct {
+		name  string
+		mode  telemetry.Mode
+		flush time.Duration
+	}
+	cfgs := []cfg{
+		{"store-and-forward, 15 min", telemetry.StoreAndForward, 15 * time.Minute},
+		{"store-and-forward, 5 min", telemetry.StoreAndForward, 5 * time.Minute},
+		{"store-and-forward, 1 min", telemetry.StoreAndForward, time.Minute},
+		{"streaming", telemetry.Streaming, 0},
+	}
+	for _, c := range cfgs {
+		lat, n, err := e10Run(opt, c.mode, c.flush)
+		if err != nil {
+			return t, fmt.Errorf("E10 %s: %w", c.name, err)
+		}
+		t.AddRow(c.name, d(n), lat.Duration().Round(time.Millisecond).String())
+	}
+	t.AddNote("expected shape: detection latency tracks roughly half the forwarding period; " +
+		"streaming collapses it to WAN transport latency, enabling real-time response")
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// E13Options scale the caregiver user-model study.
+type E13Options struct {
+	Seed        int64
+	RunsPerCell int       // Monte-Carlo runs per (workflow, error rate)
+	ErrorRates  []float64 // per-step probability of each user-error mode
+}
+
+// DefaultE13 returns the sweep in DESIGN.md.
+func DefaultE13() E13Options {
+	return E13Options{
+		Seed:        13,
+		RunsPerCell: 400,
+		ErrorRates:  []float64{0.01, 0.05, 0.15},
+	}
+}
+
+// E13UserModel performs the quantitative user-modeling analysis of
+// challenge (j): given a probabilistic model of caregiver behaviour
+// (per-step likelihood of acting out of order or omitting an action),
+// estimate by Monte-Carlo interpretation the probability that a clinical
+// workflow ends in an unsafe condition — "quantitative reasoning about
+// device safety" from likelihood-annotated caregiver models.
+func E13UserModel(opt E13Options) (Table, error) {
+	if opt.RunsPerCell == 0 {
+		opt = DefaultE13()
+	}
+	t := Table{
+		ID: "E13",
+		Title: fmt.Sprintf("Caregiver user model: Monte-Carlo P(unsafe) over %d runs per cell",
+			opt.RunsPerCell),
+		Header: []string{"workflow", "error rate", "P(invariant violated)", "P(unsafe terminal)"},
+	}
+	builtins := workflow.Builtins()
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Unsafe-terminal predicates per workflow (same goals as E5).
+	goals := map[string]workflow.Expr{
+		"xray_vent":   workflow.VarExpr{Name: "ventilated"},
+		"handoff":     workflow.VarExpr{Name: "briefed"},
+		"pca_setup":   workflow.VarExpr{Name: "started"},
+		"transfusion": workflow.VarExpr{Name: "completed"},
+		"sedation_titration": workflow.BinExpr{
+			Op: workflow.OpGe,
+			L:  workflow.VarExpr{Name: "dose"},
+			R:  workflow.LitExpr{V: workflow.IntVal(2)},
+		},
+	}
+
+	for _, name := range names {
+		w := builtins[name]
+		for _, rate := range opt.ErrorRates {
+			violated, unsafeTerm := 0, 0
+			for run := 0; run < opt.RunsPerCell; run++ {
+				k := sim.NewKernel()
+				in := workflow.NewInterp(k, w, workflow.InterpConfig{
+					Seed: opt.Seed + int64(run)*7919,
+					Errors: workflow.ErrorModel{
+						SkipGuardProb: rate,
+						OmitProb:      rate,
+					},
+				})
+				res, err := in.RunToCompletion(24 * sim.Hour)
+				if err != nil {
+					return t, fmt.Errorf("E13 %s rate %.2f run %d: %w", name, rate, run, err)
+				}
+				if len(res.Violations) > 0 {
+					violated++
+				}
+				if goal := goals[name]; goal != nil {
+					ok, err := workflow.EvalBool(goal, w.Env(res.Final))
+					if err != nil {
+						return t, err
+					}
+					if !ok {
+						unsafeTerm++
+					}
+				}
+			}
+			n := float64(opt.RunsPerCell)
+			t.AddRow(name, f("%.0f%%", rate*100),
+				f("%.3f", float64(violated)/n),
+				f("%.3f", float64(unsafeTerm)/n))
+		}
+	}
+	t.AddNote("expected shape: hazard probability grows monotonically with the caregiver error rate, and " +
+		"the ranking across workflows quantifies their structural robustness (sedation_titration's " +
+		"guard structure absorbs every injected error; the handoff and transfusion protocols degrade " +
+		"fastest) — the quantitative safety comparison challenge (j) asks for")
+	return t, nil
+}

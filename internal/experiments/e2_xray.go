@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/closedloop"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// E2Options scale the X-ray/ventilator synchronization sweep.
+type E2Options struct {
+	Seed     int64
+	Requests int             // image requests per run (0 = 24)
+	Delays   []time.Duration // one-way network latencies to sweep
+	LossProb float64         // background loss probability
+}
+
+// DefaultE2 returns the sweep in DESIGN.md.
+func DefaultE2() E2Options {
+	return E2Options{
+		Seed:     1,
+		Requests: 24,
+		Delays: []time.Duration{
+			2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond,
+			200 * time.Millisecond, 500 * time.Millisecond, 700 * time.Millisecond,
+			time.Second,
+		},
+		LossProb: 0.02,
+	}
+}
+
+// e2Run executes one (protocol, delay) cell.
+type e2Result struct {
+	sharp, blurred, deferred uint64
+	resumeFailures           uint64
+	unventilatedSeconds      float64
+	minSpO2                  float64
+}
+
+func e2Run(opt E2Options, proto closedloop.SyncProtocol, delay time.Duration) (e2Result, error) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(opt.Seed)
+	net := mednet.MustNew(k, rng.Fork("net"), mednet.LinkParams{
+		Latency: delay, Jitter: delay / 4, LossProb: opt.LossProb,
+	})
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	patient := physio.DefaultPatient(rng.Fork("patient"))
+
+	vent := device.MustNewVentilator(k, net, "vent1", physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
+	xray := device.MustNewXRay(k, net, "xr1", vent, core.ConnectConfig{})
+	ward := device.NewWard(k, patient, sim.Second)
+	ward.AttachVentSupport(vent)
+	tr := sim.NewTrace()
+	ward.Trace = tr
+
+	cfg := closedloop.DefaultXRaySyncConfig("xr1", "vent1", proto)
+	// The synchronizer's delay bound is part of its design (D2): it stays
+	// at its configured 50 ms while the actual network is swept — the
+	// point where actual latency exceeds the bound is the crossover.
+	sync := closedloop.MustNewXRaySync(k, mgr, cfg)
+
+	spacing := 20 * sim.Second
+	for i := 0; i < opt.Requests; i++ {
+		at := 10*sim.Second + sim.Time(i)*spacing
+		k.At(at, func() { sync.RequestImage() })
+	}
+	horizon := 10*sim.Second + sim.Time(opt.Requests+6)*spacing
+	if err := k.Run(horizon); err != nil {
+		return e2Result{}, fmt.Errorf("E2 %s delay %v: %w", proto, delay, err)
+	}
+
+	res := e2Result{
+		sharp: xray.Sharp, blurred: xray.Blurred, deferred: sync.Deferred,
+		resumeFailures: sync.ResumeFailures,
+		minSpO2:        tr.Stats("true/spo2").Min,
+	}
+	// Unventilated time: integrate the recorded mechanical-support series.
+	ev := tr.Series("true/extvent")
+	for i := 0; i+1 < len(ev); i++ {
+		if ev[i].V < 0.5 {
+			res.unventilatedSeconds += (ev[i+1].T - ev[i].T).Seconds()
+		}
+	}
+	return res, nil
+}
+
+// E2XrayVentSync sweeps network delay across the three coordination
+// protocols of the paper's Section II.b scenario.
+func E2XrayVentSync(opt E2Options) (Table, error) {
+	if opt.Requests == 0 {
+		opt = DefaultE2()
+	}
+	t := Table{
+		ID: "E2",
+		Title: fmt.Sprintf("X-ray/ventilator synchronization: %d image requests, loss %.0f%%, sweep one-way delay",
+			opt.Requests, opt.LossProb*100),
+		Header: []string{"protocol", "delay", "sharp", "blurred", "deferred",
+			"resume-fail", "unvent (s)", "min SpO2"},
+	}
+	for _, proto := range []closedloop.SyncProtocol{
+		closedloop.ProtocolManual, closedloop.ProtocolPauseRestart, closedloop.ProtocolStateSync,
+	} {
+		for _, delay := range opt.Delays {
+			r, err := e2Run(opt, proto, delay)
+			if err != nil {
+				return t, err
+			}
+			t.AddRow(proto.String(), delay.String(), u(r.sharp), u(r.blurred),
+				u(r.deferred), u(r.resumeFailures),
+				f("%.0f", r.unventilatedSeconds), f("%.1f", r.minSpO2))
+		}
+	}
+	t.AddNote("expected shape: manual blurs a large fraction at every delay; pause-restart is sharp " +
+		"but suspends ventilation and risks resume loss; state-sync is sharp with zero ventilation " +
+		"interruption while command delay fits the ~0.67 s end-of-exhale window, degrading once " +
+		"delay + exposure outgrows it (>~0.6 s)")
+	return t, nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/control"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// E4Options scale the closed-loop sedation-control study.
+type E4Options struct {
+	Seed     int64
+	Patients int      // 0 = 40
+	Duration sim.Time // 0 = 3 h
+	Target   float64  // target fractional depression (0 = 0.35)
+}
+
+// e4Plant adapts a patient to a sedation-control plant: input infusion
+// rate (mg/min), output a *linearized* sedation measurement. The raw
+// sedation index (fractional depression) follows a steep Hill curve, so
+// the loop controls its inverse-Hill transform — the effect-compartment
+// concentration estimate, standard practice in closed-loop anesthesia.
+// Under this transform a patient's unknown sensitivity (EC50) becomes a
+// pure static gain, exactly the parametric uncertainty the supervisory
+// architecture is built for.
+type e4Plant struct {
+	p       *physio.Patient
+	rng     *sim.RNG
+	nominal *physio.PD // nominal curve used for the measurement transform
+}
+
+func (pl *e4Plant) step(u float64, dt sim.Time) float64 {
+	pl.p.Step(dt, u)
+	dep := pl.p.Vitals().Depression + pl.rng.Normal(0, 0.005)
+	if dep < 0 {
+		dep = 0
+	}
+	if dep > 0.9 {
+		dep = 0.9
+	}
+	return pl.nominal.ConcentrationFor(dep)
+}
+
+// e4Controllers builds the two competitors for one actuator range. Every
+// controller uses the same certainty-equivalence lambda tuning; the only
+// difference is whether the plant-gain hypothesis adapts.
+func e4Controllers(umax float64) (fixed control.Controller, adaptive control.Controller) {
+	// Two-lag hypothesis matching the PK/PD structure: central-compartment
+	// distribution (~13 min) cascaded with effect-site equilibration
+	// (~12 min at ke0 0.08/min). The effective settling constant for PID
+	// tuning is their sum.
+	const tau1, tau2 = 13 * 60.0, 12 * 60.0
+	const tauEff = tau1 + tau2
+	tune := func(gain float64) control.PIDParams {
+		lambda := tauEff / 3
+		kp := tauEff / (gain * lambda)
+		return control.PIDParams{Kp: kp, Ki: kp / tauEff, OutMin: 0, OutMax: umax, DerivFilter: 1}
+	}
+	// In the linearized coordinate, the plant's static gain is
+	// (EC50_nominal / EC50_patient) / clearance: a sensitive patient
+	// (low EC50) reads proportionally high. Candidates hypothesize the
+	// sensitivity ratio; their controllers are certainty-equivalence
+	// tuned for that gain.
+	const clearance = 1.25 // L/min, nominal k10*V1
+	mkCandidate := func(name string, sensitivityRatio float64) control.Candidate {
+		gain := sensitivityRatio / clearance
+		return control.Candidate{
+			Name: name, Gain: gain, Tau: tau1, Tau2: tau2,
+			Ctrl: control.MustPID(tune(gain)),
+		}
+	}
+	// First candidate = initial incumbent: start from the SENSITIVE
+	// hypothesis (gentlest dosing — "start low, go slow") and escalate
+	// only on evidence. The set covers the population's ~10x spread.
+	cands := []control.Candidate{
+		mkCandidate("ultra-sensitive", 8),
+		mkCandidate("sensitive", 3),
+		mkCandidate("nominal", 1),
+		mkCandidate("resistant", 0.4),
+	}
+	// The fixed competitor is the nominal candidate's controller: what a
+	// designer ships when they must pick one tuning for everyone.
+	fixedC := control.MustPID(tune(1 / clearance))
+	sup := control.MustSupervisor(control.SupervisorParams{
+		Forgetting: 0.9995, DwellSeconds: 450, Hysteresis: 0.5,
+	}, cands)
+	return fixedC, sup
+}
+
+type e4Score struct {
+	meanAbsErr   float64 // after the first 90 minutes
+	overshoot    float64 // max depression reached
+	dangerous    int     // patients whose depression exceeded 0.50
+	undertreated int     // patients still below 0.25 at the end (inadequate sedation)
+	switches     uint64
+}
+
+// e4Patient samples one study subject: drug sensitivity (EC50) varies
+// log-normally by a factor of ~10 across the cohort while the lag
+// structure stays near nominal. This isolates the *parametric gain
+// uncertainty* supervisory control is designed for (Morse [17]); lag
+// (ke0) mismatch is a separate identifiability problem the candidate
+// models would need a second dimension for, and is kept small here the
+// way a drug with well-characterized kinetics but patient-specific
+// sensitivity behaves.
+func e4Patient(idx int, rng *sim.RNG) *physio.Patient {
+	pd := physio.DefaultMorphinePD()
+	pd.EC50 *= rng.LogNormal(0, 0.9)
+	pd.Ke0 *= rng.LogNormal(0, 0.1)
+	pk := physio.DefaultMorphinePK()
+	pk.V1 *= rng.LogNormal(0, 0.15)
+	pk.K10 *= rng.LogNormal(0, 0.15)
+	tr := physio.DefaultTraits()
+	tr.ID = fmt.Sprintf("e4-patient-%03d", idx)
+	return physio.NewPatient(tr, physio.MustPK(pk), physio.MustPD(pd), rng.Fork(tr.ID))
+}
+
+func e4Run(opt E4Options, adaptive bool) (e4Score, error) {
+	var sc e4Score
+	rng := sim.NewRNG(opt.Seed)
+	const umax = 1.2 // mg/min actuator ceiling
+	nominalPD := physio.MustPD(physio.DefaultMorphinePD())
+	// Setpoint in the linearized coordinate: the nominal effect-site
+	// concentration producing the target depression.
+	ySetpoint := nominalPD.ConcentrationFor(opt.Target)
+	for i := 0; i < opt.Patients; i++ {
+		patient := e4Patient(i, rng.Fork(fmt.Sprintf("p%d", i)))
+		plant := &e4Plant{p: patient, rng: rng.Fork(fmt.Sprintf("n%d", i)), nominal: nominalPD}
+		fixed, sup := e4Controllers(umax)
+		var ctrl control.Controller = fixed
+		if adaptive {
+			ctrl = sup
+		}
+		measured := 0.0
+		var absErr float64
+		var absN int
+		maxDep := 0.0
+		steps := int(opt.Duration / (5 * sim.Second))
+		for s := 0; s < steps; s++ {
+			uRate := ctrl.Update(ySetpoint, measured, 5)
+			measured = plant.step(uRate, 5*sim.Second)
+			dep := patient.Vitals().Depression
+			if dep > maxDep {
+				maxDep = dep
+			}
+			if sim.Time(s)*5*sim.Second > 90*sim.Minute {
+				absErr += math.Abs(dep - opt.Target)
+				absN++
+			}
+		}
+		if absN > 0 {
+			sc.meanAbsErr += absErr / float64(absN)
+		}
+		if maxDep > sc.overshoot {
+			sc.overshoot = maxDep
+		}
+		if maxDep > 0.50 {
+			sc.dangerous++
+		}
+		if patient.Vitals().Depression < 0.25 {
+			sc.undertreated++
+		}
+		if s, ok := ctrl.(*control.Supervisor); ok {
+			sc.switches += s.Switches
+		}
+	}
+	sc.meanAbsErr /= float64(opt.Patients)
+	return sc, nil
+}
+
+// E4SupervisoryControl compares a fixed nominal-tuned PID against the
+// Morse-style supervisory adaptive controller across a PK/PD-variable
+// population (challenge (g), design decision D4).
+func E4SupervisoryControl(opt E4Options) (Table, error) {
+	if opt.Patients == 0 {
+		opt.Patients = 40
+	}
+	if opt.Duration == 0 {
+		opt.Duration = 3 * sim.Hour
+	}
+	if opt.Target == 0 {
+		opt.Target = 0.35
+	}
+	t := Table{
+		ID: "E4",
+		Title: fmt.Sprintf("Closed-loop sedation across %d patients (target depression %.2f, %v)",
+			opt.Patients, opt.Target, opt.Duration.Duration()),
+		Header: []string{"controller", "mean |err| (steady)", "worst overshoot",
+			"patients > 0.50 (danger)", "undertreated", "switches"},
+	}
+	fixedScore, err := e4Run(opt, false)
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("fixed PID (nominal tuning)", f("%.3f", fixedScore.meanAbsErr),
+		f("%.2f", fixedScore.overshoot), d(fixedScore.dangerous), d(fixedScore.undertreated), "-")
+	adaptScore, err := e4Run(opt, true)
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("supervisory adaptive", f("%.3f", adaptScore.meanAbsErr),
+		f("%.2f", adaptScore.overshoot), d(adaptScore.dangerous), d(adaptScore.undertreated), u(adaptScore.switches))
+	t.AddNote("expected shape: with a 10x sensitivity spread the fixed nominal tuning tracks slowly on " +
+		"off-nominal patients; the supervisor identifies each patient and retunes, cutting steady tracking " +
+		"error by roughly a quarter. The cost of adaptation is the occasional switching transient on the " +
+		"sensitive tail — the classic supervisory-control trade-off, bounded by dwell time and hysteresis")
+	return t, nil
+}

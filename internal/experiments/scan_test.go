@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// sscan parses a single formatted cell back into a value for assertions.
+func sscan(s string, out any) (int, error) {
+	return fmt.Sscan(s, out)
+}

@@ -1,0 +1,81 @@
+package mednet
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Outage blocks all traffic between the directed pair during [start,end).
+// Use "*" as a wildcard for either side.
+func (n *Network) Outage(from, to string, start, end sim.Time) error {
+	return n.Degrade(from, to, start, end, 1)
+}
+
+// Degrade adds probabilistic loss to the directed pair during [start,end).
+// loss stacks with (dominates over) the link's own loss probability.
+func (n *Network) Degrade(from, to string, start, end sim.Time, loss float64) error {
+	if end <= start {
+		return errors.New("mednet: fault window must have positive length")
+	}
+	if loss < 0 || loss > 1 {
+		return errors.New("mednet: loss outside [0,1]")
+	}
+	n.faults = append(n.faults, faultWindow{from: from, to: to, start: start, end: end, loss: loss})
+	return nil
+}
+
+// Partition isolates two groups of endpoints from each other (both
+// directions) during [start,end). Traffic within a group is unaffected.
+func (n *Network) Partition(groupA, groupB []string, start, end sim.Time) error {
+	if end <= start {
+		return errors.New("mednet: partition window must have positive length")
+	}
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.faults = append(n.faults,
+				faultWindow{from: a, to: b, start: start, end: end, loss: 1},
+				faultWindow{from: b, to: a, start: start, end: end, loss: 1})
+		}
+	}
+	return nil
+}
+
+// FaultSchedule describes a reproducible fault scenario for experiments.
+type FaultSchedule struct {
+	Windows []FaultSpec
+}
+
+// FaultSpec is one declarative fault entry.
+type FaultSpec struct {
+	From, To   string
+	Start, End sim.Time
+	Loss       float64
+}
+
+// Apply installs every window of the schedule on the network.
+func (fs FaultSchedule) Apply(n *Network) error {
+	for _, w := range fs.Windows {
+		if err := n.Degrade(w.From, w.To, w.Start, w.End, w.Loss); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IntermittentLink builds a schedule that flaps the directed pair: cycles
+// of up time followed by total outage, from start until end.
+func IntermittentLink(from, to string, start, end, up, down sim.Time) FaultSchedule {
+	var fs FaultSchedule
+	if up <= 0 || down <= 0 {
+		return fs
+	}
+	for t := start + up; t < end; t += up + down {
+		we := t + down
+		if we > end {
+			we = end
+		}
+		fs.Windows = append(fs.Windows, FaultSpec{From: from, To: to, Start: t, End: we, Loss: 1})
+	}
+	return fs
+}

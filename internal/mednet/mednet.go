@@ -1,0 +1,234 @@
+// Package mednet simulates the hospital device network the paper's
+// interoperability scenarios run over. It delivers opaque datagrams
+// between named endpoints with configurable latency, jitter, loss,
+// duplication and partitions, all on the shared virtual clock, so the
+// closed-loop experiments can quantify exactly how communication faults
+// erode patient safety (challenge (l), experiment E6).
+package mednet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Message is one datagram in flight.
+type Message struct {
+	From    string
+	To      string
+	Kind    string // application-level tag, for tracing
+	Payload []byte
+	SentAt  sim.Time
+}
+
+// Handler receives delivered messages. Handlers run inside the simulation
+// event loop; they must not block.
+type Handler func(Message)
+
+// LinkParams describe one directed link's behaviour.
+type LinkParams struct {
+	Latency  time.Duration // base one-way latency
+	Jitter   time.Duration // uniform ±jitter added to latency
+	LossProb float64       // probability a datagram is silently dropped
+	DupProb  float64       // probability a datagram is delivered twice
+}
+
+// Validate reports an error for unusable parameters.
+func (l LinkParams) Validate() error {
+	if l.Latency < 0 || l.Jitter < 0 {
+		return errors.New("mednet: negative latency or jitter")
+	}
+	if l.LossProb < 0 || l.LossProb > 1 {
+		return errors.New("mednet: loss probability outside [0,1]")
+	}
+	if l.DupProb < 0 || l.DupProb > 1 {
+		return errors.New("mednet: duplication probability outside [0,1]")
+	}
+	return nil
+}
+
+// DefaultLink returns a healthy clinical LAN profile: 2 ms ± 1 ms, no loss.
+func DefaultLink() LinkParams {
+	return LinkParams{Latency: 2 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+// Stats accumulate per-network delivery accounting.
+type Stats struct {
+	Sent        uint64
+	Delivered   uint64
+	Dropped     uint64 // by random loss
+	Duplicated  uint64
+	Partitioned uint64 // dropped because a partition blocked the pair
+	NoRoute     uint64 // destination not registered
+}
+
+// Network is the simulated fabric. Not safe for concurrent use; the
+// simulation is single-threaded by construction.
+type Network struct {
+	k        *sim.Kernel
+	rng      *sim.RNG
+	handlers map[string]Handler
+	def      LinkParams
+	links    map[[2]string]LinkParams
+	faults   []faultWindow
+	stats    Stats
+	tap      func(Message, string) // optional observer: (msg, disposition)
+}
+
+type faultWindow struct {
+	from, to   string // "*" matches any endpoint
+	start, end sim.Time
+	loss       float64 // additional loss during window (1 = total outage)
+}
+
+// New creates a network on the given kernel with a default link profile.
+func New(k *sim.Kernel, rng *sim.RNG, def LinkParams) (*Network, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		k:        k,
+		rng:      rng,
+		handlers: make(map[string]Handler),
+		def:      def,
+		links:    make(map[[2]string]LinkParams),
+	}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(k *sim.Kernel, rng *sim.RNG, def LinkParams) *Network {
+	n, err := New(k, rng, def)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Register attaches a handler to an address. Registering an address twice
+// replaces the handler (supports device restart).
+func (n *Network) Register(addr string, h Handler) {
+	if addr == "" || h == nil {
+		panic("mednet: empty address or nil handler")
+	}
+	n.handlers[addr] = h
+}
+
+// Unregister detaches an address (device unplugged or crashed).
+func (n *Network) Unregister(addr string) { delete(n.handlers, addr) }
+
+// Registered reports whether an address has a live handler.
+func (n *Network) Registered(addr string) bool {
+	_, ok := n.handlers[addr]
+	return ok
+}
+
+// SetLink overrides the link profile for the directed pair from->to.
+func (n *Network) SetLink(from, to string, p LinkParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n.links[[2]string{from, to}] = p
+	return nil
+}
+
+// SetDefaultLink replaces the default profile for unconfigured pairs.
+func (n *Network) SetDefaultLink(p LinkParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n.def = p
+	return nil
+}
+
+// Tap installs an observer invoked for every send with a disposition of
+// "delivered", "dropped", "partitioned", "duplicated" or "noroute".
+// Used by tests and the audit subsystem.
+func (n *Network) Tap(f func(Message, string)) { n.tap = f }
+
+// Stats returns a copy of the accounting counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// linkFor resolves the effective parameters for a directed pair.
+func (n *Network) linkFor(from, to string) LinkParams {
+	if p, ok := n.links[[2]string{from, to}]; ok {
+		return p
+	}
+	return n.def
+}
+
+// extraLoss returns the added fault-window loss for the pair at time t.
+func (n *Network) extraLoss(from, to string, t sim.Time) float64 {
+	loss := 0.0
+	for _, w := range n.faults {
+		if t < w.start || t >= w.end {
+			continue
+		}
+		if (w.from == "*" || w.from == from) && (w.to == "*" || w.to == to) {
+			if w.loss > loss {
+				loss = w.loss
+			}
+		}
+	}
+	return loss
+}
+
+// Send queues a datagram. Delivery (or loss) is decided now; the handler
+// runs after the sampled latency. Sending to an unregistered address is
+// counted but otherwise silently ignored, as on a real datagram network.
+func (n *Network) Send(from, to, kind string, payload []byte) {
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}
+	n.stats.Sent++
+
+	if pl := n.extraLoss(from, to, n.k.Now()); pl > 0 && n.rng.Bernoulli(pl) {
+		n.stats.Partitioned++
+		n.observe(msg, "partitioned")
+		return
+	}
+	p := n.linkFor(from, to)
+	if n.rng.Bernoulli(p.LossProb) {
+		n.stats.Dropped++
+		n.observe(msg, "dropped")
+		return
+	}
+	n.deliverAfter(msg, p)
+	if n.rng.Bernoulli(p.DupProb) {
+		n.stats.Duplicated++
+		n.observe(msg, "duplicated")
+		n.deliverAfter(msg, p)
+	}
+}
+
+func (n *Network) deliverAfter(msg Message, p LinkParams) {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(n.rng.Uniform(-float64(p.Jitter), float64(p.Jitter)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.k.After(d, func() {
+		h, ok := n.handlers[msg.To]
+		if !ok {
+			n.stats.NoRoute++
+			n.observe(msg, "noroute")
+			return
+		}
+		n.stats.Delivered++
+		n.observe(msg, "delivered")
+		h(msg)
+	})
+}
+
+func (n *Network) observe(m Message, disposition string) {
+	if n.tap != nil {
+		n.tap(m, disposition)
+	}
+}
+
+// String summarizes the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d dup=%d partitioned=%d noroute=%d",
+		s.Sent, s.Delivered, s.Dropped, s.Duplicated, s.Partitioned, s.NoRoute)
+}

@@ -1,0 +1,296 @@
+package mednet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testNet(t *testing.T, def LinkParams) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	n, err := New(k, sim.NewRNG(1), def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, n
+}
+
+func TestDeliveryWithLatency(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: 10 * time.Millisecond})
+	var got []Message
+	var at sim.Time
+	n.Register("b", func(m Message) { got = append(got, m); at = k.Now() })
+	k.At(0, func() { n.Send("a", "b", "obs", []byte("hi")) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	if at != 10*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+	if got[0].From != "a" || got[0].Kind != "obs" || string(got[0].Payload) != "hi" {
+		t.Fatalf("message corrupted: %+v", got[0])
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestLossDropsApproximatelyAtRate(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond, LossProb: 0.3})
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	const total = 20000
+	for i := 0; i < total; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Millisecond, func() { n.Send("a", "b", "x", nil) })
+	}
+	if err := k.Run(sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	rate := 1 - float64(delivered)/total
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("observed loss %f, want ~0.3", rate)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond, DupProb: 1})
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	k.At(0, func() { n.Send("a", "b", "x", nil) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2 (always-duplicate link)", delivered)
+	}
+}
+
+func TestNoRouteCounted(t *testing.T) {
+	k, n := testNet(t, DefaultLink())
+	k.At(0, func() { n.Send("a", "ghost", "x", nil) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().NoRoute != 1 {
+		t.Fatalf("noroute = %d, want 1", n.Stats().NoRoute)
+	}
+}
+
+func TestUnregisterStopsDelivery(t *testing.T) {
+	k, n := testNet(t, DefaultLink())
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	k.At(0, func() { n.Send("a", "b", "x", nil) })
+	k.At(10*sim.Millisecond, func() { n.Unregister("b") })
+	k.At(20*sim.Millisecond, func() { n.Send("a", "b", "x", nil) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+	if n.Registered("b") {
+		t.Fatal("b still registered")
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond})
+	if err := n.SetLink("a", "b", LinkParams{Latency: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	var abAt, baAt sim.Time
+	n.Register("b", func(Message) { abAt = k.Now() })
+	n.Register("a", func(Message) { baAt = k.Now() })
+	k.At(0, func() {
+		n.Send("a", "b", "x", nil)
+		n.Send("b", "a", "x", nil)
+	})
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if abAt != 100*sim.Millisecond {
+		t.Fatalf("a->b at %v, want 100ms (override)", abAt)
+	}
+	if baAt != sim.Millisecond {
+		t.Fatalf("b->a at %v, want 1ms (default)", baAt)
+	}
+}
+
+func TestOutageWindowBlocksTraffic(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond})
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	if err := n.Outage("a", "b", 10*sim.Second, 20*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []sim.Time{5 * sim.Second, 15 * sim.Second, 25 * sim.Second} {
+		k.At(at, func() { n.Send("a", "b", "x", nil) })
+	}
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2 (middle send inside outage)", delivered)
+	}
+	if n.Stats().Partitioned != 1 {
+		t.Fatalf("partitioned = %d, want 1", n.Stats().Partitioned)
+	}
+}
+
+func TestPartitionIsBidirectionalAndScoped(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond})
+	got := map[string]int{}
+	for _, addr := range []string{"a1", "a2", "b1"} {
+		addr := addr
+		n.Register(addr, func(Message) { got[addr]++ })
+	}
+	if err := n.Partition([]string{"a1", "a2"}, []string{"b1"}, 0, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Second, func() {
+		n.Send("a1", "b1", "x", nil) // blocked
+		n.Send("b1", "a1", "x", nil) // blocked
+		n.Send("a1", "a2", "x", nil) // same side: flows
+	})
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got["b1"] != 0 || got["a1"] != 0 {
+		t.Fatalf("partition leaked: %v", got)
+	}
+	if got["a2"] != 1 {
+		t.Fatalf("intra-group traffic blocked: %v", got)
+	}
+}
+
+func TestWildcardOutage(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond})
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	if err := n.Outage("*", "b", 0, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Second, func() { n.Send("anyone", "b", "x", nil) })
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("wildcard outage did not block")
+	}
+}
+
+func TestIntermittentLinkSchedule(t *testing.T) {
+	fs := IntermittentLink("a", "b", 0, 10*sim.Second, 2*sim.Second, sim.Second)
+	if len(fs.Windows) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for _, w := range fs.Windows {
+		if w.End <= w.Start || w.Loss != 1 {
+			t.Fatalf("bad window %+v", w)
+		}
+		if w.End > 10*sim.Second {
+			t.Fatalf("window %+v exceeds end", w)
+		}
+	}
+	// Apply to a live network and verify flapping.
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond})
+	if err := fs.Apply(n); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	n.Register("b", func(Message) { delivered++ })
+	// Send at 1s (up), 2.5s (down), 3.5s (up again).
+	for _, at := range []sim.Time{sim.Second, 2500 * sim.Millisecond, 3500 * sim.Millisecond} {
+		k.At(at, func() { n.Send("a", "b", "x", nil) })
+	}
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	bad := []LinkParams{
+		{Latency: -time.Millisecond},
+		{Jitter: -time.Millisecond},
+		{LossProb: 1.5},
+		{DupProb: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+	k := sim.NewKernel()
+	if _, err := New(k, sim.NewRNG(1), LinkParams{LossProb: 2}); err == nil {
+		t.Fatal("New accepted invalid default link")
+	}
+}
+
+func TestTapObservesDispositions(t *testing.T) {
+	k, n := testNet(t, LinkParams{Latency: time.Millisecond, LossProb: 1})
+	var dispositions []string
+	n.Tap(func(_ Message, d string) { dispositions = append(dispositions, d) })
+	k.At(0, func() { n.Send("a", "b", "x", nil) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(dispositions) != 1 || dispositions[0] != "dropped" {
+		t.Fatalf("dispositions = %v", dispositions)
+	}
+}
+
+// Property: messages between two live endpoints on a lossless link are
+// never lost or reordered beyond what jitter allows, and latency always
+// lies within [latency-jitter, latency+jitter].
+func TestLatencyBoundsProperty(t *testing.T) {
+	f := func(latMs, jitMs uint8) bool {
+		lat := time.Duration(latMs%50+1) * time.Millisecond
+		jit := time.Duration(jitMs%10) * time.Millisecond
+		if jit > lat {
+			jit = lat
+		}
+		k := sim.NewKernel()
+		n := MustNew(k, sim.NewRNG(int64(latMs)*256+int64(jitMs)), LinkParams{Latency: lat, Jitter: jit})
+		var times []sim.Time
+		n.Register("b", func(m Message) { times = append(times, k.Now()-m.SentAt) })
+		for i := 0; i < 50; i++ {
+			i := i
+			k.At(sim.Time(i)*sim.Second, func() { n.Send("a", "b", "x", nil) })
+		}
+		if err := k.Run(sim.Hour); err != nil {
+			return false
+		}
+		if len(times) != 50 {
+			return false
+		}
+		for _, d := range times {
+			if d < sim.Time(lat-jit) || d > sim.Time(lat+jit) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Sent: 1, Delivered: 1}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

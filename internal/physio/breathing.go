@@ -1,0 +1,181 @@
+package physio
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// BreathPhase identifies where in the mechanical-ventilation cycle the
+// lungs currently are. The X-ray/ventilator scenario of the paper hinges
+// on the quiescent window at the end of exhalation, when flow is near zero
+// and the chest is still.
+type BreathPhase int
+
+const (
+	PhaseInhale BreathPhase = iota
+	PhasePause              // end-inspiratory plateau
+	PhaseExhale
+	PhaseQuiescent // end-expiratory rest: the X-ray shot window
+)
+
+// String names the phase.
+func (p BreathPhase) String() string {
+	switch p {
+	case PhaseInhale:
+		return "inhale"
+	case PhasePause:
+		return "pause"
+	case PhaseExhale:
+		return "exhale"
+	case PhaseQuiescent:
+		return "quiescent"
+	default:
+		return "unknown"
+	}
+}
+
+// BreathCycle is a deterministic model of a volume-controlled mechanical
+// breath: constant inspiratory flow, an end-inspiratory pause, exponential
+// passive exhalation, and a quiescent rest until the next machine breath.
+type BreathCycle struct {
+	RatePerMin  float64  // machine breaths per minute
+	IERatio     float64  // inspiration:expiration time ratio (e.g. 0.5 = 1:2)
+	PauseFrac   float64  // fraction of cycle spent in plateau
+	TidalVolume float64  // liters
+	ExhaleTau   sim.Time // exhalation flow decay time constant
+}
+
+// DefaultBreathCycle returns typical intraoperative ventilation settings:
+// 12 breaths/min, 1:2 I:E, 0.5 L tidal volume.
+func DefaultBreathCycle() BreathCycle {
+	return BreathCycle{
+		RatePerMin:  12,
+		IERatio:     0.5,
+		PauseFrac:   0.08,
+		TidalVolume: 0.5,
+		ExhaleTau:   600 * sim.Millisecond,
+	}
+}
+
+// Validate reports an error for unusable settings.
+func (c BreathCycle) Validate() error {
+	if c.RatePerMin <= 0 || c.RatePerMin > 60 {
+		return errors.New("physio: breath rate out of range")
+	}
+	if c.IERatio <= 0 {
+		return errors.New("physio: I:E ratio must be positive")
+	}
+	if c.PauseFrac < 0 || c.PauseFrac > 0.3 {
+		return errors.New("physio: pause fraction out of range")
+	}
+	if c.TidalVolume <= 0 {
+		return errors.New("physio: tidal volume must be positive")
+	}
+	if c.ExhaleTau <= 0 {
+		return errors.New("physio: exhale tau must be positive")
+	}
+	return nil
+}
+
+// Period returns the full cycle duration.
+func (c BreathCycle) Period() sim.Time {
+	return sim.Time(60 / c.RatePerMin * float64(sim.Second))
+}
+
+// segment boundaries within one cycle, as offsets from cycle start.
+func (c BreathCycle) segments() (inhaleEnd, pauseEnd, exhaleEnd, period sim.Time) {
+	period = c.Period()
+	pause := sim.Time(float64(period) * c.PauseFrac)
+	breathing := period - pause
+	inhale := sim.Time(float64(breathing) * c.IERatio / (1 + c.IERatio))
+	// Exhalation is "complete" (flow < 2% of peak) after ~4 time constants;
+	// the remainder of the cycle is the quiescent window.
+	exhale := 4 * c.ExhaleTau
+	if inhale+pause+exhale > period {
+		exhale = period - inhale - pause
+	}
+	return inhale, inhale + pause, inhale + pause + exhale, period
+}
+
+// PhaseAt reports the phase at absolute time t, assuming cycles start at
+// phase0 (the time of an inhalation onset).
+func (c BreathCycle) PhaseAt(t, phase0 sim.Time) BreathPhase {
+	period := c.Period()
+	off := (t - phase0) % period
+	if off < 0 {
+		off += period
+	}
+	inhaleEnd, pauseEnd, exhaleEnd, _ := c.segments()
+	switch {
+	case off < inhaleEnd:
+		return PhaseInhale
+	case off < pauseEnd:
+		return PhasePause
+	case off < exhaleEnd:
+		return PhaseExhale
+	default:
+		return PhaseQuiescent
+	}
+}
+
+// FlowAt reports airway flow (L/s, positive = into the patient) at t.
+func (c BreathCycle) FlowAt(t, phase0 sim.Time) float64 {
+	period := c.Period()
+	off := (t - phase0) % period
+	if off < 0 {
+		off += period
+	}
+	inhaleEnd, pauseEnd, _, _ := c.segments()
+	switch {
+	case off < inhaleEnd:
+		return c.TidalVolume / inhaleEnd.Seconds()
+	case off < pauseEnd:
+		return 0
+	default:
+		// Passive exhale: peak outflow decaying exponentially.
+		te := (off - pauseEnd).Seconds()
+		peak := c.TidalVolume / c.ExhaleTau.Seconds()
+		return -peak * math.Exp(-te/c.ExhaleTau.Seconds())
+	}
+}
+
+// NextQuiescentWindow returns the start and end of the first quiescent
+// window beginning at or after t. The window closes at the start of the
+// next machine inhalation.
+func (c BreathCycle) NextQuiescentWindow(t, phase0 sim.Time) (start, end sim.Time) {
+	period := c.Period()
+	_, _, exhaleEnd, _ := c.segments()
+	// Cycle index containing or following t.
+	k := (t - phase0) / period
+	if (t-phase0)%period < 0 {
+		k--
+	}
+	for {
+		cycleStart := phase0 + k*period
+		ws := cycleStart + exhaleEnd
+		we := cycleStart + period
+		if we <= ws { // settings leave no quiescent time at all
+			return 0, 0
+		}
+		if we > t {
+			if ws < t {
+				ws = t
+			}
+			if ws < we {
+				return ws, we
+			}
+		}
+		k++
+	}
+}
+
+// QuiescentFraction reports what fraction of the cycle is quiescent.
+func (c BreathCycle) QuiescentFraction() float64 {
+	_, _, exhaleEnd, period := c.segments()
+	if exhaleEnd >= period {
+		return 0
+	}
+	return float64(period-exhaleEnd) / float64(period)
+}

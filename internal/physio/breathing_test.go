@@ -1,0 +1,160 @@
+package physio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBreathCycleValidate(t *testing.T) {
+	if err := DefaultBreathCycle().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BreathCycle{
+		{RatePerMin: 0, IERatio: 0.5, TidalVolume: 0.5, ExhaleTau: sim.Second},
+		{RatePerMin: 12, IERatio: 0, TidalVolume: 0.5, ExhaleTau: sim.Second},
+		{RatePerMin: 12, IERatio: 0.5, TidalVolume: 0, ExhaleTau: sim.Second},
+		{RatePerMin: 12, IERatio: 0.5, TidalVolume: 0.5, ExhaleTau: 0},
+		{RatePerMin: 12, IERatio: 0.5, PauseFrac: 0.9, TidalVolume: 0.5, ExhaleTau: sim.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid settings accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestBreathCyclePeriod(t *testing.T) {
+	c := DefaultBreathCycle() // 12/min -> 5 s period
+	if got := c.Period(); got != 5*sim.Second {
+		t.Fatalf("period = %v, want 5s", got)
+	}
+}
+
+func TestPhaseSequenceWithinCycle(t *testing.T) {
+	c := DefaultBreathCycle()
+	var seen []BreathPhase
+	last := BreathPhase(-1)
+	for t0 := sim.Time(0); t0 < c.Period(); t0 += 10 * sim.Millisecond {
+		ph := c.PhaseAt(t0, 0)
+		if ph != last {
+			seen = append(seen, ph)
+			last = ph
+		}
+	}
+	want := []BreathPhase{PhaseInhale, PhasePause, PhaseExhale, PhaseQuiescent}
+	if len(seen) != len(want) {
+		t.Fatalf("phase sequence = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("phase sequence = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestFlowIntegratesToTidalVolume(t *testing.T) {
+	c := DefaultBreathCycle()
+	const dt = 1e-4 // seconds
+	inhaled := 0.0
+	for ts := 0.0; ts < c.Period().Seconds(); ts += dt {
+		f := c.FlowAt(sim.FromSeconds(ts), 0)
+		if f > 0 {
+			inhaled += f * dt
+		}
+	}
+	if math.Abs(inhaled-c.TidalVolume)/c.TidalVolume > 0.01 {
+		t.Fatalf("integrated inspiratory volume = %f, want %f", inhaled, c.TidalVolume)
+	}
+}
+
+func TestQuiescentWindowHasNearZeroFlow(t *testing.T) {
+	c := DefaultBreathCycle()
+	ws, we := c.NextQuiescentWindow(0, 0)
+	if ws >= we {
+		t.Fatalf("empty quiescent window [%v,%v]", ws, we)
+	}
+	peak := c.TidalVolume / c.ExhaleTau.Seconds()
+	for ts := ws; ts < we; ts += 5 * sim.Millisecond {
+		if f := math.Abs(c.FlowAt(ts, 0)); f > 0.02*peak {
+			t.Fatalf("flow %f at %v exceeds 2%% of peak during quiescent window", f, ts)
+		}
+	}
+	// And the phase agrees.
+	mid := ws + (we-ws)/2
+	if ph := c.PhaseAt(mid, 0); ph != PhaseQuiescent {
+		t.Fatalf("phase at window middle = %v, want quiescent", ph)
+	}
+}
+
+func TestNextQuiescentWindowAfterArbitraryTime(t *testing.T) {
+	c := DefaultBreathCycle()
+	// Ask from deep inside the following cycle.
+	from := c.Period() + 500*sim.Millisecond
+	ws, we := c.NextQuiescentWindow(from, 0)
+	if ws < from {
+		t.Fatalf("window start %v before query time %v", ws, from)
+	}
+	if we <= ws {
+		t.Fatalf("degenerate window [%v,%v]", ws, we)
+	}
+	if we-ws > c.Period() {
+		t.Fatalf("window longer than a period")
+	}
+}
+
+// Property: for any query time and phase offset, the returned window is
+// nonempty, starts at or after the query, and is entirely quiescent.
+func TestQuiescentWindowProperty(t *testing.T) {
+	c := DefaultBreathCycle()
+	f := func(tMs uint32, phaseMs uint16) bool {
+		at := sim.Time(tMs%600000) * sim.Millisecond
+		ph0 := sim.Time(phaseMs) * sim.Millisecond
+		ws, we := c.NextQuiescentWindow(at, ph0)
+		if ws < at || we <= ws {
+			return false
+		}
+		for _, probe := range []sim.Time{ws, ws + (we-ws)/2, we - sim.Millisecond} {
+			if c.PhaseAt(probe, ph0) != PhaseQuiescent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuiescentFractionPositiveForDefaults(t *testing.T) {
+	c := DefaultBreathCycle()
+	qf := c.QuiescentFraction()
+	if qf <= 0.05 || qf >= 0.8 {
+		t.Fatalf("quiescent fraction = %f, expected a usable shot window", qf)
+	}
+}
+
+func TestFastRateLeavesNoQuiescentTime(t *testing.T) {
+	c := DefaultBreathCycle()
+	c.RatePerMin = 30 // 2 s period
+	c.ExhaleTau = sim.Second
+	// 4*tau = 4 s exhale > period: no quiescent window at all.
+	if qf := c.QuiescentFraction(); qf != 0 {
+		t.Fatalf("quiescent fraction = %f, want 0 for fast rate", qf)
+	}
+}
+
+func TestPhaseStringNames(t *testing.T) {
+	names := map[BreathPhase]string{
+		PhaseInhale: "inhale", PhasePause: "pause",
+		PhaseExhale: "exhale", PhaseQuiescent: "quiescent",
+		BreathPhase(99): "unknown",
+	}
+	for ph, want := range names {
+		if got := ph.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", ph, got, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package physio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func stepFor(p *Patient, d sim.Time, rate float64) {
+	for t := sim.Time(0); t < d; t += sim.Second {
+		p.Step(sim.Second, rate)
+	}
+}
+
+func TestHealthyPatientStaysStable(t *testing.T) {
+	p := DefaultPatient(sim.NewRNG(1))
+	stepFor(p, 30*sim.Minute, 0)
+	v := p.Vitals()
+	if v.SpO2 < 95 {
+		t.Fatalf("undrugged SpO2 = %f, want >= 95", v.SpO2)
+	}
+	if v.RespRate < 10 || v.RespRate > 20 {
+		t.Fatalf("undrugged RR = %f, want 10-20", v.RespRate)
+	}
+	if p.InDistress() {
+		t.Fatal("undrugged patient in distress")
+	}
+	if v.Pain < 5 {
+		t.Fatalf("untreated post-op pain = %f, want >= 5", v.Pain)
+	}
+}
+
+func TestOverdoseCausesRespiratoryFailure(t *testing.T) {
+	p := DefaultPatient(sim.NewRNG(2))
+	// Grossly excessive loading: repeated large boluses, the failure mode
+	// the paper's PCA scenario (misprogrammed pump / PCA-by-proxy) warns of.
+	minSpO2, maxDep := 100.0, 0.0
+	distressed := false
+	for i := 0; i < 12; i++ {
+		p.Bolus(6)
+		for s := sim.Time(0); s < 5*sim.Minute; s += sim.Second {
+			p.Step(sim.Second, 0)
+			v := p.Vitals()
+			minSpO2 = math.Min(minSpO2, v.SpO2)
+			maxDep = math.Max(maxDep, v.Depression)
+			distressed = distressed || p.InDistress()
+		}
+	}
+	if minSpO2 >= 85 {
+		t.Fatalf("massive overdose: min SpO2 = %f, expected desaturation", minSpO2)
+	}
+	if !distressed {
+		t.Fatal("massive overdose did not produce distress")
+	}
+	if maxDep < 0.5 {
+		t.Fatalf("max depression = %f, want >= 0.5", maxDep)
+	}
+}
+
+func TestTherapeuticDoseRelievesPainSafely(t *testing.T) {
+	p := DefaultPatient(sim.NewRNG(3))
+	pain0 := p.Vitals().Pain
+	// Standard PCA pattern: 1 mg bolus q10min x6 (typical hourly limit).
+	for i := 0; i < 6; i++ {
+		p.Bolus(1)
+		stepFor(p, 10*sim.Minute, 0)
+	}
+	stepFor(p, 30*sim.Minute, 0)
+	v := p.Vitals()
+	if v.Pain >= pain0 {
+		t.Fatalf("pain did not improve: %f -> %f", pain0, v.Pain)
+	}
+	if v.SpO2 < 90 {
+		t.Fatalf("therapeutic dosing desaturated patient to %f", v.SpO2)
+	}
+}
+
+func TestSpO2RespondsWithLagThenRecovers(t *testing.T) {
+	p := DefaultPatient(sim.NewRNG(4))
+	p.Bolus(25) // large single dose
+	s0 := p.Vitals().SpO2
+	p.Step(sim.Second, 0)
+	if math.Abs(p.Vitals().SpO2-s0) > 1 {
+		t.Fatal("SpO2 moved immediately; oxygen-store lag missing")
+	}
+	minSpO2 := s0
+	for s := sim.Time(0); s < 30*sim.Minute; s += sim.Second {
+		p.Step(sim.Second, 0)
+		minSpO2 = math.Min(minSpO2, p.Vitals().SpO2)
+	}
+	if minSpO2 > s0-5 {
+		t.Fatalf("SpO2 never declined after large dose: nadir %f from %f", minSpO2, s0)
+	}
+	// Single-dose effect washes out: the patient recovers.
+	stepFor(p, 90*sim.Minute, 0)
+	if got := p.Vitals().SpO2; got < 95 {
+		t.Fatalf("SpO2 = %f after washout, expected recovery", got)
+	}
+}
+
+func TestWantsBolusTracksPain(t *testing.T) {
+	rng := sim.NewRNG(5)
+	p := DefaultPatient(rng)
+	presses := 0
+	for i := 0; i < 3600; i++ { // 1 h in pain, untreated
+		if p.WantsBolus(sim.Second) {
+			presses++
+		}
+		p.Step(sim.Second, 0)
+	}
+	if presses == 0 {
+		t.Fatal("patient in pain never pressed the button in an hour")
+	}
+	// Heavily sedated patient cannot press.
+	p.pd.ce = p.pd.ConcentrationFor(0.6)
+	if p.pd.Depression() <= 0.5 {
+		t.Fatal("test setup: expected high depression")
+	}
+	for i := 0; i < 3600; i++ {
+		if p.WantsBolus(sim.Second) {
+			t.Fatal("sedated patient pressed the button")
+		}
+	}
+}
+
+func TestAthleteBaselineHR(t *testing.T) {
+	spec := DefaultPopulation()
+	spec.AthleteFrac = 1 // force athletes
+	rng := sim.NewRNG(6)
+	p := spec.Sample(0, rng)
+	if !p.Traits.Athlete {
+		t.Fatal("expected athlete")
+	}
+	if p.Traits.BaselineHR > 55 {
+		t.Fatalf("athlete baseline HR = %f, want <= 55", p.Traits.BaselineHR)
+	}
+}
+
+func TestPopulationDeterminismAndSpread(t *testing.T) {
+	spec := DefaultPopulation()
+	a := spec.Cohort(40, sim.NewRNG(7))
+	b := spec.Cohort(40, sim.NewRNG(7))
+	for i := range a {
+		if a[i].Traits != b[i].Traits {
+			t.Fatalf("cohort not deterministic at %d: %+v vs %+v", i, a[i].Traits, b[i].Traits)
+		}
+		if a[i].PK().Params() != b[i].PK().Params() {
+			t.Fatalf("PK params differ at %d", i)
+		}
+	}
+	// Spread: EC50 must actually vary across the cohort.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range a {
+		e := p.PD().Params().EC50
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	if hi/lo < 1.5 {
+		t.Fatalf("population EC50 spread too small: [%f,%f]", lo, hi)
+	}
+}
+
+// Property: sampled patients always have physically valid parameters.
+func TestPopulationValidityProperty(t *testing.T) {
+	spec := DefaultPopulation()
+	f := func(seed int64, idx uint8) bool {
+		p := spec.Sample(int(idx), sim.NewRNG(seed))
+		if err := p.PK().Params().Validate(); err != nil {
+			return false
+		}
+		if err := p.PD().Params().Validate(); err != nil {
+			return false
+		}
+		tr := p.Traits
+		return tr.BaselineHR >= 20 && tr.BaselineHR <= 150 &&
+			tr.BaselineRR >= 4 && tr.BaselineRR <= 40 &&
+			tr.SpO2Tau > 0 && tr.WeightKg > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVitalsSnapshotConsistency(t *testing.T) {
+	p := DefaultPatient(sim.NewRNG(8))
+	p.Bolus(5)
+	stepFor(p, 20*sim.Minute, 0.02)
+	v := p.Vitals()
+	if math.Abs(v.Ventilation-(1-v.Depression)) > 1e-9 {
+		t.Fatalf("ventilation %f != 1-depression %f", v.Ventilation, 1-v.Depression)
+	}
+	if v.DrugPlasma != p.PK().Concentration() {
+		t.Fatal("snapshot plasma != model plasma")
+	}
+	if v.DrugEffect != p.PD().EffectSite() {
+		t.Fatal("snapshot effect-site != model effect-site")
+	}
+}

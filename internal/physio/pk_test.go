@@ -1,0 +1,242 @@
+package physio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPKValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    PKParams
+		ok   bool
+	}{
+		{"default", DefaultMorphinePK(), true},
+		{"zero V1", PKParams{V1: 0, V2: 1, K10: 0.1}, false},
+		{"negative V2", PKParams{V1: 1, V2: -1, K10: 0.1}, false},
+		{"negative k10", PKParams{V1: 1, V2: 1, K10: -0.1}, false},
+		{"zero rates ok", PKParams{V1: 1, V2: 1}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewPK(c.p)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewPK(%+v) err=%v, want ok=%v", c.p, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestPKBolusRaisesConcentration(t *testing.T) {
+	m := MustPK(DefaultMorphinePK())
+	if m.Concentration() != 0 {
+		t.Fatal("drug-free patient should have zero concentration")
+	}
+	m.Bolus(10)
+	want := 10 / DefaultMorphinePK().V1
+	if got := m.Concentration(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("concentration = %f, want %f", got, want)
+	}
+}
+
+func TestPKNegativeBolusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative bolus did not panic")
+		}
+	}()
+	MustPK(DefaultMorphinePK()).Bolus(-1)
+}
+
+func TestPKEliminationDecays(t *testing.T) {
+	m := MustPK(DefaultMorphinePK())
+	m.Bolus(10)
+	c0 := m.Concentration()
+	for i := 0; i < 60; i++ {
+		m.Step(1, 0) // 1 h drug-free
+	}
+	c1 := m.Concentration()
+	if c1 >= c0 {
+		t.Fatalf("concentration did not decay: %f -> %f", c0, c1)
+	}
+	for i := 0; i < 60*12; i++ {
+		m.Step(1, 0)
+	}
+	if c := m.Concentration(); c > 0.05*c0 {
+		t.Fatalf("after 13h concentration %f still > 5%% of initial %f", c, c0)
+	}
+}
+
+func TestPKSteadyStateUnderInfusion(t *testing.T) {
+	p := DefaultMorphinePK()
+	m := MustPK(p)
+	const rate = 0.05 // mg/min
+	for i := 0; i < 60*48; i++ {
+		m.Step(1, rate)
+	}
+	// At steady state, elimination = infusion: k10 * A1 = rate.
+	a1, _ := m.Amounts()
+	if got, want := p.K10*a1, rate; math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("steady-state elimination = %f, want %f", got, want)
+	}
+}
+
+// Property: drug mass is conserved — infused = stored + eliminated, for
+// arbitrary dosing schedules.
+func TestPKMassConservationProperty(t *testing.T) {
+	f := func(boluses []uint8, rateSeed uint8) bool {
+		m := MustPK(DefaultMorphinePK())
+		rate := float64(rateSeed%10) / 100
+		for _, b := range boluses {
+			m.Bolus(float64(b % 20))
+			for i := 0; i < 30; i++ {
+				m.Step(0.5, rate)
+			}
+		}
+		a1, a2 := m.Amounts()
+		lhs := m.TotalInfused()
+		rhs := a1 + a2 + m.TotalEliminated()
+		return math.Abs(lhs-rhs) < 1e-6*(1+lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concentration is monotone in dose — a patient who received a
+// strictly larger bolus has at least the concentration at every time.
+func TestPKDoseMonotonicityProperty(t *testing.T) {
+	f := func(doseSmall, extra uint8) bool {
+		lo := MustPK(DefaultMorphinePK())
+		hi := MustPK(DefaultMorphinePK())
+		lo.Bolus(float64(doseSmall))
+		hi.Bolus(float64(doseSmall) + float64(extra%50) + 0.1)
+		for i := 0; i < 200; i++ {
+			lo.Step(1, 0)
+			hi.Step(1, 0)
+			if hi.Concentration() < lo.Concentration()-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKHalfLifeReasonable(t *testing.T) {
+	m := MustPK(DefaultMorphinePK())
+	hl := m.HalfLifeMinutes()
+	if hl < 30 || hl > 600 {
+		t.Fatalf("terminal half-life = %f min, expected clinical range [30,600]", hl)
+	}
+	// Empirically verify: after one half-life of decay from a bolus,
+	// terminal-phase concentration should drop by roughly half once the
+	// distribution phase has settled.
+	m.Bolus(10)
+	for i := 0; i < 240; i++ { // let distribution equilibrate (4 h)
+		m.Step(1, 0)
+	}
+	c0 := m.Concentration()
+	for i := 0; i < int(hl); i++ {
+		m.Step(1, 0)
+	}
+	ratio := m.Concentration() / c0
+	if ratio < 0.40 || ratio > 0.60 {
+		t.Fatalf("terminal decay over one half-life = %f, want ~0.5", ratio)
+	}
+}
+
+func TestPKStepValidation(t *testing.T) {
+	m := MustPK(DefaultMorphinePK())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive step did not panic")
+		}
+	}()
+	m.Step(0, 0)
+}
+
+func TestPDValidate(t *testing.T) {
+	good := DefaultMorphinePD()
+	if _, err := NewPD(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PDParams{
+		{Ke0: 0, EC50: 1, Gamma: 1, Emax: 0.5},
+		{Ke0: 1, EC50: 0, Gamma: 1, Emax: 0.5},
+		{Ke0: 1, EC50: 1, Gamma: 0, Emax: 0.5},
+		{Ke0: 1, EC50: 1, Gamma: 1, Emax: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := NewPD(p); err == nil {
+			t.Fatalf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPDEquilibration(t *testing.T) {
+	m := MustPD(DefaultMorphinePD())
+	const cp = 0.1
+	for i := 0; i < 600; i++ {
+		m.Step(1, cp)
+	}
+	if got := m.EffectSite(); math.Abs(got-cp) > 0.001 {
+		t.Fatalf("effect site = %f, want ~%f after long equilibration", got, cp)
+	}
+}
+
+func TestPDDepressionShape(t *testing.T) {
+	m := MustPD(DefaultMorphinePD())
+	if m.Depression() != 0 {
+		t.Fatal("zero concentration must give zero depression")
+	}
+	// At EC50 the depression is Emax/2 by definition.
+	m.ce = m.p.EC50
+	if got, want := m.Depression(), m.p.Emax/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("depression at EC50 = %f, want %f", got, want)
+	}
+	// Saturates below Emax.
+	m.ce = m.p.EC50 * 100
+	if got := m.Depression(); got > m.p.Emax {
+		t.Fatalf("depression %f exceeds Emax %f", got, m.p.Emax)
+	}
+}
+
+// Property: depression is monotone nondecreasing in effect-site
+// concentration and bounded by [0, Emax].
+func TestPDMonotoneProperty(t *testing.T) {
+	m := MustPD(DefaultMorphinePD())
+	f := func(a, b float64) bool {
+		ca, cb := math.Abs(a), math.Abs(b)
+		if math.IsNaN(ca) || math.IsNaN(cb) || math.IsInf(ca, 0) || math.IsInf(cb, 0) {
+			return true
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		da, db := m.depressionAt(ca), m.depressionAt(cb)
+		return da <= db+1e-12 && da >= 0 && db <= m.p.Emax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDConcentrationForInvertsHill(t *testing.T) {
+	m := MustPD(DefaultMorphinePD())
+	for _, e := range []float64{0.05, 0.2, 0.46, 0.7} {
+		c := m.ConcentrationFor(e)
+		if got := m.depressionAt(c); math.Abs(got-e) > 1e-9 {
+			t.Fatalf("inverse mismatch: ConcentrationFor(%f)=%f gives depression %f", e, c, got)
+		}
+	}
+	if !math.IsInf(m.ConcentrationFor(m.p.Emax), 1) {
+		t.Fatal("ConcentrationFor(Emax) should be +Inf")
+	}
+	if m.ConcentrationFor(0) != 0 {
+		t.Fatal("ConcentrationFor(0) should be 0")
+	}
+}

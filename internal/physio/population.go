@@ -1,0 +1,79 @@
+package physio
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PopulationSpec controls how much inter-patient variability the sampler
+// injects. Coefficients of variation (CV) are the standard deviations of
+// the log-normal multipliers applied to nominal parameter values; the
+// defaults reflect the "staggering range of patient responses" the paper
+// emphasizes in challenge (i).
+type PopulationSpec struct {
+	PKCV        float64 // CV on clearance/volumes (typ. 0.3-0.5)
+	PDCV        float64 // CV on EC50/ke0 (typ. 0.3-0.6)
+	TraitCV     float64 // CV on baseline vitals (typ. 0.08-0.15)
+	AthleteFrac float64 // fraction of patients with athletic physiology
+	FrailFrac   float64 // fraction with reduced reserve (fast desaturation)
+}
+
+// DefaultPopulation returns a clinically plausible mix.
+func DefaultPopulation() PopulationSpec {
+	return PopulationSpec{PKCV: 0.35, PDCV: 0.45, TraitCV: 0.10, AthleteFrac: 0.08, FrailFrac: 0.12}
+}
+
+// Sample draws one patient from the population. Successive calls with the
+// same RNG stream produce the cohort deterministically.
+func (s PopulationSpec) Sample(idx int, rng *sim.RNG) *Patient {
+	ln := func(cv float64) float64 {
+		if cv <= 0 {
+			return 1
+		}
+		return rng.LogNormal(0, cv)
+	}
+
+	pk := DefaultMorphinePK()
+	pk.V1 *= ln(s.PKCV)
+	pk.V2 *= ln(s.PKCV)
+	pk.K10 *= ln(s.PKCV)
+	pk.K12 *= ln(s.PKCV * 0.7)
+	pk.K21 *= ln(s.PKCV * 0.7)
+
+	pd := DefaultMorphinePD()
+	pd.EC50 *= ln(s.PDCV)
+	pd.Ke0 *= ln(s.PDCV * 0.6)
+	if pd.Emax > 0.99 {
+		pd.Emax = 0.99
+	}
+
+	tr := DefaultTraits()
+	tr.ID = fmt.Sprintf("patient-%03d", idx)
+	tr.BaselineHR = rng.TruncNormal(tr.BaselineHR, tr.BaselineHR*s.TraitCV, 45, 110)
+	tr.BaselineRR = rng.TruncNormal(tr.BaselineRR, tr.BaselineRR*s.TraitCV, 8, 24)
+	tr.BaselineMAP = rng.TruncNormal(tr.BaselineMAP, tr.BaselineMAP*s.TraitCV, 60, 120)
+	tr.SpO2Tau = rng.TruncNormal(tr.SpO2Tau, tr.SpO2Tau*0.25, 15, 120)
+	tr.InitialPain = rng.TruncNormal(7, 1.5, 3, 10)
+	tr.WeightKg = rng.TruncNormal(70, 14, 40, 140)
+
+	if rng.Bernoulli(s.AthleteFrac) {
+		tr.Athlete = true
+		tr.BaselineHR = rng.Uniform(40, 52)
+		tr.SpO2Tau *= 1.3 // larger oxygen reserve
+	} else if rng.Bernoulli(s.FrailFrac) {
+		tr.SpO2Tau *= 0.5 // desaturates quickly
+		pd.EC50 *= 0.7    // more sensitive to opioid
+	}
+
+	return NewPatient(tr, MustPK(pk), MustPD(pd), rng.Fork(tr.ID))
+}
+
+// Cohort samples n patients from the population.
+func (s PopulationSpec) Cohort(n int, rng *sim.RNG) []*Patient {
+	out := make([]*Patient, n)
+	for i := range out {
+		out[i] = s.Sample(i, rng)
+	}
+	return out
+}

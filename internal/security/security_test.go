@@ -1,0 +1,210 @@
+package security
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+func TestHMACSignVerifyRoundTrip(t *testing.T) {
+	ks := NewKeyStore()
+	ks.Issue("pump1", sim.NewRNG(1))
+	auth := NewHMACAuth(ks)
+	msg := []byte("stop the pump")
+	tag, err := auth.Sign("pump1", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Verify("pump1", msg, tag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHMACRejectsTamperAndForgery(t *testing.T) {
+	ks := NewKeyStore()
+	ks.Issue("pump1", sim.NewRNG(1))
+	ks.Issue("mallory", sim.NewRNG(2))
+	auth := NewHMACAuth(ks)
+	msg := []byte("stop the pump")
+	tag, _ := auth.Sign("pump1", msg)
+
+	if err := auth.Verify("pump1", []byte("STOP THE PUMP"), tag); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	if err := auth.Verify("pump1", msg, nil); err == nil {
+		t.Fatal("missing tag accepted")
+	}
+	// Mallory signs with her key but claims to be pump1.
+	forged, _ := auth.Sign("mallory", msg)
+	if err := auth.Verify("pump1", msg, forged); err == nil {
+		t.Fatal("cross-key forgery accepted")
+	}
+	if _, err := auth.Sign("ghost", msg); err == nil {
+		t.Fatal("signing for unknown principal succeeded")
+	}
+}
+
+// Property: for random messages, only the exact (message, sender) pair
+// verifies.
+func TestHMACTamperDetectionProperty(t *testing.T) {
+	ks := NewKeyStore()
+	ks.Issue("a", sim.NewRNG(1))
+	auth := NewHMACAuth(ks)
+	f := func(msg []byte, flip uint16) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		tag, err := auth.Sign("a", msg)
+		if err != nil {
+			return false
+		}
+		if auth.Verify("a", msg, tag) != nil {
+			return false
+		}
+		mutated := append([]byte(nil), msg...)
+		mutated[int(flip)%len(mutated)] ^= 0xA5
+		return auth.Verify("a", mutated, tag) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRevocation(t *testing.T) {
+	ks := NewKeyStore()
+	ks.Issue("d", sim.NewRNG(3))
+	auth := NewHMACAuth(ks)
+	msg := []byte("hello")
+	tag, _ := auth.Sign("d", msg)
+	ks.Revoke("d")
+	if err := auth.Verify("d", msg, tag); err == nil {
+		t.Fatal("revoked principal still verifies")
+	}
+}
+
+func TestACL(t *testing.T) {
+	acl := ClinicalDefaultACL()
+	acl.Assign("pca-supervisor", "supervisor")
+	acl.Assign("dashboard", "monitor-app")
+
+	if ok, _ := acl.Authorize("pca-supervisor", ActCommand, "infusion-pump"); !ok {
+		t.Fatal("supervisor denied command")
+	}
+	if ok, reason := acl.Authorize("dashboard", ActCommand, "infusion-pump"); ok || reason == "" {
+		t.Fatal("monitor app allowed to command a pump")
+	}
+	if ok, _ := acl.Authorize("dashboard", ActReadData, "pulse-oximeter"); !ok {
+		t.Fatal("monitor app denied read")
+	}
+	if ok, _ := acl.Authorize("stranger", ActReadData, "pulse-oximeter"); ok {
+		t.Fatal("unassigned principal authorized")
+	}
+}
+
+func TestAuditChain(t *testing.T) {
+	log := NewAuditLog()
+	log.Append(0, "supervisor", "command", "pump1.stop")
+	log.Append(sim.Second, "supervisor", "command", "pump1.resume")
+	log.Append(2*sim.Second, "nurse", "configure", "pump1.set-basal rate=1")
+	if idx := log.VerifyChain(); idx != -1 {
+		t.Fatalf("fresh chain corrupt at %d", idx)
+	}
+	if err := log.Tamper(1, "pump1.bolus 100mg"); err != nil {
+		t.Fatal(err)
+	}
+	if idx := log.VerifyChain(); idx != 1 {
+		t.Fatalf("tampering not detected at entry 1 (got %d)", idx)
+	}
+	if err := log.Tamper(99, "x"); err == nil {
+		t.Fatal("out-of-range tamper accepted")
+	}
+	if got := len(log.Entries()); got != 3 {
+		t.Fatalf("entries = %d", got)
+	}
+	if got := log.ByPrincipal(); len(got) != 2 {
+		t.Fatalf("ByPrincipal = %v", got)
+	}
+}
+
+// End-to-end over the ICE: with HMAC enabled, an attacker without a key
+// cannot inject a stop command; the manager rejects it and the pump never
+// sees it.
+func TestICEAuthenticationBlocksInjection(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	ks := NewKeyStore()
+	rng := sim.NewRNG(9)
+	ks.Issue("ice-manager", rng)
+	ks.Issue("ox1", rng)
+	auth := NewHMACAuth(ks)
+
+	cfg := core.DefaultManagerConfig()
+	cfg.Auth = auth
+	mgr := core.MustNewManager(k, net, cfg)
+
+	received := 0
+	mgr.Subscribe("*/*", func(string, core.Datum) { received++ })
+
+	k.At(0, func() {
+		// Legitimate device with a key.
+		c := core.MustConnect(k, net, core.Descriptor{
+			ID: "ox1", Kind: core.KindPulseOximeter,
+			Capabilities: []core.Capability{{Name: "spo2", Class: core.ClassSensor, Criticality: 3}},
+		}, core.ConnectConfig{Auth: auth})
+		k.After(100*time.Millisecond, func() {
+			c.Publish("spo2", 97, true, 1, k.Now())
+		})
+		// Attacker: well-formed but unsigned publish claiming to be ox1.
+		k.After(200*time.Millisecond, func() {
+			data, err := core.Encode(core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), core.Datum{
+				Topic: "ox1/spo2", Value: 10, Valid: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			net.Send("attacker", mgr.Addr(), "publish", data)
+		})
+	})
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Fatalf("received %d publications, want 1 (forgery rejected)", received)
+	}
+	if mgr.AuthRejected != 1 {
+		t.Fatalf("AuthRejected = %d, want 1", mgr.AuthRejected)
+	}
+}
+
+// Without authentication, the same injection succeeds — the vulnerable
+// baseline of E9.
+func TestICEWithoutAuthIsVulnerable(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	received := 0
+	mgr.Subscribe("*/*", func(string, core.Datum) { received++ })
+	k.At(0, func() {
+		core.MustConnect(k, net, core.Descriptor{
+			ID: "ox1", Kind: core.KindPulseOximeter,
+			Capabilities: []core.Capability{{Name: "spo2", Class: core.ClassSensor, Criticality: 3}},
+		}, core.ConnectConfig{})
+		k.After(200*time.Millisecond, func() {
+			data, _ := core.Encode(core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), core.Datum{
+				Topic: "ox1/spo2", Value: 10, Valid: true,
+			})
+			net.Send("attacker", mgr.Addr(), "publish", data)
+		})
+	})
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Fatalf("spoofed datum not delivered on unauthenticated ICE (received=%d)", received)
+	}
+}

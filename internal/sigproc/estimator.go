@@ -1,0 +1,185 @@
+package sigproc
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Estimate is the oximeter's output: processed heart rate and SpO2 with a
+// validity flag. Invalid estimates correspond to windows the signal-quality
+// check rejected (artifact, dropout, non-physiologic ratio).
+type Estimate struct {
+	T         sim.Time // time of the window end
+	HeartRate float64  // beats/min
+	SpO2      float64  // percent
+	Valid     bool
+	Quality   float64 // [0,1] signal-quality index
+}
+
+// EstimatorParams size the processing window. The window length is the
+// dominant component of the "signal processing time" delay in Figure 1:
+// an estimate describes the patient as of half a window ago at best.
+type EstimatorParams struct {
+	SampleRate   float64  // Hz, must match the synthesizer
+	Window       sim.Time // analysis window length (typ. 4 s)
+	MinQuality   float64  // below this, the estimate is flagged invalid
+	MaxHeartRate float64  // plausibility gate, beats/min
+	MinHeartRate float64
+}
+
+// DefaultEstimator returns clinically typical processing parameters.
+func DefaultEstimator() EstimatorParams {
+	return EstimatorParams{
+		SampleRate:   50,
+		Window:       4 * sim.Second,
+		MinQuality:   0.25,
+		MaxHeartRate: 240,
+		MinHeartRate: 25,
+	}
+}
+
+// Estimator consumes pleth samples and emits one Estimate per window.
+type Estimator struct {
+	p       EstimatorParams
+	samples []PlethSample
+	perWin  int
+}
+
+// NewEstimator returns an estimator sized for the given parameters.
+func NewEstimator(p EstimatorParams) *Estimator {
+	if p.SampleRate <= 0 || p.Window <= 0 {
+		panic("sigproc: estimator needs positive rate and window")
+	}
+	perWin := int(p.Window.Seconds() * p.SampleRate)
+	if perWin < 8 {
+		panic("sigproc: window too short for analysis")
+	}
+	return &Estimator{p: p, samples: make([]PlethSample, 0, perWin), perWin: perWin}
+}
+
+// WindowSamples reports how many samples form one analysis window.
+func (e *Estimator) WindowSamples() int { return e.perWin }
+
+// ProcessingDelay reports the intrinsic latency of the estimator: a full
+// window must elapse before the first estimate describing its contents.
+func (e *Estimator) ProcessingDelay() sim.Time { return e.p.Window }
+
+// Push adds one sample. When a full window has accumulated it is analyzed,
+// the buffer resets, and the estimate is returned with ok=true.
+func (e *Estimator) Push(s PlethSample) (Estimate, bool) {
+	e.samples = append(e.samples, s)
+	if len(e.samples) < e.perWin {
+		return Estimate{}, false
+	}
+	est := e.analyze()
+	e.samples = e.samples[:0]
+	return est, true
+}
+
+// analyze runs ratio-of-ratios SpO2 estimation and autocorrelation-based
+// heart-rate detection over the buffered window.
+func (e *Estimator) analyze() Estimate {
+	n := len(e.samples)
+	endT := e.samples[n-1].T
+
+	// Channel means (DC) and zero-mean AC series.
+	var dcR, dcI float64
+	for _, s := range e.samples {
+		dcR += s.Red
+		dcI += s.IR
+	}
+	dcR /= float64(n)
+	dcI /= float64(n)
+	if dcR < 0.1 || dcI < 0.1 {
+		// Probe off: no light path.
+		return Estimate{T: endT, Valid: false, Quality: 0}
+	}
+	acR := make([]float64, n)
+	acI := make([]float64, n)
+	var rmsR, rmsI float64
+	for i, s := range e.samples {
+		acR[i] = s.Red - dcR
+		acI[i] = s.IR - dcI
+		rmsR += acR[i] * acR[i]
+		rmsI += acI[i] * acI[i]
+	}
+	rmsR = math.Sqrt(rmsR / float64(n))
+	rmsI = math.Sqrt(rmsI / float64(n))
+	if rmsI == 0 {
+		return Estimate{T: endT, Valid: false, Quality: 0}
+	}
+
+	ratio := (rmsR / dcR) / (rmsI / dcI)
+	spo2 := SpO2ForRatio(ratio)
+
+	// Heart rate by autocorrelation peak of the IR AC component.
+	hr, periodicity := autocorrHR(acI, e.p.SampleRate, e.p.MinHeartRate, e.p.MaxHeartRate)
+
+	quality := periodicity
+	valid := quality >= e.p.MinQuality && hr >= e.p.MinHeartRate && hr <= e.p.MaxHeartRate &&
+		spo2 >= 40 && spo2 <= 100
+	return Estimate{T: endT, HeartRate: hr, SpO2: spo2, Valid: valid, Quality: quality}
+}
+
+// autocorrHR finds the dominant periodicity in x and converts it to
+// beats/min. The returned periodicity in [0,1] is the normalized
+// autocorrelation at the detected lag — a natural signal-quality index
+// that collapses under uncorrelated artifact noise.
+func autocorrHR(x []float64, fs, minHR, maxHR float64) (hr, periodicity float64) {
+	n := len(x)
+	var r0 float64
+	for _, v := range x {
+		r0 += v * v
+	}
+	if r0 == 0 {
+		return 0, 0
+	}
+	minLag := int(fs * 60 / maxHR)
+	maxLag := int(fs * 60 / minHR)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if minLag < 1 {
+		minLag = 1
+	}
+	bestLag, bestR := 0, 0.0
+	for lag := minLag; lag <= maxLag; lag++ {
+		var r float64
+		for i := lag; i < n; i++ {
+			r += x[i] * x[i-lag]
+		}
+		r /= r0
+		if r > bestR {
+			bestR = r
+			bestLag = lag
+		}
+	}
+	if bestLag == 0 {
+		return 0, 0
+	}
+	// Refine: if lag/2 also scores nearly as high, the true period is the
+	// half (we latched onto a subharmonic).
+	if half := bestLag / 2; half >= minLag {
+		var r float64
+		for i := half; i < n; i++ {
+			r += x[i] * x[i-half]
+		}
+		r /= r0
+		if r > 0.85*bestR {
+			bestLag = half
+			bestR = r
+		}
+	}
+	return 60 * fs / float64(bestLag), clamp01(bestR)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

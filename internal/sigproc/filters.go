@@ -1,0 +1,211 @@
+// Package sigproc provides the physiological signal-processing substrate:
+// synthesis of two-wavelength photoplethysmograms from ground-truth vitals,
+// estimation of heart rate and SpO2 back out of the waveforms, digital
+// filters, and artifact injection. The pulse oximeter device in
+// internal/device/oximeter is a thin wrapper around this package; the
+// window lengths here are what create the "signal processing time" delay
+// identified in Figure 1 of the paper.
+package sigproc
+
+import "sort"
+
+// MovingAverage is a fixed-window running mean filter.
+type MovingAverage struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewMovingAverage returns a filter over a window of n samples. n must be
+// positive.
+func NewMovingAverage(n int) *MovingAverage {
+	if n <= 0 {
+		panic("sigproc: window must be positive")
+	}
+	return &MovingAverage{buf: make([]float64, n)}
+}
+
+// Push adds a sample and returns the current mean over the (possibly not
+// yet full) window.
+func (f *MovingAverage) Push(v float64) float64 {
+	if f.full {
+		f.sum -= f.buf[f.next]
+	}
+	f.buf[f.next] = v
+	f.sum += v
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	return f.Value()
+}
+
+// Value returns the current mean without adding a sample.
+func (f *MovingAverage) Value() float64 {
+	n := f.n()
+	if n == 0 {
+		return 0
+	}
+	return f.sum / float64(n)
+}
+
+func (f *MovingAverage) n() int {
+	if f.full {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Full reports whether the window has been filled at least once.
+func (f *MovingAverage) Full() bool { return f.full }
+
+// Reset empties the window.
+func (f *MovingAverage) Reset() {
+	f.next, f.full, f.sum = 0, false, 0
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+}
+
+// Median is a fixed-window running median filter, the standard tool for
+// rejecting impulsive motion artifacts without smearing edges.
+type Median struct {
+	buf  []float64
+	next int
+	full bool
+	tmp  []float64
+}
+
+// NewMedian returns a median filter over n samples (n positive, usually odd).
+func NewMedian(n int) *Median {
+	if n <= 0 {
+		panic("sigproc: window must be positive")
+	}
+	return &Median{buf: make([]float64, n), tmp: make([]float64, 0, n)}
+}
+
+// Push adds a sample and returns the median of the current window.
+func (f *Median) Push(v float64) float64 {
+	f.buf[f.next] = v
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	return f.Value()
+}
+
+// Value returns the median of the samples seen so far in the window.
+func (f *Median) Value() float64 {
+	n := len(f.buf)
+	if !f.full {
+		n = f.next
+	}
+	if n == 0 {
+		return 0
+	}
+	f.tmp = f.tmp[:0]
+	if f.full {
+		f.tmp = append(f.tmp, f.buf...)
+	} else {
+		f.tmp = append(f.tmp, f.buf[:f.next]...)
+	}
+	sort.Float64s(f.tmp)
+	if n%2 == 1 {
+		return f.tmp[n/2]
+	}
+	return (f.tmp[n/2-1] + f.tmp[n/2]) / 2
+}
+
+// SinglePole is a first-order IIR low-pass filter:
+// y[n] = y[n-1] + alpha*(x[n]-y[n-1]).
+type SinglePole struct {
+	alpha  float64
+	y      float64
+	primed bool
+}
+
+// NewSinglePole returns a low-pass with smoothing factor alpha in (0,1].
+func NewSinglePole(alpha float64) *SinglePole {
+	if alpha <= 0 || alpha > 1 {
+		panic("sigproc: alpha must lie in (0,1]")
+	}
+	return &SinglePole{alpha: alpha}
+}
+
+// Push filters one sample. The first sample primes the state directly so
+// the filter does not ramp from zero.
+func (f *SinglePole) Push(v float64) float64 {
+	if !f.primed {
+		f.y = v
+		f.primed = true
+		return v
+	}
+	f.y += f.alpha * (v - f.y)
+	return f.y
+}
+
+// Value returns the current output.
+func (f *SinglePole) Value() float64 { return f.y }
+
+// RateOfChange estimates the slope of a signal (units/second) over a
+// sliding window by linear regression — used by trend alarms.
+type RateOfChange struct {
+	ts   []float64
+	vs   []float64
+	next int
+	full bool
+}
+
+// NewRateOfChange returns a slope estimator over n samples.
+func NewRateOfChange(n int) *RateOfChange {
+	if n < 2 {
+		panic("sigproc: slope window must be >= 2")
+	}
+	return &RateOfChange{ts: make([]float64, n), vs: make([]float64, n)}
+}
+
+// Push adds a (timeSeconds, value) pair and returns the current slope.
+func (f *RateOfChange) Push(timeSeconds, v float64) float64 {
+	f.ts[f.next] = timeSeconds
+	f.vs[f.next] = v
+	f.next++
+	if f.next == len(f.ts) {
+		f.next = 0
+		f.full = true
+	}
+	return f.Slope()
+}
+
+// Slope returns the least-squares slope over the current window, or 0 when
+// fewer than two samples are present or time does not advance.
+func (f *RateOfChange) Slope() float64 {
+	n := len(f.ts)
+	if !f.full {
+		n = f.next
+	}
+	if n < 2 {
+		return 0
+	}
+	var st, sv, stt, stv float64
+	idx := func(i int) int {
+		if f.full {
+			return (f.next + i) % len(f.ts)
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		j := idx(i)
+		st += f.ts[j]
+		sv += f.vs[j]
+		stt += f.ts[j] * f.ts[j]
+		stv += f.ts[j] * f.vs[j]
+	}
+	den := float64(n)*stt - st*st
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*stv - st*sv) / den
+}

@@ -1,0 +1,256 @@
+package sigproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestMovingAverage(t *testing.T) {
+	f := NewMovingAverage(3)
+	if got := f.Push(3); got != 3 {
+		t.Fatalf("first = %f", got)
+	}
+	if got := f.Push(6); got != 4.5 {
+		t.Fatalf("second = %f", got)
+	}
+	f.Push(9)
+	if !f.Full() {
+		t.Fatal("window should be full")
+	}
+	if got := f.Push(12); got != 9 { // (6+9+12)/3
+		t.Fatalf("rolled = %f, want 9", got)
+	}
+	f.Reset()
+	if f.Full() || f.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: the moving average always equals the mean of the last n pushes.
+func TestMovingAverageProperty(t *testing.T) {
+	f := func(vals []float64, winSeed uint8) bool {
+		win := int(winSeed%16) + 1
+		ma := NewMovingAverage(win)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Constrain to signal-like magnitudes; the running-sum
+			// implementation is not meant for 1e308-scale inputs where
+			// catastrophic cancellation dominates.
+			v = math.Mod(v, 1e6)
+			vals[i] = v
+			got := ma.Push(v)
+			lo := i - win + 1
+			if lo < 0 {
+				lo = 0
+			}
+			var sum float64
+			for _, w := range vals[lo : i+1] {
+				sum += w
+			}
+			want := sum / float64(i+1-lo)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianRejectsSpike(t *testing.T) {
+	f := NewMedian(5)
+	for _, v := range []float64{10, 10, 10, 1000, 10} {
+		f.Push(v)
+	}
+	if got := f.Value(); got != 10 {
+		t.Fatalf("median = %f, want 10 (spike not rejected)", got)
+	}
+}
+
+func TestMedianEvenPartialWindow(t *testing.T) {
+	f := NewMedian(4)
+	f.Push(1)
+	f.Push(3)
+	if got := f.Value(); got != 2 {
+		t.Fatalf("median of {1,3} = %f, want 2", got)
+	}
+}
+
+func TestSinglePolePrimesAndConverges(t *testing.T) {
+	f := NewSinglePole(0.2)
+	if got := f.Push(10); got != 10 {
+		t.Fatalf("first sample should prime: %f", got)
+	}
+	for i := 0; i < 100; i++ {
+		f.Push(20)
+	}
+	if math.Abs(f.Value()-20) > 0.01 {
+		t.Fatalf("did not converge: %f", f.Value())
+	}
+}
+
+func TestRateOfChangeLinear(t *testing.T) {
+	f := NewRateOfChange(10)
+	for i := 0; i < 10; i++ {
+		f.Push(float64(i), 5+2*float64(i)) // slope 2
+	}
+	if got := f.Slope(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope = %f, want 2", got)
+	}
+}
+
+func TestRateOfChangeDegenerate(t *testing.T) {
+	f := NewRateOfChange(4)
+	if f.Slope() != 0 {
+		t.Fatal("empty slope should be 0")
+	}
+	f.Push(1, 5)
+	if f.Slope() != 0 {
+		t.Fatal("single-sample slope should be 0")
+	}
+	f.Push(1, 7) // same timestamp: zero denominator
+	if got := f.Slope(); got != 0 {
+		t.Fatalf("degenerate slope = %f, want 0", got)
+	}
+}
+
+func TestCalibrationRoundTrip(t *testing.T) {
+	for _, s := range []float64{100, 97, 90, 85, 70, 60} {
+		if got := SpO2ForRatio(RatioForSpO2(s)); math.Abs(got-s) > 1e-9 {
+			t.Fatalf("round trip %f -> %f", s, got)
+		}
+	}
+}
+
+// End-to-end: synthesize a clean pleth at known vitals, estimate, and
+// verify HR and SpO2 are recovered within clinical accuracy (±3% SpO2,
+// ±5 bpm — the accuracy class of real pulse oximeters).
+func TestSynthEstimateRoundTrip(t *testing.T) {
+	cases := []struct{ hr, spo2 float64 }{
+		{60, 98}, {75, 97}, {110, 92}, {55, 85}, {140, 75},
+	}
+	for _, c := range cases {
+		synth := NewSynth(DefaultSynth(), sim.NewRNG(11))
+		est := NewEstimator(DefaultEstimator())
+		dt := synth.SampleInterval()
+		var got Estimate
+		n := 0
+		for ts := sim.Time(0); n < 3; ts += dt { // use the 3rd window (warm)
+			s := synth.Next(ts, dt, c.hr, c.spo2)
+			if e, ok := est.Push(s); ok {
+				got = e
+				n++
+			}
+		}
+		if !got.Valid {
+			t.Fatalf("hr=%f spo2=%f: estimate invalid (quality %f)", c.hr, c.spo2, got.Quality)
+		}
+		if math.Abs(got.HeartRate-c.hr) > 5 {
+			t.Fatalf("hr=%f: estimated %f", c.hr, got.HeartRate)
+		}
+		if math.Abs(got.SpO2-c.spo2) > 3 {
+			t.Fatalf("spo2=%f: estimated %f", c.spo2, got.SpO2)
+		}
+	}
+}
+
+func TestEstimatorFlagsDropout(t *testing.T) {
+	synth := NewSynth(DefaultSynth(), sim.NewRNG(12))
+	est := NewEstimator(DefaultEstimator())
+	dt := synth.SampleInterval()
+	synth.InjectDropout(0, 30*sim.Second)
+	var last Estimate
+	seen := 0
+	for ts := sim.Time(0); seen < 2; ts += dt {
+		s := synth.Next(ts, dt, 70, 97)
+		if e, ok := est.Push(s); ok {
+			last = e
+			seen++
+		}
+	}
+	if last.Valid {
+		t.Fatalf("dropout window produced a valid estimate: %+v", last)
+	}
+}
+
+func TestEstimatorMotionDegradesQuality(t *testing.T) {
+	clean := windowQuality(t, 0)
+	noisy := windowQuality(t, 8)
+	if noisy >= clean {
+		t.Fatalf("motion artifact did not degrade quality: clean=%f noisy=%f", clean, noisy)
+	}
+}
+
+func windowQuality(t *testing.T, motionGain float64) float64 {
+	t.Helper()
+	synth := NewSynth(DefaultSynth(), sim.NewRNG(13))
+	est := NewEstimator(DefaultEstimator())
+	dt := synth.SampleInterval()
+	if motionGain > 0 {
+		synth.InjectMotion(0, sim.Minute, motionGain)
+	}
+	for ts := sim.Time(0); ; ts += dt {
+		s := synth.Next(ts, dt, 70, 97)
+		if e, ok := est.Push(s); ok {
+			return e.Quality
+		}
+	}
+}
+
+func TestProcessingDelayMatchesWindow(t *testing.T) {
+	p := DefaultEstimator()
+	est := NewEstimator(p)
+	if est.ProcessingDelay() != p.Window {
+		t.Fatalf("delay = %v, want %v", est.ProcessingDelay(), p.Window)
+	}
+	if est.WindowSamples() != 200 { // 4 s * 50 Hz
+		t.Fatalf("window samples = %d, want 200", est.WindowSamples())
+	}
+}
+
+// Property: the estimator never emits Valid estimates with non-physiologic
+// values, whatever junk the waveform contains.
+func TestEstimatorPlausibilityGateProperty(t *testing.T) {
+	f := func(seed int64, hrRaw, spo2Raw uint8) bool {
+		hr := 20 + float64(hrRaw%230)
+		spo2 := 40 + float64(spo2Raw%61)
+		synth := NewSynth(DefaultSynth(), sim.NewRNG(seed))
+		est := NewEstimator(DefaultEstimator())
+		dt := synth.SampleInterval()
+		if seed%3 == 0 {
+			synth.InjectMotion(0, 20*sim.Second, 10)
+		}
+		count := 0
+		for ts := sim.Time(0); count < 2; ts += dt {
+			s := synth.Next(ts, dt, hr, spo2)
+			if e, ok := est.Push(s); ok {
+				count++
+				if e.Valid {
+					if e.HeartRate < 25 || e.HeartRate > 240 || e.SpO2 < 40 || e.SpO2 > 100 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPulseShapeBounded(t *testing.T) {
+	for ph := 0.0; ph < 1; ph += 0.001 {
+		v := pulseShape(ph)
+		if v < 0 || v > 1.2 {
+			t.Fatalf("pulseShape(%f) = %f out of bounds", ph, v)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All MCPS subsystems (devices, networks, patients, supervisors) run on a
+// single virtual clock owned by a Kernel. Events are executed in strictly
+// nondecreasing time order; ties are broken by insertion order so that a
+// given seed always reproduces an identical trace.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, in nanoseconds since
+// the start of the simulation.
+type Time int64
+
+// Common virtual-time unit helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Duration converts t to a time.Duration for formatting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// FromSeconds converts fractional seconds to a Time offset.
+func FromSeconds(s float64) Time {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return Time(s * float64(Second))
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among same-time events
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel marks the event so the kernel skips it. Canceling an already-run
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At reports the scheduled execution instant.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when Stop was called before the horizon.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Kernel owns the virtual clock and the pending-event queue.
+// The zero value is not ready; use NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	running bool
+	// Executed counts events dispatched since construction.
+	executed uint64
+}
+
+// NewKernel returns a kernel with the clock at 0.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of not-yet-executed events (including
+// canceled events still in the queue).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Executed reports how many events have been dispatched.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// At schedules fn at absolute time at. Scheduling in the past (before Now)
+// panics: it would violate causality and always indicates a model bug.
+func (k *Kernel) At(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn at Now()+d. Negative d is clamped to zero.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Stop makes Run return ErrStopped after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, advancing the clock to it.
+// It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass horizon, the queue drains,
+// or Stop is called. The clock is left at min(horizon, last event time) —
+// after a complete run it is set to the horizon so that subsequent
+// scheduling is relative to the intended end time.
+func (k *Kernel) Run(horizon Time) error {
+	if k.running {
+		return errors.New("sim: Run reentered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		k.executed++
+		next.fn()
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes every pending event regardless of horizon.
+func (k *Kernel) RunAll() error {
+	for k.Step() {
+		if k.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until canceled or the kernel drains.
+// The first invocation happens one period from now.
+type Ticker struct {
+	k      *Kernel
+	period time.Duration
+	fn     func(Time)
+	ev     *Event
+	done   bool
+}
+
+// Every creates and starts a Ticker. period must be positive.
+func (k *Kernel) Every(period time.Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.k.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn(t.k.Now())
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.ev.Cancel()
+}

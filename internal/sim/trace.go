@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sample is one timestamped scalar observation in a named series.
+type Sample struct {
+	T Time
+	V float64
+}
+
+// Trace records named time series produced during a simulation run.
+// It is the raw material for EXPERIMENTS.md plots and for assertions in
+// integration tests. Not safe for concurrent use; a simulation is
+// single-threaded by construction.
+type Trace struct {
+	series map[string][]Sample
+	events []TraceEvent
+}
+
+// TraceEvent is a timestamped discrete annotation (alarm raised, pump
+// stopped, message dropped, ...).
+type TraceEvent struct {
+	T    Time
+	Kind string
+	Msg  string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{series: make(map[string][]Sample)}
+}
+
+// Record appends a sample to the named series. Samples must be appended in
+// nondecreasing time order; out-of-order appends panic, since they indicate
+// an event-ordering bug in the model.
+func (tr *Trace) Record(name string, t Time, v float64) {
+	s := tr.series[name]
+	if n := len(s); n > 0 && s[n-1].T > t {
+		panic(fmt.Sprintf("sim: trace %q time went backwards: %v after %v", name, t, s[n-1].T))
+	}
+	tr.series[name] = append(s, Sample{T: t, V: v})
+}
+
+// Annotate appends a discrete event annotation.
+func (tr *Trace) Annotate(t Time, kind, format string, args ...any) {
+	tr.events = append(tr.events, TraceEvent{T: t, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Series returns the samples for name (nil if absent).
+func (tr *Trace) Series(name string) []Sample { return tr.series[name] }
+
+// SeriesNames returns all recorded series names, sorted.
+func (tr *Trace) SeriesNames() []string {
+	names := make([]string, 0, len(tr.series))
+	for n := range tr.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Events returns annotations of the given kind ("" for all).
+func (tr *Trace) Events(kind string) []TraceEvent {
+	if kind == "" {
+		return tr.events
+	}
+	var out []TraceEvent
+	for _, e := range tr.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountEvents reports how many annotations of kind were recorded.
+func (tr *Trace) CountEvents(kind string) int {
+	n := 0
+	for _, e := range tr.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Last returns the most recent sample of the series and whether one exists.
+func (tr *Trace) Last(name string) (Sample, bool) {
+	s := tr.series[name]
+	if len(s) == 0 {
+		return Sample{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// At returns the value of the series at time t using zero-order hold
+// (the latest sample at or before t). ok is false before the first sample.
+func (tr *Trace) At(name string, t Time) (v float64, ok bool) {
+	s := tr.series[name]
+	i := sort.Search(len(s), func(i int) bool { return s[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s[i-1].V, true
+}
+
+// Stats summarizes a series.
+type Stats struct {
+	N                int
+	Min, Max, Mean   float64
+	First, Last      float64
+	TimeAboveSeconds float64 // accumulated time with V > threshold passed to StatsAbove
+}
+
+// Stats computes summary statistics for a series. For an empty series all
+// fields are zero.
+func (tr *Trace) Stats(name string) Stats {
+	return tr.StatsAbove(name, 0)
+}
+
+// StatsAbove computes summary statistics and, additionally, the total
+// virtual time (zero-order hold) the series spent strictly above threshold.
+func (tr *Trace) StatsAbove(name string, threshold float64) Stats {
+	s := tr.series[name]
+	if len(s) == 0 {
+		return Stats{}
+	}
+	st := Stats{N: len(s), Min: s[0].V, Max: s[0].V, First: s[0].V, Last: s[len(s)-1].V}
+	sum := 0.0
+	for i, smp := range s {
+		if smp.V < st.Min {
+			st.Min = smp.V
+		}
+		if smp.V > st.Max {
+			st.Max = smp.V
+		}
+		sum += smp.V
+		if i+1 < len(s) && smp.V > threshold {
+			st.TimeAboveSeconds += (s[i+1].T - smp.T).Seconds()
+		}
+	}
+	st.Mean = sum / float64(len(s))
+	return st
+}
+
+// Crossings counts upward crossings of the threshold (value moves from
+// <= threshold to > threshold between consecutive samples).
+func (tr *Trace) Crossings(name string, threshold float64) int {
+	s := tr.series[name]
+	n := 0
+	for i := 1; i < len(s); i++ {
+		if s[i-1].V <= threshold && s[i].V > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Render produces a compact fixed-width textual summary of selected series,
+// suitable for CLI output. Columns are sampled every step.
+func (tr *Trace) Render(names []string, step Time, until Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "t")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %12s", n)
+	}
+	b.WriteByte('\n')
+	for t := Time(0); t <= until; t += step {
+		fmt.Fprintf(&b, "%-12s", t.Duration())
+		for _, n := range names {
+			if v, ok := tr.At(n, t); ok {
+				fmt.Fprintf(&b, " %12.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

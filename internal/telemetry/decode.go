@@ -1,0 +1,15 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// decodeBatch parses an uplink payload.
+func decodeBatch(data []byte) ([]VitalSample, error) {
+	var out []VitalSample
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding batch: %w", err)
+	}
+	return out, nil
+}

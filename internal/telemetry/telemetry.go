@@ -1,0 +1,235 @@
+// Package telemetry implements the paper's continuous-monitoring trend
+// (II.d): remote/home monitoring of vital signs with two transport
+// disciplines — the prevailing store-and-forward mode ("no real-time
+// diagnostic capability") and the streaming mode that closed-loop care
+// needs — plus a tele-ICU aggregator that watches many remote patients
+// and measures how long deterioration takes to reach a clinician's
+// screen. Experiment E10 quantifies the detection-latency gap.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// VitalSample is one remote measurement.
+type VitalSample struct {
+	PatientID string   `json:"patient"`
+	Signal    string   `json:"signal"`
+	Value     float64  `json:"value"`
+	At        sim.Time `json:"at"` // measurement time at the remote site
+}
+
+// Mode selects the transport discipline.
+type Mode int
+
+const (
+	// StoreAndForward buffers samples locally and uploads in batches.
+	StoreAndForward Mode = iota
+	// Streaming transmits each sample when measured.
+	Streaming
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Streaming {
+		return "streaming"
+	}
+	return "store-and-forward"
+}
+
+// UplinkConfig configures a remote monitor's transport.
+type UplinkConfig struct {
+	Mode          Mode
+	FlushInterval time.Duration // store-and-forward batch period
+	Aggregator    string        // network address of the tele-ICU
+}
+
+// Validate reports an error for unusable configurations.
+func (c UplinkConfig) Validate() error {
+	if c.Aggregator == "" {
+		return errors.New("telemetry: uplink needs an aggregator address")
+	}
+	if c.Mode == StoreAndForward && c.FlushInterval <= 0 {
+		return errors.New("telemetry: store-and-forward needs a positive flush interval")
+	}
+	return nil
+}
+
+// encodeBatch serializes samples for the wire (newline-free JSON array
+// via the stdlib).
+func encodeBatch(samples []VitalSample) []byte {
+	out := []byte{'['}
+	for i, s := range samples {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, []byte(fmt.Sprintf(
+			`{"patient":%q,"signal":%q,"value":%g,"at":%d}`,
+			s.PatientID, s.Signal, s.Value, int64(s.At)))...)
+	}
+	return append(out, ']')
+}
+
+// RemoteMonitor is the patient-side uplink: it accepts samples from local
+// sensors and ships them per the configured mode.
+type RemoteMonitor struct {
+	id   string
+	cfg  UplinkConfig
+	k    *sim.Kernel
+	net  *mednet.Network
+	buf  []VitalSample
+	tick *sim.Ticker
+
+	// Counters.
+	SamplesTaken uint64
+	BatchesSent  uint64
+}
+
+// NewRemoteMonitor attaches an uplink for one remote patient.
+func NewRemoteMonitor(k *sim.Kernel, net *mednet.Network, id string, cfg UplinkConfig) (*RemoteMonitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &RemoteMonitor{id: id, cfg: cfg, k: k, net: net}
+	if cfg.Mode == StoreAndForward {
+		m.tick = k.Every(cfg.FlushInterval, func(sim.Time) { m.Flush() })
+	}
+	return m, nil
+}
+
+// MustNewRemoteMonitor is NewRemoteMonitor, panicking on error.
+func MustNewRemoteMonitor(k *sim.Kernel, net *mednet.Network, id string, cfg UplinkConfig) *RemoteMonitor {
+	m, err := NewRemoteMonitor(k, net, id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Record accepts one locally measured sample.
+func (m *RemoteMonitor) Record(signal string, value float64) {
+	s := VitalSample{PatientID: m.id, Signal: signal, Value: value, At: m.k.Now()}
+	m.SamplesTaken++
+	if m.cfg.Mode == Streaming {
+		m.send([]VitalSample{s})
+		return
+	}
+	m.buf = append(m.buf, s)
+}
+
+// Flush uploads the buffered batch (store-and-forward).
+func (m *RemoteMonitor) Flush() {
+	if len(m.buf) == 0 {
+		return
+	}
+	m.send(m.buf)
+	m.buf = nil
+}
+
+// Buffered reports how many samples await the next flush.
+func (m *RemoteMonitor) Buffered() int { return len(m.buf) }
+
+func (m *RemoteMonitor) send(batch []VitalSample) {
+	m.BatchesSent++
+	m.net.Send(m.id, m.cfg.Aggregator, "vitals", encodeBatch(batch))
+}
+
+// AlertRule triggers when a signal crosses below (or above) a bound.
+type AlertRule struct {
+	Signal string
+	Below  float64 // alert when value < Below (ignored if 0 and Above set)
+	Above  float64 // alert when value > Above
+}
+
+// Alert is one tele-ICU detection.
+type Alert struct {
+	PatientID  string
+	Signal     string
+	Value      float64
+	MeasuredAt sim.Time // when the remote sensor measured it
+	SeenAt     sim.Time // when the aggregator processed it
+}
+
+// Latency is the transport + batching delay the clinician experienced.
+func (a Alert) Latency() sim.Time { return a.SeenAt - a.MeasuredAt }
+
+// Aggregator is the tele-ICU hub: it decodes uplink batches from many
+// remote patients, applies alert rules, and records detection latency.
+type Aggregator struct {
+	addr  string
+	k     *sim.Kernel
+	rules []AlertRule
+
+	alerts  []Alert
+	onAlert []func(Alert)
+	// Received counts samples processed.
+	Received uint64
+	// Decode failures.
+	Malformed uint64
+	seen      map[string]sim.Time // patient|signal -> last alert measurement time (dedup)
+}
+
+// NewAggregator registers the hub on the network.
+func NewAggregator(k *sim.Kernel, net *mednet.Network, addr string, rules []AlertRule) *Aggregator {
+	a := &Aggregator{addr: addr, k: k, rules: rules, seen: make(map[string]sim.Time)}
+	net.Register(addr, a.onMessage)
+	return a
+}
+
+// Alerts returns all detections so far.
+func (a *Aggregator) Alerts() []Alert { return a.alerts }
+
+// OnAlert registers a listener.
+func (a *Aggregator) OnAlert(fn func(Alert)) { a.onAlert = append(a.onAlert, fn) }
+
+// MeanDetectionLatency averages alert latencies (0 when none).
+func (a *Aggregator) MeanDetectionLatency() sim.Time {
+	if len(a.alerts) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, al := range a.alerts {
+		sum += al.Latency()
+	}
+	return sum / sim.Time(len(a.alerts))
+}
+
+func (a *Aggregator) onMessage(msg mednet.Message) {
+	samples, err := decodeBatch(msg.Payload)
+	if err != nil {
+		a.Malformed++
+		return
+	}
+	for _, s := range samples {
+		a.Received++
+		for _, r := range a.rules {
+			if r.Signal != s.Signal {
+				continue
+			}
+			trig := (r.Below != 0 && s.Value < r.Below) || (r.Above != 0 && s.Value > r.Above)
+			if !trig {
+				continue
+			}
+			// Deduplicate: one alert per patient/signal per 60 s of
+			// measurement time.
+			key := s.PatientID + "|" + s.Signal
+			if last, ok := a.seen[key]; ok && s.At-last < sim.Minute {
+				continue
+			}
+			a.seen[key] = s.At
+			al := Alert{
+				PatientID: s.PatientID, Signal: s.Signal, Value: s.Value,
+				MeasuredAt: s.At, SeenAt: a.k.Now(),
+			}
+			a.alerts = append(a.alerts, al)
+			for _, fn := range a.onAlert {
+				fn(al)
+			}
+		}
+	}
+}

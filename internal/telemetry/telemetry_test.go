@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+func wanNet(t *testing.T) (*sim.Kernel, *mednet.Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	// Home-to-hospital WAN: 40 ms ± 10 ms.
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.LinkParams{
+		Latency: 40 * time.Millisecond, Jitter: 10 * time.Millisecond,
+	})
+	return k, net
+}
+
+func spo2Rules() []AlertRule {
+	return []AlertRule{{Signal: "spo2", Below: 90}}
+}
+
+func TestUplinkValidation(t *testing.T) {
+	k, net := wanNet(t)
+	if _, err := NewRemoteMonitor(k, net, "p1", UplinkConfig{}); err == nil {
+		t.Fatal("missing aggregator accepted")
+	}
+	if _, err := NewRemoteMonitor(k, net, "p1", UplinkConfig{
+		Aggregator: "hub", Mode: StoreAndForward,
+	}); err == nil {
+		t.Fatal("store-and-forward without flush interval accepted")
+	}
+}
+
+func TestStreamingDeliversEachSample(t *testing.T) {
+	k, net := wanNet(t)
+	agg := NewAggregator(k, net, "hub", spo2Rules())
+	mon := MustNewRemoteMonitor(k, net, "p1", UplinkConfig{Mode: Streaming, Aggregator: "hub"})
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Second, func() { mon.Record("spo2", 97) })
+	}
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Received != 10 {
+		t.Fatalf("received = %d, want 10", agg.Received)
+	}
+	if mon.BatchesSent != 10 {
+		t.Fatalf("batches = %d, want 10 (one per sample)", mon.BatchesSent)
+	}
+}
+
+func TestStoreAndForwardBatches(t *testing.T) {
+	k, net := wanNet(t)
+	agg := NewAggregator(k, net, "hub", spo2Rules())
+	mon := MustNewRemoteMonitor(k, net, "p1", UplinkConfig{
+		Mode: StoreAndForward, FlushInterval: 30 * time.Second, Aggregator: "hub",
+	})
+	// Samples every 3 s for a minute straddle both 30 s flush windows.
+	for i := 0; i < 20; i++ {
+		i := i
+		k.At(sim.Time(i)*3*sim.Second, func() { mon.Record("spo2", 97) })
+	}
+	if err := k.Run(2 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Received != 20 {
+		t.Fatalf("received = %d, want 20", agg.Received)
+	}
+	if mon.BatchesSent != 2 {
+		t.Fatalf("batches = %d, want 2 (30 s flushes over 60 s)", mon.BatchesSent)
+	}
+}
+
+func TestDetectionLatencyGap(t *testing.T) {
+	// The headline E10 shape: streaming detects a desaturation within
+	// transport latency; store-and-forward waits for the next flush.
+	run := func(mode Mode) sim.Time {
+		k, net := wanNet(t)
+		agg := NewAggregator(k, net, "hub", spo2Rules())
+		cfg := UplinkConfig{Mode: mode, Aggregator: "hub", FlushInterval: 5 * time.Minute}
+		mon := MustNewRemoteMonitor(k, net, "p1", cfg)
+		// Normal samples every 10 s; desaturation at t=61 s.
+		for i := 0; i < 60; i++ {
+			i := i
+			k.At(sim.Time(i)*10*sim.Second, func() {
+				v := 97.0
+				if sim.Time(i)*10*sim.Second >= 61*sim.Second {
+					v = 82
+				}
+				mon.Record("spo2", v)
+			})
+		}
+		if err := k.Run(15 * sim.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if len(agg.Alerts()) == 0 {
+			t.Fatalf("%v: desaturation never detected", mode)
+		}
+		return agg.Alerts()[0].Latency()
+	}
+	streamLat := run(Streaming)
+	sfLat := run(StoreAndForward)
+	if streamLat > 200*sim.Millisecond {
+		t.Fatalf("streaming latency %v, want < 200ms", streamLat)
+	}
+	if sfLat < sim.Minute {
+		t.Fatalf("store-and-forward latency %v, want minutes (next flush)", sfLat)
+	}
+	if sfLat <= streamLat {
+		t.Fatal("store-and-forward not slower than streaming")
+	}
+}
+
+func TestAlertDeduplication(t *testing.T) {
+	k, net := wanNet(t)
+	agg := NewAggregator(k, net, "hub", spo2Rules())
+	mon := MustNewRemoteMonitor(k, net, "p1", UplinkConfig{Mode: Streaming, Aggregator: "hub"})
+	// 30 consecutive low samples over 30 s: one alert, not 30.
+	for i := 0; i < 30; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Second, func() { mon.Record("spo2", 80) })
+	}
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Alerts()) != 1 {
+		t.Fatalf("alerts = %d, want 1 (dedup within a minute)", len(agg.Alerts()))
+	}
+}
+
+func TestAboveRuleAndMultiplePatients(t *testing.T) {
+	k, net := wanNet(t)
+	agg := NewAggregator(k, net, "hub", []AlertRule{{Signal: "hr", Above: 130}})
+	m1 := MustNewRemoteMonitor(k, net, "p1", UplinkConfig{Mode: Streaming, Aggregator: "hub"})
+	m2 := MustNewRemoteMonitor(k, net, "p2", UplinkConfig{Mode: Streaming, Aggregator: "hub"})
+	k.At(sim.Second, func() {
+		m1.Record("hr", 145) // alert
+		m2.Record("hr", 80)  // fine
+	})
+	if err := k.Run(sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Alerts()) != 1 || agg.Alerts()[0].PatientID != "p1" {
+		t.Fatalf("alerts = %+v", agg.Alerts())
+	}
+	if agg.MeanDetectionLatency() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestMalformedBatchCounted(t *testing.T) {
+	k, net := wanNet(t)
+	agg := NewAggregator(k, net, "hub", nil)
+	k.At(0, func() { net.Send("x", "hub", "vitals", []byte("{broken")) })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Malformed != 1 {
+		t.Fatalf("malformed = %d", agg.Malformed)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []VitalSample{
+		{PatientID: "p1", Signal: "spo2", Value: 97.25, At: 123 * sim.Second},
+		{PatientID: "p2", Signal: "hr", Value: 61, At: 124 * sim.Second},
+	}
+	out, err := decodeBatch(encodeBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFlushEmptyBufferSendsNothing(t *testing.T) {
+	k, net := wanNet(t)
+	mon := MustNewRemoteMonitor(k, net, "p1", UplinkConfig{
+		Mode: StoreAndForward, FlushInterval: time.Second, Aggregator: "hub",
+	})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mon.BatchesSent != 0 {
+		t.Fatalf("batches = %d, want 0 for empty buffer", mon.BatchesSent)
+	}
+	if mon.Buffered() != 0 {
+		t.Fatal("phantom buffered samples")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if StoreAndForward.String() != "store-and-forward" || Streaming.String() != "streaming" {
+		t.Fatal("mode names")
+	}
+}

@@ -1,0 +1,270 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// LTS is an explicit labeled transition system — the form in which device
+// protocols are written for compositional reasoning. Labels shared
+// between two systems synchronize in the product; others interleave.
+type LTS struct {
+	Name  string
+	Init  string
+	Trans []LabeledTransition
+	// Err marks error states (safety violations).
+	Err map[string]bool
+}
+
+// LabeledTransition is one edge of an LTS.
+type LabeledTransition struct {
+	From, Label, To string
+}
+
+// Validate reports structural errors.
+func (l *LTS) Validate() error {
+	if l.Init == "" {
+		return errors.New("verify: LTS needs an initial state")
+	}
+	for _, t := range l.Trans {
+		if t.From == "" || t.To == "" || t.Label == "" {
+			return fmt.Errorf("verify: LTS %s has malformed transition %+v", l.Name, t)
+		}
+	}
+	return nil
+}
+
+// Alphabet returns the sorted set of labels.
+func (l *LTS) Alphabet() []string {
+	set := map[string]bool{}
+	for _, t := range l.Trans {
+		set[t.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// next returns the successors of a state under a label.
+func (l *LTS) next(state, label string) []string {
+	var out []string
+	for _, t := range l.Trans {
+		if t.From == state && t.Label == label {
+			out = append(out, t.To)
+		}
+	}
+	return out
+}
+
+// enabled returns the labels with at least one transition from state.
+func (l *LTS) enabled(state string) []string {
+	set := map[string]bool{}
+	for _, t := range l.Trans {
+		if t.From == state {
+			set[t.Label] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProductState is the composite state of an n-ary composition: one local
+// state per component, in composition order.
+type ProductState []string
+
+// key joins the component states.
+func (s ProductState) key() string {
+	out := ""
+	for i, c := range s {
+		if i > 0 {
+			out += "\x00"
+		}
+		out += c
+	}
+	return out
+}
+
+// Composition is the synchronous product of several LTSs: a label fires
+// jointly in every component whose alphabet contains it (multi-way
+// synchronization), and interleaves for the rest.
+type Composition struct {
+	Parts []*LTS
+	alpha []map[string]bool // alphabet per part
+}
+
+// NewComposition validates and assembles a composition.
+func NewComposition(parts ...*LTS) (*Composition, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("verify: empty composition")
+	}
+	c := &Composition{Parts: parts}
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		set := map[string]bool{}
+		for _, l := range p.Alphabet() {
+			set[l] = true
+		}
+		c.alpha = append(c.alpha, set)
+	}
+	return c, nil
+}
+
+// System exposes the product as a checkable transition system along with
+// its error predicate (any component in one of its error states).
+func (c *Composition) System() (System[ProductState], func(ProductState) bool) {
+	init := make(ProductState, len(c.Parts))
+	for i, p := range c.Parts {
+		init[i] = p.Init
+	}
+	labels := map[string]bool{}
+	for _, p := range c.Parts {
+		for _, l := range p.Alphabet() {
+			labels[l] = true
+		}
+	}
+	sortedLabels := make([]string, 0, len(labels))
+	for l := range labels {
+		sortedLabels = append(sortedLabels, l)
+	}
+	sort.Strings(sortedLabels)
+
+	sys := System[ProductState]{
+		Init: []ProductState{init},
+		Key:  func(s ProductState) string { return s.key() },
+		Succ: func(s ProductState) ([]Edge[ProductState], error) {
+			var out []Edge[ProductState]
+			for _, l := range sortedLabels {
+				// Every participating component must be able to fire l.
+				options := make([][]string, len(c.Parts))
+				feasible := true
+				for i, p := range c.Parts {
+					if !c.alpha[i][l] {
+						options[i] = []string{s[i]} // not participating: stays
+						continue
+					}
+					nx := p.next(s[i], l)
+					if len(nx) == 0 {
+						feasible = false
+						break
+					}
+					options[i] = nx
+				}
+				if !feasible {
+					continue
+				}
+				// Cartesian product of per-part choices.
+				combos := [][]string{nil}
+				for _, opts := range options {
+					var next [][]string
+					for _, prefix := range combos {
+						for _, o := range opts {
+							row := append(append([]string(nil), prefix...), o)
+							next = append(next, row)
+						}
+					}
+					combos = next
+				}
+				for _, row := range combos {
+					out = append(out, Edge[ProductState]{Label: l, To: ProductState(row)})
+				}
+			}
+			return out, nil
+		},
+	}
+	isErr := func(s ProductState) bool {
+		for i, p := range c.Parts {
+			if p.Err[s[i]] {
+				return true
+			}
+		}
+		return false
+	}
+	return sys, isErr
+}
+
+// CheckComposition verifies that the product of the given LTSs never
+// reaches an error state of any component.
+func CheckComposition(opts Options, parts ...*LTS) (Result[ProductState], error) {
+	c, err := NewComposition(parts...)
+	if err != nil {
+		return Result[ProductState]{}, err
+	}
+	sys, isErr := c.System()
+	return Check(sys, func(s ProductState) (bool, error) { return !isErr(s), nil }, opts)
+}
+
+// MonitorFrom derives a conformance monitor from a deterministic
+// assumption automaton: any action in the assumption's alphabet that the
+// assumption does not allow in the current state leads to a fresh error
+// state. Composing the monitor with an environment checks that the
+// environment's visible behaviour stays within the assumption.
+func MonitorFrom(asm *LTS) *LTS {
+	const errState = "__asm_violation__"
+	mon := &LTS{
+		Name:  asm.Name + "-monitor",
+		Init:  asm.Init,
+		Trans: append([]LabeledTransition(nil), asm.Trans...),
+		Err:   map[string]bool{errState: true},
+	}
+	states := map[string]bool{asm.Init: true}
+	for _, t := range asm.Trans {
+		states[t.From] = true
+		states[t.To] = true
+	}
+	for s := range states {
+		for _, l := range asm.Alphabet() {
+			if len(asm.next(s, l)) == 0 {
+				mon.Trans = append(mon.Trans, LabeledTransition{From: s, Label: l, To: errState})
+			}
+		}
+	}
+	return mon
+}
+
+// AGResult reports an assume-guarantee check.
+type AGResult struct {
+	Holds bool
+	// Premise1: component ∥ assumption ∥ property-monitor reaches no error.
+	Premise1 Result[ProductState]
+	// Premise2: environment conforms to the assumption.
+	Premise2 Result[ProductState]
+}
+
+// AssumeGuarantee applies the compositional safety rule
+//
+//	⟨Asm⟩ Component ⟨P⟩   and   Environment ⊨ Asm
+//	─────────────────────────────────────────────
+//	       Component ∥ Environment ⊨ P
+//
+// Asm is a deterministic automaton over the interface alphabet describing
+// what the component assumes about its environment; property is a monitor
+// LTS whose Err states mark violations of P. Premise 1 model-checks the
+// component against the abstract environment; premise 2 checks the real
+// environment against the assumption via MonitorFrom. This split is the
+// incremental-certification enabler of challenge (n): upgrading the
+// environment device requires re-checking only premise 2.
+func AssumeGuarantee(component, assumption, property, environment *LTS, opts Options) (AGResult, error) {
+	var out AGResult
+	p1, err := CheckComposition(opts, component, assumption, property)
+	if err != nil {
+		return out, err
+	}
+	out.Premise1 = p1
+	p2, err := CheckComposition(opts, environment, MonitorFrom(assumption))
+	if err != nil {
+		return out, err
+	}
+	out.Premise2 = p2
+	out.Holds = p1.Holds && p2.Holds
+	return out, nil
+}

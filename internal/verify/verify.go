@@ -1,0 +1,181 @@
+// Package verify provides the verification substrate the paper's
+// challenges (l) and (n) call for: explicit-state safety checking with
+// counterexamples, bounded model checking, temporal induction after
+// Sheeran-Singh-Stålmarck [21] (k-induction restricted to simple paths,
+// complete for finite systems), and assume-guarantee reasoning over
+// composed labeled transition systems.
+package verify
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is one labeled transition.
+type Edge[S any] struct {
+	Label string
+	To    S
+}
+
+// System is an implicit transition system: initial states, a key function
+// for state identity, and a successor function.
+type System[S any] struct {
+	Init []S
+	Key  func(S) string
+	Succ func(S) ([]Edge[S], error)
+}
+
+// Validate reports an error for incomplete systems.
+func (s System[S]) Validate() error {
+	if len(s.Init) == 0 {
+		return errors.New("verify: no initial states")
+	}
+	if s.Key == nil || s.Succ == nil {
+		return errors.New("verify: Key and Succ are required")
+	}
+	return nil
+}
+
+// TraceStep is one step of a counterexample: the label taken and the
+// state reached (the first step has an empty label and an initial state).
+type TraceStep[S any] struct {
+	Label string
+	State S
+}
+
+// Result reports a safety check.
+type Result[S any] struct {
+	Holds          bool
+	StatesExplored int
+	Transitions    int
+	Depth          int // depth reached (or depth of the counterexample)
+	Counterexample []TraceStep[S]
+	Truncated      bool // state budget exhausted before exploration finished
+}
+
+// Options bound the exploration.
+type Options struct {
+	MaxStates int // 0 = default 1<<20
+	MaxDepth  int // 0 = unbounded (full reachability); >0 = BMC to that depth
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return o.MaxStates
+}
+
+// Check explores the reachable state space breadth-first and verifies
+// that inv holds everywhere. With Options.MaxDepth set it is a bounded
+// model check. The counterexample is the shortest violating path.
+func Check[S any](sys System[S], inv func(S) (bool, error), opts Options) (Result[S], error) {
+	if err := sys.Validate(); err != nil {
+		return Result[S]{}, err
+	}
+	type node struct {
+		state S
+		key   string
+		label string
+		prev  int // index into nodes, -1 for roots
+		depth int
+	}
+	var res Result[S]
+	nodes := make([]node, 0, 1024)
+	seen := make(map[string]bool)
+	queue := make([]int, 0, 1024)
+
+	counterexample := func(i int) []TraceStep[S] {
+		var rev []TraceStep[S]
+		for j := i; j >= 0; j = nodes[j].prev {
+			rev = append(rev, TraceStep[S]{Label: nodes[j].label, State: nodes[j].state})
+		}
+		out := make([]TraceStep[S], 0, len(rev))
+		for j := len(rev) - 1; j >= 0; j-- {
+			out = append(out, rev[j])
+		}
+		return out
+	}
+
+	push := func(s S, label string, prev, depth int) (violating bool, idx int, err error) {
+		k := sys.Key(s)
+		if seen[k] {
+			return false, -1, nil
+		}
+		seen[k] = true
+		nodes = append(nodes, node{state: s, key: k, label: label, prev: prev, depth: depth})
+		idx = len(nodes) - 1
+		res.StatesExplored++
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		ok, err := inv(s)
+		if err != nil {
+			return false, idx, err
+		}
+		if !ok {
+			return true, idx, nil
+		}
+		queue = append(queue, idx)
+		return false, idx, nil
+	}
+
+	for _, s := range sys.Init {
+		bad, idx, err := push(s, "", -1, 0)
+		if err != nil {
+			return res, err
+		}
+		if bad {
+			res.Holds = false
+			res.Counterexample = counterexample(idx)
+			res.Depth = 0
+			return res, nil
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := nodes[cur]
+		if opts.MaxDepth > 0 && n.depth >= opts.MaxDepth {
+			continue
+		}
+		succ, err := sys.Succ(n.state)
+		if err != nil {
+			return res, err
+		}
+		for _, e := range succ {
+			res.Transitions++
+			bad, idx, err := push(e.To, e.Label, cur, n.depth+1)
+			if err != nil {
+				return res, err
+			}
+			if bad {
+				res.Holds = false
+				res.Counterexample = counterexample(idx)
+				res.Depth = nodes[idx].depth
+				return res, nil
+			}
+			if res.StatesExplored >= opts.maxStates() {
+				res.Truncated = true
+				res.Holds = false
+				return res, fmt.Errorf("verify: state budget %d exhausted", opts.maxStates())
+			}
+		}
+	}
+	res.Holds = true
+	return res, nil
+}
+
+// FormatTrace renders a counterexample for humans.
+func FormatTrace[S any](trace []TraceStep[S], describe func(S) string) string {
+	out := ""
+	for i, st := range trace {
+		if i == 0 {
+			out += fmt.Sprintf("  init: %s\n", describe(st.State))
+			continue
+		}
+		out += fmt.Sprintf("  %2d. --%s--> %s\n", i, st.Label, describe(st.State))
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// counter is a toy system: an integer 0..n-1 incremented mod n.
+func counter(n int) System[int] {
+	return System[int]{
+		Init: []int{0},
+		Key:  func(s int) string { return fmt.Sprintf("%d", s) },
+		Succ: func(s int) ([]Edge[int], error) {
+			return []Edge[int]{{Label: "inc", To: (s + 1) % n}}, nil
+		},
+	}
+}
+
+func TestCheckHoldsOnSafeSystem(t *testing.T) {
+	res, err := Check(counter(10), func(s int) (bool, error) { return s < 10, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("safe system refuted: %+v", res)
+	}
+	if res.StatesExplored != 10 {
+		t.Fatalf("states = %d, want 10", res.StatesExplored)
+	}
+}
+
+func TestCheckFindsShortestCounterexample(t *testing.T) {
+	res, err := Check(counter(10), func(s int) (bool, error) { return s != 4, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("violation missed")
+	}
+	// Shortest path to 4 is 4 transitions: trace has init + 4 steps.
+	if len(res.Counterexample) != 5 {
+		t.Fatalf("counterexample length = %d, want 5", len(res.Counterexample))
+	}
+	if res.Counterexample[4].State != 4 {
+		t.Fatalf("counterexample ends at %d", res.Counterexample[4].State)
+	}
+	if res.Depth != 4 {
+		t.Fatalf("depth = %d, want 4", res.Depth)
+	}
+	txt := FormatTrace(res.Counterexample, func(s int) string { return fmt.Sprintf("s=%d", s) })
+	if !strings.Contains(txt, "s=4") {
+		t.Fatalf("trace rendering missing final state:\n%s", txt)
+	}
+}
+
+func TestCheckInitialViolation(t *testing.T) {
+	res, err := Check(counter(3), func(s int) (bool, error) { return s != 0, nil }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || len(res.Counterexample) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestBMCDepthBound(t *testing.T) {
+	// Violation at depth 6, BMC to 4: not found. BMC to 6: found.
+	inv := func(s int) (bool, error) { return s != 6, nil }
+	shallow, err := Check(counter(10), inv, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shallow.Holds {
+		t.Fatal("BMC(4) found a depth-6 violation")
+	}
+	deep, err := Check(counter(10), inv, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Holds {
+		t.Fatal("BMC(6) missed a depth-6 violation")
+	}
+}
+
+func TestCheckStateBudget(t *testing.T) {
+	res, err := Check(counter(1000), func(int) (bool, error) { return true, nil }, Options{MaxStates: 50})
+	if err == nil {
+		t.Fatalf("budget exhaustion not reported: %+v", res)
+	}
+	if !res.Truncated {
+		t.Fatal("truncation flag not set")
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(System[int]{}, func(int) (bool, error) { return true, nil }, Options{}); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+func TestInductionProvesSafeCounter(t *testing.T) {
+	// Invariant s < 10 over the 10-counter: inductive at k=1 with the
+	// universe 0..9 (every state's successor stays < 10).
+	universe := make([]int, 10)
+	for i := range universe {
+		universe[i] = i
+	}
+	res, err := Induction(counter(10), func(s int) (bool, error) { return s < 10, nil }, universe, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved || res.Refuted {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestInductionRefutesRealViolation(t *testing.T) {
+	universe := make([]int, 10)
+	for i := range universe {
+		universe[i] = i
+	}
+	res, err := Induction(counter(10), func(s int) (bool, error) { return s != 7, nil }, universe, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Refuted || res.Proved {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// A system where plain 1-induction fails but temporal induction at a
+// deeper k closes the proof: reachable chain 0->1->2->2 plus an
+// unreachable pocket 10->11 where 11 violates. The invariant truly holds
+// (11 is unreachable), but 1-induction fails because unreachable state 10
+// satisfies the invariant yet steps into 11. Deepening to k=2 rescues the
+// proof: the only path out of 10 dies after one step, so no inv-respecting
+// path of length 2 ends badly — the strengthening the Sheeran et al.
+// technique provides.
+func TestInductionDeepensPastSpuriousStep(t *testing.T) {
+	sys := System[int]{
+		Init: []int{0},
+		Key:  func(s int) string { return fmt.Sprintf("%d", s) },
+		Succ: func(s int) ([]Edge[int], error) {
+			switch s {
+			case 0:
+				return []Edge[int]{{Label: "a", To: 1}}, nil
+			case 1:
+				return []Edge[int]{{Label: "b", To: 2}}, nil
+			case 2:
+				return []Edge[int]{{Label: "c", To: 2}}, nil
+			case 10:
+				return []Edge[int]{{Label: "x", To: 11}}, nil
+			default:
+				return nil, nil
+			}
+		},
+	}
+	inv := func(s int) (bool, error) { return s != 11, nil }
+
+	// With the junk states in the universe the k=1 step fails and the
+	// proof closes at k=2 instead.
+	res, err := Induction(sys, inv, []int{0, 1, 2, 10, 11}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved || res.K != 2 {
+		t.Fatalf("poisoned universe: res = %+v, want proof at k=2", res)
+	}
+	// With the tight universe the proof closes immediately at k=1.
+	res2, err := Induction(sys, inv, []int{0, 1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Proved || res2.K != 1 {
+		t.Fatalf("tight universe: res = %+v", res2)
+	}
+}
+
+func TestInductionValidation(t *testing.T) {
+	if _, err := Induction(counter(3), func(int) (bool, error) { return true, nil }, nil, 4); err == nil {
+		t.Fatal("empty universe accepted")
+	}
+}
+
+// Two-device LTS scenario: ventilator and x-ray synchronizing on
+// pause/resume/shoot labels.
+func ventLTS() *LTS {
+	return &LTS{
+		Name: "ventilator",
+		Init: "running",
+		Trans: []LabeledTransition{
+			{From: "running", Label: "pause", To: "paused"},
+			{From: "paused", Label: "resume", To: "running"},
+			{From: "running", Label: "breathe", To: "running"},
+		},
+	}
+}
+
+func xrayLTSSafe() *LTS {
+	return &LTS{
+		Name: "xray-safe",
+		Init: "idle",
+		Trans: []LabeledTransition{
+			{From: "idle", Label: "pause", To: "ready"},
+			{From: "ready", Label: "shoot", To: "done"},
+			{From: "done", Label: "resume", To: "finished"},
+		},
+	}
+}
+
+func xrayLTSUnsafe() *LTS {
+	// Shoots without coordinating a pause.
+	return &LTS{
+		Name: "xray-unsafe",
+		Init: "idle",
+		Trans: []LabeledTransition{
+			{From: "idle", Label: "shoot", To: "done"},
+		},
+	}
+}
+
+// shootMonitor flags shooting while the ventilator runs: it tracks
+// pause/resume and errors on a shoot outside a paused phase.
+func shootMonitor() *LTS {
+	return &LTS{
+		Name: "monitor",
+		Init: "vent-on",
+		Trans: []LabeledTransition{
+			{From: "vent-on", Label: "pause", To: "vent-off"},
+			{From: "vent-off", Label: "resume", To: "vent-on"},
+			{From: "vent-off", Label: "shoot", To: "vent-off"},
+			{From: "vent-on", Label: "shoot", To: "boom"},
+			{From: "vent-on", Label: "breathe", To: "vent-on"},
+		},
+		Err: map[string]bool{"boom": true},
+	}
+}
+
+// xrayAssumption is what the ventilator's safety argument assumes of the
+// imaging environment: it only shoots between a pause and the following
+// resume. Deterministic, no error states (MonitorFrom adds them).
+func xrayAssumption() *LTS {
+	return &LTS{
+		Name: "xray-assumption",
+		Init: "on",
+		Trans: []LabeledTransition{
+			{From: "on", Label: "pause", To: "off"},
+			{From: "off", Label: "shoot", To: "off"},
+			{From: "off", Label: "resume", To: "on"},
+		},
+	}
+}
+
+func TestComposeSafe(t *testing.T) {
+	// vent ∥ xray-safe ∥ monitor: the coordinated protocol never booms.
+	res, err := CheckComposition(Options{}, ventLTS(), xrayLTSSafe(), shootMonitor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("safe composition refuted: %+v", res.Counterexample)
+	}
+}
+
+func TestComposeUnsafeFindsTrace(t *testing.T) {
+	res, err := CheckComposition(Options{}, ventLTS(), xrayLTSUnsafe(), shootMonitor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("unsafe composition passed")
+	}
+	last := res.Counterexample[len(res.Counterexample)-1]
+	if last.Label != "shoot" {
+		t.Fatalf("counterexample should end with the uncoordinated shoot: %+v", res.Counterexample)
+	}
+}
+
+func TestComposeInterleavesPrivateLabels(t *testing.T) {
+	// "breathe" is private to the ventilator w.r.t. the safe x-ray; the
+	// product must still allow it without moving the x-ray.
+	c, err := NewComposition(ventLTS(), xrayLTSSafe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := c.System()
+	succ, err := sys.Succ(ProductState{"running", "idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundBreathe := false
+	for _, e := range succ {
+		if e.Label == "breathe" {
+			foundBreathe = true
+			if e.To[1] != "idle" {
+				t.Fatal("private label moved the other component")
+			}
+		}
+	}
+	if !foundBreathe {
+		t.Fatal("private label suppressed in product")
+	}
+}
+
+func TestMonitorFromCatchesDeviation(t *testing.T) {
+	mon := MonitorFrom(xrayAssumption())
+	// The unsafe x-ray shoots from "on": the monitor must trap that.
+	res, err := CheckComposition(Options{}, xrayLTSUnsafe(), mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("monitor missed the assumption violation")
+	}
+	// The safe x-ray conforms.
+	res2, err := CheckComposition(Options{}, xrayLTSSafe(), mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Holds {
+		t.Fatalf("conforming environment tripped the monitor: %+v", res2.Counterexample)
+	}
+}
+
+func TestAssumeGuarantee(t *testing.T) {
+	res, err := AssumeGuarantee(ventLTS(), xrayAssumption(), shootMonitor(), xrayLTSSafe(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("AG check failed: p1=%v p2=%v", res.Premise1.Holds, res.Premise2.Holds)
+	}
+	// Swapping in the unsafe x-ray breaks only premise 2 — the component
+	// side needs no re-verification (incremental certification).
+	res2, err := AssumeGuarantee(ventLTS(), xrayAssumption(), shootMonitor(), xrayLTSUnsafe(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Holds {
+		t.Fatal("unsafe environment passed AG")
+	}
+	if !res2.Premise1.Holds {
+		t.Fatal("premise 1 should be unaffected by the environment swap")
+	}
+	if res2.Premise2.Holds {
+		t.Fatal("premise 2 should catch the unsafe environment")
+	}
+}
+
+func TestLTSValidate(t *testing.T) {
+	bad := &LTS{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("LTS without init accepted")
+	}
+	bad2 := &LTS{Init: "a", Trans: []LabeledTransition{{From: "a"}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("malformed transition accepted")
+	}
+	if _, err := NewComposition(bad, ventLTS()); err == nil {
+		t.Fatal("compose accepted invalid LTS")
+	}
+	if _, err := NewComposition(); err == nil {
+		t.Fatal("empty composition accepted")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	a := ventLTS().Alphabet()
+	want := []string{"breathe", "pause", "resume"}
+	if len(a) != len(want) {
+		t.Fatalf("alphabet = %v", a)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("alphabet = %v, want %v", a, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package workflow
+
+import (
+	"fmt"
+
+	"repro/internal/verify"
+)
+
+// CheckReport is the result of model-checking a workflow.
+type CheckReport struct {
+	Workflow       string
+	States         int
+	Transitions    int
+	Holds          bool
+	ViolatedLabels []string
+	Counterexample string // human-readable trace, empty when Holds
+	DeadlockFree   bool
+	DeadlockTrace  string
+	// TerminalGoalHolds reports whether every terminal state satisfies
+	// the goal expression (empty goal: vacuously true).
+	TerminalGoalHolds bool
+	TerminalGoalTrace string
+}
+
+// System adapts an Analysis (workflow + fault modes) to the generic
+// model checker.
+func (a Analysis) System() verify.System[State] {
+	return verify.System[State]{
+		Init: []State{a.W.InitialState()},
+		Key:  func(s State) string { return s.Key() },
+		Succ: func(s State) ([]verify.Edge[State], error) {
+			trs, err := a.Successors(s)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]verify.Edge[State], 0, len(trs))
+			for _, tr := range trs {
+				label := tr.Step
+				if tr.Fault != nil {
+					label = fmt.Sprintf("%s[%s]", tr.Step, tr.Fault.Kind)
+				}
+				out = append(out, verify.Edge[State]{Label: label, To: tr.To})
+			}
+			return out, nil
+		},
+	}
+}
+
+// describe renders a state for counterexample output.
+func (a Analysis) describe(s State) string {
+	out := ""
+	for i, v := range a.W.Vars {
+		if i > 0 {
+			out += " "
+		}
+		out += v.Name + "=" + s.Vars[i].String()
+	}
+	return out
+}
+
+// CheckSafety model-checks all invariants over the reachable states of
+// the workflow under the analysis's fault modes, then checks deadlock
+// freedom and, when goal is non-nil, that every terminal state satisfies
+// it (e.g. "ventilated == true" — the forgot-to-resume detector).
+func (a Analysis) CheckSafety(goal Expr, opts verify.Options) (CheckReport, error) {
+	rep := CheckReport{Workflow: a.W.Name}
+	sys := a.System()
+
+	inv := func(s State) (bool, error) {
+		violated, err := a.W.CheckInvariants(s)
+		if err != nil {
+			return false, err
+		}
+		return len(violated) == 0, nil
+	}
+	res, err := verify.Check(sys, inv, opts)
+	if err != nil {
+		return rep, err
+	}
+	rep.States = res.StatesExplored
+	rep.Transitions = res.Transitions
+	rep.Holds = res.Holds
+	if !res.Holds && len(res.Counterexample) > 0 {
+		last := res.Counterexample[len(res.Counterexample)-1].State
+		rep.ViolatedLabels, _ = a.W.CheckInvariants(last)
+		rep.Counterexample = verify.FormatTrace(res.Counterexample, a.describe)
+	}
+
+	// Terminal-state analysis: explore again, judging every state with no
+	// outgoing transitions. With a goal expression, a terminal state is
+	// acceptable iff the goal holds there — the right notion for
+	// workflows with alternative branches, where not every step fires on
+	// every run. Without a goal, acceptability falls back to "all
+	// non-repeating steps completed" (deadlock detection for linear
+	// protocols).
+	rep.DeadlockFree = true
+	rep.TerminalGoalHolds = true
+	termInv := func(s State) (bool, error) {
+		term, err := a.Terminal(s)
+		if err != nil {
+			return false, err
+		}
+		if !term {
+			return true, nil
+		}
+		if goal != nil {
+			return EvalBool(goal, a.W.Env(s))
+		}
+		return a.W.AllDone(s), nil
+	}
+	tres, err := verify.Check(sys, termInv, opts)
+	if err != nil {
+		return rep, err
+	}
+	if !tres.Holds && len(tres.Counterexample) > 0 {
+		trace := verify.FormatTrace(tres.Counterexample, a.describe)
+		if goal != nil {
+			rep.TerminalGoalHolds = false
+			rep.TerminalGoalTrace = trace
+		} else {
+			rep.DeadlockFree = false
+			rep.DeadlockTrace = trace
+		}
+	}
+	return rep, nil
+}
+
+// Universe enumerates every syntactic state of the workflow: all
+// combinations of variable values (bools and declared int ranges) and
+// done flags. This is the universe temporal induction quantifies over.
+// The size is exponential; callers should keep workflows small or bound
+// the variable ranges.
+func (w *Workflow) Universe() []State {
+	states := []State{{Vars: make([]Value, 0, len(w.Vars)), Done: nil}}
+	for _, v := range w.Vars {
+		var values []Value
+		if v.Type == TypeBool {
+			values = []Value{BoolVal(false), BoolVal(true)}
+		} else {
+			for i := v.Lo; i <= v.Hi; i++ {
+				values = append(values, IntVal(i))
+			}
+		}
+		var next []State
+		for _, s := range states {
+			for _, val := range values {
+				ns := State{Vars: append(append([]Value(nil), s.Vars...), val)}
+				next = append(next, ns)
+			}
+		}
+		states = next
+	}
+	for si := range states {
+		states[si].Done = make([]bool, len(w.Steps))
+	}
+	// Expand done-flag combinations.
+	var out []State
+	var expand func(s State, i int)
+	expand = func(s State, i int) {
+		if i == len(w.Steps) {
+			out = append(out, s.Clone())
+			return
+		}
+		s.Done[i] = false
+		expand(s, i+1)
+		s.Done[i] = true
+		expand(s, i+1)
+	}
+	for _, s := range states {
+		expand(s, 0)
+	}
+	return out
+}
+
+// ProveByInduction attempts a temporal-induction proof of the workflow's
+// invariants over its syntactic universe.
+func (a Analysis) ProveByInduction(maxK int) (verify.InductionResult, error) {
+	inv := func(s State) (bool, error) {
+		violated, err := a.W.CheckInvariants(s)
+		if err != nil {
+			return false, err
+		}
+		return len(violated) == 0, nil
+	}
+	return verify.Induction(a.System(), inv, a.W.Universe(), maxK)
+}

@@ -1,0 +1,165 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+func TestCheckSafetyNominalBuiltinsHold(t *testing.T) {
+	for name, w := range Builtins() {
+		a := Analysis{W: w}
+		rep, err := a.CheckSafety(nil, verify.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Holds {
+			t.Fatalf("%s: nominal invariant violation:\n%s", name, rep.Counterexample)
+		}
+		if rep.States == 0 {
+			t.Fatalf("%s: no states explored", name)
+		}
+	}
+}
+
+func TestCheckSafetySkipGuardFindsPCAWrongDose(t *testing.T) {
+	w := Builtins()["pca_setup"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultSkipGuard, Step: "start_pump"}}}
+	rep, err := a.CheckSafety(nil, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("model checker missed the skip-guard wrong-dose hazard")
+	}
+	if len(rep.ViolatedLabels) == 0 {
+		t.Fatal("no violated invariant labels reported")
+	}
+	if !strings.Contains(rep.Counterexample, "start_pump[skip-guard]") {
+		t.Fatalf("counterexample does not show the faulty step:\n%s", rep.Counterexample)
+	}
+}
+
+func TestCheckSafetyOmitResumeViolatesGoal(t *testing.T) {
+	w := Builtins()["xray_vent"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultOmit, Step: "resume_vent"}}}
+	goal, err := Parse(`workflow g { roles { r } vars { x: bool = true } steps { step s by r { } } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = goal
+	// Goal: at completion, the ventilator must be running.
+	rep, err := a.CheckSafety(VarExpr{Name: "ventilated"}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TerminalGoalHolds {
+		t.Fatal("omitted resume not detected by terminal-goal analysis")
+	}
+	if !strings.Contains(rep.TerminalGoalTrace, "resume_vent[omit]") {
+		t.Fatalf("goal trace does not show the omission:\n%s", rep.TerminalGoalTrace)
+	}
+	// The state-predicate invariants still hold (no imaging while
+	// ventilated) — the hazard is a liveness/terminal one.
+	if !rep.Holds {
+		t.Fatalf("unexpected invariant violation:\n%s", rep.Counterexample)
+	}
+}
+
+func TestCheckSafetyNominalGoalHolds(t *testing.T) {
+	w := Builtins()["xray_vent"]
+	a := Analysis{W: w}
+	rep, err := a.CheckSafety(VarExpr{Name: "ventilated"}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TerminalGoalHolds {
+		t.Fatalf("nominal terminal goal violated:\n%s", rep.TerminalGoalTrace)
+	}
+	if !rep.DeadlockFree {
+		t.Fatalf("nominal deadlock:\n%s", rep.DeadlockTrace)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Two steps guarding on each other: classic deadlock.
+	src := `
+workflow deadlock {
+  roles { a b }
+  vars { x: bool = false  y: bool = false }
+  steps {
+    step s1 by a { require y == true  set x = true }
+    step s2 by b { require x == true  set y = true }
+  }
+}`
+	w := MustParse(src)
+	rep, err := Analysis{W: w}.CheckSafety(nil, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlockFree {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestUniverseSize(t *testing.T) {
+	w := Builtins()["transfusion"] // 4 bools, 4 steps
+	u := w.Universe()
+	want := 16 * 16 // 2^4 var combos * 2^4 done combos
+	if len(u) != want {
+		t.Fatalf("universe = %d, want %d", len(u), want)
+	}
+	// All keys distinct.
+	seen := map[string]bool{}
+	for _, s := range u {
+		k := s.Key()
+		if seen[k] {
+			t.Fatalf("duplicate universe state %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestProveByInductionTransfusion(t *testing.T) {
+	w := Builtins()["transfusion"]
+	a := Analysis{W: w}
+	res, err := a.ProveByInduction(6)
+	if err != nil {
+		t.Fatalf("induction inconclusive: %v", err)
+	}
+	if !res.Proved {
+		t.Fatalf("transfusion invariant not proved: %+v", res)
+	}
+}
+
+func TestProveByInductionRefutesFaultyWorkflow(t *testing.T) {
+	w := Builtins()["pca_setup"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultSkipGuard, Step: "start_pump"}}}
+	res, err := a.ProveByInduction(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Refuted {
+		t.Fatalf("faulty workflow not refuted: %+v", res)
+	}
+}
+
+func TestInductionAgreesWithReachability(t *testing.T) {
+	// For every builtin, induction (when it concludes) must agree with
+	// exhaustive reachability.
+	for name, w := range Builtins() {
+		a := Analysis{W: w}
+		reach, err := a.CheckSafety(nil, verify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ind, err := a.ProveByInduction(6)
+		if err != nil {
+			continue // inconclusive is acceptable; reachability covers it
+		}
+		if ind.Proved != reach.Holds {
+			t.Fatalf("%s: induction proved=%v but reachability holds=%v", name, ind.Proved, reach.Holds)
+		}
+	}
+}

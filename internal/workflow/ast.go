@@ -1,0 +1,273 @@
+// Package workflow implements the paper's executable-clinical-workflow
+// challenge (e): a small language for clinical scenarios specifying the
+// devices a scenario needs, the caregiver roles involved, the variables of
+// the protocol state, the steps each role performs (with preconditions,
+// effects and device commands), and safety invariants. The language has a
+// precise operational semantics (semantics.go) that both an interpreter
+// (interp.go, running on the simulation kernel) and the model checker in
+// internal/verify consume — one description, executable and analyzable,
+// exactly as the paper asks.
+//
+// Example (the X-ray/ventilator scenario):
+//
+//	workflow xray_vent {
+//	  devices {
+//	    vent: ventilator requires [pause, resume]
+//	    xray: x-ray requires [shoot]
+//	  }
+//	  roles { anesthesiologist technician }
+//	  vars {
+//	    ventilated: bool = true
+//	    imaged: bool = false
+//	  }
+//	  steps {
+//	    step pause_vent by anesthesiologist {
+//	      require ventilated == true
+//	      command vent.pause
+//	      set ventilated = false
+//	    }
+//	    step image by technician {
+//	      require ventilated == false
+//	      command xray.shoot
+//	      set imaged = true
+//	    }
+//	    step resume_vent by anesthesiologist {
+//	      require imaged == true
+//	      command vent.resume
+//	      set ventilated = true
+//	    }
+//	  }
+//	  invariants {
+//	    invariant "no imaging while ventilated" : !(imaged && ventilated == false) || true
+//	  }
+//	}
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Workflow is the root of a parsed clinical scenario.
+type Workflow struct {
+	Name       string
+	Devices    []DeviceReq
+	Roles      []string
+	Vars       []VarDecl
+	Steps      []Step
+	Invariants []Invariant
+}
+
+// DeviceReq names a device slot and the capabilities the scenario needs
+// from whatever device fills it.
+type DeviceReq struct {
+	Alias    string // name used by command statements
+	Kind     string // device kind required
+	Commands []string
+}
+
+// VarType is the type of a protocol variable.
+type VarType int
+
+const (
+	TypeBool VarType = iota
+	TypeInt
+)
+
+// VarDecl declares a protocol variable. Int variables carry a finite
+// range so the state space stays enumerable.
+type VarDecl struct {
+	Name    string
+	Type    VarType
+	Lo, Hi  int // int range, inclusive (ignored for bool)
+	Initial Value
+}
+
+// Value is a variable value.
+type Value struct {
+	Type VarType
+	B    bool
+	I    int
+}
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) Value { return Value{Type: TypeBool, B: b} }
+
+// IntVal wraps an int.
+func IntVal(i int) Value { return Value{Type: TypeInt, I: i} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Type == TypeBool {
+		return fmt.Sprintf("%t", v.B)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Equal compares values.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	if v.Type == TypeBool {
+		return v.B == o.B
+	}
+	return v.I == o.I
+}
+
+// Step is one unit of caregiver work.
+type Step struct {
+	Name    string
+	Role    string
+	Repeats bool // may fire more than once
+	Body    []Stmt
+}
+
+// StmtKind discriminates statements.
+type StmtKind int
+
+const (
+	StmtRequire StmtKind = iota
+	StmtSet
+	StmtCommand
+)
+
+// Stmt is one statement in a step body.
+type Stmt struct {
+	Kind    StmtKind
+	Expr    Expr   // require: guard; set: right-hand side
+	Var     string // set: target variable
+	Device  string // command: device alias
+	Command string // command: command name
+}
+
+// Invariant is a safety property that must hold in every reachable state.
+type Invariant struct {
+	Label string
+	Expr  Expr
+}
+
+// Validate checks cross-references and typing of the whole workflow.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return errors.New("workflow: missing name")
+	}
+	roles := map[string]bool{}
+	for _, r := range w.Roles {
+		if roles[r] {
+			return fmt.Errorf("workflow %s: duplicate role %q", w.Name, r)
+		}
+		roles[r] = true
+	}
+	devs := map[string]map[string]bool{}
+	for _, d := range w.Devices {
+		if _, dup := devs[d.Alias]; dup {
+			return fmt.Errorf("workflow %s: duplicate device alias %q", w.Name, d.Alias)
+		}
+		cmds := map[string]bool{}
+		for _, c := range d.Commands {
+			cmds[c] = true
+		}
+		devs[d.Alias] = cmds
+	}
+	vars := map[string]VarDecl{}
+	for _, v := range w.Vars {
+		if _, dup := vars[v.Name]; dup {
+			return fmt.Errorf("workflow %s: duplicate variable %q", w.Name, v.Name)
+		}
+		if v.Type == TypeInt && v.Hi < v.Lo {
+			return fmt.Errorf("workflow %s: variable %q has empty range", w.Name, v.Name)
+		}
+		if v.Initial.Type != v.Type {
+			return fmt.Errorf("workflow %s: variable %q initial value has wrong type", w.Name, v.Name)
+		}
+		if v.Type == TypeInt && (v.Initial.I < v.Lo || v.Initial.I > v.Hi) {
+			return fmt.Errorf("workflow %s: variable %q initial value outside range", w.Name, v.Name)
+		}
+		vars[v.Name] = v
+	}
+	if len(w.Steps) == 0 {
+		return fmt.Errorf("workflow %s: no steps", w.Name)
+	}
+	stepNames := map[string]bool{}
+	for _, s := range w.Steps {
+		if stepNames[s.Name] {
+			return fmt.Errorf("workflow %s: duplicate step %q", w.Name, s.Name)
+		}
+		stepNames[s.Name] = true
+		if !roles[s.Role] {
+			return fmt.Errorf("workflow %s: step %q performed by unknown role %q", w.Name, s.Name, s.Role)
+		}
+		for _, st := range s.Body {
+			switch st.Kind {
+			case StmtRequire, StmtSet:
+				if err := checkExpr(st.Expr, vars); err != nil {
+					return fmt.Errorf("workflow %s, step %s: %w", w.Name, s.Name, err)
+				}
+				if st.Kind == StmtSet {
+					decl, ok := vars[st.Var]
+					if !ok {
+						return fmt.Errorf("workflow %s, step %s: set of unknown variable %q", w.Name, s.Name, st.Var)
+					}
+					et, err := exprType(st.Expr, vars)
+					if err != nil {
+						return fmt.Errorf("workflow %s, step %s: %w", w.Name, s.Name, err)
+					}
+					if et != decl.Type {
+						return fmt.Errorf("workflow %s, step %s: set %s type mismatch", w.Name, s.Name, st.Var)
+					}
+				} else {
+					et, err := exprType(st.Expr, vars)
+					if err != nil {
+						return fmt.Errorf("workflow %s, step %s: %w", w.Name, s.Name, err)
+					}
+					if et != TypeBool {
+						return fmt.Errorf("workflow %s, step %s: require needs a boolean", w.Name, s.Name)
+					}
+				}
+			case StmtCommand:
+				cmds, ok := devs[st.Device]
+				if !ok {
+					return fmt.Errorf("workflow %s, step %s: command on unknown device %q", w.Name, s.Name, st.Device)
+				}
+				if !cmds[st.Command] {
+					return fmt.Errorf("workflow %s, step %s: device %q does not require command %q",
+						w.Name, s.Name, st.Device, st.Command)
+				}
+			}
+		}
+	}
+	for _, inv := range w.Invariants {
+		if err := checkExpr(inv.Expr, vars); err != nil {
+			return fmt.Errorf("workflow %s, invariant %q: %w", w.Name, inv.Label, err)
+		}
+		et, err := exprType(inv.Expr, vars)
+		if err != nil {
+			return fmt.Errorf("workflow %s, invariant %q: %w", w.Name, inv.Label, err)
+		}
+		if et != TypeBool {
+			return fmt.Errorf("workflow %s, invariant %q: not boolean", w.Name, inv.Label)
+		}
+	}
+	return nil
+}
+
+// VarDeclByName finds a variable declaration.
+func (w *Workflow) VarDeclByName(name string) (VarDecl, bool) {
+	for _, v := range w.Vars {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VarDecl{}, false
+}
+
+// StepByName finds a step.
+func (w *Workflow) StepByName(name string) (Step, bool) {
+	for _, s := range w.Steps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Step{}, false
+}

@@ -1,0 +1,210 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Expr is a side-effect-free expression over protocol variables.
+type Expr interface {
+	eval(env map[string]Value) (Value, error)
+	String() string
+}
+
+// LitExpr is a literal.
+type LitExpr struct{ V Value }
+
+func (e LitExpr) eval(map[string]Value) (Value, error) { return e.V, nil }
+func (e LitExpr) String() string                       { return e.V.String() }
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+func (e VarExpr) eval(env map[string]Value) (Value, error) {
+	v, ok := env[e.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("workflow: unknown variable %q", e.Name)
+	}
+	return v, nil
+}
+func (e VarExpr) String() string { return e.Name }
+
+// NotExpr is boolean negation.
+type NotExpr struct{ X Expr }
+
+func (e NotExpr) eval(env map[string]Value) (Value, error) {
+	v, err := e.X.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Type != TypeBool {
+		return Value{}, errors.New("workflow: ! of non-boolean")
+	}
+	return BoolVal(!v.B), nil
+}
+func (e NotExpr) String() string { return "!" + e.X.String() }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+)
+
+var opNames = map[BinOp]string{
+	OpAnd: "&&", OpOr: "||", OpEq: "==", OpNe: "!=",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-",
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (e BinExpr) String() string {
+	return "(" + e.L.String() + " " + opNames[e.Op] + " " + e.R.String() + ")"
+}
+
+func (e BinExpr) eval(env map[string]Value) (Value, error) {
+	l, err := e.L.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.R.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case OpAnd, OpOr:
+		if l.Type != TypeBool || r.Type != TypeBool {
+			return Value{}, fmt.Errorf("workflow: %s of non-booleans", opNames[e.Op])
+		}
+		if e.Op == OpAnd {
+			return BoolVal(l.B && r.B), nil
+		}
+		return BoolVal(l.B || r.B), nil
+	case OpEq, OpNe:
+		if l.Type != r.Type {
+			return Value{}, errors.New("workflow: comparing values of different types")
+		}
+		eq := l.Equal(r)
+		if e.Op == OpNe {
+			eq = !eq
+		}
+		return BoolVal(eq), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		if l.Type != TypeInt || r.Type != TypeInt {
+			return Value{}, fmt.Errorf("workflow: %s of non-integers", opNames[e.Op])
+		}
+		var b bool
+		switch e.Op {
+		case OpLt:
+			b = l.I < r.I
+		case OpLe:
+			b = l.I <= r.I
+		case OpGt:
+			b = l.I > r.I
+		case OpGe:
+			b = l.I >= r.I
+		}
+		return BoolVal(b), nil
+	case OpAdd, OpSub:
+		if l.Type != TypeInt || r.Type != TypeInt {
+			return Value{}, fmt.Errorf("workflow: %s of non-integers", opNames[e.Op])
+		}
+		if e.Op == OpAdd {
+			return IntVal(l.I + r.I), nil
+		}
+		return IntVal(l.I - r.I), nil
+	default:
+		return Value{}, fmt.Errorf("workflow: unknown operator %d", e.Op)
+	}
+}
+
+// Eval evaluates an expression in an environment.
+func Eval(e Expr, env map[string]Value) (Value, error) { return e.eval(env) }
+
+// EvalBool evaluates a boolean expression, erroring on type mismatch.
+func EvalBool(e Expr, env map[string]Value) (bool, error) {
+	v, err := e.eval(env)
+	if err != nil {
+		return false, err
+	}
+	if v.Type != TypeBool {
+		return false, errors.New("workflow: expected boolean expression")
+	}
+	return v.B, nil
+}
+
+// exprType infers the static type of an expression given declarations.
+func exprType(e Expr, vars map[string]VarDecl) (VarType, error) {
+	switch x := e.(type) {
+	case LitExpr:
+		return x.V.Type, nil
+	case VarExpr:
+		d, ok := vars[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("workflow: unknown variable %q", x.Name)
+		}
+		return d.Type, nil
+	case NotExpr:
+		t, err := exprType(x.X, vars)
+		if err != nil {
+			return 0, err
+		}
+		if t != TypeBool {
+			return 0, errors.New("workflow: ! of non-boolean")
+		}
+		return TypeBool, nil
+	case BinExpr:
+		lt, err := exprType(x.L, vars)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := exprType(x.R, vars)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case OpAnd, OpOr:
+			if lt != TypeBool || rt != TypeBool {
+				return 0, errors.New("workflow: logic on non-booleans")
+			}
+			return TypeBool, nil
+		case OpEq, OpNe:
+			if lt != rt {
+				return 0, errors.New("workflow: comparing different types")
+			}
+			return TypeBool, nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if lt != TypeInt || rt != TypeInt {
+				return 0, errors.New("workflow: ordering non-integers")
+			}
+			return TypeBool, nil
+		case OpAdd, OpSub:
+			if lt != TypeInt || rt != TypeInt {
+				return 0, errors.New("workflow: arithmetic on non-integers")
+			}
+			return TypeInt, nil
+		}
+		return 0, errors.New("workflow: unknown operator")
+	default:
+		return 0, fmt.Errorf("workflow: unknown expression %T", e)
+	}
+}
+
+// checkExpr verifies every variable reference resolves.
+func checkExpr(e Expr, vars map[string]VarDecl) error {
+	_, err := exprType(e, vars)
+	return err
+}

@@ -1,0 +1,226 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CommandFunc delivers a device command issued by a step. The interpreter
+// treats a non-nil error as a command failure and records it; execution
+// continues (the protocol state has already moved — exactly the
+// cyber/physical divergence the analysis hunts for).
+type CommandFunc func(deviceAlias, command string) error
+
+// ErrorModel injects caregiver errors during interpretation, with the
+// probabilities of each fault mode applied independently per step.
+type ErrorModel struct {
+	SkipGuardProb float64 // performs the step even if preconditions fail
+	OmitProb      float64 // believes the step done without doing it
+}
+
+// ExecEventKind classifies interpreter log entries.
+type ExecEventKind int
+
+const (
+	ExecStep ExecEventKind = iota
+	ExecFault
+	ExecCommand
+	ExecCommandFailed
+	ExecViolation
+	ExecDeadlock
+	ExecCompleted
+)
+
+// ExecEvent is one interpreter log entry.
+type ExecEvent struct {
+	At   sim.Time
+	Kind ExecEventKind
+	Step string
+	Msg  string
+}
+
+// InterpConfig configures an interpretation run.
+type InterpConfig struct {
+	// StepDelay samples the caregiver's time to perform a step. The
+	// default is uniform 5-30 s — nurses are busy.
+	StepDelay func(rng *sim.RNG, role, step string) time.Duration
+	Commands  CommandFunc
+	Errors    ErrorModel
+	// Seed drives step choice, delays and error injection.
+	Seed int64
+}
+
+// InterpResult summarizes a run.
+type InterpResult struct {
+	Completed      bool // all non-repeating steps fired
+	Deadlocked     bool // stuck before completion
+	Violations     []string
+	StepsFired     int
+	FaultsInjected int
+	Log            []ExecEvent
+	Final          State
+}
+
+// Interp executes a workflow on the simulation kernel: repeatedly picks a
+// uniformly random enabled step, waits the caregiver delay, applies it,
+// issues its commands and checks invariants. One caregiver acts at a time
+// (the conservative sequential reading of a clinical protocol).
+type Interp struct {
+	w   *Workflow
+	k   *sim.Kernel
+	cfg InterpConfig
+	rng *sim.RNG
+
+	state  State
+	result InterpResult
+	done   bool
+}
+
+// NewInterp prepares an interpretation.
+func NewInterp(k *sim.Kernel, w *Workflow, cfg InterpConfig) *Interp {
+	if cfg.StepDelay == nil {
+		cfg.StepDelay = func(rng *sim.RNG, role, step string) time.Duration {
+			return time.Duration(rng.Uniform(5, 30) * float64(time.Second))
+		}
+	}
+	return &Interp{
+		w:     w,
+		k:     k,
+		cfg:   cfg,
+		rng:   sim.NewRNG(cfg.Seed),
+		state: w.InitialState(),
+	}
+}
+
+// Start schedules the first step choice; the caller then runs the kernel.
+func (in *Interp) Start() {
+	in.checkInvariants()
+	in.scheduleNext()
+}
+
+// Result returns the summary; valid once the kernel has drained or the
+// run completed/deadlocked.
+func (in *Interp) Result() InterpResult {
+	r := in.result
+	r.Final = in.state
+	return r
+}
+
+func (in *Interp) log(kind ExecEventKind, step, format string, args ...any) {
+	in.result.Log = append(in.result.Log, ExecEvent{
+		At: in.k.Now(), Kind: kind, Step: step, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (in *Interp) scheduleNext() {
+	if in.done {
+		return
+	}
+	var enabled, blocked []int
+	for i, step := range in.w.Steps {
+		if in.state.Done[i] && !step.Repeats {
+			continue
+		}
+		if in.w.Enabled(in.state, i) {
+			enabled = append(enabled, i)
+		} else {
+			blocked = append(blocked, i)
+		}
+	}
+	// User-error model: with SkipGuardProb, the caregiver performs a
+	// pending step whose preconditions do NOT hold (out-of-order action).
+	if len(blocked) > 0 && in.rng.Bernoulli(in.cfg.Errors.SkipGuardProb) {
+		idx := blocked[in.rng.Intn(len(blocked))]
+		step := in.w.Steps[idx]
+		delay := in.cfg.StepDelay(in.rng, step.Role, step.Name)
+		in.k.After(delay, func() { in.fire(idx, true) })
+		return
+	}
+	if len(enabled) == 0 {
+		if in.w.AllDone(in.state) {
+			in.result.Completed = true
+			in.log(ExecCompleted, "", "workflow complete")
+		} else {
+			in.result.Deadlocked = true
+			in.log(ExecDeadlock, "", "no enabled steps before completion")
+		}
+		in.done = true
+		return
+	}
+	idx := enabled[in.rng.Intn(len(enabled))]
+	step := in.w.Steps[idx]
+	delay := in.cfg.StepDelay(in.rng, step.Role, step.Name)
+	in.k.After(delay, func() { in.fire(idx, false) })
+}
+
+func (in *Interp) fire(idx int, skip bool) {
+	step := in.w.Steps[idx]
+
+	// Error injection: omission (nothing happens but the caregiver's
+	// belief) applies to any attempted step.
+	if in.cfg.Errors.OmitProb > 0 && in.rng.Bernoulli(in.cfg.Errors.OmitProb) {
+		in.state.Done[idx] = true
+		in.result.FaultsInjected++
+		in.log(ExecFault, step.Name, "omitted (caregiver believes it was done)")
+		in.afterFire()
+		return
+	}
+
+	ok, next, cmds, err := in.w.runBody(in.state, step, skip)
+	if err != nil || !ok {
+		// Became disabled while the caregiver walked over; re-choose.
+		in.scheduleNext()
+		return
+	}
+	next.Done[idx] = true
+	in.state = next
+	in.result.StepsFired++
+	if skip {
+		in.result.FaultsInjected++
+		in.log(ExecFault, step.Name, "performed out of order (guards not met)")
+	} else {
+		in.log(ExecStep, step.Name, "performed by %s", step.Role)
+	}
+	for _, c := range cmds {
+		if in.cfg.Commands == nil {
+			in.log(ExecCommand, step.Name, "command %s.%s (unbound)", c.Device, c.Command)
+			continue
+		}
+		if err := in.cfg.Commands(c.Device, c.Command); err != nil {
+			in.log(ExecCommandFailed, step.Name, "command %s.%s failed: %v", c.Device, c.Command, err)
+		} else {
+			in.log(ExecCommand, step.Name, "command %s.%s", c.Device, c.Command)
+		}
+	}
+	in.afterFire()
+}
+
+func (in *Interp) afterFire() {
+	in.checkInvariants()
+	in.scheduleNext()
+}
+
+func (in *Interp) checkInvariants() {
+	violated, err := in.w.CheckInvariants(in.state)
+	if err != nil {
+		in.log(ExecViolation, "", "invariant evaluation error: %v", err)
+		return
+	}
+	for _, label := range violated {
+		in.result.Violations = append(in.result.Violations, label)
+		in.log(ExecViolation, "", "invariant violated: %s", label)
+	}
+}
+
+// RunToCompletion is a convenience: start, run the kernel until the
+// workflow completes, deadlocks, or the horizon passes, and return the
+// result.
+func (in *Interp) RunToCompletion(horizon sim.Time) (InterpResult, error) {
+	in.Start()
+	if err := in.k.Run(horizon); err != nil {
+		return InterpResult{}, err
+	}
+	return in.Result(), nil
+}

@@ -1,0 +1,136 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind discriminates lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokPunct // single punctuation or operator
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes workflow source. Comments run from "--" or "//" to end
+// of line. Identifiers may contain '-' after the first character (device
+// kinds like "x-ray").
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--") || strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scan() (token, error) {
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, fmt.Errorf("line %d: unterminated string", l.line)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("line %d: unterminated string", l.line)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: l.line}, nil
+
+	case unicode.IsLetter(rune(c)) || c == '_':
+		l.pos++
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+
+	default:
+		for _, op := range twoCharOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokPunct, text: op, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("{}[]():,.=<>!+-", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

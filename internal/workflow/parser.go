@@ -1,0 +1,503 @@
+package workflow
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles workflow source text into a validated Workflow.
+func Parse(src string) (*Workflow, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	w, err := p.workflow()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustParse is Parse for known-good sources (embedded scenarios).
+func MustParse(src string) *Workflow {
+	w, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokIdent) && t.text == text
+}
+
+func (p *parser) expect(text string) error {
+	if !p.at(text) {
+		return fmt.Errorf("line %d: expected %q, found %s", p.cur().line, text, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("line %d: expected identifier, found %s", t.line, t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) workflow() (*Workflow, error) {
+	if err := p.expect("workflow"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	w := &Workflow{Name: name}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.at("}") {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("line %d: unexpected end of input in workflow body", t.line)
+		}
+		switch t.text {
+		case "devices":
+			if err := p.devices(w); err != nil {
+				return nil, err
+			}
+		case "roles":
+			if err := p.roles(w); err != nil {
+				return nil, err
+			}
+		case "vars":
+			if err := p.vars(w); err != nil {
+				return nil, err
+			}
+		case "steps":
+			if err := p.steps(w); err != nil {
+				return nil, err
+			}
+		case "invariants":
+			if err := p.invariants(w); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown section %s", t.line, t)
+		}
+	}
+	p.advance() // }
+	return w, nil
+}
+
+func (p *parser) devices(w *Workflow) error {
+	p.advance() // devices
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		alias, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		kind, err := p.ident()
+		if err != nil {
+			return err
+		}
+		d := DeviceReq{Alias: alias, Kind: kind}
+		if p.at("requires") {
+			p.advance()
+			if err := p.expect("["); err != nil {
+				return err
+			}
+			for !p.at("]") {
+				c, err := p.ident()
+				if err != nil {
+					return err
+				}
+				d.Commands = append(d.Commands, c)
+				if p.at(",") {
+					p.advance()
+				}
+			}
+			p.advance() // ]
+		}
+		w.Devices = append(w.Devices, d)
+	}
+	p.advance() // }
+	return nil
+}
+
+func (p *parser) roles(w *Workflow) error {
+	p.advance()
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		r, err := p.ident()
+		if err != nil {
+			return err
+		}
+		w.Roles = append(w.Roles, r)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) vars(w *Workflow) error {
+	p.advance()
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return err
+		}
+		decl := VarDecl{Name: name}
+		switch tname {
+		case "bool":
+			decl.Type = TypeBool
+		case "int":
+			decl.Type = TypeInt
+			if err := p.expect("("); err != nil {
+				return err
+			}
+			lo, err := p.intLit()
+			if err != nil {
+				return err
+			}
+			// Range syntax: int(lo .. hi) lexed as lo . . hi
+			if err := p.expect("."); err != nil {
+				return err
+			}
+			if err := p.expect("."); err != nil {
+				return err
+			}
+			hi, err := p.intLit()
+			if err != nil {
+				return err
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			decl.Lo, decl.Hi = lo, hi
+		default:
+			return fmt.Errorf("line %d: unknown type %q", p.cur().line, tname)
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		v, err := p.literal(decl.Type)
+		if err != nil {
+			return err
+		}
+		decl.Initial = v
+		w.Vars = append(w.Vars, decl)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) intLit() (int, error) {
+	neg := false
+	if p.at("-") {
+		neg = true
+		p.advance()
+	}
+	t := p.cur()
+	if t.kind != tokInt {
+		return 0, fmt.Errorf("line %d: expected integer, found %s", t.line, t)
+	}
+	p.advance()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad integer %q", t.line, t.text)
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func (p *parser) literal(want VarType) (Value, error) {
+	if want == TypeBool {
+		switch {
+		case p.at("true"):
+			p.advance()
+			return BoolVal(true), nil
+		case p.at("false"):
+			p.advance()
+			return BoolVal(false), nil
+		default:
+			return Value{}, fmt.Errorf("line %d: expected boolean literal", p.cur().line)
+		}
+	}
+	n, err := p.intLit()
+	if err != nil {
+		return Value{}, err
+	}
+	return IntVal(n), nil
+}
+
+func (p *parser) steps(w *Workflow) error {
+	p.advance()
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		if err := p.expect("step"); err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("by"); err != nil {
+			return err
+		}
+		role, err := p.ident()
+		if err != nil {
+			return err
+		}
+		s := Step{Name: name, Role: role}
+		if p.at("repeats") {
+			s.Repeats = true
+			p.advance()
+		}
+		if err := p.expect("{"); err != nil {
+			return err
+		}
+		for !p.at("}") {
+			st, err := p.stmt()
+			if err != nil {
+				return err
+			}
+			s.Body = append(s.Body, st)
+		}
+		p.advance()
+		w.Steps = append(w.Steps, s)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.text {
+	case "require":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtRequire, Expr: e}, nil
+	case "set":
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if err := p.expect("="); err != nil {
+			return Stmt{}, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtSet, Var: name, Expr: e}, nil
+	case "command":
+		p.advance()
+		dev, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if err := p.expect("."); err != nil {
+			return Stmt{}, err
+		}
+		cmd, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtCommand, Device: dev, Command: cmd}, nil
+	default:
+		return Stmt{}, fmt.Errorf("line %d: unknown statement %s", t.line, t)
+	}
+}
+
+func (p *parser) invariants(w *Workflow) error {
+	p.advance()
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.at("}") {
+		if err := p.expect("invariant"); err != nil {
+			return err
+		}
+		t := p.cur()
+		if t.kind != tokString {
+			return fmt.Errorf("line %d: invariant needs a label string", t.line)
+		}
+		p.advance()
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		w.Invariants = append(w.Invariants, Invariant{Label: t.text, Expr: e})
+	}
+	p.advance()
+	return nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr ("||" andExpr)*
+//	andExpr := cmpExpr ("&&" cmpExpr)*
+//	cmpExpr := addExpr (("=="|"!="|"<"|"<="|">"|">=") addExpr)?
+//	addExpr := unary (("+"|"-") unary)*
+//	unary   := "!" unary | "(" expr ")" | literal | variable
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("||") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("&&") {
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]BinOp{
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := OpAdd
+		if p.at("-") {
+			op = OpSub
+		}
+		p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at("!"):
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x}, nil
+	case p.at("("):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at("true"):
+		p.advance()
+		return LitExpr{V: BoolVal(true)}, nil
+	case p.at("false"):
+		p.advance()
+		return LitExpr{V: BoolVal(false)}, nil
+	case t.kind == tokInt || p.at("-"):
+		n, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{V: IntVal(n)}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return VarExpr{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("line %d: unexpected token %s in expression", t.line, t)
+	}
+}

@@ -1,0 +1,213 @@
+package workflow
+
+// Builtin clinical scenarios. These serve as the corpus for experiment E5
+// (workflow verification), the wfcheck command, and the examples. Each is
+// written in the workflow DSL and parsed at first use.
+
+// XRayVentSource is the paper's Section II.b scenario: coordinate a chest
+// X-ray with mechanical ventilation. The safety property is that imaging
+// never happens while the chest moves, and the protocol must always be
+// able to end with the ventilator running — the fault analysis shows that
+// an omitted resume step violates completion (the paper's fatal case).
+const XRayVentSource = `
+workflow xray_vent {
+  devices {
+    vent: ventilator requires [pause, resume]
+    xray: x-ray requires [shoot]
+  }
+  roles { anesthesiologist technician }
+  vars {
+    ventilated: bool = true
+    imaged: bool = false
+    image_during_vent: bool = false
+  }
+  steps {
+    step pause_vent by anesthesiologist {
+      require ventilated == true && imaged == false
+      command vent.pause
+      set ventilated = false
+    }
+    step image by technician {
+      require ventilated == false && imaged == false
+      command xray.shoot
+      set imaged = true
+      set image_during_vent = ventilated
+    }
+    step resume_vent by anesthesiologist {
+      require ventilated == false && imaged == true
+      command vent.resume
+      set ventilated = true
+    }
+  }
+  invariants {
+    invariant "no image while ventilating" : !image_during_vent
+  }
+}
+`
+
+// PCASetupSource models programming and starting a PCA pump with the
+// double-check protocol: the programmed dose must be verified by a second
+// nurse before the pump starts — skipping the check (a guard-skip user
+// error) lets a wrong dose reach the patient.
+const PCASetupSource = `
+workflow pca_setup {
+  devices {
+    pump: infusion-pump requires [start]
+  }
+  roles { nurse verifier }
+  vars {
+    -- 0 none, 1 programmed-correct, 2 programmed-wrong
+    program: int(0 .. 2) = 0
+    checked: bool = false
+    started: bool = false
+    wrong_dose_running: bool = false
+  }
+  steps {
+    step program_pump by nurse {
+      require program == 0
+      set program = 1
+    }
+    step misprogram_pump by nurse {
+      require program == 0
+      set program = 2
+    }
+    step double_check by verifier {
+      require program == 1 && checked == false
+      set checked = true
+    }
+    step fix_program by verifier {
+      require program == 2
+      set program = 1
+    }
+    step start_pump by nurse {
+      require checked == true && started == false
+      command pump.start
+      set started = true
+      set wrong_dose_running = program == 2
+    }
+  }
+  invariants {
+    invariant "no unverified infusion" : !started || checked
+    invariant "no wrong dose" : !wrong_dose_running
+  }
+}
+`
+
+// TransfusionSource models the two-person blood-product verification
+// protocol: identity and product must both be confirmed before the
+// transfusion starts.
+const TransfusionSource = `
+workflow transfusion {
+  devices {
+    pump: infusion-pump requires [start, stop]
+  }
+  roles { nurse1 nurse2 }
+  vars {
+    id_checked: bool = false
+    product_checked: bool = false
+    transfusing: bool = false
+    completed: bool = false
+  }
+  steps {
+    step check_identity by nurse1 {
+      require transfusing == false
+      set id_checked = true
+    }
+    step check_product by nurse2 {
+      require transfusing == false
+      set product_checked = true
+    }
+    step start_transfusion by nurse1 {
+      require id_checked == true && product_checked == true
+      command pump.start
+      set transfusing = true
+    }
+    step complete_transfusion by nurse1 {
+      require transfusing == true
+      command pump.stop
+      set transfusing = false
+      set completed = true
+    }
+  }
+  invariants {
+    invariant "verified before transfusing" : !transfusing || (id_checked && product_checked)
+  }
+}
+`
+
+// HandoffSource models a shift-change handoff where the outgoing nurse
+// must brief the incoming one before relinquishing responsibility. The
+// latent hazard: both believing the other is responsible.
+const HandoffSource = `
+workflow handoff {
+  roles { outgoing incoming }
+  vars {
+    -- 0 outgoing responsible, 1 briefing, 2 incoming responsible
+    phase: int(0 .. 2) = 0
+    briefed: bool = false
+  }
+  steps {
+    step begin_briefing by outgoing {
+      require phase == 0
+      set phase = 1
+    }
+    step brief by outgoing {
+      require phase == 1
+      set briefed = true
+    }
+    step accept by incoming {
+      require phase == 1 && briefed == true
+      set phase = 2
+    }
+  }
+  invariants {
+    invariant "accepted only after briefing" : phase != 2 || briefed
+  }
+}
+`
+
+// SedationTitrationSource models stepwise titration of a sedative with a
+// mandated reassessment between increases. Its int variable exercises
+// range checking: the dose can never leave the programmed bounds.
+const SedationTitrationSource = `
+workflow sedation_titration {
+  devices {
+    pump: infusion-pump requires [set-rate]
+  }
+  roles { nurse }
+  vars {
+    dose: int(0 .. 4) = 0
+    assessed: bool = true
+  }
+  steps {
+    step increase by nurse repeats {
+      require assessed == true && dose < 4
+      command pump.set-rate
+      set dose = dose + 1
+      set assessed = false
+    }
+    step reassess by nurse repeats {
+      require assessed == false
+      set assessed = true
+    }
+    step finish by nurse {
+      require dose >= 2
+    }
+  }
+  invariants {
+    invariant "dose within program" : dose >= 0 && dose <= 4
+    invariant "no unassessed double-step" : true
+  }
+}
+`
+
+// Builtins returns the parsed scenario corpus.
+func Builtins() map[string]*Workflow {
+	return map[string]*Workflow{
+		"xray_vent":          MustParse(XRayVentSource),
+		"pca_setup":          MustParse(PCASetupSource),
+		"transfusion":        MustParse(TransfusionSource),
+		"handoff":            MustParse(HandoffSource),
+		"sedation_titration": MustParse(SedationTitrationSource),
+	}
+}

@@ -1,0 +1,280 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is one configuration of a workflow: variable values plus which
+// non-repeating steps have fired. It is the paper's "precise operational
+// semantics": Enabled and Apply below define the transition relation that
+// both the interpreter and the model checker use.
+type State struct {
+	Vars []Value // indexed by Workflow.Vars order
+	Done []bool  // indexed by Workflow.Steps order
+}
+
+// Key returns a canonical encoding usable as a map key.
+func (s State) Key() string {
+	var b strings.Builder
+	for i, v := range s.Vars {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('|')
+	for _, d := range s.Done {
+		if d {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	return State{
+		Vars: append([]Value(nil), s.Vars...),
+		Done: append([]bool(nil), s.Done...),
+	}
+}
+
+// InitialState builds the declared initial configuration.
+func (w *Workflow) InitialState() State {
+	s := State{Vars: make([]Value, len(w.Vars)), Done: make([]bool, len(w.Steps))}
+	for i, v := range w.Vars {
+		s.Vars[i] = v.Initial
+	}
+	return s
+}
+
+// Env materializes the variable environment of a state.
+func (w *Workflow) Env(s State) map[string]Value {
+	env := make(map[string]Value, len(w.Vars))
+	for i, v := range w.Vars {
+		env[v.Name] = s.Vars[i]
+	}
+	return env
+}
+
+func (w *Workflow) varIndex(name string) int {
+	for i, v := range w.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// runBody executes a step body over a copy of the state. When skipGuards
+// is true, failing require statements are ignored — the user-error model.
+// Commands are recorded for the caller (the interpreter sends them to
+// devices; the checker ignores them). A false first return means a guard
+// failed (step not enabled); an error means a set left an int variable's
+// declared range, which also disables the step.
+func (w *Workflow) runBody(s State, step Step, skipGuards bool) (ok bool, out State, commands []Stmt, err error) {
+	out = s.Clone()
+	env := w.Env(out)
+	for _, st := range step.Body {
+		switch st.Kind {
+		case StmtRequire:
+			holds, everr := EvalBool(st.Expr, env)
+			if everr != nil {
+				return false, s, nil, everr
+			}
+			if !holds && !skipGuards {
+				return false, s, nil, nil
+			}
+		case StmtSet:
+			v, everr := Eval(st.Expr, env)
+			if everr != nil {
+				return false, s, nil, everr
+			}
+			idx := w.varIndex(st.Var)
+			decl := w.Vars[idx]
+			if decl.Type == TypeInt && (v.I < decl.Lo || v.I > decl.Hi) {
+				return false, s, nil, fmt.Errorf("workflow: set %s=%d leaves range [%d,%d]",
+					st.Var, v.I, decl.Lo, decl.Hi)
+			}
+			out.Vars[idx] = v
+			env[st.Var] = v
+		case StmtCommand:
+			commands = append(commands, st)
+		}
+	}
+	return true, out, commands, nil
+}
+
+// Enabled reports whether step index i may fire in state s.
+func (w *Workflow) Enabled(s State, i int) bool {
+	step := w.Steps[i]
+	if s.Done[i] && !step.Repeats {
+		return false
+	}
+	ok, _, _, err := w.runBody(s, step, false)
+	return ok && err == nil
+}
+
+// Apply fires step index i, returning the successor state and the device
+// commands the step issues. Firing a disabled step is an error.
+func (w *Workflow) Apply(s State, i int) (State, []Stmt, error) {
+	step := w.Steps[i]
+	if s.Done[i] && !step.Repeats {
+		return s, nil, fmt.Errorf("workflow: step %q already done", step.Name)
+	}
+	ok, out, cmds, err := w.runBody(s, step, false)
+	if err != nil {
+		return s, nil, err
+	}
+	if !ok {
+		return s, nil, fmt.Errorf("workflow: step %q not enabled", step.Name)
+	}
+	out.Done[i] = true
+	return out, cmds, nil
+}
+
+// CheckInvariants evaluates every invariant in s, returning the labels of
+// those violated.
+func (w *Workflow) CheckInvariants(s State) ([]string, error) {
+	env := w.Env(s)
+	var violated []string
+	for _, inv := range w.Invariants {
+		holds, err := EvalBool(inv.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		if !holds {
+			violated = append(violated, inv.Label)
+		}
+	}
+	return violated, nil
+}
+
+// FaultKind enumerates the analysis fault modes — the "effects of faults
+// and user errors" the paper wants explored.
+type FaultKind int
+
+const (
+	// FaultSkipGuard fires a step even when its preconditions fail: a
+	// caregiver performing an action out of order.
+	FaultSkipGuard FaultKind = iota
+	// FaultOmit marks a step done without applying any of its effects: a
+	// forgotten action the caregiver believes was performed (the
+	// forgotten ventilator restart).
+	FaultOmit
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSkipGuard:
+		return "skip-guard"
+	case FaultOmit:
+		return "omit"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault enables one fault mode on one step during analysis.
+type Fault struct {
+	Kind FaultKind
+	Step string
+}
+
+// Transition is one outgoing edge from a state.
+type Transition struct {
+	Step  string
+	Fault *Fault // nil for a nominal transition
+	To    State
+}
+
+// Analysis wraps a workflow plus fault modes as a transition system.
+type Analysis struct {
+	W      *Workflow
+	Faults []Fault
+}
+
+// Successors enumerates every nominal and faulty transition from s, in a
+// deterministic order.
+func (a Analysis) Successors(s State) ([]Transition, error) {
+	var out []Transition
+	for i, step := range a.W.Steps {
+		if a.W.Enabled(s, i) {
+			next, _, err := a.W.Apply(s, i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Transition{Step: step.Name, To: next})
+		}
+	}
+	for fi := range a.Faults {
+		f := a.Faults[fi]
+		idx := -1
+		for i, step := range a.W.Steps {
+			if step.Name == f.Step {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("workflow: fault on unknown step %q", f.Step)
+		}
+		step := a.W.Steps[idx]
+		if s.Done[idx] && !step.Repeats {
+			continue
+		}
+		switch f.Kind {
+		case FaultSkipGuard:
+			ok, next, _, err := a.W.runBody(s, step, true)
+			if err != nil || !ok {
+				continue // range violation: physically impossible even as an error
+			}
+			// Only a distinct transition when the guard actually failed.
+			if a.W.Enabled(s, idx) {
+				continue
+			}
+			next.Done[idx] = true
+			out = append(out, Transition{Step: step.Name, Fault: &a.Faults[fi], To: next})
+		case FaultOmit:
+			// The step must have been attemptable for the caregiver to
+			// believe it happened.
+			if !a.W.Enabled(s, idx) {
+				continue
+			}
+			next := s.Clone()
+			next.Done[idx] = true
+			out = append(out, Transition{Step: step.Name, Fault: &a.Faults[fi], To: next})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Fault == nil && out[j].Fault != nil
+	})
+	return out, nil
+}
+
+// Terminal reports whether no transitions (nominal or faulty) leave s.
+func (a Analysis) Terminal(s State) (bool, error) {
+	succ, err := a.Successors(s)
+	if err != nil {
+		return false, err
+	}
+	return len(succ) == 0, nil
+}
+
+// AllDone reports whether every non-repeating step has fired.
+func (w *Workflow) AllDone(s State) bool {
+	for i, step := range w.Steps {
+		if !step.Repeats && !s.Done[i] {
+			return false
+		}
+	}
+	return true
+}

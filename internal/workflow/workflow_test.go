@@ -1,0 +1,479 @@
+package workflow
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+func verifyOptions() verify.Options { return verify.Options{} }
+
+func TestParseBuiltins(t *testing.T) {
+	for name, w := range Builtins() {
+		if w.Name == "" {
+			t.Fatalf("%s: empty name", name)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"no steps", `workflow w { roles { r } }`},
+		{"unknown section", `workflow w { bogus { } }`},
+		{"unknown role", `workflow w { roles { r } steps { step s by ghost { } } }`},
+		{"unknown var", `workflow w { roles { r } steps { step s by r { set x = true } } }`},
+		{"type mismatch", `workflow w { roles { r } vars { x: bool = true } steps { step s by r { set x = 3 } } }`},
+		{"require non-bool", `workflow w { roles { r } vars { n: int(0 .. 5) = 0 } steps { step s by r { require n + 1 } } }`},
+		{"command unknown device", `workflow w { roles { r } steps { step s by r { command d.go } } }`},
+		{"command not required", `workflow w { devices { d: pump requires [start] } roles { r } steps { step s by r { command d.stop } } }`},
+		{"init outside range", `workflow w { roles { r } vars { n: int(0 .. 5) = 9 } steps { step s by r { require true } } }`},
+		{"empty range", `workflow w { roles { r } vars { n: int(5 .. 0) = 5 } steps { step s by r { require true } } }`},
+		{"dup step", `workflow w { roles { r } steps { step s by r { } step s by r { } } }`},
+		{"dup var", `workflow w { roles { r } vars { x: bool = true x: bool = false } steps { step s by r { } } }`},
+		{"unterminated string", `workflow w { roles { r } steps { step s by r { } } invariants { invariant "oops`},
+		{"bad char", `workflow w @ { }`},
+		{"non-bool invariant", `workflow w { roles { r } vars { n: int(0 .. 5) = 0 } steps { step s by r { } } invariants { invariant "x" : n + 1 } }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Fatalf("accepted: %s", c.src)
+			}
+		})
+	}
+}
+
+func TestExprParsingAndPrecedence(t *testing.T) {
+	src := `
+workflow w {
+  roles { r }
+  vars { a: int(0 .. 10) = 1  b: int(0 .. 10) = 2  p: bool = true }
+  steps {
+    step s by r {
+      require p || a + 1 < b && !(a == b)
+      set a = b + 3 - 1
+    }
+  }
+}`
+	w, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := w.InitialState()
+	if !w.Enabled(s0, 0) {
+		t.Fatal("step should be enabled (p true)")
+	}
+	next, _, err := w.Apply(s0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Vars[w.varIndex("a")]; got.I != 4 {
+		t.Fatalf("a = %v, want 4", got)
+	}
+}
+
+func TestEnabledRespectsGuardsAndDone(t *testing.T) {
+	w := Builtins()["xray_vent"]
+	s := w.InitialState()
+	// Initially only pause_vent is possible; imaging requires the
+	// ventilator paused, resuming requires the image taken.
+	if !w.Enabled(s, 0) {
+		t.Fatal("pause_vent should be enabled initially")
+	}
+	if w.Enabled(s, stepIndex(t, w, "image")) {
+		t.Fatal("image enabled while ventilated")
+	}
+	// resume_vent requires imaged.
+	idx := stepIndex(t, w, "resume_vent")
+	if w.Enabled(s, idx) {
+		t.Fatal("resume_vent enabled before imaging")
+	}
+	// Fire pause_vent twice: second must be rejected (done).
+	s2, cmds, err := w.Apply(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Command != "pause" {
+		t.Fatalf("commands = %+v", cmds)
+	}
+	if w.Enabled(s2, 0) {
+		t.Fatal("pause_vent still enabled after firing (not repeats)")
+	}
+	if _, _, err := w.Apply(s2, 0); err == nil {
+		t.Fatal("re-applying non-repeating step succeeded")
+	}
+}
+
+func stepIndex(t *testing.T, w *Workflow, name string) int {
+	t.Helper()
+	for i, s := range w.Steps {
+		if s.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no step %q", name)
+	return -1
+}
+
+func TestHappyPathXRayVent(t *testing.T) {
+	w := Builtins()["xray_vent"]
+	s := w.InitialState()
+	for _, name := range []string{"pause_vent", "image", "resume_vent"} {
+		idx := stepIndex(t, w, name)
+		if !w.Enabled(s, idx) {
+			t.Fatalf("step %s not enabled on happy path", name)
+		}
+		var err error
+		s, _, err = w.Apply(s, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := w.CheckInvariants(s); err != nil || len(v) > 0 {
+			t.Fatalf("invariants violated on happy path: %v %v", v, err)
+		}
+	}
+	if !w.AllDone(s) {
+		t.Fatal("happy path did not complete")
+	}
+	env := w.Env(s)
+	if !env["ventilated"].B {
+		t.Fatal("ventilator not running at completion")
+	}
+}
+
+func TestImagingWhileVentilatedViolatesInvariant(t *testing.T) {
+	// The technician shooting without waiting for the pause (a skip-guard
+	// user error) puts the system in a state violating the invariant.
+	w := Builtins()["xray_vent"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultSkipGuard, Step: "image"}}}
+	succ, err := a.Successors(w.InitialState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad *State
+	for i := range succ {
+		if succ[i].Fault != nil && succ[i].Step == "image" {
+			bad = &succ[i].To
+		}
+	}
+	if bad == nil {
+		t.Fatalf("skip-guard image transition missing: %+v", succ)
+	}
+	violated, err := w.CheckInvariants(*bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violated) != 1 {
+		t.Fatalf("violations = %v, want the imaging invariant", violated)
+	}
+}
+
+func TestIntRangeBlocksStep(t *testing.T) {
+	w := Builtins()["sedation_titration"]
+	s := w.InitialState()
+	inc := stepIndex(t, w, "increase")
+	re := stepIndex(t, w, "reassess")
+	// Titrate to the max: increase/reassess alternating, 4 times.
+	for i := 0; i < 4; i++ {
+		var err error
+		s, _, err = w.Apply(s, inc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, err = w.Apply(s, re)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// dose == 4: a fifth increase must be disabled by the guard AND the
+	// range check.
+	if w.Enabled(s, inc) {
+		t.Fatal("increase enabled beyond programmed maximum")
+	}
+}
+
+func TestStateKeyRoundTrip(t *testing.T) {
+	w := Builtins()["pca_setup"]
+	a := w.InitialState()
+	b := w.InitialState()
+	if a.Key() != b.Key() {
+		t.Fatal("identical states have different keys")
+	}
+	c, _, err := w.Apply(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Key() == a.Key() {
+		t.Fatal("different states share a key")
+	}
+	// Clone independence.
+	d := a.Clone()
+	d.Vars[0] = BoolVal(true)
+	if a.Vars[0].Equal(d.Vars[0]) && a.Vars[0].B {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAnalysisNominalSuccessors(t *testing.T) {
+	w := Builtins()["transfusion"]
+	a := Analysis{W: w}
+	succ, err := a.Successors(w.InitialState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// check_identity and check_product are enabled initially.
+	if len(succ) != 2 {
+		t.Fatalf("successors = %d, want 2: %+v", len(succ), succ)
+	}
+	for _, tr := range succ {
+		if tr.Fault != nil {
+			t.Fatal("nominal analysis produced fault transition")
+		}
+	}
+}
+
+func TestAnalysisSkipGuardFindsWrongDose(t *testing.T) {
+	w := Builtins()["pca_setup"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultSkipGuard, Step: "start_pump"}}}
+	// Misprogram, then (fault) start without the double-check.
+	s := w.InitialState()
+	s, _, err := w.Apply(s, stepIndex(t, w, "misprogram_pump"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, err := a.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad *State
+	for i := range succ {
+		if succ[i].Fault != nil && succ[i].Step == "start_pump" {
+			bad = &succ[i].To
+		}
+	}
+	if bad == nil {
+		t.Fatalf("skip-guard transition not generated: %+v", succ)
+	}
+	violated, err := w.CheckInvariants(*bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violated) == 0 {
+		t.Fatal("unverified wrong-dose start violated nothing")
+	}
+}
+
+func TestAnalysisOmitMakesStepDoneWithoutEffect(t *testing.T) {
+	w := Builtins()["xray_vent"]
+	a := Analysis{W: w, Faults: []Fault{{Kind: FaultOmit, Step: "resume_vent"}}}
+	// Happy path to the resume point.
+	s := w.InitialState()
+	s, _, _ = w.Apply(s, stepIndex(t, w, "pause_vent"))
+	s, _, _ = w.Apply(s, stepIndex(t, w, "image"))
+	succ, err := a.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var omitted *State
+	for i := range succ {
+		if succ[i].Fault != nil && succ[i].Fault.Kind == FaultOmit {
+			omitted = &succ[i].To
+		}
+	}
+	if omitted == nil {
+		t.Fatal("omit transition not generated")
+	}
+	if !w.AllDone(*omitted) {
+		t.Fatal("omitted step not marked done")
+	}
+	if w.Env(*omitted)["ventilated"].B {
+		t.Fatal("omit applied effects (ventilated became true)")
+	}
+}
+
+func TestInterpHappyPath(t *testing.T) {
+	k := sim.NewKernel()
+	var commands []string
+	in := NewInterp(k, Builtins()["transfusion"], InterpConfig{
+		Seed: 3,
+		Commands: func(dev, cmd string) error {
+			commands = append(commands, dev+"."+cmd)
+			return nil
+		},
+	})
+	res, err := in.RunToCompletion(sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Deadlocked {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations on nominal run: %v", res.Violations)
+	}
+	if len(commands) != 2 {
+		t.Fatalf("commands = %v, want start and stop", commands)
+	}
+	if res.StepsFired != 4 {
+		t.Fatalf("steps fired = %d, want 4", res.StepsFired)
+	}
+}
+
+func TestInterpNominalRunsNeverViolate(t *testing.T) {
+	for name, w := range Builtins() {
+		for seed := int64(0); seed < 20; seed++ {
+			k := sim.NewKernel()
+			in := NewInterp(k, w, InterpConfig{Seed: seed})
+			res, err := in.RunToCompletion(24 * sim.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s seed %d: nominal violations %v\nlog: %v",
+					name, seed, res.Violations, res.Log)
+			}
+		}
+	}
+}
+
+func TestInterpErrorInjectionFindsViolations(t *testing.T) {
+	// With aggressive user-error rates, some seed must produce a
+	// violation in pca_setup (wrong dose reaches patient).
+	found := false
+	for seed := int64(0); seed < 60 && !found; seed++ {
+		k := sim.NewKernel()
+		in := NewInterp(k, Builtins()["pca_setup"], InterpConfig{
+			Seed:   seed,
+			Errors: ErrorModel{SkipGuardProb: 0.3},
+		})
+		res, err := in.RunToCompletion(24 * sim.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("60 error-injected runs never violated an invariant")
+	}
+}
+
+func TestInterpOmissionCausesIncompleteOrViolation(t *testing.T) {
+	sawTrouble := false
+	for seed := int64(0); seed < 40 && !sawTrouble; seed++ {
+		k := sim.NewKernel()
+		in := NewInterp(k, Builtins()["xray_vent"], InterpConfig{
+			Seed:   seed,
+			Errors: ErrorModel{OmitProb: 0.4},
+		})
+		res, err := in.RunToCompletion(24 * sim.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FaultsInjected > 0 {
+			env := in.w.Env(res.Final)
+			if res.Completed && !env["ventilated"].B {
+				sawTrouble = true // completed with ventilator still paused
+			}
+		}
+	}
+	if !sawTrouble {
+		t.Fatal("omission injection never left the ventilator paused at completion")
+	}
+}
+
+func TestInterpDeterministicGivenSeed(t *testing.T) {
+	run := func() InterpResult {
+		k := sim.NewKernel()
+		in := NewInterp(k, Builtins()["transfusion"], InterpConfig{Seed: 11})
+		res, err := in.RunToCompletion(sim.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.StepsFired != b.StepsFired || a.Completed != b.Completed || len(a.Log) != len(b.Log) {
+		t.Fatal("interpreter not deterministic for fixed seed")
+	}
+}
+
+func TestLexerIdentWithDash(t *testing.T) {
+	toks, err := lexAll("x-ray set-rate a - b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	want := "x-ray set-rate a - b"
+	if strings.Join(texts, " ") != want {
+		t.Fatalf("tokens = %v", texts)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if BoolVal(true).String() != "true" || IntVal(7).String() != "7" {
+		t.Fatal("value formatting")
+	}
+	if BoolVal(true).Equal(IntVal(1)) {
+		t.Fatal("cross-type equality")
+	}
+	if FaultSkipGuard.String() != "skip-guard" || FaultOmit.String() != "omit" || FaultKind(9).String() != "unknown" {
+		t.Fatal("fault kind names")
+	}
+}
+
+// The on-disk scenario files shipped under scenarios/ must parse, verify
+// nominally, and expose their intended hazards under fault injection.
+func TestShippedScenarioFiles(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		goal string
+		omit string
+	}{
+		{"../../scenarios/mri_transport.wf", "on_wall_vent", "reconnect_wall"},
+		{"../../scenarios/insulin_infusion.wf", "infusing", ""},
+	} {
+		src, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		a := Analysis{W: w}
+		rep, err := a.CheckSafety(VarExpr{Name: tc.goal}, verifyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds || !rep.TerminalGoalHolds {
+			t.Fatalf("%s: nominal check failed: holds=%v goal=%v\n%s%s",
+				tc.path, rep.Holds, rep.TerminalGoalHolds, rep.Counterexample, rep.TerminalGoalTrace)
+		}
+		if tc.omit != "" {
+			a.Faults = []Fault{{Kind: FaultOmit, Step: tc.omit}}
+			rep, err := a.CheckSafety(VarExpr{Name: tc.goal}, verifyOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TerminalGoalHolds {
+				t.Fatalf("%s: omitting %s exposed no hazard", tc.path, tc.omit)
+			}
+		}
+	}
+}
