@@ -8,15 +8,19 @@
 // Each benchmark executes its full experiment per iteration and reports
 // the headline metric via b.ReportMetric, so regressions in either
 // performance or experimental shape are visible. cmd/icerun prints the
-// same tables for human reading.
+// same tables for human reading, and BenchmarkFleetPCAScaling tracks
+// multi-room throughput of the fleet runner as the worker pool widens.
 package repro
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/closedloop"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -241,6 +245,37 @@ func BenchmarkE13UserModel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(worst, "worst-P-unsafe")
+}
+
+// BenchmarkFleetPCAScaling runs a fixed fleet of independent PCA patient
+// rooms at increasing worker counts. The cells/s metric is the headline:
+// it should scale with workers up to the core count, while the reduced
+// clinical outcome stays bit-identical at every width (the determinism
+// tests assert this; the benchmark reports the mean nadir as a tripwire).
+func BenchmarkFleetPCAScaling(b *testing.B) {
+	const cells = 8
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+				Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last []fleet.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Runner{Workers: workers}.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(fleet.Reduce(last).Mean(closedloop.MetricMinSpO2), "mean-minSpO2")
+		})
+	}
 }
 
 func BenchmarkE12TemporalInduction(b *testing.B) {

@@ -1,9 +1,15 @@
-// Command icerun regenerates the experiment tables of DESIGN.md /
-// EXPERIMENTS.md (the benchmark harness in human-readable form).
+// Command icerun regenerates the experiment tables indexed in DESIGN.md
+// (the benchmark harness in human-readable form).
 //
 // Usage:
 //
-//	icerun [-exp F1,E2,...|all] [-seed N]
+//	icerun [-exp F1,E2,...|all] [-seed N] [-cells N] [-workers N]
+//
+// -cells and -workers drive the fleet runner: F1 runs that many
+// independent patient sessions per configuration, and the sweep-shaped
+// experiments (E6, E7) spread their cells across the worker pool. With
+// the defaults (1 cell, 1 worker) every table is bit-identical to the
+// historical serial harness.
 package main
 
 import (
@@ -15,56 +21,70 @@ import (
 	"repro/internal/experiments"
 )
 
-type runner func(seed int64) (experiments.Table, error)
+type runner func(opt options) (experiments.Table, error)
+
+// options carries the harness-wide knobs into each experiment runner.
+type options struct {
+	seed    int64
+	cells   int
+	workers int
+}
 
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (F1,E2,...,E12) or 'all'")
 	seed := flag.Int64("seed", 1, "base simulation seed")
+	cells := flag.Int("cells", 1, "trials per configuration for ensemble experiments (currently F1 only; sweep experiments run one cell per sweep point)")
+	workers := flag.Int("workers", 1, "fleet worker pool width for parallel cell execution (F1, E6, E7)")
 	flag.Parse()
 
 	runners := map[string]runner{
-		"F1": func(s int64) (experiments.Table, error) {
-			return experiments.F1PCAControlLoop(experiments.F1Options{Seed: s})
+		"F1": func(o options) (experiments.Table, error) {
+			return experiments.F1PCAControlLoop(experiments.F1Options{
+				Seed: o.seed, Trials: o.cells, Workers: o.workers,
+			})
 		},
-		"E2": func(s int64) (experiments.Table, error) {
+		"E2": func(o options) (experiments.Table, error) {
 			opt := experiments.DefaultE2()
-			opt.Seed = s
+			opt.Seed = o.seed
 			return experiments.E2XrayVentSync(opt)
 		},
-		"E3": func(s int64) (experiments.Table, error) {
-			return experiments.E3SmartAlarms(experiments.E3Options{Seed: s})
+		"E3": func(o options) (experiments.Table, error) {
+			return experiments.E3SmartAlarms(experiments.E3Options{Seed: o.seed})
 		},
-		"E4": func(s int64) (experiments.Table, error) {
-			return experiments.E4SupervisoryControl(experiments.E4Options{Seed: s})
+		"E4": func(o options) (experiments.Table, error) {
+			return experiments.E4SupervisoryControl(experiments.E4Options{Seed: o.seed})
 		},
-		"E5": func(int64) (experiments.Table, error) { return experiments.E5WorkflowVerify() },
-		"E6": func(s int64) (experiments.Table, error) {
+		"E5": func(options) (experiments.Table, error) { return experiments.E5WorkflowVerify() },
+		"E6": func(o options) (experiments.Table, error) {
 			opt := experiments.DefaultE6()
-			opt.Seed = s
+			opt.Seed = o.seed
+			opt.Workers = o.workers
 			return experiments.E6CommFailure(opt)
 		},
-		"E7": func(s int64) (experiments.Table, error) {
-			return experiments.E7AdaptiveThresholds(experiments.E7Options{Seed: s})
+		"E7": func(o options) (experiments.Table, error) {
+			return experiments.E7AdaptiveThresholds(experiments.E7Options{
+				Seed: o.seed, Workers: o.workers,
+			})
 		},
-		"E8": func(int64) (experiments.Table, error) { return experiments.E8IncrementalCert() },
-		"E9": func(s int64) (experiments.Table, error) {
-			return experiments.E9Security(experiments.E9Options{Seed: s})
+		"E8": func(options) (experiments.Table, error) { return experiments.E8IncrementalCert() },
+		"E9": func(o options) (experiments.Table, error) {
+			return experiments.E9Security(experiments.E9Options{Seed: o.seed})
 		},
-		"E10": func(s int64) (experiments.Table, error) {
-			return experiments.E10Telemetry(experiments.E10Options{Seed: s})
+		"E10": func(o options) (experiments.Table, error) {
+			return experiments.E10Telemetry(experiments.E10Options{Seed: o.seed})
 		},
-		"E11": func(s int64) (experiments.Table, error) {
-			return experiments.E11MixedCriticality(experiments.E11Options{Seed: s})
+		"E11": func(o options) (experiments.Table, error) {
+			return experiments.E11MixedCriticality(experiments.E11Options{Seed: o.seed})
 		},
-		"E12": func(int64) (experiments.Table, error) { return experiments.E12TemporalInduction() },
-		"E13": func(s int64) (experiments.Table, error) {
+		"E12": func(options) (experiments.Table, error) { return experiments.E12TemporalInduction() },
+		"E13": func(o options) (experiments.Table, error) {
 			opt := experiments.DefaultE13()
-			opt.Seed = s
+			opt.Seed = o.seed
 			return experiments.E13UserModel(opt)
 		},
-		"A1": func(s int64) (experiments.Table, error) {
+		"A1": func(o options) (experiments.Table, error) {
 			opt := experiments.DefaultA1()
-			opt.Seed = s
+			opt.Seed = o.seed
 			return experiments.A1SupervisorAblation(opt)
 		},
 	}
@@ -83,11 +103,12 @@ func main() {
 			ids = append(ids, id)
 		}
 	}
+	opt := options{seed: *seed, cells: *cells, workers: *workers}
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
 		}
-		tab, err := runners[id](*seed)
+		tab, err := runners[id](opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "icerun: %s: %v\n", id, err)
 			os.Exit(1)

@@ -1,6 +1,7 @@
 package closedloop
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +30,14 @@ type PCAScenarioConfig struct {
 	// ProxyPresses injects PCA-by-proxy abuse: a visitor pressing the
 	// button every interval regardless of the patient's state.
 	ProxyPressInterval sim.Time
+
+	// OximeterOutageStart/End, when End > Start, schedule a total outage
+	// of the oximeter->supervisor path — the network-partition fault of
+	// experiment E6. Part of the config (rather than a post-build call) so
+	// a scenario is a pure function of its config, which is what lets the
+	// fleet layer build cells from declarative specs.
+	OximeterOutageStart sim.Time
+	OximeterOutageEnd   sim.Time
 }
 
 // DefaultPCAScenario returns a 2-hour session reproducing the adverse-
@@ -144,6 +153,12 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 			trace.Record("obs/spo2", k.Now(), d.Value)
 		}
 	})
+	// Configured network partition of the sensing path.
+	if cfg.OximeterOutageEnd > cfg.OximeterOutageStart {
+		if err := net.Outage("ox1", mgr.Addr(), cfg.OximeterOutageStart, cfg.OximeterOutageEnd); err != nil {
+			panic(fmt.Sprintf("closedloop: oximeter outage: %v", err))
+		}
+	}
 	return sc
 }
 
@@ -193,4 +208,58 @@ func RunPCAScenario(cfg PCAScenarioConfig) (PCAOutcome, *PCAScenario, error) {
 	sc := BuildPCAScenario(cfg)
 	out, err := sc.Run(cfg.Duration)
 	return out, sc, err
+}
+
+// Metric names emitted by PCAOutcome.Metrics. Exported so fleet reducers
+// and experiment tables agree on spelling.
+const (
+	MetricMinSpO2        = "min_spo2"
+	MetricSecondsBelow90 = "s_below90"
+	MetricSecondsBelow85 = "s_below85"
+	MetricDistressed     = "distressed"
+	MetricDrugMg         = "drug_mg"
+	MetricBoluses        = "boluses"
+	MetricBolusesDenied  = "boluses_denied"
+	MetricPumpStops      = "stops"
+	MetricAlarms         = "alarms"
+	MetricDataTimeouts   = "timeouts"
+	MetricStopLatencyNs  = "stop_latency_ns"
+	MetricFinalPain      = "final_pain"
+)
+
+// Metrics flattens the outcome into the named-float form the fleet reduce
+// stage consumes. Booleans become 0/1; durations are kept in integer
+// nanoseconds (exact in a float64 for any plausible latency) so tables can
+// reconstruct the original sim.Time bit-for-bit.
+func (o PCAOutcome) Metrics() map[string]float64 {
+	m := map[string]float64{
+		MetricMinSpO2:        o.MinSpO2,
+		MetricSecondsBelow90: o.SecondsBelow90,
+		MetricSecondsBelow85: o.SecondsBelow85,
+		MetricDistressed:     0,
+		MetricDrugMg:         o.TotalDrugMg,
+		MetricBoluses:        float64(o.Boluses),
+		MetricBolusesDenied:  float64(o.BolusesDenied),
+		MetricPumpStops:      float64(o.PumpStops),
+		MetricAlarms:         float64(o.Alarms),
+		MetricDataTimeouts:   float64(o.DataTimeouts),
+		MetricStopLatencyNs:  float64(int64(o.MeanStopLatency)),
+		MetricFinalPain:      o.FinalPain,
+	}
+	if o.Distressed {
+		m[MetricDistressed] = 1
+	}
+	return m
+}
+
+// RunPCACell builds the rig from cfg, runs it to the configured horizon,
+// and returns the flattened outcome — the exact shape of a fleet cell
+// body. It returns a plain map so this package stays free of fleet
+// imports (fleet imports closedloop, not the reverse).
+func RunPCACell(cfg PCAScenarioConfig) (map[string]float64, error) {
+	out, _, err := RunPCAScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.Metrics(), nil
 }

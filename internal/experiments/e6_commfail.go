@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/closedloop"
-	"repro/internal/mednet"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -14,6 +13,7 @@ type E6Options struct {
 	Seed     int64
 	Duration sim.Time  // 0 = 2 h
 	Losses   []float64 // packet-loss probabilities to sweep
+	Workers  int       // fleet worker pool width; 0 = serial
 }
 
 // DefaultE6 returns the sweep in DESIGN.md.
@@ -31,9 +31,17 @@ func DefaultE6() E6Options {
 // outage of the oximeter->supervisor path mid-session (a network
 // partition) — the communication failure the paper says the supervisor
 // must tolerate. What does each design cost the patient?
+//
+// Every sweep point is one fleet cell of the registered "pca-commfault"
+// scenario, all pinned to the base seed so the (mode, loss) axis is the
+// only thing that varies; the cells run concurrently across Workers and
+// reduce back into rows in sweep order.
 func E6CommFailure(opt E6Options) (Table, error) {
 	if len(opt.Losses) == 0 {
-		opt = DefaultE6()
+		opt.Losses = DefaultE6().Losses
+	}
+	if opt.Duration == 0 {
+		opt.Duration = 2 * sim.Hour
 	}
 	t := Table{
 		ID:    "E6",
@@ -41,31 +49,57 @@ func E6CommFailure(opt E6Options) (Table, error) {
 		Header: []string{"mode", "loss", "min SpO2", "s<85", "distress",
 			"stops", "timeouts", "drug (mg)"},
 	}
+
+	type combo struct {
+		mode     string
+		failSafe bool
+		loss     float64
+	}
+	var combos []combo
 	for _, failSafe := range []bool{true, false} {
 		mode := "fail-safe"
 		if !failSafe {
 			mode = "fail-operational"
 		}
 		for _, loss := range opt.Losses {
-			cfg := closedloop.DefaultPCAScenario(opt.Seed)
-			cfg.Duration = opt.Duration
-			cfg.Link = mednet.LinkParams{
-				Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, LossProb: loss,
-			}
-			cfg.Supervisor.FailSafe = failSafe
-			sc := closedloop.BuildPCAScenario(cfg)
-			outageStart := opt.Duration / 4
-			if err := sc.Net.Outage("ox1", sc.Mgr.Addr(), outageStart, outageStart+35*sim.Minute); err != nil {
-				return t, err
-			}
-			out, err := sc.Run(cfg.Duration)
-			if err != nil {
-				return t, fmt.Errorf("E6 %s loss %.2f: %w", mode, loss, err)
-			}
-			t.AddRow(mode, f("%.0f%%", loss*100), f("%.1f", out.MinSpO2),
-				f("%.0f", out.SecondsBelow85), boolCell(out.Distressed),
-				u(out.PumpStops), u(out.DataTimeouts), f("%.1f", out.TotalDrugMg))
+			combos = append(combos, combo{mode: mode, failSafe: failSafe, loss: loss})
 		}
+	}
+
+	specs := make([]fleet.Spec, 0, len(combos))
+	for _, c := range combos {
+		failsafe := 0.0
+		if c.failSafe {
+			failsafe = 1
+		}
+		spec, err := fleet.Build(fleet.ScenarioPCACommFault, fleet.Params{
+			Seed:     opt.Seed,
+			Cells:    1,
+			Duration: opt.Duration,
+			Knobs:    map[string]float64{"loss": c.loss, "failsafe": failsafe},
+		})
+		if err != nil {
+			return t, fmt.Errorf("E6: %w", err)
+		}
+		// Name the spec after the sweep point so a failing cell's error
+		// identifies its (mode, loss) configuration. The seed is pinned by
+		// the factory, so the name never feeds seed derivation here.
+		spec.Name = fmt.Sprintf("E6 %s loss %.2f", c.mode, c.loss)
+		specs = append(specs, spec)
+	}
+	groups, err := fleet.Runner{Workers: opt.Workers}.RunAll(specs)
+	if err != nil {
+		return t, fmt.Errorf("E6: %w", err)
+	}
+
+	for i, c := range combos {
+		m := groups[i][0].Metrics
+		t.AddRow(c.mode, f("%.0f%%", c.loss*100), f("%.1f", m[closedloop.MetricMinSpO2]),
+			f("%.0f", m[closedloop.MetricSecondsBelow85]),
+			boolCell(m[closedloop.MetricDistressed] != 0),
+			u(uint64(m[closedloop.MetricPumpStops])),
+			u(uint64(m[closedloop.MetricDataTimeouts])),
+			f("%.1f", m[closedloop.MetricDrugMg]))
 	}
 	t.AddNote("expected shape: fail-safe holds the distress line at every loss rate by trading availability " +
 		"(stops during the blind window); fail-operational keeps infusing blind through the outage and " +

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/alarm"
 	"repro/internal/ehr"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -14,6 +15,7 @@ type E7Options struct {
 	Athletes int      // 0 = 10
 	Average  int      // 0 = 10
 	Duration sim.Time // 0 = 12 h
+	Workers  int      // fleet worker pool width; 0 = serial
 }
 
 // e7Series synthesizes a heart-rate series for one patient: baseline plus
@@ -37,52 +39,77 @@ func e7Series(rng *sim.RNG, baseline float64, dur sim.Time, genuineAt sim.Time) 
 	return out, truth
 }
 
-func e7Score(opt E7Options, personalized bool) (alarm.Metrics, error) {
-	rng := sim.NewRNG(opt.Seed)
-	var agg alarm.Metrics
-	total := opt.Athletes + opt.Average
-	for i := 0; i < total; i++ {
-		isAthlete := i < opt.Athletes
-		prng := rng.Fork(fmt.Sprintf("p%d", i))
-		baseline := prng.Uniform(62, 80)
-		rec := ehr.NewRecord(fmt.Sprintf("p%d", i))
-		if isAthlete {
-			baseline = prng.Uniform(41, 48)
-			rec.ExerciseHoursPerWeek = prng.Uniform(7, 14)
-		} else {
-			rec.ExerciseHoursPerWeek = prng.Uniform(0, 3)
-		}
-		// History: two weeks of daily resting heart rates on the chart.
-		for j := 0; j < 14; j++ {
-			rec.AddObservation(ehr.Observation{Signal: "hr", Value: baseline + prng.Normal(0, 2)})
-		}
-		th := ehr.PopulationThresholds()
-		if personalized {
-			th = ehr.Personalize(rec, th)
-		}
-
-		genuineAt := sim.Time(0)
-		if i%3 == 0 {
-			genuineAt = opt.Duration / 2
-		}
-		series, truth := e7Series(prng, baseline, opt.Duration, genuineAt)
-
-		eng := alarm.NewEngine()
-		eng.MustAddRule(alarm.ThresholdRule{
-			Name: "hr-low", Signal: "hr", Low: th.HRLow, High: th.HRHigh,
-			Sustain: 30 * sim.Second, Priority: alarm.Crisis, Refractory: 10 * sim.Minute,
-		})
-		for _, s := range series {
-			eng.Observe(s.T, "hr", s.V, true)
-		}
-		m := alarm.Score(eng.Events(), truth, 2*sim.Minute, opt.Duration)
-		agg.TotalAlarms += m.TotalAlarms
-		agg.TruePositives += m.TruePositives
-		agg.FalsePositives += m.FalsePositives
-		agg.MissedEpisodes += m.MissedEpisodes
-		agg.TotalEpisodes += m.TotalEpisodes
+// e7Patient monitors one patient for the configured duration and scores
+// the alarm stream against ground truth — the body of one fleet cell.
+// prng is the cell's own stream, derived by the fleet runner as a pure
+// function of (seed, spec name, cell index), so the ensemble scores
+// identically however many workers run it, and identically for the
+// population and personalized passes (the two passes share a spec name
+// and seed, keeping the comparison paired).
+func e7Patient(opt E7Options, personalized bool, i int, prng *sim.RNG) alarm.Metrics {
+	isAthlete := i < opt.Athletes
+	baseline := prng.Uniform(62, 80)
+	rec := ehr.NewRecord(fmt.Sprintf("p%d", i))
+	if isAthlete {
+		baseline = prng.Uniform(41, 48)
+		rec.ExerciseHoursPerWeek = prng.Uniform(7, 14)
+	} else {
+		rec.ExerciseHoursPerWeek = prng.Uniform(0, 3)
 	}
-	return agg, nil
+	// History: two weeks of daily resting heart rates on the chart.
+	for j := 0; j < 14; j++ {
+		rec.AddObservation(ehr.Observation{Signal: "hr", Value: baseline + prng.Normal(0, 2)})
+	}
+	th := ehr.PopulationThresholds()
+	if personalized {
+		th = ehr.Personalize(rec, th)
+	}
+
+	genuineAt := sim.Time(0)
+	if i%3 == 0 {
+		genuineAt = opt.Duration / 2
+	}
+	series, truth := e7Series(prng, baseline, opt.Duration, genuineAt)
+
+	eng := alarm.NewEngine()
+	eng.MustAddRule(alarm.ThresholdRule{
+		Name: "hr-low", Signal: "hr", Low: th.HRLow, High: th.HRHigh,
+		Sustain: 30 * sim.Second, Priority: alarm.Crisis, Refractory: 10 * sim.Minute,
+	})
+	for _, s := range series {
+		eng.Observe(s.T, "hr", s.V, true)
+	}
+	return alarm.Score(eng.Events(), truth, 2*sim.Minute, opt.Duration)
+}
+
+func e7Score(opt E7Options, personalized bool) (alarm.Metrics, error) {
+	spec := fleet.Spec{
+		Name:  "e7-threshold-ward",
+		Seed:  opt.Seed,
+		Cells: opt.Athletes + opt.Average,
+		Run: func(c fleet.Cell) (fleet.Metrics, error) {
+			m := e7Patient(opt, personalized, c.Index, c.RNG())
+			return fleet.Metrics{
+				"alarms":    float64(m.TotalAlarms),
+				"true_pos":  float64(m.TruePositives),
+				"false_pos": float64(m.FalsePositives),
+				"missed":    float64(m.MissedEpisodes),
+				"episodes":  float64(m.TotalEpisodes),
+			}, nil
+		},
+	}
+	results, err := fleet.Runner{Workers: opt.Workers}.Run(spec)
+	if err != nil {
+		return alarm.Metrics{}, err
+	}
+	sum := fleet.Reduce(results)
+	return alarm.Metrics{
+		TotalAlarms:    int(sum.Sum("alarms")),
+		TruePositives:  int(sum.Sum("true_pos")),
+		FalsePositives: int(sum.Sum("false_pos")),
+		MissedEpisodes: int(sum.Sum("missed")),
+		TotalEpisodes:  int(sum.Sum("episodes")),
+	}, nil
 }
 
 // E7AdaptiveThresholds compares population alarm limits against EHR-

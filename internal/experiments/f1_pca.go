@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/closedloop"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -11,6 +13,8 @@ import (
 type F1Options struct {
 	Seed     int64
 	Duration sim.Time // 0 = 2 h
+	Trials   int      // independent patient sessions per configuration; 0 = 1
+	Workers  int      // fleet worker pool width; 0 = serial
 }
 
 // F1PCAControlLoop reproduces Figure 1 of the paper: the closed-loop PCA
@@ -19,47 +23,86 @@ type F1Options struct {
 // patient-safety outcome of each, plus the control-loop delay budget the
 // figure annotates (signal processing time, algorithm processing time,
 // pump stop delay).
+//
+// Both configurations run as fleet ensembles: Trials independent patient
+// rooms per configuration, executed across Workers goroutines. Trial 0
+// replays the base seed, so the default single-trial table is identical
+// to the historical serial run; with Trials > 1 each row reports ensemble
+// means and the distress column becomes a count.
 func F1PCAControlLoop(opt F1Options) (Table, error) {
-	if opt.Duration == 0 {
-		opt.Duration = 2 * sim.Hour
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	title := "PCA control loop (paper Fig. 1): misprogrammed pump + PCA-by-proxy, 2 h session"
+	if trials > 1 {
+		title = fmt.Sprintf("%s (%d trials/config, ensemble means)", title, trials)
 	}
 	t := Table{
 		ID:    "F1",
-		Title: "PCA control loop (paper Fig. 1): misprogrammed pump + PCA-by-proxy, 2 h session",
+		Title: title,
 		Header: []string{"configuration", "min SpO2 (%)", "s<90", "s<85", "distress",
 			"drug (mg)", "boluses", "denied", "stops", "alarms"},
 	}
 
-	run := func(name string, enabled bool) (closedloop.PCAOutcome, *closedloop.PCAScenario, error) {
-		cfg := closedloop.DefaultPCAScenario(opt.Seed)
-		cfg.Duration = opt.Duration
-		cfg.SupervisorEnabled = enabled
-		out, sc, err := closedloop.RunPCAScenario(cfg)
+	params := fleet.Params{Seed: opt.Seed, Cells: trials, Duration: opt.Duration}
+	specs := make([]fleet.Spec, 0, 2)
+	for _, name := range []string{fleet.ScenarioPCAUnsupervised, fleet.ScenarioPCASupervised} {
+		spec, err := fleet.Build(name, params)
 		if err != nil {
-			return out, nil, fmt.Errorf("F1 %s: %w", name, err)
+			return t, fmt.Errorf("F1: %w", err)
 		}
-		t.AddRow(name, f("%.1f", out.MinSpO2), f("%.0f", out.SecondsBelow90),
-			f("%.0f", out.SecondsBelow85), boolCell(out.Distressed),
-			f("%.1f", out.TotalDrugMg), u(out.Boluses), u(out.BolusesDenied),
-			u(out.PumpStops), d(out.Alarms))
-		return out, sc, nil
+		specs = append(specs, spec)
 	}
-
-	if _, _, err := run("unsupervised (stand-alone devices)", false); err != nil {
-		return t, err
-	}
-	outYes, sc, err := run("ICE supervisor (Fig. 1 loop)", true)
+	groups, err := fleet.Runner{Workers: opt.Workers}.RunAll(specs)
 	if err != nil {
-		return t, err
+		return t, fmt.Errorf("F1: %w", err)
 	}
 
-	// The delay budget Figure 1 annotates.
-	win := sc.Oximeter.Conn().Descriptor() // window length comes from the estimator
-	_ = win
+	var supSum *fleet.Summary // supervised-group summary, reused by the notes
+	rowNames := []string{"unsupervised (stand-alone devices)", "ICE supervisor (Fig. 1 loop)"}
+	for i, name := range rowNames {
+		if trials == 1 {
+			m := groups[i][0].Metrics
+			t.AddRow(name, f("%.1f", m[closedloop.MetricMinSpO2]),
+				f("%.0f", m[closedloop.MetricSecondsBelow90]),
+				f("%.0f", m[closedloop.MetricSecondsBelow85]),
+				boolCell(m[closedloop.MetricDistressed] != 0),
+				f("%.1f", m[closedloop.MetricDrugMg]),
+				u(uint64(m[closedloop.MetricBoluses])),
+				u(uint64(m[closedloop.MetricBolusesDenied])),
+				u(uint64(m[closedloop.MetricPumpStops])),
+				d(int(m[closedloop.MetricAlarms])))
+			continue
+		}
+		sum := fleet.Reduce(groups[i])
+		if i == 1 {
+			supSum = sum
+		}
+		t.AddRow(name, f("%.1f", sum.Mean(closedloop.MetricMinSpO2)),
+			f("%.0f", sum.Mean(closedloop.MetricSecondsBelow90)),
+			f("%.0f", sum.Mean(closedloop.MetricSecondsBelow85)),
+			fmt.Sprintf("%d/%d", sum.CountAbove(closedloop.MetricDistressed, 0.5), sum.Cells),
+			f("%.1f", sum.Mean(closedloop.MetricDrugMg)),
+			f("%.1f", sum.Mean(closedloop.MetricBoluses)),
+			f("%.1f", sum.Mean(closedloop.MetricBolusesDenied)),
+			f("%.1f", sum.Mean(closedloop.MetricPumpStops)),
+			f("%.1f", sum.Mean(closedloop.MetricAlarms)))
+	}
+
+	// The delay budget Figure 1 annotates, measured on the base-seed
+	// supervised session (trial 0 replays the legacy serial run exactly).
+	supervised := groups[1][0].Metrics
 	t.AddNote("loop delay budget: signal processing = 4 s analysis window; "+
 		"algorithm processing = 100 ms; network+ack+pump stop delay (measured) = %v",
-		outYes.MeanStopLatency.Duration())
-	t.AddNote("supervisor data timeouts: %d; expected shape: supervision eliminates the distress episode", outYes.DataTimeouts)
+		time.Duration(int64(supervised[closedloop.MetricStopLatencyNs])))
+	t.AddNote("supervisor data timeouts: %d; expected shape: supervision eliminates the distress episode",
+		uint64(supervised[closedloop.MetricDataTimeouts]))
+	if trials > 1 {
+		t.AddNote("supervised min SpO2 across %d trials: mean %.1f, p5 %.1f, worst %.1f",
+			supSum.Cells, supSum.Mean(closedloop.MetricMinSpO2),
+			supSum.Percentile(closedloop.MetricMinSpO2, 5), supSum.Min(closedloop.MetricMinSpO2))
+	}
 	return t, nil
 }
 

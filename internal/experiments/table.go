@@ -1,9 +1,11 @@
 // Package experiments contains one runner per experiment in DESIGN.md's
-// index (F1, E2-E12). Each runner builds its scenario from the library
-// packages, executes it on the virtual clock, and returns a Table — the
-// rows the paper's evaluation section would have reported. bench_test.go
-// and the cmd/ tools are thin wrappers around these runners, and
-// EXPERIMENTS.md records their output.
+// index (F1, E2-E13, A1). Each runner builds its scenario from the
+// library packages, executes it on the virtual clock, and returns a
+// Table — the rows the paper's evaluation section would have reported.
+// The sweep-shaped runners (F1 trials, E6, E7) execute their cells on
+// the internal/fleet runner, so their tables are reproducible at any
+// worker count. bench_test.go and the cmd/ tools are thin wrappers
+// around these runners; cmd/icerun renders their output.
 package experiments
 
 import (

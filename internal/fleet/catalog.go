@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/closedloop"
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// The built-in catalog: patient-room scenarios assembled from the
+// closedloop factories. Experiments and cmd/icerun build their fleets
+// from these names instead of hand-rolling loops.
+func init() {
+	Register(ScenarioPCASupervised, pcaFactory(true))
+	Register(ScenarioPCAUnsupervised, pcaFactory(false))
+	Register(ScenarioPCACommFault, commFaultFactory)
+}
+
+// Built-in scenario names.
+const (
+	// ScenarioPCASupervised is the paper's Figure 1 adverse-event rig
+	// (misprogrammed pump + PCA-by-proxy) with the ICE supervisor closing
+	// the loop. One cell = one 2-hour patient session.
+	ScenarioPCASupervised = "pca-supervised"
+	// ScenarioPCAUnsupervised is the same rig with stand-alone devices.
+	ScenarioPCAUnsupervised = "pca-unsupervised"
+	// ScenarioPCACommFault is the supervised rig under packet loss
+	// (knob "loss") plus a 35-minute oximeter partition, with knob
+	// "failsafe" (default 1) selecting design D1 vs the fail-operational
+	// ablation. Every cell pins the base seed, so the knobs are the only
+	// thing that varies across a sweep.
+	ScenarioPCACommFault = "pca-commfault"
+)
+
+func pcaConfig(seed int64, d sim.Time) closedloop.PCAScenarioConfig {
+	cfg := closedloop.DefaultPCAScenario(seed)
+	if d > 0 {
+		cfg.Duration = d
+	}
+	return cfg
+}
+
+func pcaFactory(supervised bool) Factory {
+	name := ScenarioPCAUnsupervised
+	if supervised {
+		name = ScenarioPCASupervised
+	}
+	return func(p Params) Spec {
+		return Spec{
+			Name:   name,
+			Seed:   p.Seed,
+			Cells:  p.Cells,
+			SeedFn: EnsembleSeeds(p.Seed, name+"/trial"),
+			Run: func(c Cell) (Metrics, error) {
+				cfg := pcaConfig(c.Seed, p.Duration)
+				cfg.SupervisorEnabled = supervised
+				return closedloop.RunPCACell(cfg)
+			},
+		}
+	}
+}
+
+func commFaultFactory(p Params) Spec {
+	return Spec{
+		Name:  ScenarioPCACommFault,
+		Seed:  p.Seed,
+		Cells: p.Cells,
+		// A sweep point, not a trial ensemble: every cell replays the base
+		// seed so sweeps stay paired across knob settings.
+		SeedFn: func(int) int64 { return p.Seed },
+		Run: func(c Cell) (Metrics, error) {
+			cfg := pcaConfig(c.Seed, p.Duration)
+			cfg.Link = mednet.LinkParams{
+				Latency:  5 * time.Millisecond,
+				Jitter:   2 * time.Millisecond,
+				LossProb: p.Knob("loss", 0),
+			}
+			cfg.Supervisor.FailSafe = p.Knob("failsafe", 1) != 0
+			cfg.OximeterOutageStart = cfg.Duration / 4
+			cfg.OximeterOutageEnd = cfg.Duration/4 + 35*sim.Minute
+			return closedloop.RunPCACell(cfg)
+		},
+	}
+}

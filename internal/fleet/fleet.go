@@ -1,0 +1,166 @@
+// Package fleet runs ensembles of isolated patient-room simulations in
+// parallel. The simulation kernel, network, and device models are all
+// single-threaded by construction (see sim.Kernel, mednet.Network), so
+// scale comes from running many *independent* rooms concurrently rather
+// than from threading one room: a Cell bundles one room's entire world —
+// its own kernel, network, ICE manager, devices, and patient — behind a
+// CellFunc, a Runner executes N cells across a bounded worker pool, and a
+// Summary reduces the per-cell metrics.
+//
+// Determinism under parallelism is the load-bearing guarantee: each cell's
+// seed is a pure function of its index — by default
+// sim.SubSeed(spec seed, spec name, index), though specs may install their
+// own pure SeedFn (the catalog's trial ensembles replay the base seed at
+// cell 0 via EnsembleSeeds, and sweep points pin every cell to it) — cells
+// share no mutable state, and results are collected by cell index, so a
+// fixed seed produces byte-identical reduced output whether the fleet runs
+// on 1 worker or 64.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Metrics is the named numeric outcome of one cell. Cell bodies outside
+// this package return plain map[string]float64 (assignable to Metrics) so
+// scenario packages need not import fleet.
+type Metrics map[string]float64
+
+// Cell identifies one room of the fleet to its builder.
+type Cell struct {
+	Index int   // position in the ensemble, 0-based
+	Seed  int64 // per-cell seed, derived deterministically by the runner
+}
+
+// RNG returns the cell's root generator. Models inside the cell should
+// Fork it exactly as a standalone scenario would.
+func (c Cell) RNG() *sim.RNG { return sim.NewRNG(c.Seed) }
+
+// CellFunc builds and runs one isolated room and returns its metrics.
+// The runner calls it from worker goroutines, one cell per call; it must
+// not share mutable state with other cells.
+type CellFunc func(c Cell) (Metrics, error)
+
+// Spec describes one ensemble: how many cells, how they are seeded, and
+// how each is built and run.
+type Spec struct {
+	Name  string // registry/reporting name; also the seed-derivation label
+	Seed  int64  // base seed for the ensemble
+	Cells int
+
+	// SeedFn overrides per-cell seed derivation. Nil means
+	// sim.SubSeed(Seed, Name, index). Sweep-shaped specs that replay one
+	// scenario under different parameters typically pin every cell to the
+	// base seed instead, so the sweep axis is the only thing that varies.
+	SeedFn func(index int) int64
+
+	Run CellFunc
+}
+
+func (s Spec) seedFor(i int) int64 {
+	if s.SeedFn != nil {
+		return s.SeedFn(i)
+	}
+	return sim.SubSeed(s.Seed, s.Name, i)
+}
+
+// Result is one cell's outcome.
+type Result struct {
+	Cell    Cell
+	Metrics Metrics
+	Err     error
+}
+
+// Runner executes specs across a bounded worker pool. The zero value runs
+// serially (one worker).
+type Runner struct {
+	Workers int // goroutines executing cells; <=0 means 1
+}
+
+// Run executes every cell of one spec and returns results in cell order.
+// The returned error joins all per-cell errors; the slice is complete
+// either way, so callers can report partial fleets.
+func (r Runner) Run(spec Spec) ([]Result, error) {
+	all, err := r.RunAll([]Spec{spec})
+	if len(all) == 0 {
+		return nil, err // spec failed validation
+	}
+	return all[0], err
+}
+
+// RunAll schedules the cells of several specs over one shared pool and
+// returns results grouped by spec, each group in cell order. Scheduling
+// order never affects results: cells are independent and slot into their
+// own result index.
+func (r Runner) RunAll(specs []Spec) ([][]Result, error) {
+	for _, s := range specs {
+		if s.Run == nil {
+			return nil, fmt.Errorf("fleet: spec %q has no Run", s.Name)
+		}
+		if s.Cells < 0 {
+			return nil, fmt.Errorf("fleet: spec %q has %d cells", s.Name, s.Cells)
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	out := make([][]Result, len(specs))
+	total := 0
+	for i, s := range specs {
+		out[i] = make([]Result, s.Cells)
+		total += s.Cells
+	}
+	if workers > total {
+		workers = total
+	}
+
+	type job struct{ si, ci int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.si][j.ci] = runCell(specs[j.si], j.ci)
+			}
+		}()
+	}
+	for si, s := range specs {
+		for ci := 0; ci < s.Cells; ci++ {
+			jobs <- job{si, ci}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	for si, group := range out {
+		for _, res := range group {
+			if res.Err != nil {
+				errs = append(errs, fmt.Errorf("%s cell %d: %w", specs[si].Name, res.Cell.Index, res.Err))
+			}
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// runCell executes one cell, converting a panic in the model (the sim
+// kernel panics on causality violations) into a per-cell error so one bad
+// room cannot take down the fleet.
+func runCell(s Spec, i int) (res Result) {
+	res.Cell = Cell{Index: i, Seed: s.seedFor(i)}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("cell panicked: %v", p)
+		}
+	}()
+	m, err := s.Run(res.Cell)
+	res.Metrics, res.Err = m, err
+	return res
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mathSpec is a cheap synthetic workload: each cell draws from its own
+// seeded stream, so any cross-cell interference or order dependence shows
+// up as a metric change.
+func mathSpec(name string, seed int64, cells int) Spec {
+	return Spec{
+		Name:  name,
+		Seed:  seed,
+		Cells: cells,
+		Run: func(c Cell) (Metrics, error) {
+			rng := c.RNG()
+			total := 0.0
+			for i := 0; i < 1000; i++ {
+				total += rng.Normal(0, 1)
+			}
+			return Metrics{"total": total, "seed": float64(c.Seed), "index": float64(c.Index)}, nil
+		},
+	}
+}
+
+// The tentpole guarantee: a fixed seed produces byte-identical reduced
+// output at any worker count.
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	var baseline []Result
+	var baselineSummary string
+	for _, workers := range []int{1, 4, 8} {
+		results, err := Runner{Workers: workers}.Run(mathSpec("det", 99, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := Reduce(results).String()
+		if baseline == nil {
+			baseline, baselineSummary = results, rendered
+			continue
+		}
+		if !reflect.DeepEqual(results, baseline) {
+			t.Fatalf("per-cell results differ at %d workers", workers)
+		}
+		if rendered != baselineSummary {
+			t.Fatalf("reduced summary differs at %d workers:\n%s\nvs\n%s", workers, rendered, baselineSummary)
+		}
+	}
+}
+
+func TestRunAllFlattensAcrossSpecs(t *testing.T) {
+	specs := []Spec{mathSpec("a", 1, 5), mathSpec("b", 2, 3)}
+	groups, err := Runner{Workers: 4}.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 5 || len(groups[1]) != 3 {
+		t.Fatalf("group shape wrong: %d/%d/%d", len(groups), len(groups[0]), len(groups[1]))
+	}
+	for si, g := range groups {
+		for ci, r := range g {
+			if r.Cell.Index != ci {
+				t.Fatalf("spec %d cell %d stored at wrong index %d", si, ci, r.Cell.Index)
+			}
+			if r.Cell.Seed != sim.SubSeed(specs[si].Seed, specs[si].Name, ci) {
+				t.Fatalf("spec %d cell %d has wrong derived seed", si, ci)
+			}
+		}
+	}
+}
+
+func TestSeedDerivationIndependentOfOtherCells(t *testing.T) {
+	// Cell 7's world must not depend on how many cells the fleet has.
+	small, err := Runner{}.Run(mathSpec("ind", 5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Runner{Workers: 8}.Run(mathSpec("ind", 5, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(small[7], big[7]) {
+		t.Fatalf("cell 7 changed when the fleet grew: %+v vs %+v", small[7], big[7])
+	}
+}
+
+func TestRunnerCollectsErrorsAndPanics(t *testing.T) {
+	spec := Spec{
+		Name:  "faulty",
+		Cells: 4,
+		Run: func(c Cell) (Metrics, error) {
+			switch c.Index {
+			case 1:
+				return nil, errors.New("boom")
+			case 2:
+				panic("kernel causality violation")
+			}
+			return Metrics{"ok": 1}, nil
+		},
+	}
+	results, err := Runner{Workers: 4}.Run(spec)
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatalf("per-cell errors not recorded: %+v", results)
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("healthy cells errored: %+v", results)
+	}
+	sum := Reduce(results)
+	if sum.Cells != 2 || sum.Failed != 2 {
+		t.Fatalf("summary cells=%d failed=%d", sum.Cells, sum.Failed)
+	}
+}
+
+func TestReduceAggregates(t *testing.T) {
+	var results []Result
+	for i := 0; i < 10; i++ {
+		results = append(results, Result{
+			Cell:    Cell{Index: i},
+			Metrics: Metrics{"v": float64(i), "hit": boolMetric(i >= 7)},
+		})
+	}
+	s := Reduce(results)
+	if got := s.Sum("v"); got != 45 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := s.Mean("v"); got != 4.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if s.Min("v") != 0 || s.Max("v") != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min("v"), s.Max("v"))
+	}
+	if got := s.Percentile("v", 50); got != 4 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile("v", 100); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.CountAbove("hit", 0.5); got != 3 {
+		t.Fatalf("count above = %v", got)
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "hit" || got[1] != "v" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestRegistryBuildsCatalogScenarios(t *testing.T) {
+	names := Names()
+	for _, want := range []string{ScenarioPCASupervised, ScenarioPCAUnsupervised, ScenarioPCACommFault} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scenario %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := Build("no-such-scenario", Params{}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// A real patient-room fleet — each cell is a full PCA rig with its own
+// kernel, network, manager, devices and patient — must also be
+// deterministic under parallelism. Run with -race this doubles as the
+// isolation proof: any shared mutable state across rooms is a data race.
+func TestPCAFleetDeterministicAcrossWorkers(t *testing.T) {
+	build := func() Spec {
+		spec, err := Build(ScenarioPCASupervised, Params{Seed: 42, Cells: 4, Duration: 10 * sim.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	var baseline string
+	for _, workers := range []int{1, 4, 8} {
+		results, err := Runner{Workers: workers}.Run(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := Reduce(results).String()
+		for i, r := range results {
+			rendered += fmt.Sprintf("cell %d seed %d spo2 %v\n", i, r.Cell.Seed, r.Metrics["min_spo2"])
+		}
+		if baseline == "" {
+			baseline = rendered
+			continue
+		}
+		if rendered != baseline {
+			t.Fatalf("PCA fleet output differs at %d workers:\n%s\nvs\n%s", workers, rendered, baseline)
+		}
+	}
+	// Trial 0 must replay the base seed so 1-cell fleets reproduce the
+	// legacy serial experiments bit-for-bit.
+	results, err := Runner{}.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Cell.Seed != 42 {
+		t.Fatalf("trial 0 seed = %d, want base seed 42", results[0].Cell.Seed)
+	}
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is the reduce stage: per-metric aggregates over a fleet's cells.
+// All accessors are deterministic functions of the result set, independent
+// of worker count or scheduling order.
+type Summary struct {
+	Cells  int // cells that produced metrics
+	Failed int // cells that errored (excluded from aggregates)
+
+	names  []string             // sorted metric names
+	values map[string][]float64 // per metric, in cell order
+}
+
+// Reduce aggregates a result slice (as returned by Runner.Run).
+func Reduce(results []Result) *Summary {
+	s := &Summary{values: make(map[string][]float64)}
+	for _, r := range results {
+		if r.Err != nil {
+			s.Failed++
+			continue
+		}
+		s.Cells++
+		for name, v := range r.Metrics {
+			s.values[name] = append(s.values[name], v)
+		}
+	}
+	s.names = make([]string, 0, len(s.values))
+	for name := range s.values {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	return s
+}
+
+// ReduceAll flattens several result groups (as returned by Runner.RunAll)
+// into one summary.
+func ReduceAll(groups [][]Result) *Summary {
+	var flat []Result
+	for _, g := range groups {
+		flat = append(flat, g...)
+	}
+	return Reduce(flat)
+}
+
+// Names lists the observed metric names, sorted.
+func (s *Summary) Names() []string { return s.names }
+
+// Values returns the metric's samples in cell order (nil when absent).
+func (s *Summary) Values(name string) []float64 { return s.values[name] }
+
+// Count reports how many cells emitted the metric.
+func (s *Summary) Count(name string) int { return len(s.values[name]) }
+
+// Sum totals the metric across cells.
+func (s *Summary) Sum(name string) float64 {
+	t := 0.0
+	for _, v := range s.values[name] {
+		t += v
+	}
+	return t
+}
+
+// Mean averages the metric across cells (NaN when absent).
+func (s *Summary) Mean(name string) float64 {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	return s.Sum(name) / float64(len(vs))
+}
+
+// Min returns the smallest sample (NaN when absent).
+func (s *Summary) Min(name string) float64 {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample (NaN when absent).
+func (s *Summary) Max(name string) float64 {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in [0,100]) of
+// the metric (NaN when absent).
+func (s *Summary) Percentile(name string, p float64) float64 {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// CountAbove counts cells whose metric exceeds the threshold — the shape
+// of "how many trials showed distress".
+func (s *Summary) CountAbove(name string, threshold float64) int {
+	n := 0
+	for _, v := range s.values[name] {
+		if v > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a deterministic aggregate table, one metric per line.
+// Byte-identical output for byte-identical result sets makes it the
+// fixture for the determinism-under-parallelism tests.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cells=%d failed=%d\n", s.Cells, s.Failed)
+	for _, name := range s.names {
+		fmt.Fprintf(&b, "%-24s n=%-4d mean=%-12.6g min=%-12.6g p50=%-12.6g p95=%-12.6g max=%.6g\n",
+			name, s.Count(name), s.Mean(name), s.Min(name),
+			s.Percentile(name, 50), s.Percentile(name, 95), s.Max(name))
+	}
+	return b.String()
+}

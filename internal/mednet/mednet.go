@@ -65,7 +65,10 @@ type Stats struct {
 }
 
 // Network is the simulated fabric. Not safe for concurrent use; the
-// simulation is single-threaded by construction.
+// simulation is single-threaded by construction. Scale across patients
+// comes from the fleet layer instead: each fleet cell owns a private
+// Network (plus kernel, manager, and devices), so rooms parallelize
+// without any locking here.
 type Network struct {
 	k        *sim.Kernel
 	rng      *sim.RNG

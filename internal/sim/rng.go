@@ -20,6 +20,13 @@ func NewRNG(seed int64) *RNG {
 // Fork derives an independent child stream. Children are decorrelated by
 // hashing the label into the parent's stream, so adding a new consumer does
 // not perturb existing ones as long as labels are stable.
+//
+// Fork consumes one draw from the parent, so the child depends on how many
+// forks preceded it. That is the right behaviour inside a single
+// simulation, where construction order is fixed, but wrong for fleet-style
+// parallel ensembles: use SubSeed/Substream there, which derive children
+// purely from (seed, label, index) and are therefore independent of
+// construction and scheduling order.
 func (g *RNG) Fork(label string) *RNG {
 	var h int64 = 1469598103934665603 // FNV offset basis
 	for i := 0; i < len(label); i++ {
@@ -27,6 +34,41 @@ func (g *RNG) Fork(label string) *RNG {
 		h *= 1099511628211
 	}
 	return NewRNG(h ^ g.r.Int63())
+}
+
+// SubSeed derives a named substream seed from a base seed. The derivation
+// is a pure function of (seed, label, index): FNV-1a over the inputs with a
+// splitmix64 finalizer to scatter nearby seeds and indices across the
+// seed space. Unlike Fork it consumes no generator state, so any worker
+// can derive cell i's seed without replaying cells 0..i-1 — the property
+// the fleet runner's determinism-under-parallelism guarantee rests on.
+func SubSeed(seed int64, label string, index int) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	const prime = 1099511628211
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	mix(uint64(index))
+	// splitmix64 finalizer
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// Substream returns a generator for the named substream of a base seed.
+// Equivalent to NewRNG(SubSeed(seed, label, index)).
+func Substream(seed int64, label string, index int) *RNG {
+	return NewRNG(SubSeed(seed, label, index))
 }
 
 // Float64 returns a uniform sample in [0,1).

@@ -13,9 +13,10 @@ type Sample struct {
 }
 
 // Trace records named time series produced during a simulation run.
-// It is the raw material for EXPERIMENTS.md plots and for assertions in
-// integration tests. Not safe for concurrent use; a simulation is
-// single-threaded by construction.
+// It is the raw material for the experiment tables (see DESIGN.md) and
+// for assertions in integration tests. Not safe for concurrent use; a
+// simulation is single-threaded by construction — one Trace belongs to
+// one room, and the fleet layer keeps rooms isolated.
 type Trace struct {
 	series map[string][]Sample
 	events []TraceEvent
