@@ -13,14 +13,20 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/closedloop"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/icegate"
 	"repro/internal/sim"
 )
 
@@ -294,4 +300,69 @@ func BenchmarkE12TemporalInduction(b *testing.B) {
 		}
 	}
 	b.ReportMetric(proved, "proofs-closed")
+}
+
+// BenchmarkGatewayThroughput drives the icegate serving layer end to end
+// over HTTP: each iteration submits one PCA ensemble as a job, polls it
+// to completion, and fetches the rendered table — the serving-side
+// analogue of BenchmarkFleetPCAScaling. Seeds vary per iteration so the
+// deterministic result cache never short-circuits the simulation; the
+// cells/s metric therefore measures scheduling + fleet + HTTP overhead,
+// not cache replay.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	const cells = 8
+	sched := icegate.NewScheduler(icegate.Config{QueueDepth: 16, Executors: 2, Workers: 8})
+	ts := httptest.NewServer(icegate.NewHandler(sched))
+	defer func() {
+		ts.Close()
+		sched.Close()
+	}()
+
+	do := func(req *http.Request) map[string]any {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			b.Fatal(err)
+		}
+		return v
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"scenario":%q,"seed":%d,"cells":%d,"duration_s":1800}`,
+			fleet.ScenarioPCASupervised, 1000+i, cells)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/jobs",
+			strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		v := do(req)
+		id, _ := v["id"].(string)
+		if id == "" {
+			b.Fatalf("submit refused: %v", v)
+		}
+		for {
+			get, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/jobs/"+id, nil)
+			status, _ := do(get)["status"].(string)
+			if status == "done" {
+				break
+			}
+			if status == "failed" || status == "cancelled" {
+				b.Fatalf("job %s ended %s", id, status)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }

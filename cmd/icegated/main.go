@@ -1,0 +1,78 @@
+// Command icegated is the scenario-serving gateway daemon: internal/
+// icegate behind a TCP listener. It accepts scenario-run and experiment-
+// table jobs over HTTP/JSON, executes them on the fleet runner, streams
+// per-cell results as NDJSON, and memoizes finished tables in the
+// deterministic result cache.
+//
+// Usage:
+//
+//	icegated [-addr host:port] [-workers N] [-executors N] [-queue N] [-maxcells N]
+//
+// -addr accepts ":0" to bind an ephemeral port; the chosen address is
+// printed on the first line of output ("icegated: listening on ..."), so
+// scripts can start the daemon on a random port and scrape the address.
+// cmd/icerun -remote is the matching client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/icegate"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8844", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker pool width per job")
+	executors := flag.Int("executors", 2, "jobs executing concurrently")
+	queue := flag.Int("queue", 16, "queued-job capacity before submissions get 429")
+	maxCells := flag.Int("maxcells", 4096, "per-job cell ceiling (admission control)")
+	flag.Parse()
+
+	sched := icegate.NewScheduler(icegate.Config{
+		QueueDepth: *queue,
+		Executors:  *executors,
+		Workers:    *workers,
+		MaxCells:   *maxCells,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icegated: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("icegated: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: icegate.NewHandler(sched)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("icegated: %v, shutting down\n", s)
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "icegated: %v\n", err)
+			sched.Close()
+			os.Exit(1)
+		}
+	}
+
+	// Stop the HTTP front end first, then drain the scheduler, so no
+	// submission races the queue teardown.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	sched.Close()
+}

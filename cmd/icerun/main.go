@@ -3,116 +3,173 @@
 //
 // Usage:
 //
-//	icerun [-exp F1,E2,...|all] [-seed N] [-cells N] [-workers N]
+//	icerun [-exp F1,E2,...|all] [-seed N] [-cells N] [-workers N] [-remote addr]
 //
 // -cells and -workers drive the fleet runner: F1 runs that many
 // independent patient sessions per configuration, and the sweep-shaped
 // experiments (E6, E7) spread their cells across the worker pool. With
 // the defaults (1 cell, 1 worker) every table is bit-identical to the
 // historical serial harness.
+//
+// -remote renders the same tables from a running icegated gateway
+// instead of simulating locally: each experiment is submitted as a
+// table job and the server's rendering is printed verbatim. The fleet's
+// determinism contract makes remote and local output byte-identical
+// (repeat submissions are served from the gateway's result cache).
+// Worker-pool width is a server-side deployment knob, so -workers is
+// ignored in remote mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/icegate"
 )
 
-type runner func(opt options) (experiments.Table, error)
-
-// options carries the harness-wide knobs into each experiment runner.
-type options struct {
-	seed    int64
-	cells   int
-	workers int
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (F1,E2,...,E12) or 'all'")
-	seed := flag.Int64("seed", 1, "base simulation seed")
-	cells := flag.Int("cells", 1, "trials per configuration for ensemble experiments (currently F1 only; sweep experiments run one cell per sweep point)")
-	workers := flag.Int("workers", 1, "fleet worker pool width for parallel cell execution (F1, E6, E7)")
-	flag.Parse()
-
-	runners := map[string]runner{
-		"F1": func(o options) (experiments.Table, error) {
-			return experiments.F1PCAControlLoop(experiments.F1Options{
-				Seed: o.seed, Trials: o.cells, Workers: o.workers,
-			})
-		},
-		"E2": func(o options) (experiments.Table, error) {
-			opt := experiments.DefaultE2()
-			opt.Seed = o.seed
-			return experiments.E2XrayVentSync(opt)
-		},
-		"E3": func(o options) (experiments.Table, error) {
-			return experiments.E3SmartAlarms(experiments.E3Options{Seed: o.seed})
-		},
-		"E4": func(o options) (experiments.Table, error) {
-			return experiments.E4SupervisoryControl(experiments.E4Options{Seed: o.seed})
-		},
-		"E5": func(options) (experiments.Table, error) { return experiments.E5WorkflowVerify() },
-		"E6": func(o options) (experiments.Table, error) {
-			opt := experiments.DefaultE6()
-			opt.Seed = o.seed
-			opt.Workers = o.workers
-			return experiments.E6CommFailure(opt)
-		},
-		"E7": func(o options) (experiments.Table, error) {
-			return experiments.E7AdaptiveThresholds(experiments.E7Options{
-				Seed: o.seed, Workers: o.workers,
-			})
-		},
-		"E8": func(options) (experiments.Table, error) { return experiments.E8IncrementalCert() },
-		"E9": func(o options) (experiments.Table, error) {
-			return experiments.E9Security(experiments.E9Options{Seed: o.seed})
-		},
-		"E10": func(o options) (experiments.Table, error) {
-			return experiments.E10Telemetry(experiments.E10Options{Seed: o.seed})
-		},
-		"E11": func(o options) (experiments.Table, error) {
-			return experiments.E11MixedCriticality(experiments.E11Options{Seed: o.seed})
-		},
-		"E12": func(options) (experiments.Table, error) { return experiments.E12TemporalInduction() },
-		"E13": func(o options) (experiments.Table, error) {
-			opt := experiments.DefaultE13()
-			opt.Seed = o.seed
-			return experiments.E13UserModel(opt)
-		},
-		"A1": func(o options) (experiments.Table, error) {
-			opt := experiments.DefaultA1()
-			opt.Seed = o.seed
-			return experiments.A1SupervisorAblation(opt)
-		},
+// run is main in testable form: flag handling, experiment selection, and
+// table rendering against the injected writers. Returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icerun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expFlag := fs.String("exp", "all", "comma-separated experiment IDs (F1,E2,...,E12) or 'all'")
+	seed := fs.Int64("seed", 1, "base simulation seed")
+	cells := fs.Int("cells", 1, "trials per configuration for ensemble experiments (currently F1 only; sweep experiments run one cell per sweep point)")
+	workers := fs.Int("workers", 1, "fleet worker pool width for parallel cell execution (F1, E6, E7); local mode only")
+	remote := fs.String("remote", "", "icegated gateway address (host:port or URL); render tables from the server instead of running locally")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: icerun [flags]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(experiments.IDs(), ","))
+		fmt.Fprintf(stderr, "fleet scenarios (servable via icegated): %s\n", strings.Join(fleet.Names(), ","))
 	}
-	order := []string{"F1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"}
-
-	var ids []string
-	if *expFlag == "all" {
-		ids = order
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(strings.ToUpper(id))
-			if _, ok := runners[id]; !ok {
-				fmt.Fprintf(os.Stderr, "icerun: unknown experiment %q (have %s)\n", id, strings.Join(order, ","))
-				os.Exit(2)
-			}
-			ids = append(ids, id)
-		}
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	opt := options{seed: *seed, cells: *cells, workers: *workers}
+
+	ids, err := selectExperiments(*expFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "icerun: %v\n", err)
+		return 2
+	}
+
+	opt := experiments.Options{Seed: *seed, Cells: *cells, Workers: *workers}
 	for i, id := range ids {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		tab, err := runners[id](opt)
+		var rendered string
+		if *remote != "" {
+			rendered, err = fetchRemoteTable(*remote, id, opt)
+		} else {
+			var tab experiments.Table
+			tab, err = experiments.Run(id, opt)
+			rendered = tab.String()
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "icerun: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "icerun: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Print(tab)
+		fmt.Fprint(stdout, rendered)
 	}
+	return 0
+}
+
+// selectExperiments resolves the -exp flag against the catalog: "all"
+// expands to the canonical order, anything else is a comma-separated ID
+// list validated (case-insensitively) against the catalog.
+func selectExperiments(expFlag string) ([]string, error) {
+	if expFlag == "all" {
+		return experiments.IDs(), nil
+	}
+	var ids []string
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if !experiments.Has(id) {
+			return nil, fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(experiments.IDs(), ","))
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// fetchRemoteTable submits one experiment-table job to an icegated
+// gateway, waits for it, and returns the server-rendered table. The
+// request and status shapes are icegate's own wire types, so client and
+// server schemas stay coupled by the compiler.
+func fetchRemoteTable(addr, id string, opt experiments.Options) (string, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells})
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return "", fmt.Errorf("gateway refused job (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var view icegate.View
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+
+	// Poll until the job leaves the queue/runner, then fetch the table.
+	for done := false; !done; {
+		switch view.Status {
+		case icegate.StatusDone:
+			done = true
+		case icegate.StatusFailed, icegate.StatusCancelled:
+			return "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
+		default:
+			time.Sleep(100 * time.Millisecond)
+			r, err := http.Get(base + "/api/v1/jobs/" + view.ID)
+			if err != nil {
+				return "", err
+			}
+			if r.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(r.Body)
+				r.Body.Close()
+				return "", fmt.Errorf("remote job %s lost (%s): %s", view.ID, r.Status, strings.TrimSpace(string(msg)))
+			}
+			err = json.NewDecoder(r.Body).Decode(&view)
+			r.Body.Close()
+			if err != nil {
+				return "", err
+			}
+		}
+	}
+
+	r, err := http.Get(base + "/api/v1/jobs/" + view.ID + "/result")
+	if err != nil {
+		return "", err
+	}
+	defer r.Body.Close()
+	table, err := io.ReadAll(r.Body)
+	if err != nil {
+		return "", err
+	}
+	if r.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("gateway result (%s): %s", r.Status, table)
+	}
+	return string(table), nil
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/icegate"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != 14 || all[0] != "F1" || all[13] != "A1" {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	picked, err := selectExperiments(" e2, f1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(picked, ",") != "E2,F1" {
+		t.Fatalf("picked = %v", picked)
+	}
+	if _, err := selectExperiments("E99"); err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown ID not rejected: %v", err)
+	}
+}
+
+// The golden-output smoke test: one small deterministic table, rendered
+// through the full flag-handling path, byte-compared against the fixture.
+func TestRunGoldenE12(t *testing.T) {
+	golden, err := os.ReadFile("testdata/e12.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "E12"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if out.String() != string(golden) {
+		t.Fatalf("E12 output diverged from golden:\n%s\nwant:\n%s", out.String(), golden)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut.String(), "E99") || out.Len() != 0 {
+		t.Fatalf("stderr %q stdout %q", errOut.String(), out.String())
+	}
+}
+
+func TestUsageListsFleetScenarios(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"pca-supervised", "xray-ventsync", "F1,E2"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Fatalf("usage missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+// Client mode: the same table rendered through a live gateway must be
+// byte-identical to the local run (and the second fetch exercises the
+// gateway's cache).
+func TestRunRemoteMatchesLocal(t *testing.T) {
+	sched := icegate.NewScheduler(icegate.Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	ts := httptest.NewServer(icegate.NewHandler(sched))
+	defer func() {
+		ts.Close()
+		sched.Close()
+	}()
+
+	var local, localErr bytes.Buffer
+	if code := run([]string{"-exp", "E12"}, &local, &localErr); code != 0 {
+		t.Fatalf("local run: %s", localErr.String())
+	}
+	for i := 0; i < 2; i++ { // second pass is a cache hit
+		var remote, remoteErr bytes.Buffer
+		if code := run([]string{"-exp", "E12", "-remote", ts.URL}, &remote, &remoteErr); code != 0 {
+			t.Fatalf("remote run %d: %s", i, remoteErr.String())
+		}
+		if remote.String() != local.String() {
+			t.Fatalf("remote render %d differs:\n%s\nvs local:\n%s", i, remote.String(), local.String())
+		}
+	}
+	if hits, _, _ := sched.Cache().Stats(); hits != 1 {
+		t.Fatalf("cache hits = %d", hits)
+	}
+}

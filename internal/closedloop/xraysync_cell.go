@@ -1,0 +1,133 @@
+package closedloop
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mednet"
+	"repro/internal/physio"
+	"repro/internal/sim"
+)
+
+// XRaySyncScenarioConfig assembles the complete Section II.b rig: one
+// ventilated patient, an X-ray, and the synchronizer app coordinating
+// them over a lossy network. Like PCAScenarioConfig, a run is a pure
+// function of this config, which is what lets the fleet layer serve it
+// as a registered cell.
+type XRaySyncScenarioConfig struct {
+	Seed     int64
+	Requests int      // image requests per session; 0 = 24
+	Spacing  sim.Time // gap between requests; 0 = 20 s
+	Link     mednet.LinkParams
+	Sync     XRaySyncConfig // full synchronizer design, incl. protocol
+}
+
+// DefaultXRaySyncScenario returns the E2 rig at its nominal network
+// point (10 ms one-way latency, 2% loss) under the chosen protocol.
+func DefaultXRaySyncScenario(seed int64, proto SyncProtocol) XRaySyncScenarioConfig {
+	delay := 10 * time.Millisecond
+	return XRaySyncScenarioConfig{
+		Seed:     seed,
+		Requests: 24,
+		Spacing:  20 * sim.Second,
+		Link:     mednet.LinkParams{Latency: delay, Jitter: delay / 4, LossProb: 0.02},
+		Sync:     DefaultXRaySyncConfig("xr1", "vent1", proto),
+	}
+}
+
+// XRaySyncOutcome scores one imaging session.
+type XRaySyncOutcome struct {
+	Sharp, Blurred      uint64 // image quality split
+	Deferred            uint64 // state-sync: no usable window, request dropped
+	ResumeFailures      uint64 // pause-restart: resume never acknowledged
+	UnventilatedSeconds float64
+	MinSpO2             float64
+}
+
+// Metric names emitted by XRaySyncOutcome.Metrics. MinSpO2 reuses
+// MetricMinSpO2 so cross-scenario reducers agree on spelling.
+const (
+	MetricSharpImages    = "sharp"
+	MetricBlurredImages  = "blurred"
+	MetricDeferredShots  = "deferred"
+	MetricResumeFailures = "resume_failures"
+	MetricUnventilatedS  = "unventilated_s"
+)
+
+// Metrics flattens the outcome into the named-float form the fleet
+// reduce stage consumes.
+func (o XRaySyncOutcome) Metrics() map[string]float64 {
+	return map[string]float64{
+		MetricSharpImages:    float64(o.Sharp),
+		MetricBlurredImages:  float64(o.Blurred),
+		MetricDeferredShots:  float64(o.Deferred),
+		MetricResumeFailures: float64(o.ResumeFailures),
+		MetricUnventilatedS:  o.UnventilatedSeconds,
+		MetricMinSpO2:        o.MinSpO2,
+	}
+}
+
+// RunXRaySyncScenario builds the rig from cfg, runs the imaging session
+// to its horizon, and scores it. Construction order (and hence RNG fork
+// order) is fixed: experiments.E2 sweeps this exact function, and its
+// tables are bit-for-bit regression fixtures.
+func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
+	if cfg.Requests == 0 {
+		cfg.Requests = 24
+	}
+	if cfg.Spacing == 0 {
+		cfg.Spacing = 20 * sim.Second
+	}
+
+	k := sim.NewKernel()
+	rng := sim.NewRNG(cfg.Seed)
+	net := mednet.MustNew(k, rng.Fork("net"), cfg.Link)
+	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	patient := physio.DefaultPatient(rng.Fork("patient"))
+
+	vent := device.MustNewVentilator(k, net, cfg.Sync.VentilatorID, physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
+	xray := device.MustNewXRay(k, net, cfg.Sync.XRayID, vent, core.ConnectConfig{})
+	ward := device.NewWard(k, patient, sim.Second)
+	ward.AttachVentSupport(vent)
+	tr := sim.NewTrace()
+	ward.Trace = tr
+
+	sync, err := NewXRaySync(k, mgr, cfg.Sync)
+	if err != nil {
+		return XRaySyncOutcome{}, err
+	}
+
+	for i := 0; i < cfg.Requests; i++ {
+		at := 10*sim.Second + sim.Time(i)*cfg.Spacing
+		k.At(at, func() { sync.RequestImage() })
+	}
+	horizon := 10*sim.Second + sim.Time(cfg.Requests+6)*cfg.Spacing
+	if err := k.Run(horizon); err != nil {
+		return XRaySyncOutcome{}, err
+	}
+
+	out := XRaySyncOutcome{
+		Sharp: xray.Sharp, Blurred: xray.Blurred, Deferred: sync.Deferred,
+		ResumeFailures: sync.ResumeFailures,
+		MinSpO2:        tr.Stats("true/spo2").Min,
+	}
+	// Unventilated time: integrate the recorded mechanical-support series.
+	ev := tr.Series("true/extvent")
+	for i := 0; i+1 < len(ev); i++ {
+		if ev[i].V < 0.5 {
+			out.UnventilatedSeconds += (ev[i+1].T - ev[i].T).Seconds()
+		}
+	}
+	return out, nil
+}
+
+// RunXRaySyncCell is RunXRaySyncScenario in fleet-cell shape: a plain
+// metric map, so this package stays free of fleet imports.
+func RunXRaySyncCell(cfg XRaySyncScenarioConfig) (map[string]float64, error) {
+	out, err := RunXRaySyncScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.Metrics(), nil
+}

@@ -1,0 +1,36 @@
+package closedloop
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The cell runner must be a pure function of its config: identical config,
+// identical metrics. This is what the fleet layer (and the gateway's
+// result cache above it) rely on.
+func TestRunXRaySyncCellDeterministic(t *testing.T) {
+	cfg := DefaultXRaySyncScenario(17, ProtocolStateSync)
+	cfg.Requests = 6
+	a, err := RunXRaySyncCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunXRaySyncCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different metrics:\n%v\nvs\n%v", a, b)
+	}
+	if a[MetricSharpImages]+a[MetricBlurredImages]+a[MetricDeferredShots] == 0 {
+		t.Fatalf("session produced no imaging activity: %v", a)
+	}
+}
+
+func TestRunXRaySyncCellRejectsBadConfig(t *testing.T) {
+	cfg := DefaultXRaySyncScenario(1, ProtocolManual)
+	cfg.Sync.Exposure = 0
+	if _, err := RunXRaySyncCell(cfg); err == nil {
+		t.Fatal("invalid synchronizer config did not error")
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import "fmt"
+
+// Options carries the harness-wide knobs into a catalog runner — the
+// same triple cmd/icerun exposes as flags and the gateway accepts in a
+// table-job request. Every runner is a pure function of its options, so
+// a (id, options) pair keys a deterministic result cache.
+type Options struct {
+	Seed    int64 // base simulation seed; 0 = 1
+	Cells   int   // trials per configuration for ensemble experiments (F1)
+	Workers int   // fleet worker pool width for parallel cell execution
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Cells <= 0 {
+		o.Cells = 1
+	}
+	return o
+}
+
+// catalog maps each experiment ID to its runner, in the canonical order
+// of DESIGN.md's index. Both cmd/icerun and the icegate gateway serve
+// from this table, so every experiment is equally runnable locally and
+// remotely.
+var catalog = []struct {
+	id  string
+	run func(o Options) (Table, error)
+}{
+	{"F1", func(o Options) (Table, error) {
+		return F1PCAControlLoop(F1Options{Seed: o.Seed, Trials: o.Cells, Workers: o.Workers})
+	}},
+	{"E2", func(o Options) (Table, error) {
+		opt := DefaultE2()
+		opt.Seed = o.Seed
+		return E2XrayVentSync(opt)
+	}},
+	{"E3", func(o Options) (Table, error) {
+		return E3SmartAlarms(E3Options{Seed: o.Seed})
+	}},
+	{"E4", func(o Options) (Table, error) {
+		return E4SupervisoryControl(E4Options{Seed: o.Seed})
+	}},
+	{"E5", func(Options) (Table, error) { return E5WorkflowVerify() }},
+	{"E6", func(o Options) (Table, error) {
+		opt := DefaultE6()
+		opt.Seed = o.Seed
+		opt.Workers = o.Workers
+		return E6CommFailure(opt)
+	}},
+	{"E7", func(o Options) (Table, error) {
+		return E7AdaptiveThresholds(E7Options{Seed: o.Seed, Workers: o.Workers})
+	}},
+	{"E8", func(Options) (Table, error) { return E8IncrementalCert() }},
+	{"E9", func(o Options) (Table, error) {
+		return E9Security(E9Options{Seed: o.Seed})
+	}},
+	{"E10", func(o Options) (Table, error) {
+		return E10Telemetry(E10Options{Seed: o.Seed})
+	}},
+	{"E11", func(o Options) (Table, error) {
+		return E11MixedCriticality(E11Options{Seed: o.Seed})
+	}},
+	{"E12", func(Options) (Table, error) { return E12TemporalInduction() }},
+	{"E13", func(o Options) (Table, error) {
+		opt := DefaultE13()
+		opt.Seed = o.Seed
+		return E13UserModel(opt)
+	}},
+	{"A1", func(o Options) (Table, error) {
+		opt := DefaultA1()
+		opt.Seed = o.Seed
+		return A1SupervisorAblation(opt)
+	}},
+}
+
+// IDs lists the catalog's experiment IDs in canonical (DESIGN.md) order.
+func IDs() []string {
+	out := make([]string, len(catalog))
+	for i, e := range catalog {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Has reports whether the catalog knows the experiment ID.
+func Has(id string) bool {
+	for _, e := range catalog {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one catalog experiment. Unknown IDs error; options get
+// their harness defaults (seed 1, one cell) so a zero Options reproduces
+// the historical serial tables.
+func Run(id string, o Options) (Table, error) {
+	o = o.withDefaults()
+	for _, e := range catalog {
+		if e.id == id {
+			return e.run(o)
+		}
+	}
+	return Table{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogOrderAndLookup(t *testing.T) {
+	ids := IDs()
+	want := []string{"F1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("catalog order = %v", ids)
+	}
+	for _, id := range ids {
+		if !Has(id) {
+			t.Fatalf("Has(%q) = false", id)
+		}
+	}
+	if Has("E99") {
+		t.Fatal("Has accepted unknown ID")
+	}
+	if _, err := Run("E99", Options{}); err == nil {
+		t.Fatal("Run accepted unknown ID")
+	}
+}
+
+// The catalog must render the same bytes as calling the runner directly —
+// it is the single source both icerun and the gateway serve from.
+func TestCatalogRunMatchesDirectCall(t *testing.T) {
+	viaCatalog, err := Run("E12", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := E12TemporalInduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCatalog.String() != direct.String() {
+		t.Fatalf("catalog render diverged:\n%s\nvs\n%s", viaCatalog, direct)
+	}
+}

@@ -5,10 +5,7 @@ import (
 	"time"
 
 	"repro/internal/closedloop"
-	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/mednet"
-	"repro/internal/physio"
 	"repro/internal/sim"
 )
 
@@ -43,50 +40,25 @@ type e2Result struct {
 }
 
 func e2Run(opt E2Options, proto closedloop.SyncProtocol, delay time.Duration) (e2Result, error) {
-	k := sim.NewKernel()
-	rng := sim.NewRNG(opt.Seed)
-	net := mednet.MustNew(k, rng.Fork("net"), mednet.LinkParams{
-		Latency: delay, Jitter: delay / 4, LossProb: opt.LossProb,
-	})
-	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
-	patient := physio.DefaultPatient(rng.Fork("patient"))
-
-	vent := device.MustNewVentilator(k, net, "vent1", physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
-	xray := device.MustNewXRay(k, net, "xr1", vent, core.ConnectConfig{})
-	ward := device.NewWard(k, patient, sim.Second)
-	ward.AttachVentSupport(vent)
-	tr := sim.NewTrace()
-	ward.Trace = tr
-
-	cfg := closedloop.DefaultXRaySyncConfig("xr1", "vent1", proto)
 	// The synchronizer's delay bound is part of its design (D2): it stays
 	// at its configured 50 ms while the actual network is swept — the
 	// point where actual latency exceeds the bound is the crossover.
-	sync := closedloop.MustNewXRaySync(k, mgr, cfg)
-
-	spacing := 20 * sim.Second
-	for i := 0; i < opt.Requests; i++ {
-		at := 10*sim.Second + sim.Time(i)*spacing
-		k.At(at, func() { sync.RequestImage() })
-	}
-	horizon := 10*sim.Second + sim.Time(opt.Requests+6)*spacing
-	if err := k.Run(horizon); err != nil {
+	out, err := closedloop.RunXRaySyncScenario(closedloop.XRaySyncScenarioConfig{
+		Seed:     opt.Seed,
+		Requests: opt.Requests,
+		Spacing:  20 * sim.Second,
+		Link:     mednet.LinkParams{Latency: delay, Jitter: delay / 4, LossProb: opt.LossProb},
+		Sync:     closedloop.DefaultXRaySyncConfig("xr1", "vent1", proto),
+	})
+	if err != nil {
 		return e2Result{}, fmt.Errorf("E2 %s delay %v: %w", proto, delay, err)
 	}
-
-	res := e2Result{
-		sharp: xray.Sharp, blurred: xray.Blurred, deferred: sync.Deferred,
-		resumeFailures: sync.ResumeFailures,
-		minSpO2:        tr.Stats("true/spo2").Min,
-	}
-	// Unventilated time: integrate the recorded mechanical-support series.
-	ev := tr.Series("true/extvent")
-	for i := 0; i+1 < len(ev); i++ {
-		if ev[i].V < 0.5 {
-			res.unventilatedSeconds += (ev[i+1].T - ev[i].T).Seconds()
-		}
-	}
-	return res, nil
+	return e2Result{
+		sharp: out.Sharp, blurred: out.Blurred, deferred: out.Deferred,
+		resumeFailures:      out.ResumeFailures,
+		unventilatedSeconds: out.UnventilatedSeconds,
+		minSpO2:             out.MinSpO2,
+	}, nil
 }
 
 // E2XrayVentSync sweeps network delay across the three coordination

@@ -15,6 +15,7 @@ func init() {
 	Register(ScenarioPCASupervised, pcaFactory(true))
 	Register(ScenarioPCAUnsupervised, pcaFactory(false))
 	Register(ScenarioPCACommFault, commFaultFactory)
+	Register(ScenarioXRayVentSync, xraySyncFactory)
 }
 
 // Built-in scenario names.
@@ -31,7 +32,35 @@ const (
 	// ablation. Every cell pins the base seed, so the knobs are the only
 	// thing that varies across a sweep.
 	ScenarioPCACommFault = "pca-commfault"
+	// ScenarioXRayVentSync is the Section II.b imaging rig: one ventilated
+	// patient, an X-ray, and the synchronizer app. Knob "protocol" picks
+	// the coordination design (0 manual, 1 pause-restart, 2 state-sync;
+	// default 2), "delay_ms" (default 10) and "loss" (default 0.02) set the
+	// network point, and "requests" (default 24) sizes the session (a
+	// requested duration converts to one image request per 20 s). One
+	// cell = one imaging session; trials beyond cell 0 draw substreams.
+	ScenarioXRayVentSync = "xray-ventsync"
 )
+
+// scenarioKnobs declares the knob names each built-in scenario consumes.
+// The serving layer validates submissions against this, so a mistyped
+// knob is a 400 instead of a silently-nominal simulation cached under
+// the mistyped key.
+var scenarioKnobs = map[string][]string{
+	ScenarioPCASupervised:   {},
+	ScenarioPCAUnsupervised: {},
+	ScenarioPCACommFault:    {"loss", "failsafe"},
+	ScenarioXRayVentSync:    {"protocol", "delay_ms", "loss", "requests"},
+}
+
+// KnownKnobs returns the knob names the named scenario consumes and
+// whether the scenario declares them at all. Scenarios registered
+// outside the built-in catalog make no declaration (ok = false); callers
+// should skip validation for those.
+func KnownKnobs(name string) (knobs []string, ok bool) {
+	knobs, ok = scenarioKnobs[name]
+	return knobs, ok
+}
 
 func pcaConfig(seed int64, d sim.Time) closedloop.PCAScenarioConfig {
 	cfg := closedloop.DefaultPCAScenario(seed)
@@ -58,6 +87,39 @@ func pcaFactory(supervised bool) Factory {
 				return closedloop.RunPCACell(cfg)
 			},
 		}
+	}
+}
+
+func xraySyncFactory(p Params) Spec {
+	return Spec{
+		Name:   ScenarioXRayVentSync,
+		Seed:   p.Seed,
+		Cells:  p.Cells,
+		SeedFn: EnsembleSeeds(p.Seed, ScenarioXRayVentSync+"/trial"),
+		Run: func(c Cell) (Metrics, error) {
+			proto := closedloop.SyncProtocol(int(p.Knob("protocol", float64(closedloop.ProtocolStateSync))))
+			cfg := closedloop.DefaultXRaySyncScenario(c.Seed, proto)
+			// The session's length is its request schedule: a requested
+			// duration converts to one image request per spacing interval,
+			// so Duration is honored rather than silently dropped.
+			if p.Duration > 0 {
+				if n := int(p.Duration / cfg.Spacing); n > 0 {
+					cfg.Requests = n
+				} else {
+					cfg.Requests = 1
+				}
+			}
+			if n := int(p.Knob("requests", 0)); n > 0 {
+				cfg.Requests = n
+			}
+			delay := time.Duration(p.Knob("delay_ms", 10) * float64(time.Millisecond))
+			cfg.Link = mednet.LinkParams{
+				Latency:  delay,
+				Jitter:   delay / 4,
+				LossProb: p.Knob("loss", 0.02),
+			}
+			return closedloop.RunXRaySyncCell(cfg)
+		},
 	}
 }
 

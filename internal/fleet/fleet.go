@@ -18,6 +18,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -85,7 +86,15 @@ type Runner struct {
 // The returned error joins all per-cell errors; the slice is complete
 // either way, so callers can report partial fleets.
 func (r Runner) Run(spec Spec) ([]Result, error) {
-	all, err := r.RunAll([]Spec{spec})
+	return r.RunContext(context.Background(), spec, nil)
+}
+
+// RunContext is Run with cancellation and incremental delivery: cells not
+// yet dispatched when ctx is cancelled are skipped (their Result carries
+// ctx.Err()), and onCell, when non-nil, is invoked once per executed cell
+// as it completes. See RunAllContext for the exact semantics.
+func (r Runner) RunContext(ctx context.Context, spec Spec, onCell func(Result)) ([]Result, error) {
+	all, err := r.RunAllContext(ctx, []Spec{spec}, onCell)
 	if len(all) == 0 {
 		return nil, err // spec failed validation
 	}
@@ -97,6 +106,23 @@ func (r Runner) Run(spec Spec) ([]Result, error) {
 // order never affects results: cells are independent and slot into their
 // own result index.
 func (r Runner) RunAll(specs []Spec) ([][]Result, error) {
+	return r.RunAllContext(context.Background(), specs, nil)
+}
+
+// RunAllContext is RunAll plus two serving-layer affordances:
+//
+// Cancellation: when ctx is cancelled, no further cells are dispatched.
+// Cells already executing run to completion (a simulation cell is not
+// interruptible mid-kernel), skipped cells get a Result whose Err is
+// ctx.Err(), and the joined error reports the cancellation once. An
+// uncancelled run returns exactly what RunAll would.
+//
+// Incremental delivery: onCell, when non-nil, is called once per executed
+// cell as soon as it finishes, from the runner's goroutines but never
+// concurrently with itself, so callers can stream results without their
+// own locking. Completion order is scheduling-dependent; the returned
+// slices remain in deterministic cell order.
+func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Result)) ([][]Result, error) {
 	for _, s := range specs {
 		if s.Run == nil {
 			return nil, fmt.Errorf("fleet: spec %q has no Run", s.Name)
@@ -121,19 +147,47 @@ func (r Runner) RunAll(specs []Spec) ([][]Result, error) {
 
 	type job struct{ si, ci int }
 	jobs := make(chan job)
+	var deliverMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out[j.si][j.ci] = runCell(specs[j.si], j.ci)
+				res := runCell(specs[j.si], j.ci)
+				out[j.si][j.ci] = res
+				if onCell != nil {
+					deliverMu.Lock()
+					onCell(res)
+					deliverMu.Unlock()
+				}
 			}
 		}()
 	}
+	cancelled := 0
+dispatch:
 	for si, s := range specs {
 		for ci := 0; ci < s.Cells; ci++ {
-			jobs <- job{si, ci}
+			select {
+			case jobs <- job{si, ci}:
+			case <-ctx.Done():
+				// Mark this and every remaining cell as skipped. Seeds are
+				// still derived so partial result sets stay identifiable.
+				for sj := si; sj < len(specs); sj++ {
+					start := 0
+					if sj == si {
+						start = ci
+					}
+					for cj := start; cj < specs[sj].Cells; cj++ {
+						out[sj][cj] = Result{
+							Cell: Cell{Index: cj, Seed: specs[sj].seedFor(cj)},
+							Err:  ctx.Err(),
+						}
+						cancelled++
+					}
+				}
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
@@ -142,10 +196,13 @@ func (r Runner) RunAll(specs []Spec) ([][]Result, error) {
 	var errs []error
 	for si, group := range out {
 		for _, res := range group {
-			if res.Err != nil {
+			if res.Err != nil && !errors.Is(res.Err, ctx.Err()) {
 				errs = append(errs, fmt.Errorf("%s cell %d: %w", specs[si].Name, res.Cell.Index, res.Err))
 			}
 		}
+	}
+	if cancelled > 0 {
+		errs = append(errs, fmt.Errorf("fleet: %d cells skipped: %w", cancelled, ctx.Err()))
 	}
 	return out, errors.Join(errs...)
 }

@@ -1,9 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -213,5 +216,161 @@ func TestPCAFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if results[0].Cell.Seed != 42 {
 		t.Fatalf("trial 0 seed = %d, want base seed 42", results[0].Cell.Seed)
+	}
+}
+
+// blockSpec builds a spec whose cells block on release until freed, so
+// tests can hold a fleet mid-flight deterministically.
+func blockSpec(name string, cells int, release <-chan struct{}, started chan<- int) Spec {
+	return Spec{
+		Name:  name,
+		Cells: cells,
+		Run: func(c Cell) (Metrics, error) {
+			if started != nil {
+				started <- c.Index
+			}
+			<-release
+			return Metrics{"index": float64(c.Index)}, nil
+		},
+	}
+}
+
+func TestRunContextMatchesRunWhenUncancelled(t *testing.T) {
+	spec := mathSpec("ctx-eq", 11, 16)
+	plain, err := Runner{Workers: 4}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := Runner{Workers: 4}.RunContext(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Fatal("RunContext diverged from Run without cancellation")
+	}
+}
+
+func TestRunContextCancellationSkipsUndispatchedCells(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan int, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// One worker: cell 0 starts and blocks, cells 1..3 are undispatched.
+	done := make(chan struct{})
+	var results []Result
+	var runErr error
+	go func() {
+		defer close(done)
+		results, runErr = Runner{Workers: 1}.RunContext(ctx, blockSpec("cancel", 4, release, started), nil)
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+
+	if runErr == nil || !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("joined error should report cancellation, got %v", runErr)
+	}
+	if results[0].Err != nil || results[0].Metrics["index"] != 0 {
+		t.Fatalf("in-flight cell should complete: %+v", results[0])
+	}
+	skipped := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+			if r.Cell.Seed == 0 && r.Cell.Index > 0 {
+				// seedFor still ran; default derivation is never 0 here
+				t.Fatalf("skipped cell %d lost its derived seed", r.Cell.Index)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatalf("no cells recorded as skipped: %+v", results)
+	}
+	if sum := Reduce(results); sum.Failed != skipped || sum.Cells != 4-skipped {
+		t.Fatalf("summary cells=%d failed=%d want %d/%d", sum.Cells, sum.Failed, 4-skipped, skipped)
+	}
+}
+
+func TestRunContextDeliversEachCellOnce(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	results, err := Runner{Workers: 8}.RunContext(context.Background(), mathSpec("deliver", 3, 24),
+		func(r Result) {
+			// onCell is serialized by the runner; the mutex guards against
+			// regressions of that guarantee under -race.
+			mu.Lock()
+			seen[r.Cell.Index]++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 24 {
+		t.Fatalf("delivered %d distinct cells, want 24", len(seen))
+	}
+	for i, r := range results {
+		if seen[i] != 1 {
+			t.Fatalf("cell %d delivered %d times", i, seen[i])
+		}
+		if r.Metrics == nil {
+			t.Fatalf("cell %d missing metrics", i)
+		}
+	}
+}
+
+func TestNamesSortedAndBuildable(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("catalog too small: %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, n := range names {
+		if _, err := Build(n, Params{Seed: 1, Cells: 1}); err != nil {
+			t.Fatalf("registered scenario %q does not build: %v", n, err)
+		}
+	}
+}
+
+// A requested duration must shape the xray session (one image request
+// per 20 s of session), not be silently dropped: the gateway keys its
+// result cache on duration, so a dropped parameter would cache default
+// results under a non-default key.
+func TestXRaySyncScenarioHonorsDuration(t *testing.T) {
+	run := func(d sim.Time) float64 {
+		spec, err := Build(ScenarioXRayVentSync, Params{
+			Seed: 3, Cells: 1, Duration: d,
+			Knobs: map[string]float64{"loss": 0}, // lossless: every request resolves
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Runner{}.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res[0].Metrics
+		return m["sharp"] + m["blurred"] + m["deferred"]
+	}
+	if got := run(10 * sim.Minute); got != 30 { // 600 s / 20 s spacing
+		t.Fatalf("10-minute session resolved %v requests, want 30", got)
+	}
+	if got := run(0); got != 24 { // scenario default
+		t.Fatalf("default session resolved %v requests, want 24", got)
+	}
+}
+
+func TestKnownKnobsDeclarations(t *testing.T) {
+	knobs, ok := KnownKnobs(ScenarioXRayVentSync)
+	if !ok || len(knobs) != 4 {
+		t.Fatalf("xray knobs = %v, %v", knobs, ok)
+	}
+	if knobs, ok := KnownKnobs(ScenarioPCASupervised); !ok || len(knobs) != 0 {
+		t.Fatalf("pca-supervised should declare an empty knob set, got %v, %v", knobs, ok)
+	}
+	if _, ok := KnownKnobs("not-registered-here"); ok {
+		t.Fatal("undeclared scenario claims a knob set")
 	}
 }

@@ -1,0 +1,323 @@
+// Package icegate is the serving layer above the fleet: a long-running
+// gateway that accepts scenario-run and experiment-table jobs over
+// HTTP/JSON, schedules them on a bounded queue with admission control,
+// streams per-cell results as they complete, and memoizes finished
+// results in a deterministic cache.
+//
+// The design leans on the layer below it: because a fleet result is a
+// pure function of (scenario, seed, cells, duration, knobs) — byte-
+// identical at any worker count — the gateway can key a result cache on
+// exactly that tuple and serve repeat queries without simulating, and it
+// can treat parallelism (fleet workers, concurrent jobs) purely as
+// deployment capacity. cmd/icegated wraps this package as a daemon;
+// cmd/icerun -remote is its client.
+package icegate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+// Config sizes the gateway.
+type Config struct {
+	QueueDepth int // jobs admitted but not yet executing; <=0 means 16
+	Executors  int // jobs executing concurrently; <=0 means 1
+	Workers    int // fleet worker-pool width per job; <=0 means 1
+	MaxCells   int // per-job cell ceiling (admission control); <=0 means 4096
+	RetainJobs int // finished jobs kept for status queries; <=0 means 1024
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Executors <= 0 {
+		c.Executors = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 4096
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// ErrQueueFull is admission control's rejection: the HTTP layer maps it
+// to 429 Too Many Requests.
+var ErrQueueFull = errors.New("icegate: job queue full")
+
+// Scheduler owns the job queue, the executor pool, and the result cache.
+type Scheduler struct {
+	cfg   Config
+	cache *Cache
+	met   *gatewayMetrics
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+}
+
+// NewScheduler starts cfg.Executors executor goroutines and returns the
+// scheduler. Close must be called to stop them.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		cache:   NewCache(),
+		met:     newGatewayMetrics(),
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Close rejects further submissions, cancels every queued and running
+// job, and waits for the executors to drain. Safe to call once; callers
+// must stop the HTTP front end first or accept "scheduler closed" errors.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+	}
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Cache exposes the result cache (metrics and tests).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// QueueDepth reports jobs admitted but not yet picked up by an executor.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Submit validates and admits one job. A cache hit completes the job
+// instantly — it is registered with an ID like any other so clients keep
+// one code path — and a full queue returns ErrQueueFull without
+// registering anything.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Cells > s.cfg.MaxCells {
+		return nil, fmt.Errorf("icegate: %d cells exceeds the per-job ceiling %d", req.Cells, s.cfg.MaxCells)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("icegate: scheduler closed")
+	}
+	s.seq++
+	job := newJob(fmt.Sprintf("job-%06d", s.seq), req)
+
+	if e, ok := s.cache.get(job.key); ok {
+		for _, cr := range e.cells {
+			job.deliver(cr)
+		}
+		job.finish(StatusDone, e.table, "", true)
+		s.register(job)
+		s.met.jobsDone.Add(1)
+		return job, nil
+	}
+
+	// Admission control: a full queue rejects rather than blocks, so one
+	// flood of submissions degrades to fast 429s instead of head-of-line
+	// latency for everyone.
+	select {
+	case s.queue <- job:
+	default:
+		s.met.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.register(job)
+	return job, nil
+}
+
+// register records the job; callers hold s.mu.
+func (s *Scheduler) register(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.met.jobsSubmitted.Add(1)
+	s.evictLocked()
+}
+
+// evictLocked keeps the daemon's job registry bounded: once the registry
+// exceeds RetainJobs, terminal jobs are dropped oldest-first (their
+// results live on in the cache; only the per-ID status record goes).
+// Queued and running jobs are never evicted. Callers hold s.mu.
+func (s *Scheduler) evictLocked() {
+	if len(s.jobs) <= s.cfg.RetainJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.cfg.RetainJobs && j.Status().terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get resolves a job by ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every registered job in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job. Cancelling an unknown job is an
+// error; cancelling a terminal one is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("icegate: unknown job %q", id)
+	}
+	if j.requestCancel() {
+		s.met.jobsCancelled.Add(1)
+	}
+	return nil
+}
+
+func (s *Scheduler) executor() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one admitted job end to end.
+func (s *Scheduler) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !job.start(cancel) {
+		return // cancelled while queued
+	}
+
+	var table string
+	var err error
+	if job.Req.Scenario != "" {
+		table, err = s.runScenario(ctx, job)
+	} else {
+		table, err = s.runExperiment(ctx, job)
+	}
+
+	switch {
+	case ctx.Err() != nil:
+		job.finish(StatusCancelled, "", ctx.Err().Error(), false)
+	case err != nil:
+		s.met.jobsFailed.Add(1)
+		job.finish(StatusFailed, "", err.Error(), false)
+	default:
+		// Memoize with cells re-sorted into deterministic index order so a
+		// cache hit replays the same stream regardless of this run's
+		// completion order.
+		job.mu.Lock()
+		cells := append([]CellResult(nil), job.cells...)
+		job.mu.Unlock()
+		ordered := make([]CellResult, len(cells))
+		copy(ordered, cells)
+		for _, cr := range cells {
+			if cr.Index >= 0 && cr.Index < len(ordered) {
+				ordered[cr.Index] = cr
+			}
+		}
+		s.cache.put(job.key, cacheEntry{table: table, cells: ordered})
+		s.met.jobsDone.Add(1)
+		job.finish(StatusDone, table, "", false)
+	}
+}
+
+// runScenario executes a fleet ensemble, streaming each cell as it lands.
+func (s *Scheduler) runScenario(ctx context.Context, job *Job) (string, error) {
+	req := job.Req
+	spec, err := fleet.Build(req.Scenario, fleet.Params{
+		Seed:     req.Seed,
+		Cells:    req.Cells,
+		Duration: req.duration(),
+		Knobs:    req.Knobs,
+	})
+	if err != nil {
+		return "", err
+	}
+	results, err := fleet.Runner{Workers: s.cfg.Workers}.RunContext(ctx, spec, func(r fleet.Result) {
+		cr := CellResult{Index: r.Cell.Index, Seed: r.Cell.Seed, Metrics: r.Metrics}
+		if r.Err != nil {
+			cr.Err = r.Err.Error()
+		}
+		job.deliver(cr)
+		s.met.cellsDone.Add(1)
+	})
+	if err != nil {
+		return "", err
+	}
+	return renderScenarioTable(req, results), nil
+}
+
+// renderScenarioTable is the canonical rendering of a scenario job: the
+// request identity line plus the fleet's reduced summary. Byte-identical
+// result sets render to byte-identical tables (the cache contract).
+func renderScenarioTable(req Request, results []fleet.Result) string {
+	return fmt.Sprintf("scenario %s seed=%d cells=%d\n%s",
+		req.Scenario, req.Seed, req.Cells, fleet.Reduce(results))
+}
+
+// runExperiment renders one catalog table. Experiment runners are not
+// interruptible mid-run; cancellation is honored between admission and
+// start, and the result of a run that raced cancellation is discarded by
+// runJob's ctx check.
+func (s *Scheduler) runExperiment(ctx context.Context, job *Job) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	tab, err := experiments.Run(job.Req.Exp, experiments.Options{
+		Seed:    job.Req.Seed,
+		Cells:   job.Req.Cells,
+		Workers: s.cfg.Workers,
+	})
+	if err != nil {
+		return "", err
+	}
+	return tab.String(), nil
+}

@@ -1,0 +1,403 @@
+package icegate
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+// The tests register one extra scenario whose cells block on a per-seed
+// gate, so a job can be held mid-flight deterministically: each token
+// sent to the gate releases exactly one cell.
+var testGates sync.Map // seed -> chan struct{}
+
+func gate(seed int64) chan struct{} {
+	ch, _ := testGates.LoadOrStore(seed, make(chan struct{}))
+	return ch.(chan struct{})
+}
+
+func init() {
+	fleet.Register("test-gated", func(p fleet.Params) fleet.Spec {
+		return fleet.Spec{
+			Name:  "test-gated",
+			Seed:  p.Seed,
+			Cells: p.Cells,
+			Run: func(c fleet.Cell) (fleet.Metrics, error) {
+				<-gate(p.Seed)
+				return fleet.Metrics{"index": float64(c.Index)}, nil
+			},
+		}
+	})
+}
+
+func newTestGateway(t *testing.T, cfg Config) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := NewScheduler(cfg)
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req Request) (View, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) View {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		if v.Status.terminal() {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return View{}
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) (string, string, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("X-Icegate-Cached"), resp.StatusCode
+}
+
+// The acceptance criterion for the deterministic cache: two identical
+// submissions return byte-identical tables, the second served from cache
+// without simulating.
+func TestIdenticalSubmissionsServedFromCacheByteIdentical(t *testing.T) {
+	s, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 4})
+
+	req := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 42, Cells: 3, DurationS: 600}
+	v1, code := submit(t, ts, req)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if v1.Cached {
+		t.Fatal("first submission claims cached")
+	}
+	waitDone(t, ts, v1.ID)
+	table1, cached1, code := getResult(t, ts, v1.ID)
+	if code != http.StatusOK || cached1 != "false" {
+		t.Fatalf("first result code=%d cached=%s", code, cached1)
+	}
+	if !strings.HasPrefix(table1, "scenario pca-supervised seed=42 cells=3\n") {
+		t.Fatalf("unexpected table header:\n%s", table1)
+	}
+
+	v2, code := submit(t, ts, req)
+	if code != http.StatusCreated {
+		t.Fatalf("second submit = %d", code)
+	}
+	if !v2.Cached || v2.Status != StatusDone {
+		t.Fatalf("second submission not served from cache: %+v", v2)
+	}
+	table2, cached2, code := getResult(t, ts, v2.ID)
+	if code != http.StatusOK || cached2 != "true" {
+		t.Fatalf("second result code=%d cached=%s", code, cached2)
+	}
+	if table1 != table2 {
+		t.Fatalf("cached table differs:\n%s\nvs\n%s", table1, table2)
+	}
+	if hits, _, _ := s.Cache().Stats(); hits != 1 {
+		t.Fatalf("cache hits = %d", hits)
+	}
+
+	// A semantically identical request with defaults spelled differently
+	// must hit the same cache line.
+	if (Request{Scenario: "x", Cells: 0, Seed: 0}).Key() != (Request{Scenario: "x", Cells: 1, Seed: 1}).Key() {
+		t.Fatal("normalized requests key differently")
+	}
+}
+
+// The acceptance criterion for serving: a multi-cell job streams NDJSON
+// per-cell results as cells complete, while a concurrent job on another
+// executor is cancelled via its context.
+func TestStreamsCellsWhileConcurrentJobCancelled(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 8, Executors: 2, Workers: 2})
+
+	streamJob, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 100, Cells: 3})
+	if code != http.StatusCreated {
+		t.Fatalf("submit stream job = %d", code)
+	}
+	victim, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 200, Cells: 2})
+	if code != http.StatusCreated {
+		t.Fatalf("submit victim job = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + streamJob.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	readLine := func() streamLine {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		return l
+	}
+
+	// Cancel the concurrent job mid-flight: its two cells are blocked on
+	// their gate, so it is provably running when the DELETE lands.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+victim.ID, nil)
+	if resp, err := http.DefaultClient.Do(delReq); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Release the streaming job one cell at a time; each token must yield
+	// one NDJSON cell line while the remaining cells are still blocked —
+	// the incremental-delivery proof.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		gate(100) <- struct{}{}
+		l := readLine()
+		if l.Cell == nil {
+			t.Fatalf("expected cell line, got %+v", l)
+		}
+		if seen[l.Cell.Index] {
+			t.Fatalf("cell %d streamed twice", l.Cell.Index)
+		}
+		seen[l.Cell.Index] = true
+		if l.Cell.Metrics["index"] != float64(l.Cell.Index) {
+			t.Fatalf("cell %d carries wrong metrics: %+v", l.Cell.Index, l.Cell)
+		}
+	}
+	final := readLine()
+	if !final.Done || final.Status != StatusDone {
+		t.Fatalf("terminal line = %+v", final)
+	}
+	for i := 0; i < 3; i++ {
+		if !seen[i] {
+			t.Fatalf("cell %d never streamed (saw %v)", i, seen)
+		}
+	}
+
+	// Unblock the victim's in-flight cells; the job must still end
+	// cancelled because its context was cancelled while they ran.
+	close(gate(200))
+	if v := waitDone(t, ts, victim.ID); v.Status != StatusCancelled {
+		t.Fatalf("victim status = %+v", v)
+	}
+}
+
+// Admission control: a full queue answers 429 without registering a job,
+// and a queued job can be cancelled before it ever runs.
+func TestQueueFullRejectsWith429(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 1, Executors: 1, Workers: 1})
+
+	running, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 300, Cells: 1})
+	if code != http.StatusCreated {
+		t.Fatalf("submit running = %d", code)
+	}
+	// Occupying the executor takes a moment; poll until it leaves the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for getJob(t, ts, running.ID).Status != StatusRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	queued, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 301, Cells: 1})
+	if code != http.StatusCreated {
+		t.Fatalf("submit queued = %d", code)
+	}
+	if _, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 302, Cells: 1}); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", code)
+	}
+
+	// Cancel the queued job; it must go terminal without running.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+queued.ID, nil)
+	resp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v := getJob(t, ts, queued.ID); v.Status != StatusCancelled {
+		t.Fatalf("queued job after cancel: %+v", v)
+	}
+
+	close(gate(300))
+	if v := waitDone(t, ts, running.ID); v.Status != StatusDone {
+		t.Fatalf("running job finished as %+v", v)
+	}
+}
+
+// The gateway serves the experiment catalog too: a remote table render is
+// byte-identical to calling the runner in-process.
+func TestExperimentJobMatchesLocalRender(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	v, code := submit(t, ts, Request{Exp: "E12"})
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, ts, v.ID)
+	remote, _, code := getResult(t, ts, v.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, remote)
+	}
+	local, err := experiments.Run("E12", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote != local.String() {
+		t.Fatalf("remote render differs:\n%s\nvs\n%s", remote, local)
+	}
+}
+
+// Bad submissions are 400s, the scenario list covers the fleet registry,
+// and /metrics exposes queue and cache state.
+func TestListValidationAndMetricsEndpoints(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 1})
+
+	for _, bad := range []Request{
+		{},                                      // neither scenario nor exp
+		{Scenario: "pca-supervised", Exp: "F1"}, // both
+		{Scenario: "no-such-scenario"},
+		{Exp: "E99"},
+		{Scenario: "pca-supervised", Cells: -1},
+		{Exp: "F1", DurationS: 60}, // duration on a table job
+		// A knob the scenario never reads would cache a nominal run under
+		// the mistyped key; the declaration check rejects it instead.
+		{Scenario: "pca-commfault", Knobs: map[string]float64{"losss": 0.1}},
+		{Scenario: "pca-supervised", Knobs: map[string]float64{"loss": 0.1}},
+	} {
+		if _, code := submit(t, ts, bad); code != http.StatusBadRequest {
+			t.Fatalf("bad request %+v accepted with %d", bad, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, want := fmt.Sprint(listing["scenarios"]), fmt.Sprint(fleet.Names()); got != want {
+		t.Fatalf("scenario list %s != fleet registry %s", got, want)
+	}
+	if len(listing["experiments"]) != len(experiments.IDs()) {
+		t.Fatalf("experiment list %v", listing["experiments"])
+	}
+
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	for _, want := range []string{
+		"icegate_queue_depth ", "icegate_queue_capacity 4",
+		"icegate_cache_hits_total ", "icegate_cells_per_second ",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/api/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job = %d", resp.StatusCode)
+		}
+	}
+}
+
+// The daemon's job registry is bounded: beyond RetainJobs, the oldest
+// terminal jobs are evicted (their results survive in the cache), while
+// live jobs are never touched.
+func TestTerminalJobsEvictedBeyondRetention(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 8, Executors: 1, Workers: 1, RetainJobs: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		// Distinct seeds so each submission is a distinct cache key.
+		v, code := submit(t, ts, Request{Exp: "E12", Seed: int64(i + 1)})
+		if code != http.StatusCreated {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitDone(t, ts, v.ID)
+		ids = append(ids, v.ID)
+	}
+
+	wantCode := func(id string, want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("job %s status code = %d, want %d", id, resp.StatusCode, want)
+		}
+	}
+	wantCode(ids[0], http.StatusNotFound) // evicted
+	wantCode(ids[1], http.StatusNotFound) // evicted
+	wantCode(ids[2], http.StatusOK)
+	wantCode(ids[3], http.StatusOK)
+}

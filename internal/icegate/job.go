@@ -1,0 +1,309 @@
+package icegate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+// Request describes one servable job: either a fleet scenario ensemble
+// (Scenario set to a fleet registry name) or a DESIGN.md experiment table
+// (Exp set to a catalog ID). Exactly one of the two must be set.
+//
+// Worker-pool width is deliberately NOT part of a request: the fleet's
+// determinism contract makes results byte-identical at any width, so
+// parallelism is a server deployment knob, never a result-identity one.
+type Request struct {
+	Scenario  string             `json:"scenario,omitempty"`
+	Exp       string             `json:"exp,omitempty"`
+	Seed      int64              `json:"seed,omitempty"`
+	Cells     int                `json:"cells,omitempty"`
+	DurationS float64            `json:"duration_s,omitempty"` // scenario horizon; 0 = scenario default
+	Knobs     map[string]float64 `json:"knobs,omitempty"`
+}
+
+// Validate rejects requests that could never run or whose key would be
+// unstable (non-finite numbers break cache-key equality).
+func (r Request) Validate() error {
+	if (r.Scenario == "") == (r.Exp == "") {
+		return errors.New("icegate: request must set exactly one of scenario, exp")
+	}
+	if r.Cells < 0 {
+		return fmt.Errorf("icegate: negative cells %d", r.Cells)
+	}
+	if r.DurationS < 0 || math.IsNaN(r.DurationS) || math.IsInf(r.DurationS, 0) {
+		return fmt.Errorf("icegate: bad duration_s %v", r.DurationS)
+	}
+	for k, v := range r.Knobs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("icegate: knob %q is not finite", k)
+		}
+	}
+	if r.Scenario != "" {
+		found := false
+		for _, n := range fleet.Names() {
+			if n == r.Scenario {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("icegate: unknown scenario %q (have %v)", r.Scenario, fleet.Names())
+		}
+		// A knob the scenario never reads would still enter the cache key,
+		// caching a nominal run under the mistyped name — reject instead.
+		if known, declared := fleet.KnownKnobs(r.Scenario); declared {
+			for k := range r.Knobs {
+				if !slices.Contains(known, k) {
+					return fmt.Errorf("icegate: scenario %q has no knob %q (have %v)", r.Scenario, k, known)
+				}
+			}
+		}
+		return nil
+	}
+	if !experiments.Has(r.Exp) {
+		return fmt.Errorf("icegate: unknown experiment %q (have %v)", r.Exp, experiments.IDs())
+	}
+	if len(r.Knobs) > 0 || r.DurationS != 0 {
+		return errors.New("icegate: knobs/duration_s apply to scenario jobs only")
+	}
+	return nil
+}
+
+// normalized fills the defaults that participate in result identity, so
+// "cells omitted" and "cells: 1" hit the same cache line.
+func (r Request) normalized() Request {
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Cells <= 0 {
+		r.Cells = 1
+	}
+	return r
+}
+
+// Key canonicalizes the request into its deterministic cache key: the
+// full set of inputs that the simulation result is a pure function of.
+func (r Request) Key() string {
+	r = r.normalized()
+	var b strings.Builder
+	if r.Scenario != "" {
+		fmt.Fprintf(&b, "scenario/%s", r.Scenario)
+	} else {
+		fmt.Fprintf(&b, "exp/%s", r.Exp)
+	}
+	fmt.Fprintf(&b, "?seed=%d&cells=%d", r.Seed, r.Cells)
+	if r.DurationS != 0 {
+		fmt.Fprintf(&b, "&duration_s=%g", r.DurationS)
+	}
+	knobs := make([]string, 0, len(r.Knobs))
+	for k := range r.Knobs {
+		knobs = append(knobs, k)
+	}
+	sort.Strings(knobs)
+	for _, k := range knobs {
+		fmt.Fprintf(&b, "&knob.%s=%g", k, r.Knobs[k])
+	}
+	return b.String()
+}
+
+// duration converts the requested horizon to sim time.
+func (r Request) duration() sim.Time {
+	return sim.Time(r.DurationS * float64(sim.Second))
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// CellResult is the streamed per-cell record: one NDJSON line per
+// completed cell.
+type CellResult struct {
+	Index   int                `json:"index"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Err     string             `json:"err,omitempty"`
+}
+
+// Job tracks one submission through queued→running→done/failed/cancelled.
+type Job struct {
+	ID  string
+	Req Request // normalized form
+	key string
+
+	mu         sync.Mutex
+	status     Status
+	errMsg     string
+	cached     bool
+	cellsTotal int
+	cells      []CellResult // completed cells, in delivery order (replay buffer)
+	table      string       // rendered result, set on success
+	cancel     context.CancelFunc
+	subs       []chan CellResult
+	done       chan struct{} // closed on terminal status
+}
+
+func newJob(id string, req Request) *Job {
+	req = req.normalized()
+	j := &Job{ID: id, Req: req, key: req.Key(), status: StatusQueued, done: make(chan struct{})}
+	if req.Scenario != "" {
+		j.cellsTotal = req.Cells
+	}
+	return j
+}
+
+// View is the JSON shape of a job's status.
+type View struct {
+	ID         string  `json:"id"`
+	Status     Status  `json:"status"`
+	Request    Request `json:"request"`
+	Cached     bool    `json:"cached"`
+	CellsTotal int     `json:"cells_total"`
+	CellsDone  int     `json:"cells_done"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// View snapshots the job for the status endpoints.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID: j.ID, Status: j.status, Request: j.Req, Cached: j.cached,
+		CellsTotal: j.cellsTotal, CellsDone: len(j.cells), Error: j.errMsg,
+	}
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Table returns the rendered result and whether it is available yet.
+func (j *Job) Table() (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table, j.status == StatusDone
+}
+
+// Done exposes the terminal-state signal (closed when the job finishes,
+// fails, or is cancelled).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// start transitions queued→running; false if the job was cancelled while
+// queued (the executor then skips it).
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.cancel = cancel
+	return true
+}
+
+// deliver records one completed cell and fans it out to subscribers.
+// Subscriber channels are buffered to the job's full cell count, so the
+// sends below never block the fleet's workers.
+func (j *Job) deliver(cr CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.cells = append(j.cells, cr)
+	for _, ch := range j.subs {
+		ch <- cr
+	}
+}
+
+// finish moves the job to a terminal state, closing the stream fan-out.
+func (j *Job) finish(status Status, table, errMsg string, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.status = status
+	j.table = table
+	j.errMsg = errMsg
+	j.cached = cached
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+}
+
+// requestCancel flips a queued job straight to cancelled or signals a
+// running job's context; terminal jobs are left alone (returns false).
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.errMsg = context.Canceled.Error()
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+		close(j.done)
+		j.mu.Unlock()
+		return true
+	}
+	if j.status == StatusRunning && j.cancel != nil {
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		return true
+	}
+	j.mu.Unlock()
+	return false
+}
+
+// subscribe atomically snapshots already-delivered cells and registers a
+// live channel for the rest. The returned channel is closed when the job
+// reaches a terminal state; unsubscribe is idempotent and safe after
+// close. For jobs already terminal the channel arrives pre-closed.
+func (j *Job) subscribe() (replay []CellResult, live <-chan CellResult, unsubscribe func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]CellResult(nil), j.cells...)
+	ch := make(chan CellResult, j.cellsTotal+1)
+	if j.status.terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}

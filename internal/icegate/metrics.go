@@ -1,0 +1,61 @@
+package icegate
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// gatewayMetrics are the serving-side counters behind /metrics. They
+// describe the gateway process (wall-clock throughput, queue pressure,
+// cache efficiency) and are deliberately separate from simulation
+// results, which stay deterministic.
+type gatewayMetrics struct {
+	start         time.Time
+	cellsDone     atomic.Uint64
+	jobsSubmitted atomic.Uint64
+	jobsRejected  atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
+}
+
+func newGatewayMetrics() *gatewayMetrics {
+	return &gatewayMetrics{start: time.Now()}
+}
+
+// Render emits the Prometheus-style text form of the gateway's state.
+func (s *Scheduler) renderMetrics() string {
+	hits, misses, entries := s.cache.Stats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	uptime := time.Since(s.met.start).Seconds()
+	cells := s.met.cellsDone.Load()
+	cellsPerSec := 0.0
+	if uptime > 0 {
+		cellsPerSec = float64(cells) / uptime
+	}
+
+	var b strings.Builder
+	line := func(name string, v any) { fmt.Fprintf(&b, "icegate_%s %v\n", name, v) }
+	line("uptime_seconds", fmt.Sprintf("%.1f", uptime))
+	line("queue_depth", s.QueueDepth())
+	line("queue_capacity", s.cfg.QueueDepth)
+	line("executors", s.cfg.Executors)
+	line("fleet_workers", s.cfg.Workers)
+	line("jobs_submitted_total", s.met.jobsSubmitted.Load())
+	line("jobs_rejected_total", s.met.jobsRejected.Load())
+	line("jobs_done_total", s.met.jobsDone.Load())
+	line("jobs_failed_total", s.met.jobsFailed.Load())
+	line("jobs_cancelled_total", s.met.jobsCancelled.Load())
+	line("cache_entries", entries)
+	line("cache_hits_total", hits)
+	line("cache_misses_total", misses)
+	line("cache_hit_rate", fmt.Sprintf("%.3f", hitRate))
+	line("cells_done_total", cells)
+	line("cells_per_second", fmt.Sprintf("%.2f", cellsPerSec))
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package icegate
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+)
+
+// NewHandler wires the gateway's HTTP/JSON API around a scheduler.
+//
+//	GET    /healthz                  liveness
+//	GET    /api/v1/scenarios         servable fleet scenarios + experiment IDs
+//	POST   /api/v1/jobs              submit a job (429 when the queue is full)
+//	GET    /api/v1/jobs              list jobs, submission order
+//	GET    /api/v1/jobs/{id}         job status
+//	DELETE /api/v1/jobs/{id}         cancel a queued or running job
+//	GET    /api/v1/jobs/{id}/result  rendered table (text/plain) once done
+//	GET    /api/v1/jobs/{id}/stream  per-cell results as NDJSON, live
+//	GET    /metrics                  gateway counters, Prometheus text style
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /api/v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{
+			"scenarios":   fleet.Names(),
+			"experiments": experiments.IDs(),
+		})
+	})
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		job, err := s.Submit(req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusCreated, job.View())
+		}
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		views := make([]View, len(jobs))
+		for i, j := range jobs {
+			views[i] = j.View()
+		}
+		writeJSON(w, http.StatusOK, map[string][]View{"jobs": views})
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if job, ok := s.Get(r.PathValue("id")); ok {
+			writeJSON(w, http.StatusOK, job.View())
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown job")
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cancel(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		job, _ := s.Get(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, job.View())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		v := job.View()
+		switch v.Status {
+		case StatusDone:
+			table, _ := job.Table()
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("X-Icegate-Cached", boolHeader(v.Cached))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(table))
+		case StatusFailed, StatusCancelled:
+			writeJSON(w, http.StatusConflict, v)
+		default:
+			writeJSON(w, http.StatusAccepted, v)
+		}
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamJob(s, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(s.renderMetrics()))
+	})
+	return mux
+}
+
+// streamLine is one NDJSON record: a cell while the job runs, then a
+// single terminal record carrying the final status.
+type streamLine struct {
+	Cell   *CellResult `json:"cell,omitempty"`
+	Done   bool        `json:"done,omitempty"`
+	Status Status      `json:"status,omitempty"`
+	Cached bool        `json:"cached,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// streamJob replays the job's completed cells, then follows it live until
+// the job reaches a terminal state or the client goes away. Each line is
+// flushed immediately so a slow multi-cell job streams incrementally.
+func streamJob(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: clients block on them before reading
+		// the first NDJSON line, which may be a long simulation away.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(l streamLine) {
+		_ = enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	replay, live, unsubscribe := job.subscribe()
+	defer unsubscribe()
+	for i := range replay {
+		emit(streamLine{Cell: &replay[i]})
+	}
+	for {
+		select {
+		case cr, open := <-live:
+			if !open {
+				v := job.View()
+				emit(streamLine{Done: true, Status: v.Status, Cached: v.Cached, Error: v.Error})
+				return
+			}
+			emit(streamLine{Cell: &cr})
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func boolHeader(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
