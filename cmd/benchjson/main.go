@@ -1,0 +1,164 @@
+// Command benchjson measures the engine's headline throughput numbers and
+// emits them as JSON — the repo's benchmark trajectory (BENCH_*.json).
+// It times the hot paths directly (no `go test` harness) so CI can drop a
+// machine-readable artifact next to the human-readable bench output:
+//
+//	go run ./cmd/benchjson -out BENCH_pr3.json
+//
+// Reported metrics:
+//
+//	kernel.arena_events_per_s      closure-free schedule+dispatch on the arena kernel
+//	kernel.reference_events_per_s  the same workload on the pre-arena heap-of-pointers kernel
+//	kernel.speedup                 arena / reference
+//	mednet.datagrams_per_s         healthy-path send→fly→handle round trips
+//	fleet.cells_per_s              PCA ensemble throughput at the configured width
+//	fleet.events_per_s             kernel events/s aggregated across those cells
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+type report struct {
+	PR     string       `json:"pr"`
+	Kernel kernelReport `json:"kernel"`
+	Mednet mednetReport `json:"mednet"`
+	Fleet  fleetReport  `json:"fleet"`
+}
+
+type kernelReport struct {
+	ArenaEventsPerS     float64 `json:"arena_events_per_s"`
+	ReferenceEventsPerS float64 `json:"reference_events_per_s"`
+	Speedup             float64 `json:"speedup"`
+}
+
+type mednetReport struct {
+	DatagramsPerS float64 `json:"datagrams_per_s"`
+}
+
+type fleetReport struct {
+	Scenario   string  `json:"scenario"`
+	Cells      int     `json:"cells"`
+	Workers    int     `json:"workers"`
+	CellsPerS  float64 `json:"cells_per_s"`
+	EventsPerS float64 `json:"events_per_s"`
+}
+
+// benchKernel times steady-state schedule+dispatch over a standing queue
+// of 1024 events, mirroring BenchmarkKernelScheduling.
+func benchKernel(n int, reference bool) float64 {
+	sim.SetReferenceQueueForTest(reference)
+	defer sim.SetReferenceQueueForTest(false)
+	k := sim.NewKernel()
+	noop := func(any) {}
+	for i := 0; i < 1024; i++ {
+		k.AtFunc(sim.Time(1)<<40+sim.Time(i), noop, nil)
+	}
+	sink := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if reference {
+			j := i // the pre-refactor call shape: a capturing closure per event
+			k.At(k.Now()+sim.Millisecond, func() { sink = j })
+		} else {
+			k.AtFunc(k.Now()+sim.Millisecond, noop, nil)
+		}
+		k.Step()
+	}
+	_ = sink
+	return float64(n) / time.Since(start).Seconds()
+}
+
+func benchMednet(n int) float64 {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	net.Register("b", func(mednet.Message) {})
+	payload := make([]byte, 64)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		net.Send("a", "b", "obs", payload)
+		if err := k.Run(k.Now() + 10*sim.Millisecond); err != nil {
+			panic(err)
+		}
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+func benchFleet(cells, workers int) (cellsPerS, eventsPerS float64, err error) {
+	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	runner := fleet.Runner{Workers: workers}
+	if _, err := runner.Run(spec); err != nil { // warm (build caches, page in)
+		return 0, 0, err
+	}
+	const rounds = 3
+	var events uint64
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		res, err := runner.Run(spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, r := range res {
+			events += r.Events
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(rounds*cells) / elapsed, float64(events) / elapsed, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	kernelOps := flag.Int("kernel-ops", 2_000_000, "kernel schedule+dispatch ops to time")
+	datagrams := flag.Int("datagrams", 200_000, "mednet round trips to time")
+	cells := flag.Int("cells", 8, "fleet cells per round")
+	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker width")
+	flag.Parse()
+
+	arena := benchKernel(*kernelOps, false)
+	reference := benchKernel(*kernelOps, true)
+	cellsPerS, eventsPerS, err := benchFleet(*cells, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	r := report{
+		PR: "pr3-hot-path-engine",
+		Kernel: kernelReport{
+			ArenaEventsPerS:     arena,
+			ReferenceEventsPerS: reference,
+			Speedup:             arena / reference,
+		},
+		Mednet: mednetReport{DatagramsPerS: benchMednet(*datagrams)},
+		Fleet: fleetReport{
+			Scenario: fleet.ScenarioPCASupervised, Cells: *cells, Workers: *workers,
+			CellsPerS: cellsPerS, EventsPerS: eventsPerS,
+		},
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

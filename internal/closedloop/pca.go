@@ -128,6 +128,10 @@ type PCASupervisor struct {
 	onAlarm  []func(Alarm)
 	watchdog *sim.Ticker
 
+	// decidePool recycles the argument slots of in-flight decide events,
+	// so the per-estimate algorithm-delay hop schedules allocation-free.
+	decidePool []*decideCtx
+
 	// Counters for experiments.
 	StopsIssued    uint64
 	ResumesIssued  uint64
@@ -193,9 +197,34 @@ func (s *PCASupervisor) onSpO2(d core.Datum) {
 	s.timeoutFired = false
 	s.lastSpO2 = d.Value
 
-	// Decision logic runs after the algorithm processing delay.
-	v := d.Value
-	s.k.After(s.cfg.AlgorithmDelay, func() { s.decide(v) })
+	// Decision logic runs after the algorithm processing delay. This is
+	// the supervisor's per-estimate hot path, so the hop is scheduled
+	// closure-free with a pooled argument slot.
+	var dc *decideCtx
+	if last := len(s.decidePool) - 1; last >= 0 {
+		dc = s.decidePool[last]
+		s.decidePool = s.decidePool[:last]
+	} else {
+		dc = &decideCtx{s: s}
+	}
+	dc.spo2 = d.Value
+	s.k.AfterFunc(s.cfg.AlgorithmDelay, runDecide, dc)
+}
+
+// decideCtx carries one delayed decision's input.
+type decideCtx struct {
+	s    *PCASupervisor
+	spo2 float64
+}
+
+// runDecide executes a delayed decision; package-level so scheduling it
+// never allocates a closure. The slot is returned to the pool before the
+// decision runs, since decide may schedule further work.
+func runDecide(arg any) {
+	dc := arg.(*decideCtx)
+	s, v := dc.s, dc.spo2
+	s.decidePool = append(s.decidePool, dc)
+	s.decide(v)
 }
 
 func (s *PCASupervisor) decide(spo2 float64) {

@@ -38,6 +38,12 @@ type PCAScenarioConfig struct {
 	// fleet layer build cells from declarative specs.
 	OximeterOutageStart sim.Time
 	OximeterOutageEnd   sim.Time
+
+	// Trace, when non-nil, is the (empty or Reset) trace the scenario
+	// records into instead of allocating its own — the fleet layer pools
+	// one per worker so ensemble runs reuse sample buffers across cells.
+	// The recorded contents are a pure function of the config either way.
+	Trace *sim.Trace
 }
 
 // DefaultPCAScenario returns a 2-hour session reproducing the adverse-
@@ -119,7 +125,10 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 	pump := device.MustNewPump(k, net, "pump1", pumpSettings, core.ConnectConfig{})
 	ox := device.MustNewOximeter(k, net, "ox1", patient, rng.Fork("ox"), core.ConnectConfig{})
 
-	trace := sim.NewTrace()
+	trace := cfg.Trace
+	if trace == nil {
+		trace = sim.NewTrace()
+	}
 	ward := device.NewWard(k, patient, sim.Second)
 	ward.Trace = trace
 	ward.AttachDrugSource(pump)
@@ -147,10 +156,12 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 	if cfg.ProxyPressInterval > 0 {
 		k.Every(cfg.ProxyPressInterval.Duration(), func(sim.Time) { pump.PressButton() })
 	}
-	// Record supervisor-visible signals.
+	// Record supervisor-visible signals (interned: one sample per
+	// estimate window for the whole session).
+	obsSpO2 := trace.SeriesID("obs/spo2")
 	mgr.Subscribe("ox1/spo2", func(_ string, d core.Datum) {
 		if d.Valid {
-			trace.Record("obs/spo2", k.Now(), d.Value)
+			trace.RecordID(obsSpO2, k.Now(), d.Value)
 		}
 	})
 	// Configured network partition of the sensing path.
@@ -225,6 +236,14 @@ const (
 	MetricDataTimeouts   = "timeouts"
 	MetricStopLatencyNs  = "stop_latency_ns"
 	MetricFinalPain      = "final_pain"
+
+	// MetricSimEvents is the reserved engine counter: cell runners report
+	// the kernel's executed-event total under it, and the fleet layer
+	// lifts it out of the metrics map into Result.Events (it never appears
+	// in reduced clinical tables). Must match fleet.MetricSimEvents; the
+	// value is spelled here so scenario packages stay free of fleet
+	// imports.
+	MetricSimEvents = "sim/events"
 )
 
 // Metrics flattens the outcome into the named-float form the fleet reduce
@@ -257,9 +276,11 @@ func (o PCAOutcome) Metrics() map[string]float64 {
 // body. It returns a plain map so this package stays free of fleet
 // imports (fleet imports closedloop, not the reverse).
 func RunPCACell(cfg PCAScenarioConfig) (map[string]float64, error) {
-	out, _, err := RunPCAScenario(cfg)
+	out, sc, err := RunPCAScenario(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return out.Metrics(), nil
+	m := out.Metrics()
+	m[MetricSimEvents] = float64(sc.K.Executed())
+	return m, nil
 }

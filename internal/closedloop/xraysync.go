@@ -157,6 +157,12 @@ func (s *XRaySync) RequestImage() {
 	}
 }
 
+// runShoot and runRequestImage adapt the synchronizer's entry points to
+// the kernel's closure-free scheduling API: both fire once per imaging
+// request and need no per-event state beyond the synchronizer itself.
+func runShoot(arg any)        { arg.(*XRaySync).shoot() }
+func runRequestImage(arg any) { arg.(*XRaySync).RequestImage() }
+
 func (s *XRaySync) shoot() {
 	s.ShotsCommanded++
 	s.mgr.SendCommand(s.cfg.XRayID, "shoot",
@@ -237,7 +243,7 @@ func (s *XRaySync) scheduleInWindow() {
 			sendAt = now
 		}
 		if sendAt+bound+s.cfg.Exposure <= we {
-			s.k.At(sendAt, s.shoot)
+			s.k.AtFunc(sendAt, runShoot, s)
 			return
 		}
 		searchFrom = we + sim.Millisecond

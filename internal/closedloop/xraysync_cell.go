@@ -21,6 +21,10 @@ type XRaySyncScenarioConfig struct {
 	Spacing  sim.Time // gap between requests; 0 = 20 s
 	Link     mednet.LinkParams
 	Sync     XRaySyncConfig // full synchronizer design, incl. protocol
+
+	// Trace, when non-nil, is the (empty or Reset) trace to record into —
+	// see PCAScenarioConfig.Trace.
+	Trace *sim.Trace
 }
 
 // DefaultXRaySyncScenario returns the E2 rig at its nominal network
@@ -43,6 +47,7 @@ type XRaySyncOutcome struct {
 	ResumeFailures      uint64 // pause-restart: resume never acknowledged
 	UnventilatedSeconds float64
 	MinSpO2             float64
+	KernelEvents        uint64 // kernel events executed by the session
 }
 
 // Metric names emitted by XRaySyncOutcome.Metrics. MinSpO2 reuses
@@ -65,6 +70,7 @@ func (o XRaySyncOutcome) Metrics() map[string]float64 {
 		MetricResumeFailures: float64(o.ResumeFailures),
 		MetricUnventilatedS:  o.UnventilatedSeconds,
 		MetricMinSpO2:        o.MinSpO2,
+		MetricSimEvents:      float64(o.KernelEvents),
 	}
 }
 
@@ -90,7 +96,10 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 	xray := device.MustNewXRay(k, net, cfg.Sync.XRayID, vent, core.ConnectConfig{})
 	ward := device.NewWard(k, patient, sim.Second)
 	ward.AttachVentSupport(vent)
-	tr := sim.NewTrace()
+	tr := cfg.Trace
+	if tr == nil {
+		tr = sim.NewTrace()
+	}
 	ward.Trace = tr
 
 	sync, err := NewXRaySync(k, mgr, cfg.Sync)
@@ -100,7 +109,7 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 
 	for i := 0; i < cfg.Requests; i++ {
 		at := 10*sim.Second + sim.Time(i)*cfg.Spacing
-		k.At(at, func() { sync.RequestImage() })
+		k.AtFunc(at, runRequestImage, sync)
 	}
 	horizon := 10*sim.Second + sim.Time(cfg.Requests+6)*cfg.Spacing
 	if err := k.Run(horizon); err != nil {
@@ -111,6 +120,7 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 		Sharp: xray.Sharp, Blurred: xray.Blurred, Deferred: sync.Deferred,
 		ResumeFailures: sync.ResumeFailures,
 		MinSpO2:        tr.Stats("true/spo2").Min,
+		KernelEvents:   k.Executed(),
 	}
 	// Unventilated time: integrate the recorded mechanical-support series.
 	ev := tr.Series("true/extvent")

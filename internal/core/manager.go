@@ -122,9 +122,28 @@ type subscription struct {
 	fn      func(from string, d Datum)
 }
 
+// pendingCmd tracks one acknowledged command in flight. It doubles as the
+// argument of its own timeout event (scheduled closure-free via AfterFunc
+// and canceled by EventID when the ack lands).
 type pendingCmd struct {
-	fn      func(CommandAck, error)
-	timeout *sim.Event
+	m        *Manager
+	id       uint64
+	name     string
+	deviceID string
+	wait     time.Duration
+	fn       func(CommandAck, error)
+	timeout  sim.EventID
+}
+
+// cmdTimeout fires when a command's acknowledgement never arrived;
+// package-level so scheduling it allocates nothing beyond the pendingCmd.
+func cmdTimeout(arg any) {
+	p := arg.(*pendingCmd)
+	if q, ok := p.m.pending[p.id]; !ok || q != p {
+		return // acked (or superseded) in the meantime
+	}
+	delete(p.m.pending, p.id)
+	p.fn(CommandAck{ID: p.id}, fmt.Errorf("core: command %s to %s timed out after %v", p.name, p.deviceID, p.wait))
 }
 
 // Manager is the ICE supervisor host and network controller: it admits
@@ -234,14 +253,8 @@ func (m *Manager) SendCommand(deviceID, name string, args map[string]float64, ti
 	m.cmdSeq++
 	cmd := Command{ID: m.cmdSeq, Name: name, Args: args}
 	if fn != nil {
-		p := &pendingCmd{fn: fn}
-		id := cmd.ID
-		p.timeout = m.k.After(timeout, func() {
-			if q, ok := m.pending[id]; ok && q == p {
-				delete(m.pending, id)
-				fn(CommandAck{ID: id}, fmt.Errorf("core: command %s to %s timed out after %v", name, deviceID, timeout))
-			}
-		})
+		p := &pendingCmd{m: m, id: cmd.ID, name: name, deviceID: deviceID, wait: timeout, fn: fn}
+		p.timeout = m.k.AfterFunc(timeout, cmdTimeout, p)
 		m.pending[cmd.ID] = p
 	}
 	m.send(deviceID, MsgCommand, cmd)
@@ -363,7 +376,7 @@ func (m *Manager) handleCommandAck(env Envelope) {
 	m.touch(env.From)
 	if p, ok := m.pending[ack.ID]; ok {
 		delete(m.pending, ack.ID)
-		p.timeout.Cancel()
+		m.k.Cancel(p.timeout)
 		p.fn(ack, nil)
 	}
 }

@@ -43,6 +43,11 @@ type Ward struct {
 	vent    []VentSupport
 	tick    *sim.Ticker
 	Trace   *sim.Trace // optional: records ground truth each step
+
+	// Interned series handles for Trace; the ward samples eight series
+	// every step, so resolving names once keeps the hot path off the map.
+	interned                                                   *sim.Trace // trace the handles below belong to
+	sSpO2, sHR, sRR, sPlasma, sDepress, sPain, sRate, sExtVent sim.SeriesID
 }
 
 // NewWard starts stepping the patient every step interval.
@@ -82,14 +87,31 @@ func (w *Ward) step(now sim.Time, dt sim.Time) {
 	}
 	w.Patient.Step(dt, rate)
 	if w.Trace != nil {
+		if w.interned != w.Trace {
+			w.intern()
+		}
 		v := w.Patient.Vitals()
-		w.Trace.Record("true/spo2", now, v.SpO2)
-		w.Trace.Record("true/hr", now, v.HeartRate)
-		w.Trace.Record("true/rr", now, v.RespRate)
-		w.Trace.Record("true/drug-plasma", now, v.DrugPlasma)
-		w.Trace.Record("true/depression", now, v.Depression)
-		w.Trace.Record("true/pain", now, v.Pain)
-		w.Trace.Record("true/infusion-rate", now, rate)
-		w.Trace.Record("true/extvent", now, w.Patient.ExternalVentilation())
+		w.Trace.RecordID(w.sSpO2, now, v.SpO2)
+		w.Trace.RecordID(w.sHR, now, v.HeartRate)
+		w.Trace.RecordID(w.sRR, now, v.RespRate)
+		w.Trace.RecordID(w.sPlasma, now, v.DrugPlasma)
+		w.Trace.RecordID(w.sDepress, now, v.Depression)
+		w.Trace.RecordID(w.sPain, now, v.Pain)
+		w.Trace.RecordID(w.sRate, now, rate)
+		w.Trace.RecordID(w.sExtVent, now, w.Patient.ExternalVentilation())
 	}
+}
+
+// intern resolves the ground-truth series handles for the current Trace.
+// Lazy so that assigning the exported Trace field keeps working.
+func (w *Ward) intern() {
+	w.interned = w.Trace
+	w.sSpO2 = w.Trace.SeriesID("true/spo2")
+	w.sHR = w.Trace.SeriesID("true/hr")
+	w.sRR = w.Trace.SeriesID("true/rr")
+	w.sPlasma = w.Trace.SeriesID("true/drug-plasma")
+	w.sDepress = w.Trace.SeriesID("true/depression")
+	w.sPain = w.Trace.SeriesID("true/pain")
+	w.sRate = w.Trace.SeriesID("true/infusion-rate")
+	w.sExtVent = w.Trace.SeriesID("true/extvent")
 }

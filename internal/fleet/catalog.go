@@ -84,6 +84,7 @@ func pcaFactory(supervised bool) Factory {
 			Run: func(c Cell) (Metrics, error) {
 				cfg := pcaConfig(c.Seed, p.Duration)
 				cfg.SupervisorEnabled = supervised
+				cfg.Trace = c.Trace()
 				return closedloop.RunPCACell(cfg)
 			},
 		}
@@ -118,6 +119,7 @@ func xraySyncFactory(p Params) Spec {
 				Jitter:   delay / 4,
 				LossProb: p.Knob("loss", 0.02),
 			}
+			cfg.Trace = c.Trace()
 			return closedloop.RunXRaySyncCell(cfg)
 		},
 	}
@@ -133,6 +135,7 @@ func commFaultFactory(p Params) Spec {
 		SeedFn: func(int) int64 { return p.Seed },
 		Run: func(c Cell) (Metrics, error) {
 			cfg := pcaConfig(c.Seed, p.Duration)
+			cfg.Trace = c.Trace()
 			cfg.Link = mednet.LinkParams{
 				Latency:  5 * time.Millisecond,
 				Jitter:   2 * time.Millisecond,

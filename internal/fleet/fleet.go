@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/closedloop"
 	"repro/internal/sim"
 )
 
@@ -31,15 +32,62 @@ import (
 // scenario packages need not import fleet.
 type Metrics map[string]float64
 
+// MetricSimEvents is the reserved metric key under which cell bodies
+// report their kernel's executed-event total. The runner lifts it out of
+// the metrics map into Result.Events before results are reduced or
+// streamed, so the engine counter never pollutes clinical tables. The
+// constant is defined in closedloop (scenario packages return plain maps
+// and stay free of fleet imports); fleet aliases it so the two layers
+// cannot drift.
+const MetricSimEvents = closedloop.MetricSimEvents
+
 // Cell identifies one room of the fleet to its builder.
 type Cell struct {
 	Index int   // position in the ensemble, 0-based
 	Seed  int64 // per-cell seed, derived deterministically by the runner
+
+	// scratch is the worker's reusable per-cell state; nil outside a
+	// runner (Cell.Trace then allocates fresh).
+	scratch *Scratch
 }
 
 // RNG returns the cell's root generator. Models inside the cell should
 // Fork it exactly as a standalone scenario would.
 func (c Cell) RNG() *sim.RNG { return sim.NewRNG(c.Seed) }
+
+// Trace returns an empty trace for the cell's scenario to record into.
+// Inside a runner it is the worker's pooled trace — Reset between cells,
+// so ensemble runs reuse sample buffers instead of reallocating them —
+// and the recorded contents remain a pure function of the cell either
+// way. The trace is only valid until the cell function returns; results
+// must not retain it.
+func (c Cell) Trace() *sim.Trace {
+	if c.scratch != nil {
+		return c.scratch.trace()
+	}
+	return sim.NewTrace()
+}
+
+// Scratch is one worker's reusable per-cell state. Each runner goroutine
+// owns exactly one, so pooling introduces no sharing between concurrent
+// cells and cannot perturb determinism.
+type Scratch struct {
+	tr *sim.Trace
+}
+
+func (s *Scratch) trace() *sim.Trace {
+	if s.tr == nil {
+		s.tr = sim.NewTrace()
+	}
+	return s.tr
+}
+
+// reset prepares the scratch for the next cell.
+func (s *Scratch) reset() {
+	if s.tr != nil {
+		s.tr.Reset()
+	}
+}
 
 // CellFunc builds and runs one isolated room and returns its metrics.
 // The runner calls it from worker goroutines, one cell per call; it must
@@ -73,7 +121,11 @@ func (s Spec) seedFor(i int) int64 {
 type Result struct {
 	Cell    Cell
 	Metrics Metrics
-	Err     error
+	// Events is the cell kernel's executed-event total, lifted from the
+	// reserved MetricSimEvents key (0 when the cell body does not report
+	// it). The serving layer sums it into true events/s gauges.
+	Events uint64
+	Err    error
 }
 
 // Runner executes specs across a bounded worker pool. The zero value runs
@@ -153,8 +205,9 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := &Scratch{} // one per worker: cells on this goroutine share buffers serially
 			for j := range jobs {
-				res := runCell(specs[j.si], j.ci)
+				res := runCell(specs[j.si], j.ci, scratch)
 				out[j.si][j.ci] = res
 				if onCell != nil {
 					deliverMu.Lock()
@@ -209,15 +262,24 @@ dispatch:
 
 // runCell executes one cell, converting a panic in the model (the sim
 // kernel panics on causality violations) into a per-cell error so one bad
-// room cannot take down the fleet.
-func runCell(s Spec, i int) (res Result) {
-	res.Cell = Cell{Index: i, Seed: s.seedFor(i)}
+// room cannot take down the fleet. The scratch pointer is stripped from
+// the stored Result so pooled buffers never escape the worker.
+func runCell(s Spec, i int, scratch *Scratch) (res Result) {
+	seed := s.seedFor(i)
+	res.Cell = Cell{Index: i, Seed: seed}
 	defer func() {
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("cell panicked: %v", p)
 		}
 	}()
-	m, err := s.Run(res.Cell)
+	if scratch != nil {
+		scratch.reset()
+	}
+	m, err := s.Run(Cell{Index: i, Seed: seed, scratch: scratch})
+	if ev, ok := m[MetricSimEvents]; ok {
+		res.Events = uint64(ev)
+		delete(m, MetricSimEvents)
+	}
 	res.Metrics, res.Err = m, err
 	return res
 }

@@ -9,51 +9,92 @@ import (
 
 // Summary is the reduce stage: per-metric aggregates over a fleet's cells.
 // All accessors are deterministic functions of the result set, independent
-// of worker count or scheduling order.
+// of worker count or scheduling order. A Summary is reusable: Reset keeps
+// its per-metric buffers so a serving loop can reduce ensemble after
+// ensemble without reallocating accumulators.
 type Summary struct {
-	Cells  int // cells that produced metrics
-	Failed int // cells that errored (excluded from aggregates)
+	Cells  int    // cells that produced metrics
+	Failed int    // cells that errored (excluded from aggregates)
+	Events uint64 // total kernel events executed across cells
 
-	names  []string             // sorted metric names
+	names  []string             // sorted names of metrics with samples; nil = stale
 	values map[string][]float64 // per metric, in cell order
 }
 
-// Reduce aggregates a result slice (as returned by Runner.Run).
-func Reduce(results []Result) *Summary {
-	s := &Summary{values: make(map[string][]float64)}
+// NewSummary returns an empty, reusable summary.
+func NewSummary() *Summary {
+	return &Summary{values: make(map[string][]float64)}
+}
+
+// Reset empties the summary while keeping accumulator capacity, so pooled
+// summaries reduce repeated ensembles allocation-free at steady state.
+func (s *Summary) Reset() {
+	s.Cells, s.Failed, s.Events = 0, 0, 0
+	s.names = nil
+	for name := range s.values {
+		s.values[name] = s.values[name][:0]
+	}
+}
+
+// Add accumulates a result slice (as returned by Runner.Run). Metrics from
+// successive Add calls append in call order, so reducing groups one Add at
+// a time equals reducing their concatenation.
+func (s *Summary) Add(results []Result) {
 	for _, r := range results {
 		if r.Err != nil {
 			s.Failed++
 			continue
 		}
 		s.Cells++
+		s.Events += r.Events
 		for name, v := range r.Metrics {
 			s.values[name] = append(s.values[name], v)
 		}
 	}
-	s.names = make([]string, 0, len(s.values))
-	for name := range s.values {
-		s.names = append(s.names, name)
-	}
-	sort.Strings(s.names)
+	s.names = nil
+}
+
+// Reduce aggregates a result slice (as returned by Runner.Run).
+func Reduce(results []Result) *Summary {
+	s := NewSummary()
+	s.Add(results)
 	return s
 }
 
 // ReduceAll flattens several result groups (as returned by Runner.RunAll)
 // into one summary.
 func ReduceAll(groups [][]Result) *Summary {
-	var flat []Result
+	s := NewSummary()
 	for _, g := range groups {
-		flat = append(flat, g...)
+		s.Add(g)
 	}
-	return Reduce(flat)
+	return s
 }
 
-// Names lists the observed metric names, sorted.
-func (s *Summary) Names() []string { return s.names }
+// Names lists the observed metric names, sorted. Metrics whose buffers
+// are empty (possible only after Reset) are not listed.
+func (s *Summary) Names() []string {
+	if s.names == nil {
+		s.names = make([]string, 0, len(s.values))
+		for name, vs := range s.values {
+			if len(vs) > 0 {
+				s.names = append(s.names, name)
+			}
+		}
+		sort.Strings(s.names)
+	}
+	return s.names
+}
 
-// Values returns the metric's samples in cell order (nil when absent).
-func (s *Summary) Values(name string) []float64 { return s.values[name] }
+// Values returns the metric's samples in cell order (nil when absent —
+// including metrics seen only before a Reset, whose buffers are retained
+// empty).
+func (s *Summary) Values(name string) []float64 {
+	if vs := s.values[name]; len(vs) > 0 {
+		return vs
+	}
+	return nil
+}
 
 // Count reports how many cells emitted the metric.
 func (s *Summary) Count(name string) int { return len(s.values[name]) }
@@ -146,7 +187,7 @@ func (s *Summary) CountAbove(name string, threshold float64) int {
 func (s *Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cells=%d failed=%d\n", s.Cells, s.Failed)
-	for _, name := range s.names {
+	for _, name := range s.Names() {
 		fmt.Fprintf(&b, "%-24s n=%-4d mean=%-12.6g min=%-12.6g p50=%-12.6g p95=%-12.6g max=%.6g\n",
 			name, s.Count(name), s.Mean(name), s.Min(name),
 			s.Percentile(name, 50), s.Percentile(name, 95), s.Max(name))

@@ -1,0 +1,77 @@
+package icegate
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	prefix := fmt.Sprintf("icegate_%s ", name)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, prefix), 10, 64)
+			if err != nil {
+				t.Fatalf("unparseable %s line %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing:\n%s", name, body)
+	return 0
+}
+
+// /metrics must report the aggregate kernel-event total of executed
+// scenario cells — true engine throughput, not job counting — and cache
+// hits must not inflate it (a replayed result simulates nothing).
+func TestMetricsReportSimEvents(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	if got := scrapeMetric(t, ts, "sim_events_total"); got != 0 {
+		t.Fatalf("sim_events_total = %d before any job", got)
+	}
+
+	req := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 91, Cells: 2, DurationS: 300}
+	v, code := submit(t, ts, req)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if v = waitDone(t, ts, v.ID); v.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	ran := scrapeMetric(t, ts, "sim_events_total")
+	if ran == 0 {
+		t.Fatal("sim_events_total still 0 after a scenario job")
+	}
+
+	// Identical resubmission: served from cache, no new kernel events.
+	v2, code := submit(t, ts, req)
+	if code != http.StatusCreated || !v2.Cached {
+		t.Fatalf("resubmission not cached: code=%d %+v", code, v2)
+	}
+	if got := scrapeMetric(t, ts, "sim_events_total"); got != ran {
+		t.Fatalf("cache hit changed sim_events_total: %d -> %d", ran, got)
+	}
+	// The companion gauge exists (its value is wall-clock dependent).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "icegate_sim_events_per_second ") {
+		t.Fatalf("sim_events_per_second missing:\n%s", body)
+	}
+}

@@ -222,13 +222,16 @@ func (s *Scheduler) Cancel(id string) error {
 
 func (s *Scheduler) executor() {
 	defer s.wg.Done()
+	// Each executor owns one reduce accumulator, reused across its jobs
+	// so steady-state serving reallocates no per-metric buffers.
+	sum := fleet.NewSummary()
 	for job := range s.queue {
-		s.runJob(job)
+		s.runJob(job, sum)
 	}
 }
 
 // runJob executes one admitted job end to end.
-func (s *Scheduler) runJob(job *Job) {
+func (s *Scheduler) runJob(job *Job, sum *fleet.Summary) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	if !job.start(cancel) {
@@ -238,7 +241,7 @@ func (s *Scheduler) runJob(job *Job) {
 	var table string
 	var err error
 	if job.Req.Scenario != "" {
-		table, err = s.runScenario(ctx, job)
+		table, err = s.runScenario(ctx, job, sum)
 	} else {
 		table, err = s.runExperiment(ctx, job)
 	}
@@ -269,8 +272,9 @@ func (s *Scheduler) runJob(job *Job) {
 	}
 }
 
-// runScenario executes a fleet ensemble, streaming each cell as it lands.
-func (s *Scheduler) runScenario(ctx context.Context, job *Job) (string, error) {
+// runScenario executes a fleet ensemble, streaming each cell as it lands
+// and reducing into the executor's pooled summary.
+func (s *Scheduler) runScenario(ctx context.Context, job *Job, sum *fleet.Summary) (string, error) {
 	req := job.Req
 	spec, err := fleet.Build(req.Scenario, fleet.Params{
 		Seed:     req.Seed,
@@ -288,19 +292,27 @@ func (s *Scheduler) runScenario(ctx context.Context, job *Job) (string, error) {
 		}
 		job.deliver(cr)
 		s.met.cellsDone.Add(1)
+		s.met.simEvents.Add(r.Events)
 	})
 	if err != nil {
 		return "", err
 	}
-	return renderScenarioTable(req, results), nil
+	return renderScenarioTable(req, results, sum), nil
 }
 
 // renderScenarioTable is the canonical rendering of a scenario job: the
 // request identity line plus the fleet's reduced summary. Byte-identical
-// result sets render to byte-identical tables (the cache contract).
-func renderScenarioTable(req Request, results []fleet.Result) string {
+// result sets render to byte-identical tables (the cache contract). sum
+// may be nil for one-shot callers; a pooled summary is reset first.
+func renderScenarioTable(req Request, results []fleet.Result, sum *fleet.Summary) string {
+	if sum == nil {
+		sum = fleet.NewSummary()
+	} else {
+		sum.Reset()
+	}
+	sum.Add(results)
 	return fmt.Sprintf("scenario %s seed=%d cells=%d\n%s",
-		req.Scenario, req.Seed, req.Cells, fleet.Reduce(results))
+		req.Scenario, req.Seed, req.Cells, sum)
 }
 
 // runExperiment renders one catalog table. Experiment runners are not

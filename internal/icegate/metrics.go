@@ -14,6 +14,7 @@ import (
 type gatewayMetrics struct {
 	start         time.Time
 	cellsDone     atomic.Uint64
+	simEvents     atomic.Uint64 // kernel events executed by scenario cells
 	jobsSubmitted atomic.Uint64
 	jobsRejected  atomic.Uint64
 	jobsDone      atomic.Uint64
@@ -38,6 +39,13 @@ func (s *Scheduler) renderMetrics() string {
 	if uptime > 0 {
 		cellsPerSec = float64(cells) / uptime
 	}
+	// True engine throughput: kernel events actually executed (cache hits
+	// replay stored results and so add nothing — by design).
+	events := s.met.simEvents.Load()
+	eventsPerSec := 0.0
+	if uptime > 0 {
+		eventsPerSec = float64(events) / uptime
+	}
 
 	var b strings.Builder
 	line := func(name string, v any) { fmt.Fprintf(&b, "icegate_%s %v\n", name, v) }
@@ -57,5 +65,7 @@ func (s *Scheduler) renderMetrics() string {
 	line("cache_hit_rate", fmt.Sprintf("%.3f", hitRate))
 	line("cells_done_total", cells)
 	line("cells_per_second", fmt.Sprintf("%.2f", cellsPerSec))
+	line("sim_events_total", events)
+	line("sim_events_per_second", fmt.Sprintf("%.0f", eventsPerSec))
 	return b.String()
 }

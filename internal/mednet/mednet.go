@@ -78,6 +78,37 @@ type Network struct {
 	faults   []faultWindow
 	stats    Stats
 	tap      func(Message, string) // optional observer: (msg, disposition)
+
+	// pool recycles in-flight delivery slots so the healthy path — send,
+	// latency, handler dispatch — schedules through the kernel's
+	// closure-free API with zero allocations and no payload copy (the
+	// datagram's byte slice is carried by reference end to end).
+	pool []*delivery
+}
+
+// delivery is one datagram in flight between Send and its handler.
+type delivery struct {
+	n   *Network
+	msg Message
+}
+
+// deliverMsg lands one datagram: package-level so scheduling it through
+// AtFunc never allocates a closure. The slot returns to the pool before
+// the handler runs, so a handler that immediately sends reuses it.
+func deliverMsg(arg any) {
+	d := arg.(*delivery)
+	n, msg := d.n, d.msg
+	d.msg = Message{} // drop the payload reference while pooled
+	n.pool = append(n.pool, d)
+	h, ok := n.handlers[msg.To]
+	if !ok {
+		n.stats.NoRoute++
+		n.observe(msg, "noroute")
+		return
+	}
+	n.stats.Delivered++
+	n.observe(msg, "delivered")
+	h(msg)
 }
 
 type faultWindow struct {
@@ -211,17 +242,15 @@ func (n *Network) deliverAfter(msg Message, p LinkParams) {
 	if d < 0 {
 		d = 0
 	}
-	n.k.After(d, func() {
-		h, ok := n.handlers[msg.To]
-		if !ok {
-			n.stats.NoRoute++
-			n.observe(msg, "noroute")
-			return
-		}
-		n.stats.Delivered++
-		n.observe(msg, "delivered")
-		h(msg)
-	})
+	var dv *delivery
+	if last := len(n.pool) - 1; last >= 0 {
+		dv = n.pool[last]
+		n.pool = n.pool[:last]
+	} else {
+		dv = &delivery{n: n}
+	}
+	dv.msg = msg
+	n.k.AfterFunc(d, deliverMsg, dv)
 }
 
 func (n *Network) observe(m Message, disposition string) {

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Regression for the sticky-stop bug: Stop called outside Run used to be
+// silently erased by Run's unconditional reset of the stop flag.
+func TestStopBeforeRunIsSticky(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(Millisecond, func() { ran++ })
+	k.Stop()
+	if err := k.Run(Second); err != ErrStopped {
+		t.Fatalf("Run after pre-Run Stop = %v, want ErrStopped", err)
+	}
+	if ran != 0 {
+		t.Fatalf("pre-stopped Run executed %d events, want 0", ran)
+	}
+	// The stop request is consumed by the refusal: the next Run proceeds.
+	if err := k.Run(Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("second Run executed %d events, want 1", ran)
+	}
+}
+
+func TestStopBeforeRunAllIsSticky(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(Millisecond, func() { ran++ })
+	k.Stop()
+	if err := k.RunAll(); err != ErrStopped {
+		t.Fatalf("RunAll after pre-Run Stop = %v, want ErrStopped", err)
+	}
+	if ran != 0 {
+		t.Fatalf("pre-stopped RunAll executed %d events, want 0", ran)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("second RunAll executed %d events, want 1", ran)
+	}
+}
+
+// Cancel by EventID: live events cancel exactly once; stale IDs (the
+// event ran, or its recycled slot now hosts a different event) are no-ops.
+func TestCancelByIDGenerations(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	noop := func(any) { ran++ }
+	id := k.AtFunc(Millisecond, noop, nil)
+	if !k.Cancel(id) {
+		t.Fatal("first Cancel of a live event = false")
+	}
+	if k.Cancel(id) {
+		t.Fatal("second Cancel of the same event = true")
+	}
+	if k.Step() {
+		t.Fatal("Step executed something; only the canceled event was queued")
+	}
+	if ran != 0 {
+		t.Fatal("canceled event ran")
+	}
+
+	// An executed event's ID must go stale even though its slot is reused.
+	id2 := k.AtFunc(2*Millisecond, noop, nil)
+	if !k.Step() {
+		t.Fatal("Step found no event")
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if k.Cancel(id2) {
+		t.Fatal("Cancel after execution = true")
+	}
+	// The recycled slot's new occupant must be unaffected by the stale ID.
+	id3 := k.AtFunc(3*Millisecond, noop, nil)
+	if k.Cancel(id2) {
+		t.Fatal("stale Cancel hit the slot's new occupant")
+	}
+	if !k.Cancel(id3) {
+		t.Fatal("live Cancel of the new occupant = false")
+	}
+	if k.Cancel(0) {
+		t.Fatal("Cancel of the zero EventID = true")
+	}
+}
+
+// Pending must report live events only, and the lazy sweep must actually
+// drop canceled entries once they exceed half the queue.
+func TestPendingExcludesCanceledAndSweeps(t *testing.T) {
+	k := NewKernel()
+	noop := func(any) {}
+	ids := make([]EventID, 100)
+	for i := range ids {
+		ids[i] = k.AtFunc(Time(i+1)*Millisecond, noop, nil)
+	}
+	if k.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", k.Pending())
+	}
+	for _, id := range ids[:40] {
+		k.Cancel(id)
+	}
+	if k.Pending() != 60 {
+		t.Fatalf("Pending after 40 cancels = %d, want 60", k.Pending())
+	}
+	if len(k.heap) != 100 {
+		t.Fatalf("heap length = %d before sweep threshold, want 100 (lazy)", len(k.heap))
+	}
+	// Crossing half the queue triggers the sweep: the 51st cancel compacts
+	// the heap to the 49 then-live entries; the last 10 cancels mark anew.
+	for _, id := range ids[40:61] {
+		k.Cancel(id)
+	}
+	if k.Pending() != 39 {
+		t.Fatalf("Pending after 61 cancels = %d, want 39", k.Pending())
+	}
+	if len(k.heap) != 49 {
+		t.Fatalf("heap length = %d after sweep, want 49", len(k.heap))
+	}
+	if k.canceled != 10 {
+		t.Fatalf("canceled counter = %d after sweep, want 10", k.canceled)
+	}
+	// The survivors still run in order.
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Executed() != 39 {
+		t.Fatalf("executed = %d, want 39", k.Executed())
+	}
+}
+
+// AtFunc carries its argument through to dispatch.
+func TestAtFuncArgDelivery(t *testing.T) {
+	k := NewKernel()
+	type payload struct{ n int }
+	p := &payload{}
+	k.AtFunc(Millisecond, func(arg any) { arg.(*payload).n = 42 }, p)
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.n != 42 {
+		t.Fatalf("arg not delivered: %+v", p)
+	}
+}
+
+// Differential property: random workloads with interleaved scheduling and
+// cancellation execute in the same order on the arena kernel and on the
+// reference (pre-arena container/heap) kernel.
+func TestArenaMatchesReferenceKernel(t *testing.T) {
+	run := func(seed int64, ref bool) []Time {
+		SetReferenceQueueForTest(ref)
+		defer SetReferenceQueueForTest(false)
+		k := NewKernel()
+		if ref && k.ref == nil || !ref && k.ref != nil {
+			t.Fatalf("reference mode not honored (ref=%v)", ref)
+		}
+		g := rand.New(rand.NewSource(seed))
+		var fired []Time
+		var live []EventID
+		var churn func(depth int)
+		churn = func(depth int) {
+			fired = append(fired, k.Now())
+			if depth > 4 {
+				return
+			}
+			for i, n := 0, g.Intn(4); i < n; i++ {
+				d := time.Duration(g.Intn(2000)) * time.Millisecond
+				id := k.AfterFunc(d, func(any) { churn(depth + 1) }, nil)
+				live = append(live, id)
+			}
+			// Cancel a random earlier event now and then, including stale IDs.
+			if len(live) > 0 && g.Intn(3) == 0 {
+				k.Cancel(live[g.Intn(len(live))])
+			}
+		}
+		for i := 0; i < 30; i++ {
+			k.AfterFunc(time.Duration(g.Intn(5000))*time.Millisecond, func(any) { churn(0) }, nil)
+		}
+		if err := k.Run(20 * Second); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		arena := run(seed, false)
+		reference := run(seed, true)
+		if len(arena) != len(reference) {
+			t.Fatalf("seed %d: %d events on arena vs %d on reference", seed, len(arena), len(reference))
+		}
+		for i := range arena {
+			if arena[i] != reference[i] {
+				t.Fatalf("seed %d: dispatch %d at %v on arena vs %v on reference", seed, i, arena[i], reference[i])
+			}
+		}
+	}
+}
+
+// Allocation gates — the PR's core contract. Steady-state closure-free
+// scheduling, ticker re-arming, and interned trace sampling must all be
+// allocation-free. Skipped under -race (instrumentation allocates).
+func TestAllocsSteadyStateScheduling(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	k := NewKernel()
+	noop := func(any) {}
+	arg := &struct{}{}
+	k.AtFunc(Millisecond, noop, arg) // warm the arena
+	k.Step()
+	if n := testing.AllocsPerRun(1000, func() {
+		k.AtFunc(k.Now()+Millisecond, noop, arg)
+		k.Step()
+	}); n != 0 {
+		t.Fatalf("steady-state schedule+dispatch allocates %v/op, want 0", n)
+	}
+}
+
+func TestAllocsTickerSteadyState(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	k := NewKernel()
+	ticks := 0
+	k.Every(time.Second, func(Time) { ticks++ })
+	k.Run(10 * Second) // warm
+	if n := testing.AllocsPerRun(100, func() {
+		k.Run(k.Now() + 10*Second)
+	}); n != 0 {
+		t.Fatalf("ticker steady state allocates %v per 10 ticks, want 0", n)
+	}
+	if ticks < 1000 {
+		t.Fatalf("ticker only ticked %d times", ticks)
+	}
+}
+
+func TestAllocsTraceSteadyState(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	tr := NewTrace()
+	id := tr.SeriesID("spo2")
+	for i := 0; i < 100000; i++ { // reach the high-water mark
+		tr.RecordID(id, Time(i), 97)
+	}
+	tr.Reset() // the pooled-fleet steady state: full capacity, no samples
+	at := Time(0)
+	if n := testing.AllocsPerRun(50000, func() {
+		tr.RecordID(id, at, 97)
+		at++
+	}); n != 0 {
+		t.Fatalf("interned trace sampling allocates %v/op, want 0", n)
+	}
+}
+
+// Reset must preserve interned IDs and capacities while emptying content.
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace()
+	id := tr.SeriesID("x")
+	tr.RecordID(id, Second, 1)
+	tr.Annotate(Second, "alarm", "boom")
+	tr.Reset()
+	if got := tr.Series("x"); len(got) != 0 {
+		t.Fatalf("series not emptied: %v", got)
+	}
+	if len(tr.SeriesNames()) != 0 {
+		t.Fatalf("empty series leaked into SeriesNames: %v", tr.SeriesNames())
+	}
+	if len(tr.Events("")) != 0 {
+		t.Fatal("events survived Reset")
+	}
+	if tr.SeriesID("x") != id {
+		t.Fatal("interned ID changed across Reset")
+	}
+	// Time may restart from zero after Reset (a fresh cell's clock).
+	tr.RecordID(id, Millisecond, 2)
+	if v, ok := tr.At("x", Second); !ok || v != 2 {
+		t.Fatalf("post-Reset sample lost: %v %v", v, ok)
+	}
+}
+
+// Interning a series eagerly must not make it observable until a sample
+// lands — construction-time interning cannot perturb trace-derived output.
+func TestSeriesIDReservationInvisible(t *testing.T) {
+	tr := NewTrace()
+	tr.SeriesID("reserved")
+	if names := tr.SeriesNames(); len(names) != 0 {
+		t.Fatalf("reserved series visible: %v", names)
+	}
+	if s := tr.Series("reserved"); len(s) != 0 {
+		t.Fatalf("reserved series has samples: %v", s)
+	}
+}

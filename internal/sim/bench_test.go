@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelScheduling measures steady-state schedule+dispatch
+// throughput with a standing queue of 1024 pending events (so heap ops
+// run at realistic depth). "arena" drives the production kernel through
+// the closure-free AtFunc/Step hot path; "reference" drives the pre-arena
+// container/heap-of-pointers kernel exactly the way pre-refactor callers
+// did — a heap-allocated closure per event. The acceptance bar for this
+// PR is arena ≥ 2x reference events/s and 0 allocs/op.
+func BenchmarkKernelScheduling(b *testing.B) {
+	b.Run("arena", func(b *testing.B) {
+		k := NewKernel()
+		noop := func(any) {}
+		for i := 0; i < 1024; i++ { // standing backlog, never dispatched
+			k.AtFunc(Time(1)<<40+Time(i), noop, nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.AtFunc(k.Now()+Millisecond, noop, nil)
+			k.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("reference", func(b *testing.B) {
+		SetReferenceQueueForTest(true)
+		defer SetReferenceQueueForTest(false)
+		k := NewKernel()
+		for i := 0; i < 1024; i++ {
+			k.At(Time(1)<<40+Time(i), func() {})
+		}
+		sink := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := i // force a real capture, as pre-refactor call sites did
+			k.At(k.Now()+Millisecond, func() { sink = n })
+			k.Step()
+		}
+		b.StopTimer()
+		_ = sink
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
+// BenchmarkKernelTickerStorm is the fleet's dominant event shape: many
+// concurrent tickers re-arming forever (device heartbeats, telemetry,
+// watchdogs). One op = one dispatched tick.
+func BenchmarkKernelTickerStorm(b *testing.B) {
+	k := NewKernel()
+	ticks := 0
+	for i := 0; i < 64; i++ {
+		k.Every(time.Duration(i+1)*time.Millisecond, func(Time) { ticks++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceRecord contrasts the interned hot path against the
+// name-keyed convenience path, both at the pooled-fleet steady state:
+// buffers pre-grown to capacity and Reset, so no append growth is timed.
+func BenchmarkTraceRecord(b *testing.B) {
+	const cap = 1 << 20
+	warm := func() *Trace {
+		tr := NewTrace()
+		id := tr.SeriesID("spo2")
+		for i := 0; i < cap; i++ {
+			tr.RecordID(id, Time(i), 97)
+		}
+		tr.Reset()
+		return tr
+	}
+	b.Run("interned", func(b *testing.B) {
+		tr := warm()
+		id := tr.SeriesID("spo2")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%cap == 0 {
+				tr.Reset()
+			}
+			tr.RecordID(id, Time(i%cap), 97)
+		}
+	})
+	b.Run("by-name", func(b *testing.B) {
+		tr := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%cap == 0 {
+				tr.Reset()
+			}
+			tr.Record("spo2", Time(i%cap), 97)
+		}
+	})
+}
+
+// BenchmarkKernelCancel exercises the cancel + lazy-sweep path: every op
+// schedules two events and cancels one, so half the queue is perpetually
+// dead weight that the sweep must keep reclaiming.
+func BenchmarkKernelCancel(b *testing.B) {
+	k := NewKernel()
+	noop := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keep := k.AtFunc(k.Now()+Millisecond, noop, nil)
+		kill := k.AtFunc(k.Now()+2*Millisecond, noop, nil)
+		k.Cancel(kill)
+		k.Step()
+		_ = keep
+	}
+}

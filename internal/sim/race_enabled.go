@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-regression gates skip under -race: instrumentation allocates
+// on its own and would fail the 0-allocs/op contracts spuriously.
+const RaceEnabled = true

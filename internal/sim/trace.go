@@ -12,13 +12,27 @@ type Sample struct {
 	V float64
 }
 
+// SeriesID is an interned handle to one named series of a Trace. Models
+// that sample on every step resolve the name once (SeriesID) and record
+// through the handle (RecordID), turning steady-state sampling into a
+// bounds-checked append — no map lookup, no allocation once the sample
+// buffer has reached its high-water mark.
+type SeriesID int32
+
+// seriesData is one named series' storage.
+type seriesData struct {
+	name    string
+	samples []Sample
+}
+
 // Trace records named time series produced during a simulation run.
 // It is the raw material for the experiment tables (see DESIGN.md) and
 // for assertions in integration tests. Not safe for concurrent use; a
 // simulation is single-threaded by construction — one Trace belongs to
 // one room, and the fleet layer keeps rooms isolated.
 type Trace struct {
-	series map[string][]Sample
+	byName map[string]SeriesID
+	series []seriesData
 	events []TraceEvent
 }
 
@@ -32,18 +46,48 @@ type TraceEvent struct {
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace {
-	return &Trace{series: make(map[string][]Sample)}
+	return &Trace{byName: make(map[string]SeriesID)}
 }
 
-// Record appends a sample to the named series. Samples must be appended in
-// nondecreasing time order; out-of-order appends panic, since they indicate
-// an event-ordering bug in the model.
-func (tr *Trace) Record(name string, t Time, v float64) {
-	s := tr.series[name]
-	if n := len(s); n > 0 && s[n-1].T > t {
-		panic(fmt.Sprintf("sim: trace %q time went backwards: %v after %v", name, t, s[n-1].T))
+// SeriesID interns a series name, returning a stable handle for RecordID.
+// Reserving an ID does not create an observable series: a name only
+// appears in SeriesNames once a sample lands, so eagerly interning at
+// model construction never perturbs trace-derived output.
+func (tr *Trace) SeriesID(name string) SeriesID {
+	if id, ok := tr.byName[name]; ok {
+		return id
 	}
-	tr.series[name] = append(s, Sample{T: t, V: v})
+	id := SeriesID(len(tr.series))
+	tr.series = append(tr.series, seriesData{name: name})
+	tr.byName[name] = id
+	return id
+}
+
+// RecordID appends a sample to the interned series. Samples must be
+// appended in nondecreasing time order; out-of-order appends panic, since
+// they indicate an event-ordering bug in the model.
+func (tr *Trace) RecordID(id SeriesID, t Time, v float64) {
+	s := &tr.series[id]
+	if n := len(s.samples); n > 0 && s.samples[n-1].T > t {
+		panic(fmt.Sprintf("sim: trace %q time went backwards: %v after %v", s.name, t, s.samples[n-1].T))
+	}
+	s.samples = append(s.samples, Sample{T: t, V: v})
+}
+
+// Record appends a sample to the named series — the convenience form of
+// RecordID, paying one map lookup per call.
+func (tr *Trace) Record(name string, t Time, v float64) {
+	tr.RecordID(tr.SeriesID(name), t, v)
+}
+
+// Reset empties the trace while retaining interned names and sample
+// capacity, so a pooled trace replays a fresh cell without reallocating
+// its buffers. Interned SeriesIDs remain valid across Reset.
+func (tr *Trace) Reset() {
+	for i := range tr.series {
+		tr.series[i].samples = tr.series[i].samples[:0]
+	}
+	tr.events = tr.events[:0]
 }
 
 // Annotate appends a discrete event annotation.
@@ -52,13 +96,20 @@ func (tr *Trace) Annotate(t Time, kind, format string, args ...any) {
 }
 
 // Series returns the samples for name (nil if absent).
-func (tr *Trace) Series(name string) []Sample { return tr.series[name] }
+func (tr *Trace) Series(name string) []Sample {
+	if id, ok := tr.byName[name]; ok {
+		return tr.series[id].samples
+	}
+	return nil
+}
 
-// SeriesNames returns all recorded series names, sorted.
+// SeriesNames returns all series names with at least one sample, sorted.
 func (tr *Trace) SeriesNames() []string {
 	names := make([]string, 0, len(tr.series))
-	for n := range tr.series {
-		names = append(names, n)
+	for i := range tr.series {
+		if len(tr.series[i].samples) > 0 {
+			names = append(names, tr.series[i].name)
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -91,7 +142,7 @@ func (tr *Trace) CountEvents(kind string) int {
 
 // Last returns the most recent sample of the series and whether one exists.
 func (tr *Trace) Last(name string) (Sample, bool) {
-	s := tr.series[name]
+	s := tr.Series(name)
 	if len(s) == 0 {
 		return Sample{}, false
 	}
@@ -101,7 +152,7 @@ func (tr *Trace) Last(name string) (Sample, bool) {
 // At returns the value of the series at time t using zero-order hold
 // (the latest sample at or before t). ok is false before the first sample.
 func (tr *Trace) At(name string, t Time) (v float64, ok bool) {
-	s := tr.series[name]
+	s := tr.Series(name)
 	i := sort.Search(len(s), func(i int) bool { return s[i].T > t })
 	if i == 0 {
 		return 0, false
@@ -126,7 +177,7 @@ func (tr *Trace) Stats(name string) Stats {
 // StatsAbove computes summary statistics and, additionally, the total
 // virtual time (zero-order hold) the series spent strictly above threshold.
 func (tr *Trace) StatsAbove(name string, threshold float64) Stats {
-	s := tr.series[name]
+	s := tr.Series(name)
 	if len(s) == 0 {
 		return Stats{}
 	}
@@ -151,7 +202,7 @@ func (tr *Trace) StatsAbove(name string, threshold float64) Stats {
 // Crossings counts upward crossings of the threshold (value moves from
 // <= threshold to > threshold between consecutive samples).
 func (tr *Trace) Crossings(name string, threshold float64) int {
-	s := tr.series[name]
+	s := tr.Series(name)
 	n := 0
 	for i := 1; i < len(s); i++ {
 		if s[i-1].V <= threshold && s[i].V > threshold {
