@@ -3,7 +3,7 @@
 // It times the hot paths directly (no `go test` harness) so CI can drop a
 // machine-readable artifact next to the human-readable bench output:
 //
-//	go run ./cmd/benchjson -out BENCH_pr3.json
+//	go run ./cmd/benchjson -out BENCH_pr4.json
 //
 // Reported metrics:
 //
@@ -11,8 +11,13 @@
 //	kernel.reference_events_per_s  the same workload on the pre-arena heap-of-pointers kernel
 //	kernel.speedup                 arena / reference
 //	mednet.datagrams_per_s         healthy-path send→fly→handle round trips
+//	wire.binary_envelopes_per_s    icewire binary encode+decode+body round trips
+//	wire.json_envelopes_per_s      the same round trip on the JSON debug codec
+//	wire.speedup                   binary / json (BenchmarkEnvelopeCodec's headline)
 //	fleet.cells_per_s              PCA ensemble throughput at the configured width
 //	fleet.events_per_s             kernel events/s aggregated across those cells
+//	gateway.jobs_per_s             icegate jobs submitted→done (uncached, in-process)
+//	gateway.cells_per_s            scenario cells/s through the gateway
 package main
 
 import (
@@ -24,15 +29,19 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/icegate"
+	"repro/internal/icewire"
 	"repro/internal/mednet"
 	"repro/internal/sim"
 )
 
 type report struct {
-	PR     string       `json:"pr"`
-	Kernel kernelReport `json:"kernel"`
-	Mednet mednetReport `json:"mednet"`
-	Fleet  fleetReport  `json:"fleet"`
+	PR      string        `json:"pr"`
+	Kernel  kernelReport  `json:"kernel"`
+	Mednet  mednetReport  `json:"mednet"`
+	Wire    wireReport    `json:"wire"`
+	Fleet   fleetReport   `json:"fleet"`
+	Gateway gatewayReport `json:"gateway"`
 }
 
 type kernelReport struct {
@@ -43,6 +52,21 @@ type kernelReport struct {
 
 type mednetReport struct {
 	DatagramsPerS float64 `json:"datagrams_per_s"`
+}
+
+type wireReport struct {
+	BinaryEnvelopesPerS float64 `json:"binary_envelopes_per_s"`
+	JSONEnvelopesPerS   float64 `json:"json_envelopes_per_s"`
+	Speedup             float64 `json:"speedup"`
+	BinaryFrameBytes    int     `json:"binary_frame_bytes"`
+	JSONFrameBytes      int     `json:"json_frame_bytes"`
+}
+
+type gatewayReport struct {
+	Jobs      int     `json:"jobs"`
+	Cells     int     `json:"cells_per_job"`
+	JobsPerS  float64 `json:"jobs_per_s"`
+	CellsPerS float64 `json:"cells_per_s"`
 }
 
 type fleetReport struct {
@@ -93,6 +117,67 @@ func benchMednet(n int) float64 {
 	return float64(n) / time.Since(start).Seconds()
 }
 
+// benchWire times the full per-message codec cost — encode one publish
+// envelope into a reused buffer, decode the frame, decode the typed
+// body — mirroring BenchmarkEnvelopeCodec.
+func benchWire(n int, codec icewire.Codec) (perS float64, frameBytes int) {
+	datum := icewire.Datum{Topic: "ox1/spo2", Value: 97.25, Valid: true, Quality: 0.875, Sampled: 4987 * sim.Millisecond}
+	var (
+		buf   []byte
+		env   icewire.Envelope
+		out   icewire.Datum
+		err   error
+		start = time.Now()
+	)
+	for i := 0; i < n; i++ {
+		if buf, err = codec.AppendEnvelope(buf[:0], icewire.MsgPublish, "ox1", "ice-manager", uint64(i), 5*sim.Second, &datum); err != nil {
+			panic(err)
+		}
+		if env, err = codec.Decode(buf); err != nil {
+			panic(err)
+		}
+		if err = codec.DecodeBody(&env, &out); err != nil {
+			panic(err)
+		}
+	}
+	return float64(n) / time.Since(start).Seconds(), len(buf)
+}
+
+// benchGateway drives the icegate scheduler in-process: jobs seeds vary
+// so the deterministic result cache never short-circuits the simulation.
+func benchGateway(jobs, cells, workers int) (gatewayReport, error) {
+	sched := icegate.NewScheduler(icegate.Config{QueueDepth: jobs + 1, Executors: 2, Workers: workers})
+	defer sched.Close()
+	run := func(seed int64) error {
+		job, err := sched.Submit(icegate.Request{
+			Scenario: fleet.ScenarioPCASupervised, Seed: seed, Cells: cells, DurationS: 1800,
+		})
+		if err != nil {
+			return err
+		}
+		<-job.Done()
+		if st := job.Status(); st != icegate.StatusDone {
+			return fmt.Errorf("benchjson: gateway job ended %v", st)
+		}
+		return nil
+	}
+	if err := run(999); err != nil { // warm (build caches, page in)
+		return gatewayReport{}, err
+	}
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if err := run(int64(1000 + i)); err != nil {
+			return gatewayReport{}, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return gatewayReport{
+		Jobs: jobs, Cells: cells,
+		JobsPerS:  float64(jobs) / elapsed,
+		CellsPerS: float64(jobs*cells) / elapsed,
+	}, nil
+}
+
 func benchFleet(cells, workers int) (cellsPerS, eventsPerS float64, err error) {
 	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
 		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
@@ -124,29 +209,46 @@ func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	kernelOps := flag.Int("kernel-ops", 2_000_000, "kernel schedule+dispatch ops to time")
 	datagrams := flag.Int("datagrams", 200_000, "mednet round trips to time")
+	envelopes := flag.Int("envelopes", 1_000_000, "wire codec round trips to time")
 	cells := flag.Int("cells", 8, "fleet cells per round")
 	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker width")
+	gwJobs := flag.Int("gateway-jobs", 3, "gateway jobs to time")
 	flag.Parse()
 
 	arena := benchKernel(*kernelOps, false)
 	reference := benchKernel(*kernelOps, true)
+	binPerS, binBytes := benchWire(*envelopes, icewire.NewBinary())
+	jsonPerS, jsonBytes := benchWire(max(*envelopes/20, 1), icewire.NewJSON())
 	cellsPerS, eventsPerS, err := benchFleet(*cells, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	gw, err := benchGateway(*gwJobs, *cells, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	r := report{
-		PR: "pr3-hot-path-engine",
+		PR: "pr4-icewire",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
 			Speedup:             arena / reference,
 		},
 		Mednet: mednetReport{DatagramsPerS: benchMednet(*datagrams)},
+		Wire: wireReport{
+			BinaryEnvelopesPerS: binPerS,
+			JSONEnvelopesPerS:   jsonPerS,
+			Speedup:             binPerS / jsonPerS,
+			BinaryFrameBytes:    binBytes,
+			JSONFrameBytes:      jsonBytes,
+		},
 		Fleet: fleetReport{
 			Scenario: fleet.ScenarioPCASupervised, Cells: *cells, Workers: *workers,
 			CellsPerS: cellsPerS, EventsPerS: eventsPerS,
 		},
+		Gateway: gw,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

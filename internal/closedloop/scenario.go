@@ -44,6 +44,13 @@ type PCAScenarioConfig struct {
 	// one per worker so ensemble runs reuse sample buffers across cells.
 	// The recorded contents are a pure function of the config either way.
 	Trace *sim.Trace
+
+	// WireCodec selects the ICE wire encoding for every endpoint in the
+	// rig: "" or "binary" (default), "json" (debug/compat). Simulation
+	// outcomes are codec-independent — the differential suite holds the
+	// rendered tables byte-identical across both — so this is a debug
+	// and benchmarking knob, not a clinical one.
+	WireCodec string
 }
 
 // DefaultPCAScenario returns a 2-hour session reproducing the adverse-
@@ -75,6 +82,7 @@ type PCAScenario struct {
 	K        *sim.Kernel
 	Net      *mednet.Network
 	Mgr      *core.Manager
+	Wire     core.Codec // the cell's shared wire codec (encode accounting)
 	Patient  *physio.Patient
 	Pump     *device.Pump
 	Oximeter *device.Oximeter
@@ -104,7 +112,12 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed)
 	net := mednet.MustNew(k, rng.Fork("net"), cfg.Link)
-	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	// One codec instance serves the whole cell (it is single-threaded),
+	// sharing the decode intern table and summing encode accounting.
+	wire := core.MustNewCodec(cfg.WireCodec)
+	mgrCfg := core.DefaultManagerConfig()
+	mgrCfg.Codec = wire
+	mgr := core.MustNewManager(k, net, mgrCfg)
 
 	var patient *physio.Patient
 	if cfg.UsePopulation {
@@ -122,8 +135,8 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 	if pumpSettings.HourlyLimitMg == 0 {
 		pumpSettings = device.DefaultPumpSettings()
 	}
-	pump := device.MustNewPump(k, net, "pump1", pumpSettings, core.ConnectConfig{})
-	ox := device.MustNewOximeter(k, net, "ox1", patient, rng.Fork("ox"), core.ConnectConfig{})
+	pump := device.MustNewPump(k, net, "pump1", pumpSettings, core.ConnectConfig{Codec: wire})
+	ox := device.MustNewOximeter(k, net, "ox1", patient, rng.Fork("ox"), core.ConnectConfig{Codec: wire})
 
 	trace := cfg.Trace
 	if trace == nil {
@@ -134,7 +147,7 @@ func BuildPCAScenario(cfg PCAScenarioConfig) *PCAScenario {
 	ward.AttachDrugSource(pump)
 
 	sc := &PCAScenario{
-		K: k, Net: net, Mgr: mgr, Patient: patient,
+		K: k, Net: net, Mgr: mgr, Wire: wire, Patient: patient,
 		Pump: pump, Oximeter: ox, Ward: ward, Trace: trace,
 	}
 	if cfg.SupervisorEnabled {
@@ -244,6 +257,20 @@ const (
 	// value is spelled here so scenario packages stay free of fleet
 	// imports.
 	MetricSimEvents = "sim/events"
+
+	// MetricWireBytes and MetricWireEncodeNS are the reserved wire-codec
+	// counters, lifted the same way into Result.WireBytes and
+	// Result.WireEncodeNS: encoded envelope bytes and (sampled) encode
+	// wall time for the cell's shared codec. The serving layer sums them
+	// into its wire_bytes_total / wire_encode_ns gauges.
+	//
+	// WARNING: MetricWireEncodeNS is wall-clock time — the one reserved
+	// key that is NOT deterministic. It exists only to ride the lift
+	// into Result.WireEncodeNS; any consumer of the raw cell map other
+	// than fleet.runCell must strip it before comparing runs (as
+	// TestRunXRaySyncCellDeterministic does).
+	MetricWireBytes    = "wire/bytes"
+	MetricWireEncodeNS = "wire/encode_ns"
 )
 
 // Metrics flattens the outcome into the named-float form the fleet reduce
@@ -282,5 +309,8 @@ func RunPCACell(cfg PCAScenarioConfig) (map[string]float64, error) {
 	}
 	m := out.Metrics()
 	m[MetricSimEvents] = float64(sc.K.Executed())
+	ws := sc.Wire.Stats()
+	m[MetricWireBytes] = float64(ws.Bytes)
+	m[MetricWireEncodeNS] = float64(ws.EncodeNS)
 	return m, nil
 }

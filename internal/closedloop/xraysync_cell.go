@@ -25,6 +25,10 @@ type XRaySyncScenarioConfig struct {
 	// Trace, when non-nil, is the (empty or Reset) trace to record into —
 	// see PCAScenarioConfig.Trace.
 	Trace *sim.Trace
+
+	// WireCodec selects the ICE wire encoding for the rig's endpoints —
+	// see PCAScenarioConfig.WireCodec.
+	WireCodec string
 }
 
 // DefaultXRaySyncScenario returns the E2 rig at its nominal network
@@ -48,6 +52,8 @@ type XRaySyncOutcome struct {
 	UnventilatedSeconds float64
 	MinSpO2             float64
 	KernelEvents        uint64 // kernel events executed by the session
+	WireBytes           uint64 // encoded envelope bytes (shared cell codec)
+	WireEncodeNS        uint64 // sampled encode wall time, ns
 }
 
 // Metric names emitted by XRaySyncOutcome.Metrics. MinSpO2 reuses
@@ -71,6 +77,8 @@ func (o XRaySyncOutcome) Metrics() map[string]float64 {
 		MetricUnventilatedS:  o.UnventilatedSeconds,
 		MetricMinSpO2:        o.MinSpO2,
 		MetricSimEvents:      float64(o.KernelEvents),
+		MetricWireBytes:      float64(o.WireBytes),
+		MetricWireEncodeNS:   float64(o.WireEncodeNS),
 	}
 }
 
@@ -89,11 +97,14 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed)
 	net := mednet.MustNew(k, rng.Fork("net"), cfg.Link)
-	mgr := core.MustNewManager(k, net, core.DefaultManagerConfig())
+	wire := core.MustNewCodec(cfg.WireCodec)
+	mgrCfg := core.DefaultManagerConfig()
+	mgrCfg.Codec = wire
+	mgr := core.MustNewManager(k, net, mgrCfg)
 	patient := physio.DefaultPatient(rng.Fork("patient"))
 
-	vent := device.MustNewVentilator(k, net, cfg.Sync.VentilatorID, physio.DefaultBreathCycle(), patient, core.ConnectConfig{})
-	xray := device.MustNewXRay(k, net, cfg.Sync.XRayID, vent, core.ConnectConfig{})
+	vent := device.MustNewVentilator(k, net, cfg.Sync.VentilatorID, physio.DefaultBreathCycle(), patient, core.ConnectConfig{Codec: wire})
+	xray := device.MustNewXRay(k, net, cfg.Sync.XRayID, vent, core.ConnectConfig{Codec: wire})
 	ward := device.NewWard(k, patient, sim.Second)
 	ward.AttachVentSupport(vent)
 	tr := cfg.Trace
@@ -116,11 +127,14 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 		return XRaySyncOutcome{}, err
 	}
 
+	ws := wire.Stats()
 	out := XRaySyncOutcome{
 		Sharp: xray.Sharp, Blurred: xray.Blurred, Deferred: sync.Deferred,
 		ResumeFailures: sync.ResumeFailures,
 		MinSpO2:        tr.Stats("true/spo2").Min,
 		KernelEvents:   k.Executed(),
+		WireBytes:      ws.Bytes,
+		WireEncodeNS:   ws.EncodeNS,
 	}
 	// Unventilated time: integrate the recorded mechanical-support series.
 	ev := tr.Series("true/extvent")

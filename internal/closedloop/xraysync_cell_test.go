@@ -19,6 +19,11 @@ func TestRunXRaySyncCellDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// MetricWireEncodeNS is wall-clock accounting, explicitly outside the
+	// determinism contract; the fleet lifts it out of the map before
+	// anything deterministic (tables, the gateway cache) consumes it.
+	delete(a, MetricWireEncodeNS)
+	delete(b, MetricWireEncodeNS)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config, different metrics:\n%v\nvs\n%v", a, b)
 	}

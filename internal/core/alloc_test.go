@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mednet"
+	"repro/internal/sim"
+)
+
+// allocRig is one manager + one device over a healthy link, admitted and
+// warmed, for the steady-state allocation gates.
+type allocRig struct {
+	k    *sim.Kernel
+	net  *mednet.Network
+	mgr  *Manager
+	conn *DeviceConn
+}
+
+func newAllocRig(t testing.TB) *allocRig {
+	t.Helper()
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	mgr := MustNewManager(k, net, DefaultManagerConfig())
+	conn := MustConnect(k, net, Descriptor{
+		ID: "dev1", Kind: KindPulseOximeter,
+		Capabilities: []Capability{
+			{Name: "spo2", Class: ClassSensor, Criticality: 3},
+			{Name: "stop", Class: ClassActuator, Criticality: 3},
+		},
+	}, ConnectConfig{})
+	conn.Handle("stop", func(map[string]float64) error { return nil })
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !conn.Admitted() {
+		t.Fatal("device not admitted")
+	}
+	return &allocRig{k: k, net: net, mgr: mgr, conn: conn}
+}
+
+// The steady-state publish path — typed body encode into a pooled wire
+// buffer, delivery, binary decode with interned strings, subscriber
+// dispatch — must be allocation-free end to end.
+func TestAllocsPublishPath(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	r := newAllocRig(t)
+	delivered := 0
+	r.mgr.Subscribe("*/spo2", func(_ string, d Datum) {
+		if d.Valid {
+			delivered++
+		}
+	})
+	publish := func() {
+		r.conn.Publish("spo2", 97.5, true, 1, r.k.Now())
+		if err := r.k.Run(r.k.Now() + 10*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish() // warm buffers, intern table, topic cache
+	before := delivered
+	if got := testing.AllocsPerRun(2000, publish); got != 0 {
+		t.Fatalf("publish path allocates %v/op, want 0", got)
+	}
+	if delivered-before < 2000 {
+		t.Fatalf("only %d publications delivered", delivered-before)
+	}
+}
+
+// The steady-state command/ack round trip — command encode, device
+// decode + handler dispatch, ack encode, manager ack decode with the
+// pending-command slot pooled — must be allocation-free end to end
+// (minus the caller's own args map and callback, which the caller owns).
+func TestAllocsCommandAckPath(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	r := newAllocRig(t)
+	acked := 0
+	onAck := func(ack CommandAck, err error) {
+		if err == nil && ack.OK {
+			acked++
+		}
+	}
+	roundTrip := func() {
+		r.mgr.SendCommand("dev1", "stop", nil, time.Second, onAck)
+		if err := r.k.Run(r.k.Now() + 20*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // warm the pendingCmd pool and wire buffers
+	before := acked
+	if got := testing.AllocsPerRun(2000, roundTrip); got != 0 {
+		t.Fatalf("command/ack path allocates %v/op, want 0", got)
+	}
+	if acked-before < 2000 {
+		t.Fatalf("only %d commands acknowledged", acked-before)
+	}
+	if r.conn.CommandsOK < 2000 {
+		t.Fatalf("device executed only %d commands", r.conn.CommandsOK)
+	}
+}
+
+// Fire-and-forget commands (nil callback) skip the pending table
+// entirely and must also be allocation-free.
+func TestAllocsFireAndForgetCommand(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	r := newAllocRig(t)
+	send := func() {
+		r.mgr.SendCommand("dev1", "stop", nil, time.Second, nil)
+		if err := r.k.Run(r.k.Now() + 20*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send()
+	if got := testing.AllocsPerRun(2000, send); got != 0 {
+		t.Fatalf("fire-and-forget command allocates %v/op, want 0", got)
+	}
+}

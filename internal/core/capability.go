@@ -1,101 +1,39 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/icewire"
 )
 
-// DeviceKind classifies a device for admission checks and app matching.
-type DeviceKind string
+// Device self-description travels on the wire (the body of a
+// MsgAnnounce), so the types live in internal/icewire next to their
+// codecs; core aliases them.
+type (
+	DeviceKind      = icewire.DeviceKind
+	CapabilityClass = icewire.CapabilityClass
+	Capability      = icewire.Capability
+	Descriptor      = icewire.Descriptor
+)
 
 // Kinds used by the scenarios in the paper.
 const (
-	KindInfusionPump  DeviceKind = "infusion-pump"
-	KindPulseOximeter DeviceKind = "pulse-oximeter"
-	KindVentilator    DeviceKind = "ventilator"
-	KindXRay          DeviceKind = "x-ray"
-	KindMonitor       DeviceKind = "patient-monitor"
-	KindBed           DeviceKind = "hospital-bed"
-	KindCapnograph    DeviceKind = "capnograph"
+	KindInfusionPump  = icewire.KindInfusionPump
+	KindPulseOximeter = icewire.KindPulseOximeter
+	KindVentilator    = icewire.KindVentilator
+	KindXRay          = icewire.KindXRay
+	KindMonitor       = icewire.KindMonitor
+	KindBed           = icewire.KindBed
+	KindCapnograph    = icewire.KindCapnograph
 )
-
-// CapabilityClass distinguishes what a capability does.
-type CapabilityClass string
 
 const (
-	ClassSensor   CapabilityClass = "sensor"   // publishes measurements
-	ClassActuator CapabilityClass = "actuator" // accepts commands
-	ClassSetting  CapabilityClass = "setting"  // accepts configuration
-	ClassEvent    CapabilityClass = "event"    // publishes discrete events
+	ClassSensor   = icewire.ClassSensor
+	ClassActuator = icewire.ClassActuator
+	ClassSetting  = icewire.ClassSetting
+	ClassEvent    = icewire.ClassEvent
 )
-
-// Capability is one named function a device offers. Sensor capabilities
-// publish on topic "<deviceID>/<name>"; actuator capabilities accept
-// commands named "<name>".
-type Capability struct {
-	Name  string          `json:"name"`
-	Class CapabilityClass `json:"class"`
-	Unit  string          `json:"unit,omitempty"`
-	// Criticality is the FDA-style class of the function (1 = lowest,
-	// 3 = highest). The mixed-criticality scenario (III.l) needs this:
-	// a Class I bed publishes context events consumed by a Class III
-	// monitoring function.
-	Criticality int `json:"criticality"`
-}
-
-// Descriptor is the self-description a device transmits when announcing.
-type Descriptor struct {
-	ID           string       `json:"id"`
-	Kind         DeviceKind   `json:"kind"`
-	Manufacturer string       `json:"manufacturer"`
-	Model        string       `json:"model"`
-	Version      string       `json:"version"`
-	Capabilities []Capability `json:"capabilities"`
-}
-
-// Validate reports an error for descriptors unusable for admission.
-func (d Descriptor) Validate() error {
-	if d.ID == "" {
-		return errors.New("core: descriptor missing ID")
-	}
-	if strings.ContainsAny(d.ID, "/ \t\n") {
-		return fmt.Errorf("core: device ID %q contains reserved characters", d.ID)
-	}
-	if d.Kind == "" {
-		return errors.New("core: descriptor missing kind")
-	}
-	seen := make(map[string]bool, len(d.Capabilities))
-	for _, c := range d.Capabilities {
-		if c.Name == "" {
-			return fmt.Errorf("core: device %s has unnamed capability", d.ID)
-		}
-		if seen[c.Name] {
-			return fmt.Errorf("core: device %s duplicates capability %q", d.ID, c.Name)
-		}
-		seen[c.Name] = true
-		switch c.Class {
-		case ClassSensor, ClassActuator, ClassSetting, ClassEvent:
-		default:
-			return fmt.Errorf("core: device %s capability %q has unknown class %q", d.ID, c.Name, c.Class)
-		}
-		if c.Criticality < 1 || c.Criticality > 3 {
-			return fmt.Errorf("core: device %s capability %q criticality %d outside [1,3]", d.ID, c.Name, c.Criticality)
-		}
-	}
-	return nil
-}
-
-// Has reports whether the descriptor offers a capability with the name and
-// class.
-func (d Descriptor) Has(name string, class CapabilityClass) bool {
-	for _, c := range d.Capabilities {
-		if c.Name == name && c.Class == class {
-			return true
-		}
-	}
-	return false
-}
 
 // Requirement expresses what a clinical scenario needs from a device slot
 // before the ICE may compose it (the "requirements for devices that can be

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/icewire"
 	"repro/internal/mednet"
 	"repro/internal/sim"
 )
@@ -22,6 +23,7 @@ type DeviceConn struct {
 	k       *sim.Kernel
 	net     *mednet.Network
 	auth    Authenticator
+	codec   Codec
 	seq     uint64
 	beat    *sim.Ticker
 	replay  replayWindow
@@ -31,6 +33,19 @@ type DeviceConn struct {
 	onAdmit   []func(ok bool, reason string)
 	handlers  map[string]CommandHandler
 	connected bool
+
+	// topics caches the capability -> "<id>/<capability>" strings so the
+	// publish hot path never rebuilds them.
+	topics map[string]string
+
+	// Scratch state for the zero-allocation send/receive paths; see
+	// Manager for the rationale.
+	envScratch   Envelope
+	datumScratch Datum
+	cmdScratch   Command
+	ackScratch   CommandAck
+	admitScratch AdmitResult
+	sigScratch   []byte
 
 	// Counters for experiments.
 	CommandsOK     uint64
@@ -43,6 +58,10 @@ type ConnectConfig struct {
 	ManagerAddr       string        // default "ice-manager"
 	HeartbeatInterval time.Duration // default 1 s
 	Auth              Authenticator // nil disables signing
+
+	// Codec selects the wire encoding; nil means a fresh instance of
+	// the default binary codec. See ManagerConfig.Codec.
+	Codec Codec
 }
 
 // Connect registers the device on the network and announces it to the
@@ -58,17 +77,27 @@ func Connect(k *sim.Kernel, net *mednet.Network, desc Descriptor, cfg ConnectCon
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = time.Second
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = icewire.NewBinary()
+	}
 	c := &DeviceConn{
 		desc:      desc,
 		mgrAddr:   cfg.ManagerAddr,
 		k:         k,
 		net:       net,
 		auth:      cfg.Auth,
+		codec:     cfg.Codec,
 		handlers:  make(map[string]CommandHandler),
+		topics:    make(map[string]string, len(desc.Capabilities)),
 		connected: true,
 	}
+	if cfg.Auth != nil {
+		// Signing-bytes scratch, used only by the JSON debug codec (the
+		// binary codec's signing window is a frame subslice).
+		c.sigScratch = make([]byte, 0, 1024)
+	}
 	net.Register(desc.ID, c.onMessage)
-	c.sendEnvelope(MsgAnnounce, desc)
+	c.sendEnvelope(MsgAnnounce, &c.desc)
 	c.beat = k.Every(cfg.HeartbeatInterval, func(sim.Time) {
 		if c.connected {
 			c.sendEnvelope(MsgHeartbeat, nil)
@@ -111,6 +140,16 @@ func (c *DeviceConn) Handle(name string, h CommandHandler) {
 	c.handlers[name] = h
 }
 
+// topic resolves the cached publish topic for a capability.
+func (c *DeviceConn) topic(capability string) string {
+	if t, ok := c.topics[capability]; ok {
+		return t
+	}
+	t := Topic(c.desc.ID, capability)
+	c.topics[capability] = t
+	return t
+}
+
 // Publish sends one observation for a declared sensor or event capability.
 func (c *DeviceConn) Publish(capability string, value float64, valid bool, quality float64, sampled sim.Time) {
 	if !c.connected {
@@ -119,10 +158,11 @@ func (c *DeviceConn) Publish(capability string, value float64, valid bool, quali
 	if !c.desc.Has(capability, ClassSensor) && !c.desc.Has(capability, ClassEvent) {
 		panic(fmt.Sprintf("core: device %s publishing unadvertised capability %q", c.desc.ID, capability))
 	}
-	c.sendEnvelope(MsgPublish, Datum{
-		Topic: Topic(c.desc.ID, capability), Value: value, Valid: valid,
+	c.datumScratch = Datum{
+		Topic: c.topic(capability), Value: value, Valid: valid,
 		Quality: quality, Sampled: sampled,
-	})
+	}
+	c.sendEnvelope(MsgPublish, &c.datumScratch)
 }
 
 // Bye leaves the ICE in an orderly fashion and detaches from the network.
@@ -145,65 +185,56 @@ func (c *DeviceConn) Crash() {
 // Connected reports whether the device endpoint is attached.
 func (c *DeviceConn) Connected() bool { return c.connected }
 
+// sendEnvelope mirrors Manager.send: encode once into a pooled network
+// buffer, sign the encoded frame, patch the tag in. See sendFrame.
 func (c *DeviceConn) sendEnvelope(t MsgType, body any) {
 	c.seq++
-	data, err := Encode(t, c.desc.ID, c.mgrAddr, c.seq, c.k.Now(), body)
-	if err != nil {
-		panic(err)
-	}
-	if c.auth != nil {
-		env, _ := Decode(data)
-		if tag, err := c.auth.Sign(c.desc.ID, env.SigningBytes()); err == nil {
-			env.Auth = tag
-			data = mustMarshalEnvelope(env)
-		}
-	}
-	c.net.Send(c.desc.ID, c.mgrAddr, string(t), data)
+	sendFrame(c.net, c.codec, c.auth, &c.sigScratch, t, c.desc.ID, c.mgrAddr, c.seq, c.k.Now(), body)
 }
 
 func (c *DeviceConn) onMessage(msg mednet.Message) {
-	env, err := Decode(msg.Payload)
+	e, err := c.codec.Decode(msg.Payload)
 	if err != nil {
 		return
 	}
-	if c.auth != nil {
-		if err := c.auth.Verify(env.From, env.SigningBytes(), env.Auth); err != nil {
-			c.AuthRejected++
-			return
-		}
+	c.envScratch = e
+	env := &c.envScratch
+	if err := verifyEnvelope(c.auth, &c.sigScratch, env, msg.Payload); err != nil {
+		c.AuthRejected++
+		return
 	}
 	if !c.replay.admit(env.Seq) {
 		return
 	}
 	switch env.Type {
 	case MsgAdmit:
-		var res AdmitResult
-		if env.DecodeBody(&res) != nil {
+		if env.DecodeBody(&c.admitScratch) != nil {
 			return
 		}
+		res := c.admitScratch
 		c.admitted = res.OK
 		c.admitErr = res.Reason
 		for _, fn := range c.onAdmit {
 			fn(res.OK, res.Reason)
 		}
 	case MsgCommand:
-		var cmd Command
-		if env.DecodeBody(&cmd) != nil {
+		if env.DecodeBody(&c.cmdScratch) != nil {
 			return
 		}
-		ack := CommandAck{ID: cmd.ID, OK: true}
+		cmd := c.cmdScratch
+		c.ackScratch = CommandAck{ID: cmd.ID, OK: true}
 		if h, ok := c.handlers[cmd.Name]; !ok {
-			ack.OK = false
-			ack.Err = fmt.Sprintf("unknown command %q", cmd.Name)
+			c.ackScratch.OK = false
+			c.ackScratch.Err = fmt.Sprintf("unknown command %q", cmd.Name)
 		} else if err := h(cmd.Args); err != nil {
-			ack.OK = false
-			ack.Err = err.Error()
+			c.ackScratch.OK = false
+			c.ackScratch.Err = err.Error()
 		}
-		if ack.OK {
+		if c.ackScratch.OK {
 			c.CommandsOK++
 		} else {
 			c.CommandsFailed++
 		}
-		c.sendEnvelope(MsgCommandAck, ack)
+		c.sendEnvelope(MsgCommandAck, &c.ackScratch)
 	}
 }

@@ -1,131 +1,112 @@
 package core
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-
+	"repro/internal/icewire"
+	"repro/internal/mednet"
 	"repro/internal/sim"
 )
 
-// MsgType enumerates the ICE wire protocol message types.
-type MsgType string
-
-const (
-	MsgAnnounce   MsgType = "announce"    // device -> manager: descriptor
-	MsgAdmit      MsgType = "admit"       // manager -> device: admission result
-	MsgPublish    MsgType = "publish"     // device -> manager: sensor datum
-	MsgCommand    MsgType = "command"     // manager -> device: actuator command
-	MsgCommandAck MsgType = "command-ack" // device -> manager
-	MsgHeartbeat  MsgType = "heartbeat"   // device -> manager liveness
-	MsgBye        MsgType = "bye"         // device -> manager: orderly leave
+// The ICE wire types and codecs are defined in internal/icewire (one
+// source of truth shared with the fuzz and differential harnesses); core
+// aliases them so the rest of the tree keeps its vocabulary. The binary
+// codec is the default wire encoding; JSON is retained as the
+// debug/compat codec, selectable per Manager/DeviceConn via
+// ManagerConfig.Codec and ConnectConfig.Codec.
+type (
+	MsgType     = icewire.MsgType
+	Envelope    = icewire.Envelope
+	Datum       = icewire.Datum
+	Command     = icewire.Command
+	CommandAck  = icewire.CommandAck
+	AdmitResult = icewire.AdmitResult
+	Codec       = icewire.Codec
+	CodecStats  = icewire.CodecStats
 )
 
-// Envelope is the wire representation of every ICE message. Auth carries
-// the optional HMAC tag added by internal/security; it covers every field
-// except itself.
-type Envelope struct {
-	Type MsgType         `json:"type"`
-	From string          `json:"from"`
-	To   string          `json:"to"`
-	Seq  uint64          `json:"seq"`
-	At   sim.Time        `json:"at"`
-	Body json.RawMessage `json:"body,omitempty"`
-	Auth []byte          `json:"auth,omitempty"`
-}
+const (
+	MsgAnnounce   = icewire.MsgAnnounce
+	MsgAdmit      = icewire.MsgAdmit
+	MsgPublish    = icewire.MsgPublish
+	MsgCommand    = icewire.MsgCommand
+	MsgCommandAck = icewire.MsgCommandAck
+	MsgHeartbeat  = icewire.MsgHeartbeat
+	MsgBye        = icewire.MsgBye
+)
 
-// Datum is the body of a MsgPublish: one sensor observation.
-type Datum struct {
-	Topic   string   `json:"topic"`
-	Value   float64  `json:"value"`
-	Valid   bool     `json:"valid"`
-	Quality float64  `json:"quality"` // [0,1] signal-quality index
-	Sampled sim.Time `json:"sampled"` // when the underlying signal was measured
-}
+// NewCodec constructs a wire codec by name: "" or "binary" (default),
+// "json" (debug/compat).
+func NewCodec(name string) (Codec, error) { return icewire.NewCodec(name) }
 
-// Command is the body of a MsgCommand.
-type Command struct {
-	ID   uint64             `json:"id"`
-	Name string             `json:"name"`
-	Args map[string]float64 `json:"args,omitempty"`
-}
+// MustNewCodec is NewCodec for known-good names.
+func MustNewCodec(name string) Codec { return icewire.MustNewCodec(name) }
 
-// CommandAck is the body of a MsgCommandAck.
-type CommandAck struct {
-	ID  uint64 `json:"id"`
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
-}
+// NewBinaryCodec returns a fresh instance of the default binary codec.
+func NewBinaryCodec() Codec { return icewire.NewBinary() }
 
-// AdmitResult is the body of a MsgAdmit.
-type AdmitResult struct {
-	OK     bool   `json:"ok"`
-	Reason string `json:"reason,omitempty"`
-}
+// NewJSONCodec returns a fresh instance of the JSON debug/compat codec.
+func NewJSONCodec() Codec { return icewire.NewJSON() }
 
-// Encode marshals an envelope with the given typed body.
+// Encode marshals an envelope with the given typed body in the JSON
+// debug/compat encoding. Stateless; kept for tests and tools that build
+// frames outside a connection (hot paths go through a Codec instance).
 func Encode(t MsgType, from, to string, seq uint64, at sim.Time, body any) ([]byte, error) {
-	var raw json.RawMessage
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return nil, fmt.Errorf("core: encoding %s body: %w", t, err)
+	return icewire.EncodeJSON(t, from, to, seq, at, body)
+}
+
+// sendFrame is the one signed-send sequence both endpoints (Manager and
+// DeviceConn) share: encode the envelope once into a pooled network
+// buffer and, when an authenticator is configured, sign the encoded
+// frame's canonical bytes and patch the tag in — never re-serialize.
+// A frame that cannot be signed (no key provisioned) goes out unsigned;
+// the receiver's Verify is the enforcement point. sig is the caller's
+// scratch buffer for the signing bytes.
+func sendFrame(net *mednet.Network, codec Codec, auth Authenticator, sig *[]byte,
+	t MsgType, from, to string, seq uint64, at sim.Time, body any) {
+	buf := net.AcquireBuf()
+	frame, err := codec.AppendEnvelope(buf.B[:0], t, from, to, seq, at, body)
+	if err != nil {
+		panic(err) // endpoint bodies are all encodable wire structs
+	}
+	if auth != nil {
+		if s, err := codec.Signing((*sig)[:0], frame); err == nil {
+			retainScratch(sig, s, frame)
+			if tag, err := auth.Sign(from, s); err == nil {
+				if patched, err := codec.PatchAuth(frame, tag); err == nil {
+					frame = patched
+				}
+			}
 		}
-		raw = b
 	}
-	env := Envelope{Type: t, From: from, To: to, Seq: seq, At: at, Body: raw}
-	out, err := json.Marshal(env)
-	if err != nil {
-		return nil, fmt.Errorf("core: encoding %s envelope: %w", t, err)
-	}
-	return out, nil
+	buf.B = frame
+	net.SendBuf(from, to, string(t), buf)
 }
 
-// Decode unmarshals an envelope from the wire.
+// verifyEnvelope checks a decoded envelope's tag against its canonical
+// signing bytes (zero-copy for binary frames). A nil authenticator
+// accepts everything; sig is the caller's scratch buffer; frame is the
+// wire bytes env was decoded from.
+func verifyEnvelope(auth Authenticator, sig *[]byte, env *Envelope, frame []byte) error {
+	if auth == nil {
+		return nil
+	}
+	s := env.AppendSigning((*sig)[:0])
+	retainScratch(sig, s, frame)
+	return auth.Verify(env.From, s, env.Auth)
+}
+
+// retainScratch stores a (possibly reallocated) signing buffer back on
+// its owner so growth beyond the initial capacity is paid once, not per
+// message — unless the codec returned a window into the frame itself
+// (the binary zero-copy path, recognizable by its first byte: a frame
+// window always starts at frame[0]), which must never be retained: the
+// frame buffer is pooled and will be overwritten.
+func retainScratch(sig *[]byte, s, frame []byte) {
+	if len(s) > 0 && (len(frame) == 0 || &s[0] != &frame[0]) {
+		*sig = s[:0]
+	}
+}
+
+// Decode unmarshals a JSON envelope from the wire.
 func Decode(data []byte) (Envelope, error) {
-	var env Envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		return Envelope{}, fmt.Errorf("core: decoding envelope: %w", err)
-	}
-	if env.Type == "" {
-		return Envelope{}, errors.New("core: envelope missing type")
-	}
-	if env.From == "" {
-		return Envelope{}, errors.New("core: envelope missing sender")
-	}
-	return env, nil
-}
-
-// DecodeBody unmarshals the body into out.
-func (e Envelope) DecodeBody(out any) error {
-	if len(e.Body) == 0 {
-		return fmt.Errorf("core: %s envelope has empty body", e.Type)
-	}
-	if err := json.Unmarshal(e.Body, out); err != nil {
-		return fmt.Errorf("core: decoding %s body: %w", e.Type, err)
-	}
-	return nil
-}
-
-// mustMarshalEnvelope re-serializes an envelope (used after attaching an
-// authentication tag). Marshaling an Envelope cannot fail.
-func mustMarshalEnvelope(e Envelope) []byte {
-	b, err := json.Marshal(e)
-	if err != nil {
-		panic(fmt.Sprintf("core: marshal envelope: %v", err))
-	}
-	return b
-}
-
-// SigningBytes returns the canonical byte string an authenticator signs:
-// the envelope with the Auth field cleared. Deterministic because
-// encoding/json marshals struct fields in declaration order.
-func (e Envelope) SigningBytes() []byte {
-	e.Auth = nil
-	b, err := json.Marshal(e)
-	if err != nil {
-		// Envelope fields are all marshalable types; this cannot fail.
-		panic(fmt.Sprintf("core: signing bytes: %v", err))
-	}
-	return b
+	return icewire.DecodeJSON(data)
 }

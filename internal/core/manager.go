@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/icewire"
 	"repro/internal/mednet"
 	"repro/internal/sim"
 )
@@ -51,6 +52,12 @@ type ManagerConfig struct {
 	LivenessTimeout   time.Duration // silence before a device is declared stale
 	Admission         AdmissionPolicy
 	Auth              Authenticator // nil disables authentication
+
+	// Codec selects the wire encoding; nil means a fresh instance of the
+	// default binary codec. Pass the same instance to every endpoint of
+	// a cell to share its intern table and encode accounting (codec
+	// instances are single-threaded, like the cell itself).
+	Codec Codec
 }
 
 // DefaultManagerConfig returns sane clinical defaults: 1 s heartbeats,
@@ -137,13 +144,17 @@ type pendingCmd struct {
 
 // cmdTimeout fires when a command's acknowledgement never arrived;
 // package-level so scheduling it allocates nothing beyond the pendingCmd.
+// The slot is recycled before fn runs, since fn may send a retry.
 func cmdTimeout(arg any) {
 	p := arg.(*pendingCmd)
 	if q, ok := p.m.pending[p.id]; !ok || q != p {
 		return // acked (or superseded) in the meantime
 	}
 	delete(p.m.pending, p.id)
-	p.fn(CommandAck{ID: p.id}, fmt.Errorf("core: command %s to %s timed out after %v", p.name, p.deviceID, p.wait))
+	m, id, name, deviceID, wait, fn := p.m, p.id, p.name, p.deviceID, p.wait, p.fn
+	*p = pendingCmd{}
+	m.cmdPool = append(m.cmdPool, p)
+	fn(CommandAck{ID: id}, fmt.Errorf("core: command %s to %s timed out after %v", name, deviceID, wait))
 }
 
 // Manager is the ICE supervisor host and network controller: it admits
@@ -153,6 +164,7 @@ type Manager struct {
 	cfg     ManagerConfig
 	k       *sim.Kernel
 	net     *mednet.Network
+	codec   Codec
 	devices map[string]*managedDevice
 	subs    []subscription
 	watch   []func(id string, st DeviceStatus)
@@ -160,6 +172,22 @@ type Manager struct {
 	seq     uint64
 	cmdSeq  uint64
 	sweeper *sim.Ticker
+
+	// cmdPool recycles pendingCmd slots so acknowledged commands do not
+	// allocate one per send at steady state.
+	cmdPool []*pendingCmd
+
+	// Scratch state for the zero-allocation receive path: each incoming
+	// frame decodes into these manager-owned slots (handlers run
+	// synchronously, one message at a time, so the slots are never live
+	// across messages), keeping pointers to them off the heap-escape
+	// path that local variables passed through the Codec interface
+	// would take.
+	envScratch   Envelope
+	datumScratch Datum
+	ackScratch   CommandAck
+	cmdScratch   Command // outgoing SendCommand body
+	sigScratch   []byte  // signing-bytes buffer for Sign/Verify
 
 	// Counters for experiments and audit.
 	AuthRejected   uint64
@@ -181,12 +209,21 @@ func NewManager(k *sim.Kernel, net *mednet.Network, cfg ManagerConfig) (*Manager
 	if cfg.Admission == nil {
 		cfg.Admission = AdmitAll
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = icewire.NewBinary()
+	}
 	m := &Manager{
 		cfg:     cfg,
 		k:       k,
 		net:     net,
+		codec:   cfg.Codec,
 		devices: make(map[string]*managedDevice),
 		pending: make(map[uint64]*pendingCmd),
+	}
+	if cfg.Auth != nil {
+		// Signing-bytes scratch, used only by the JSON debug codec (the
+		// binary codec's signing window is a frame subslice).
+		m.sigScratch = make([]byte, 0, 1024)
 	}
 	net.Register(cfg.Addr, m.onMessage)
 	m.sweeper = k.Every(cfg.HeartbeatInterval, func(sim.Time) { m.sweepLiveness() })
@@ -251,45 +288,49 @@ func (m *Manager) Devices() []string {
 // fire-and-forget.
 func (m *Manager) SendCommand(deviceID, name string, args map[string]float64, timeout time.Duration, fn func(CommandAck, error)) {
 	m.cmdSeq++
-	cmd := Command{ID: m.cmdSeq, Name: name, Args: args}
+	m.cmdScratch = Command{ID: m.cmdSeq, Name: name, Args: args}
 	if fn != nil {
-		p := &pendingCmd{m: m, id: cmd.ID, name: name, deviceID: deviceID, wait: timeout, fn: fn}
+		var p *pendingCmd
+		if last := len(m.cmdPool) - 1; last >= 0 {
+			p = m.cmdPool[last]
+			m.cmdPool = m.cmdPool[:last]
+		} else {
+			p = &pendingCmd{}
+		}
+		*p = pendingCmd{m: m, id: m.cmdSeq, name: name, deviceID: deviceID, wait: timeout, fn: fn}
 		p.timeout = m.k.AfterFunc(timeout, cmdTimeout, p)
-		m.pending[cmd.ID] = p
+		m.pending[m.cmdSeq] = p
 	}
-	m.send(deviceID, MsgCommand, cmd)
+	m.send(deviceID, MsgCommand, &m.cmdScratch)
 }
 
+// send encodes one envelope straight into a pooled network buffer —
+// and, when authentication is on, signs the encoded frame once and
+// patches the tag in, instead of the historical decode → set Auth →
+// re-marshal round trip. See sendFrame.
 func (m *Manager) send(to string, t MsgType, body any) {
 	m.seq++
-	data, err := Encode(t, m.cfg.Addr, to, m.seq, m.k.Now(), body)
-	if err != nil {
-		panic(err) // all manager bodies are marshalable structs
-	}
-	if m.cfg.Auth != nil {
-		env, _ := Decode(data)
-		if tag, err := m.cfg.Auth.Sign(m.cfg.Addr, env.SigningBytes()); err == nil {
-			env.Auth = tag
-			data = mustMarshalEnvelope(env)
-		}
-	}
-	m.net.Send(m.cfg.Addr, to, string(t), data)
+	sendFrame(m.net, m.codec, m.cfg.Auth, &m.sigScratch, t, m.cfg.Addr, to, m.seq, m.k.Now(), body)
 }
 
 func (m *Manager) onMessage(msg mednet.Message) {
-	env, err := Decode(msg.Payload)
+	e, err := m.codec.Decode(msg.Payload)
 	if err != nil {
 		m.Malformed++
 		return
 	}
-	if m.cfg.Auth != nil {
-		if err := m.cfg.Auth.Verify(env.From, env.SigningBytes(), env.Auth); err != nil {
-			m.AuthRejected++
-			if d, ok := m.devices[env.From]; ok {
-				d.status.AuthFailures++
-			}
-			return
+	// Decode into the manager-owned scratch slot: handlers run
+	// synchronously one message at a time, and a pointer to the slot
+	// never forces a per-message heap allocation the way a stack
+	// variable escaping through the Codec interface would.
+	m.envScratch = e
+	env := &m.envScratch
+	if err := verifyEnvelope(m.cfg.Auth, &m.sigScratch, env, msg.Payload); err != nil {
+		m.AuthRejected++
+		if d, ok := m.devices[env.From]; ok {
+			d.status.AuthFailures++
 		}
+		return
 	}
 	// Anti-replay per sender (also deduplicates network-duplicated frames).
 	if env.Type != MsgAnnounce { // announce may legitimately restart seq after reboot
@@ -317,7 +358,7 @@ func (m *Manager) onMessage(msg mednet.Message) {
 	}
 }
 
-func (m *Manager) handleAnnounce(env Envelope) {
+func (m *Manager) handleAnnounce(env *Envelope) {
 	var desc Descriptor
 	if err := env.DecodeBody(&desc); err != nil {
 		m.Malformed++
@@ -344,16 +385,16 @@ func (m *Manager) handleAnnounce(env Envelope) {
 	m.send(env.From, MsgAdmit, result)
 }
 
-func (m *Manager) handlePublish(env Envelope) {
+func (m *Manager) handlePublish(env *Envelope) {
 	d, ok := m.devices[env.From]
 	if !ok || !d.status.Admitted {
 		return // not admitted: data from unknown devices is discarded
 	}
-	var datum Datum
-	if err := env.DecodeBody(&datum); err != nil {
+	if err := env.DecodeBody(&m.datumScratch); err != nil {
 		m.Malformed++
 		return
 	}
+	datum := m.datumScratch
 	devID, _, ok := SplitTopic(datum.Topic)
 	if !ok || devID != env.From {
 		m.Malformed++ // devices may only publish under their own prefix
@@ -367,21 +408,26 @@ func (m *Manager) handlePublish(env Envelope) {
 	}
 }
 
-func (m *Manager) handleCommandAck(env Envelope) {
-	var ack CommandAck
-	if err := env.DecodeBody(&ack); err != nil {
+func (m *Manager) handleCommandAck(env *Envelope) {
+	if err := env.DecodeBody(&m.ackScratch); err != nil {
 		m.Malformed++
 		return
 	}
+	ack := m.ackScratch
 	m.touch(env.From)
 	if p, ok := m.pending[ack.ID]; ok {
 		delete(m.pending, ack.ID)
 		m.k.Cancel(p.timeout)
-		p.fn(ack, nil)
+		// Recycle before invoking fn: the callback may send a retry,
+		// which pops from the pool.
+		fn := p.fn
+		*p = pendingCmd{}
+		m.cmdPool = append(m.cmdPool, p)
+		fn(ack, nil)
 	}
 }
 
-func (m *Manager) handleBye(env Envelope) {
+func (m *Manager) handleBye(env *Envelope) {
 	if _, ok := m.devices[env.From]; ok {
 		delete(m.devices, env.From)
 		for _, w := range m.watch {

@@ -288,8 +288,10 @@ func TestPublishUnderForeignPrefixRejected(t *testing.T) {
 		// A malicious or buggy device publishing under another device's ID.
 		c := MustConnect(r.k, r.net, oximeterDesc("evil"), ConnectConfig{})
 		r.k.After(100*time.Millisecond, func() {
-			// Hand-craft a publish claiming pump1's topic.
-			data, err := Encode(MsgPublish, "evil", r.mgr.Addr(), 99, r.k.Now(), Datum{
+			// Hand-craft a publish claiming pump1's topic, framed with
+			// the manager's own (binary) codec so the frame decodes and
+			// the topic-prefix enforcement itself is what rejects it.
+			data, err := NewBinaryCodec().AppendEnvelope(nil, MsgPublish, "evil", r.mgr.Addr(), 99, r.k.Now(), &Datum{
 				Topic: "pump1/infusion-rate", Value: 0, Valid: true,
 			})
 			if err != nil {

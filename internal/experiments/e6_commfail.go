@@ -10,10 +10,11 @@ import (
 
 // E6Options scale the communication-failure sweep.
 type E6Options struct {
-	Seed     int64
-	Duration sim.Time  // 0 = 2 h
-	Losses   []float64 // packet-loss probabilities to sweep
-	Workers  int       // fleet worker pool width; 0 = serial
+	Seed      int64
+	Duration  sim.Time  // 0 = 2 h
+	Losses    []float64 // packet-loss probabilities to sweep
+	Workers   int       // fleet worker pool width; 0 = serial
+	WireCodec string    // ICE wire encoding inside cells; "" = binary
 }
 
 // DefaultE6 returns the sweep in DESIGN.md.
@@ -73,10 +74,11 @@ func E6CommFailure(opt E6Options) (Table, error) {
 			failsafe = 1
 		}
 		spec, err := fleet.Build(fleet.ScenarioPCACommFault, fleet.Params{
-			Seed:     opt.Seed,
-			Cells:    1,
-			Duration: opt.Duration,
-			Knobs:    map[string]float64{"loss": c.loss, "failsafe": failsafe},
+			Seed:      opt.Seed,
+			Cells:     1,
+			Duration:  opt.Duration,
+			WireCodec: opt.WireCodec,
+			Knobs:     map[string]float64{"loss": c.loss, "failsafe": failsafe},
 		})
 		if err != nil {
 			return t, fmt.Errorf("E6: %w", err)

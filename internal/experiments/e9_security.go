@@ -50,13 +50,15 @@ func e9Run(opt E9Options, withAuth bool) (executedForged uint64, rejected uint64
 	})
 
 	// Attacker floods forged set-basal commands (From spoofed as the
-	// manager, no/garbage signature) straight at the pump.
+	// manager, no signature) straight at the pump, framed with the
+	// wire's own (binary) codec — a protocol-fluent adversary.
+	forge := core.NewBinaryCodec()
 	for i := 0; i < opt.ForgedCommands; i++ {
 		i := i
 		at := sim.Minute + sim.Time(i)*100*sim.Millisecond
 		k.At(at, func() {
-			data, encErr := core.Encode(core.MsgCommand, "ice-manager", "pump1",
-				uint64(100000+i), k.Now(), core.Command{
+			data, encErr := forge.AppendEnvelope(nil, core.MsgCommand, "ice-manager", "pump1",
+				uint64(100000+i), k.Now(), &core.Command{
 					ID: uint64(90000 + i), Name: "set-basal",
 					Args: map[string]float64{"rate": 50}, // lethal rate
 				})

@@ -11,10 +11,11 @@ import (
 
 // F1Options scale the Figure 1 reproduction.
 type F1Options struct {
-	Seed     int64
-	Duration sim.Time // 0 = 2 h
-	Trials   int      // independent patient sessions per configuration; 0 = 1
-	Workers  int      // fleet worker pool width; 0 = serial
+	Seed      int64
+	Duration  sim.Time // 0 = 2 h
+	Trials    int      // independent patient sessions per configuration; 0 = 1
+	Workers   int      // fleet worker pool width; 0 = serial
+	WireCodec string   // ICE wire encoding inside cells; "" = binary
 }
 
 // F1PCAControlLoop reproduces Figure 1 of the paper: the closed-loop PCA
@@ -45,7 +46,7 @@ func F1PCAControlLoop(opt F1Options) (Table, error) {
 			"drug (mg)", "boluses", "denied", "stops", "alarms"},
 	}
 
-	params := fleet.Params{Seed: opt.Seed, Cells: trials, Duration: opt.Duration}
+	params := fleet.Params{Seed: opt.Seed, Cells: trials, Duration: opt.Duration, WireCodec: opt.WireCodec}
 	specs := make([]fleet.Spec, 0, 2)
 	for _, name := range []string{fleet.ScenarioPCAUnsupervised, fleet.ScenarioPCASupervised} {
 		spec, err := fleet.Build(name, params)

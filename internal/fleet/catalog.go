@@ -85,6 +85,7 @@ func pcaFactory(supervised bool) Factory {
 				cfg := pcaConfig(c.Seed, p.Duration)
 				cfg.SupervisorEnabled = supervised
 				cfg.Trace = c.Trace()
+				cfg.WireCodec = p.WireCodec
 				return closedloop.RunPCACell(cfg)
 			},
 		}
@@ -120,6 +121,7 @@ func xraySyncFactory(p Params) Spec {
 				LossProb: p.Knob("loss", 0.02),
 			}
 			cfg.Trace = c.Trace()
+			cfg.WireCodec = p.WireCodec
 			return closedloop.RunXRaySyncCell(cfg)
 		},
 	}
@@ -136,6 +138,7 @@ func commFaultFactory(p Params) Spec {
 		Run: func(c Cell) (Metrics, error) {
 			cfg := pcaConfig(c.Seed, p.Duration)
 			cfg.Trace = c.Trace()
+			cfg.WireCodec = p.WireCodec
 			cfg.Link = mednet.LinkParams{
 				Latency:  5 * time.Millisecond,
 				Jitter:   2 * time.Millisecond,

@@ -41,6 +41,14 @@ type Metrics map[string]float64
 // cannot drift.
 const MetricSimEvents = closedloop.MetricSimEvents
 
+// MetricWireBytes and MetricWireEncodeNS are the reserved wire-codec
+// counters, lifted into Result.WireBytes / Result.WireEncodeNS the same
+// way (see closedloop for the definitions).
+const (
+	MetricWireBytes    = closedloop.MetricWireBytes
+	MetricWireEncodeNS = closedloop.MetricWireEncodeNS
+)
+
 // Cell identifies one room of the fleet to its builder.
 type Cell struct {
 	Index int   // position in the ensemble, 0-based
@@ -125,7 +133,12 @@ type Result struct {
 	// reserved MetricSimEvents key (0 when the cell body does not report
 	// it). The serving layer sums it into true events/s gauges.
 	Events uint64
-	Err    error
+	// WireBytes and WireEncodeNS are the cell codec's encoded envelope
+	// bytes and sampled encode time, lifted from the reserved wire
+	// metric keys the same way.
+	WireBytes    uint64
+	WireEncodeNS uint64
+	Err          error
 }
 
 // Runner executes specs across a bounded worker pool. The zero value runs
@@ -279,6 +292,14 @@ func runCell(s Spec, i int, scratch *Scratch) (res Result) {
 	if ev, ok := m[MetricSimEvents]; ok {
 		res.Events = uint64(ev)
 		delete(m, MetricSimEvents)
+	}
+	if wb, ok := m[MetricWireBytes]; ok {
+		res.WireBytes = uint64(wb)
+		delete(m, MetricWireBytes)
+	}
+	if wn, ok := m[MetricWireEncodeNS]; ok {
+		res.WireEncodeNS = uint64(wn)
+		delete(m, MetricWireEncodeNS)
 	}
 	res.Metrics, res.Err = m, err
 	return res

@@ -293,6 +293,8 @@ func (s *Scheduler) runScenario(ctx context.Context, job *Job, sum *fleet.Summar
 		job.deliver(cr)
 		s.met.cellsDone.Add(1)
 		s.met.simEvents.Add(r.Events)
+		s.met.wireBytes.Add(r.WireBytes)
+		s.met.wireEncodeNS.Add(r.WireEncodeNS)
 	})
 	if err != nil {
 		return "", err

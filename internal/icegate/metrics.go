@@ -15,6 +15,8 @@ type gatewayMetrics struct {
 	start         time.Time
 	cellsDone     atomic.Uint64
 	simEvents     atomic.Uint64 // kernel events executed by scenario cells
+	wireBytes     atomic.Uint64 // envelope bytes encoded by scenario cells
+	wireEncodeNS  atomic.Uint64 // sampled envelope-encode wall time, ns
 	jobsSubmitted atomic.Uint64
 	jobsRejected  atomic.Uint64
 	jobsDone      atomic.Uint64
@@ -67,5 +69,10 @@ func (s *Scheduler) renderMetrics() string {
 	line("cells_per_second", fmt.Sprintf("%.2f", cellsPerSec))
 	line("sim_events_total", events)
 	line("sim_events_per_second", fmt.Sprintf("%.0f", eventsPerSec))
+	// Wire-codec accounting: bytes the cells' ICE envelopes encoded to,
+	// and the (sampled) wall time spent encoding them. Cache hits add
+	// nothing, like the event gauges.
+	line("wire_bytes_total", s.met.wireBytes.Load())
+	line("wire_encode_ns", s.met.wireEncodeNS.Load())
 	return b.String()
 }

@@ -1,0 +1,149 @@
+package icewire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden wire vectors and fuzz seed corpus")
+
+// goldenEnvelope is one pinned frame: fixed field values so the encoding
+// can never drift silently. One vector per MsgType, plus a signed frame.
+type goldenEnvelope struct {
+	name string
+	typ  MsgType
+	from string
+	to   string
+	seq  uint64
+	at   sim.Time
+	body any
+	tag  []byte // non-nil: PatchAuth'd frame
+}
+
+func goldenEnvelopes() []goldenEnvelope {
+	desc := testDescriptor()
+	return []goldenEnvelope{
+		{name: "announce", typ: MsgAnnounce, from: "pump1", to: "ice-manager", seq: 1, at: 0, body: &desc},
+		{name: "admit", typ: MsgAdmit, from: "ice-manager", to: "pump1", seq: 1, at: 2 * sim.Millisecond,
+			body: &AdmitResult{OK: true}},
+		{name: "admit-denied", typ: MsgAdmit, from: "ice-manager", to: "rogue", seq: 2, at: 3 * sim.Millisecond,
+			body: &AdmitResult{OK: false, Reason: "kind mismatch"}},
+		{name: "publish", typ: MsgPublish, from: "ox1", to: "ice-manager", seq: 42, at: 5 * sim.Second,
+			body: &Datum{Topic: "ox1/spo2", Value: 97.25, Valid: true, Quality: 0.875, Sampled: 4987 * sim.Millisecond}},
+		{name: "command", typ: MsgCommand, from: "ice-manager", to: "pump1", seq: 7, at: 90 * sim.Second,
+			body: &Command{ID: 3, Name: "set-basal", Args: map[string]float64{"rate": 2.5, "cap": 30}}},
+		{name: "command-ack", typ: MsgCommandAck, from: "pump1", to: "ice-manager", seq: 8, at: 90*sim.Second + 4*sim.Millisecond,
+			body: &CommandAck{ID: 3, OK: true}},
+		{name: "command-ack-err", typ: MsgCommandAck, from: "pump1", to: "ice-manager", seq: 9, at: 91 * sim.Second,
+			body: &CommandAck{ID: 4, OK: false, Err: "pump jammed"}},
+		{name: "heartbeat", typ: MsgHeartbeat, from: "ox1", to: "ice-manager", seq: 43, at: 6 * sim.Second},
+		{name: "bye", typ: MsgBye, from: "ox1", to: "ice-manager", seq: 44, at: 7 * sim.Second},
+		{name: "publish-signed", typ: MsgPublish, from: "ox1", to: "ice-manager", seq: 45, at: 8 * sim.Second,
+			body: &Datum{Topic: "ox1/spo2", Value: 96.5, Valid: true, Quality: 1, Sampled: 8 * sim.Second},
+			tag:  bytes.Repeat([]byte{0x5A}, 32)},
+	}
+}
+
+func encodeGolden(t *testing.T, g goldenEnvelope) []byte {
+	t.Helper()
+	c := NewBinary()
+	frame, err := c.AppendEnvelope(nil, g.typ, g.from, g.to, g.seq, g.at, g.body)
+	if err != nil {
+		t.Fatalf("%s: %v", g.name, err)
+	}
+	if g.tag != nil {
+		if frame, err = c.PatchAuth(frame, g.tag); err != nil {
+			t.Fatalf("%s: patch: %v", g.name, err)
+		}
+	}
+	return frame
+}
+
+// TestGoldenWireVectors pins the binary wire format: every MsgType's
+// frame must match its checked-in hex vector byte for byte. A failure
+// here means the format changed — bump the version byte and write a
+// migration, don't regenerate blindly.
+func TestGoldenWireVectors(t *testing.T) {
+	for _, g := range goldenEnvelopes() {
+		frame := encodeGolden(t, g)
+		path := filepath.Join("testdata", g.name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(hex.EncodeToString(frame)+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s (run with -update to regenerate): %v", g.name, err)
+		}
+		got := hex.EncodeToString(frame)
+		if got != strings.TrimSpace(string(want)) {
+			t.Errorf("%s: wire format drifted:\ngot  %s\nwant %s", g.name, got, strings.TrimSpace(string(want)))
+		}
+		// Every golden frame must also decode back to its own fields.
+		env, err := NewBinary().Decode(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", g.name, err)
+		}
+		if env.Type != g.typ || env.From != g.from || env.To != g.to || env.Seq != g.seq || env.At != g.at {
+			t.Errorf("%s: decoded header mismatch: %+v", g.name, env)
+		}
+		if g.tag != nil && !bytes.Equal(env.Auth, g.tag) {
+			t.Errorf("%s: decoded tag mismatch", g.name)
+		}
+	}
+}
+
+// Version 1 frames carry version byte 0x01 first, and the decoder
+// rejects every other version outright — the upgrade path is explicit.
+func TestVersionByte(t *testing.T) {
+	g := goldenEnvelopes()[3] // publish
+	frame := encodeGolden(t, g)
+	if frame[0] != Version1 {
+		t.Fatalf("frame starts with 0x%02x, want version byte 0x%02x", frame[0], Version1)
+	}
+	for _, v := range []byte{0x00, 0x02, 0x7F, 0xFF} {
+		bad := append([]byte(nil), frame...)
+		bad[0] = v
+		if _, err := NewBinary().Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("version 0x%02x: err = %v, want version rejection", v, err)
+		}
+	}
+}
+
+// With -update, regenerate the fuzz seed corpus from the golden frames
+// plus a few adversarial shapes, in Go's corpus file format.
+func TestFuzzSeedCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("corpus is checked in; run with -update to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeBinary")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[string][]byte)
+	for _, g := range goldenEnvelopes() {
+		seeds["golden-"+g.name] = encodeGolden(t, g)
+	}
+	seeds["empty"] = nil
+	seeds["version-only"] = []byte{Version1}
+	seeds["bad-version"] = []byte{0x02, 0x03, 0x01}
+	seeds["huge-length"] = []byte{Version1, 3, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	seeds["overlong-varint"] = append([]byte{Version1, 3}, bytes.Repeat([]byte{0x80}, 11)...)
+	truncated := encodeGolden(t, goldenEnvelopes()[0])
+	seeds["truncated-announce"] = truncated[:len(truncated)/2]
+	for name, data := range seeds {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

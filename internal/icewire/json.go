@@ -1,0 +1,136 @@
+package icewire
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// JSON is the debug/compat codec: byte-identical to the historical
+// encoding/json wire format, so captured traffic stays readable and the
+// differential suite can replay every scenario under both encodings.
+type JSON struct {
+	st codecStats
+}
+
+// NewJSON returns a fresh JSON codec instance.
+func NewJSON() *JSON { return &JSON{} }
+
+// Name implements Codec.
+func (c *JSON) Name() string { return "json" }
+
+// Stats implements Codec.
+func (c *JSON) Stats() CodecStats { return c.st.stats() }
+
+// AppendEnvelope implements Codec.
+func (c *JSON) AppendEnvelope(dst []byte, t MsgType, from, to string, seq uint64, at sim.Time, body any) ([]byte, error) {
+	sampled := c.st.beginSample()
+	frame, err := EncodeJSON(t, from, to, seq, at, body)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, frame...)
+	c.st.endSample(sampled, len(frame))
+	return dst, nil
+}
+
+// Decode implements Codec.
+func (c *JSON) Decode(data []byte) (Envelope, error) {
+	env, err := DecodeJSON(data)
+	if err != nil {
+		return Envelope{}, err
+	}
+	env.codec = c
+	return env, nil
+}
+
+// DecodeBody implements Codec.
+func (c *JSON) DecodeBody(e *Envelope, out any) error {
+	return decodeJSONBody(e, out)
+}
+
+// Signing implements Codec: parse the frame and append its canonical
+// (binary-form) signing bytes to dst.
+func (c *JSON) Signing(dst, frame []byte) ([]byte, error) {
+	env, err := DecodeJSON(frame)
+	if err != nil {
+		return nil, err
+	}
+	return appendSigningFrame(dst, env.Type, env.From, env.To, env.Seq, env.At, env.Body), nil
+}
+
+// PatchAuth implements Codec. encoding/json marshals struct fields in
+// declaration order and Auth is the Envelope's final field, so attaching
+// a tag is an append before the closing brace — byte-identical to
+// re-marshaling the envelope with Auth set, without the re-marshal.
+func (c *JSON) PatchAuth(frame, tag []byte) ([]byte, error) {
+	if len(frame) == 0 || frame[len(frame)-1] != '}' {
+		return frame, errors.New("icewire: malformed JSON frame")
+	}
+	// Mirror the binary codec's contract: patching is for unsigned
+	// frames only (a double patch would append a second "auth" member
+	// that last-key-wins unmarshaling silently accepts).
+	if env, err := DecodeJSON(frame); err != nil {
+		return frame, err
+	} else if len(env.Auth) != 0 {
+		return frame, errors.New("icewire: frame already authenticated")
+	}
+	if len(tag) == 0 {
+		return frame, nil
+	}
+	frame = append(frame[:len(frame)-1], `,"auth":"`...)
+	n := base64.StdEncoding.EncodedLen(len(tag))
+	frame = append(frame, make([]byte, n)...)
+	base64.StdEncoding.Encode(frame[len(frame)-n:], tag)
+	return append(frame, '"', '}'), nil
+}
+
+// EncodeJSON marshals an envelope with the given typed body in the
+// historical JSON wire format. Stateless (no codec instance required);
+// retained for tests and attack-traffic forging in experiments.
+func EncodeJSON(t MsgType, from, to string, seq uint64, at sim.Time, body any) ([]byte, error) {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding %s body: %w", t, err)
+		}
+		raw = b
+	}
+	env := Envelope{Type: t, From: from, To: to, Seq: seq, At: at, Body: raw}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding %s envelope: %w", t, err)
+	}
+	return out, nil
+}
+
+// DecodeJSON unmarshals a JSON envelope from the wire.
+func DecodeJSON(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("core: decoding envelope: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, errors.New("core: envelope missing type")
+	}
+	if env.From == "" {
+		return Envelope{}, errors.New("core: envelope missing sender")
+	}
+	return env, nil
+}
+
+// decodeJSONBody unmarshals the body into out; shared by the JSON codec
+// and hand-built envelopes.
+func decodeJSONBody(e *Envelope, out any) error {
+	if len(e.Body) == 0 {
+		return fmt.Errorf("core: %s envelope has empty body", e.Type)
+	}
+	if err := json.Unmarshal(e.Body, out); err != nil {
+		return fmt.Errorf("core: decoding %s body: %w", e.Type, err)
+	}
+	return nil
+}

@@ -21,6 +21,21 @@ type Message struct {
 	Kind    string // application-level tag, for tracing
 	Payload []byte
 	SentAt  sim.Time
+
+	// buf, when non-nil, is the pooled buffer backing Payload; the
+	// network returns it to the pool after the receiving handler runs.
+	buf *Buf
+}
+
+// Buf is a pooled, reference-counted payload buffer. Senders on a hot
+// path acquire one, encode into B (typically via an append-style codec),
+// and hand it to SendBuf; the network recycles it once every scheduled
+// delivery of the datagram has run. This is what lets the wire stack
+// publish millions of envelopes with zero steady-state allocations while
+// payloads are still carried by reference (never copied) end to end.
+type Buf struct {
+	B    []byte
+	refs int
 }
 
 // Handler receives delivered messages. Handlers run inside the simulation
@@ -62,6 +77,7 @@ type Stats struct {
 	Duplicated  uint64
 	Partitioned uint64 // dropped because a partition blocked the pair
 	NoRoute     uint64 // destination not registered
+	Bytes       uint64 // payload bytes offered to the wire (per send)
 }
 
 // Network is the simulated fabric. Not safe for concurrent use; the
@@ -84,6 +100,8 @@ type Network struct {
 	// closure-free API with zero allocations and no payload copy (the
 	// datagram's byte slice is carried by reference end to end).
 	pool []*delivery
+	// bufs recycles payload buffers for SendBuf senders.
+	bufs []*Buf
 }
 
 // delivery is one datagram in flight between Send and its handler.
@@ -104,11 +122,13 @@ func deliverMsg(arg any) {
 	if !ok {
 		n.stats.NoRoute++
 		n.observe(msg, "noroute")
+		n.release(msg.buf)
 		return
 	}
 	n.stats.Delivered++
 	n.observe(msg, "delivered")
 	h(msg)
+	n.release(msg.buf)
 }
 
 type faultWindow struct {
@@ -212,25 +232,80 @@ func (n *Network) extraLoss(from, to string, t sim.Time) float64 {
 // runs after the sampled latency. Sending to an unregistered address is
 // counted but otherwise silently ignored, as on a real datagram network.
 func (n *Network) Send(from, to, kind string, payload []byte) {
-	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}
-	n.stats.Sent++
+	n.send(Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}, nil)
+}
 
-	if pl := n.extraLoss(from, to, n.k.Now()); pl > 0 && n.rng.Bernoulli(pl) {
+// AcquireBuf leases a payload buffer from the network's pool. Fill B
+// (append-style, starting from B[:0]) and pass the Buf to SendBuf, which
+// takes ownership; acquired buffers not sent are simply garbage.
+func (n *Network) AcquireBuf() *Buf {
+	if last := len(n.bufs) - 1; last >= 0 {
+		b := n.bufs[last]
+		n.bufs = n.bufs[:last]
+		return b
+	}
+	return &Buf{B: make([]byte, 0, 256)}
+}
+
+// SendBuf is Send for a pooled payload buffer: the datagram's payload is
+// b.B, carried by reference to every scheduled delivery, and b returns
+// to the pool after the last delivery's handler returns (or immediately
+// when the datagram is lost). Receiving handlers must not retain the
+// payload past their own return — decode synchronously, as the ICE
+// endpoints do.
+func (n *Network) SendBuf(from, to, kind string, b *Buf) {
+	n.send(Message{From: from, To: to, Kind: kind, Payload: b.B, SentAt: n.k.Now(), buf: b}, b)
+}
+
+func (n *Network) send(msg Message, b *Buf) {
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(msg.Payload))
+
+	if pl := n.extraLoss(msg.From, msg.To, n.k.Now()); pl > 0 && n.rng.Bernoulli(pl) {
 		n.stats.Partitioned++
 		n.observe(msg, "partitioned")
+		n.discard(b)
 		return
 	}
-	p := n.linkFor(from, to)
+	p := n.linkFor(msg.From, msg.To)
 	if n.rng.Bernoulli(p.LossProb) {
 		n.stats.Dropped++
 		n.observe(msg, "dropped")
+		n.discard(b)
 		return
+	}
+	if b != nil {
+		b.refs = 1
 	}
 	n.deliverAfter(msg, p)
 	if n.rng.Bernoulli(p.DupProb) {
+		if b != nil {
+			b.refs++
+		}
 		n.stats.Duplicated++
 		n.observe(msg, "duplicated")
 		n.deliverAfter(msg, p)
+	}
+}
+
+// release returns one reference; the buffer is pooled when the last
+// scheduled delivery has run.
+func (n *Network) release(b *Buf) {
+	if b == nil {
+		return
+	}
+	if b.refs--; b.refs <= 0 {
+		b.B = b.B[:0]
+		n.bufs = append(n.bufs, b)
+	}
+}
+
+// discard pools a buffer whose datagram was lost before any delivery was
+// scheduled.
+func (n *Network) discard(b *Buf) {
+	if b != nil {
+		b.refs = 1
+		n.release(b)
 	}
 }
 

@@ -158,9 +158,10 @@ func TestICEAuthenticationBlocksInjection(t *testing.T) {
 		k.After(100*time.Millisecond, func() {
 			c.Publish("spo2", 97, true, 1, k.Now())
 		})
-		// Attacker: well-formed but unsigned publish claiming to be ox1.
+		// Attacker: well-formed but unsigned publish claiming to be ox1,
+		// framed with the wire's own (binary) codec.
 		k.After(200*time.Millisecond, func() {
-			data, err := core.Encode(core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), core.Datum{
+			data, err := core.NewBinaryCodec().AppendEnvelope(nil, core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), &core.Datum{
 				Topic: "ox1/spo2", Value: 10, Valid: true,
 			})
 			if err != nil {
@@ -195,7 +196,7 @@ func TestICEWithoutAuthIsVulnerable(t *testing.T) {
 			Capabilities: []core.Capability{{Name: "spo2", Class: core.ClassSensor, Criticality: 3}},
 		}, core.ConnectConfig{})
 		k.After(200*time.Millisecond, func() {
-			data, _ := core.Encode(core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), core.Datum{
+			data, _ := core.NewBinaryCodec().AppendEnvelope(nil, core.MsgPublish, "ox1", mgr.Addr(), 1000, k.Now(), &core.Datum{
 				Topic: "ox1/spo2", Value: 10, Valid: true,
 			})
 			net.Send("attacker", mgr.Addr(), "publish", data)
@@ -206,5 +207,188 @@ func TestICEWithoutAuthIsVulnerable(t *testing.T) {
 	}
 	if received != 1 {
 		t.Fatalf("spoofed datum not delivered on unauthenticated ICE (received=%d)", received)
+	}
+}
+
+// signedBinaryPublish crafts a correctly signed binary publish frame
+// from ox1: encode once, sign the frame's own signing window, patch the
+// tag in — exactly the conns' send path.
+func signedBinaryPublish(t *testing.T, auth *HMACAuth, to string, seq uint64, at sim.Time) []byte {
+	t.Helper()
+	wire := core.NewBinaryCodec()
+	frame, err := wire.AppendEnvelope(nil, core.MsgPublish, "ox1", to, seq, at, &core.Datum{
+		Topic: "ox1/spo2", Value: 95, Valid: true, Quality: 1, Sampled: at,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := wire.Signing(nil, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := auth.Sign("ox1", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err = wire.PatchAuth(frame, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// Binary-frame regression battery: a correctly signed frame passes HMAC
+// verification; tampered payloads, tampered tags, truncated frames and
+// replayed frames are all rejected, each on the right counter.
+func TestBinaryFrameTamperTruncateReplay(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	ks := NewKeyStore()
+	rng := sim.NewRNG(9)
+	ks.Issue("ice-manager", rng)
+	ks.Issue("ox1", rng)
+	auth := NewHMACAuth(ks)
+
+	cfg := core.DefaultManagerConfig()
+	cfg.Auth = auth
+	mgr := core.MustNewManager(k, net, cfg)
+	received := 0
+	mgr.Subscribe("*/*", func(string, core.Datum) { received++ })
+
+	// A real ox1 joins (signed announce) so publishes are dispatched.
+	core.MustConnect(k, net, core.Descriptor{
+		ID: "ox1", Kind: core.KindPulseOximeter,
+		Capabilities: []core.Capability{{Name: "spo2", Class: core.ClassSensor, Criticality: 3}},
+	}, core.ConnectConfig{Auth: auth})
+	if err := k.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	deliver := func(frame []byte) {
+		net.Send("x", mgr.Addr(), "publish", frame)
+		if err := k.Run(k.Now() + 50*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 1. The genuine signed frame verifies and is delivered.
+	frame := signedBinaryPublish(t, auth, mgr.Addr(), 5000, k.Now())
+	deliver(frame)
+	if received != 1 {
+		t.Fatalf("signed frame not delivered (received=%d)", received)
+	}
+	if mgr.AuthRejected != 0 || mgr.Malformed != 0 {
+		t.Fatalf("genuine frame bumped counters: auth=%d malformed=%d", mgr.AuthRejected, mgr.Malformed)
+	}
+
+	// 2. Replaying the identical frame is rejected by the replay window.
+	deliver(frame)
+	if received != 1 || mgr.ReplayRejected != 1 {
+		t.Fatalf("replay not rejected (received=%d, replay=%d)", received, mgr.ReplayRejected)
+	}
+
+	// 3. A tampered tag fails verification.
+	badTag := signedBinaryPublish(t, auth, mgr.Addr(), 5001, k.Now())
+	badTag[len(badTag)-1] ^= 0xFF
+	deliver(badTag)
+	if received != 1 || mgr.AuthRejected != 1 {
+		t.Fatalf("tampered tag not rejected (received=%d, auth=%d)", received, mgr.AuthRejected)
+	}
+
+	// 4. A tampered payload (the datum's value bytes, mid-frame) breaks
+	// the signature even though the frame still parses.
+	badBody := signedBinaryPublish(t, auth, mgr.Addr(), 5002, k.Now())
+	badBody[len(badBody)/2] ^= 0x01
+	deliver(badBody)
+	if received != 1 {
+		t.Fatalf("tampered payload delivered (received=%d)", received)
+	}
+	if mgr.AuthRejected+mgr.Malformed != 2 {
+		t.Fatalf("tampered payload not counted (auth=%d malformed=%d)", mgr.AuthRejected, mgr.Malformed)
+	}
+
+	// 5. Truncated frames never parse, let alone verify.
+	trunc := signedBinaryPublish(t, auth, mgr.Addr(), 5003, k.Now())
+	for _, n := range []int{1, 7, len(trunc) / 2, len(trunc) - 3} {
+		deliver(trunc[:n])
+	}
+	if received != 1 {
+		t.Fatalf("truncated frame delivered (received=%d)", received)
+	}
+}
+
+// A tag computed over the legacy JSON signing bytes must not verify
+// against the canonical (binary) signing form — no cross-codec
+// confusion: switching codecs invalidates old tags instead of silently
+// accepting them.
+func TestJSONSignedTagRejectedByCanonicalSigner(t *testing.T) {
+	k := sim.NewKernel()
+	net := mednet.MustNew(k, sim.NewRNG(1), mednet.DefaultLink())
+	ks := NewKeyStore()
+	rng := sim.NewRNG(9)
+	ks.Issue("ice-manager", rng)
+	ks.Issue("ox1", rng)
+	auth := NewHMACAuth(ks)
+
+	cfg := core.DefaultManagerConfig()
+	cfg.Auth = auth
+	cfg.Codec = core.NewJSONCodec() // debug codec on the wire
+	mgr := core.MustNewManager(k, net, cfg)
+	received := 0
+	mgr.Subscribe("*/*", func(string, core.Datum) { received++ })
+	core.MustConnect(k, net, core.Descriptor{
+		ID: "ox1", Kind: core.KindPulseOximeter,
+		Capabilities: []core.Capability{{Name: "spo2", Class: core.ClassSensor, Criticality: 3}},
+	}, core.ConnectConfig{Auth: auth, Codec: core.NewJSONCodec()})
+	if err := k.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	wire := core.NewJSONCodec()
+	unsigned, err := wire.AppendEnvelope(nil, core.MsgPublish, "ox1", mgr.Addr(), 7000, k.Now(), &core.Datum{
+		Topic: "ox1/spo2", Value: 50, Valid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy-style tag: HMAC over the raw JSON frame bytes themselves
+	// (the pre-canonical scheme). Must be rejected.
+	legacyTag, err := auth.Sign("ox1", unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := wire.PatchAuth(append([]byte(nil), unsigned...), legacyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send("x", mgr.Addr(), "publish", legacy)
+	if err := k.Run(k.Now() + 50*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if received != 0 || mgr.AuthRejected != 1 {
+		t.Fatalf("legacy JSON-signed tag accepted (received=%d, auth=%d)", received, mgr.AuthRejected)
+	}
+
+	// Canonically signed JSON frame: accepted — the codec is debuggable,
+	// the signing form is shared.
+	sig, err := wire.Signing(nil, unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodTag, err := auth.Sign("ox1", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := wire.PatchAuth(unsigned, goodTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send("x", mgr.Addr(), "publish", good)
+	if err := k.Run(k.Now() + 50*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if received != 1 {
+		t.Fatalf("canonically signed JSON frame rejected (received=%d, auth=%d)", received, mgr.AuthRejected)
 	}
 }
