@@ -13,9 +13,11 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/icegate"
+	"repro/internal/icemesh"
 	"repro/internal/sim"
 )
 
@@ -272,6 +275,59 @@ func BenchmarkFleetPCAScaling(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := fleet.Runner{Workers: workers}.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(fleet.Reduce(last).Mean(closedloop.MetricMinSpO2), "mean-minSpO2")
+		})
+	}
+}
+
+// BenchmarkMeshScaling runs the same fixed PCA fleet through an
+// in-process icemesh cluster (coordinator + N node runtimes over real
+// TCP on localhost) at increasing node counts. cells/s should scale
+// with nodes while the reduced clinical outcome stays bit-identical to
+// BenchmarkFleetPCAScaling's — the mesh differential tests assert the
+// bytes; the benchmark reports the mean nadir as the same tripwire.
+func BenchmarkMeshScaling(b *testing.B) {
+	const cells = 8
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			coord := icemesh.NewCoordinator(icemesh.Config{ShardCells: 2})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go coord.Serve(ln)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer func() { cancel(); ln.Close(); coord.Close() }()
+			for i := 0; i < nodes; i++ {
+				node := icemesh.NewNode(icemesh.NodeConfig{
+					Coordinator: ln.Addr().String(), Workers: 2,
+				})
+				go func() { _ = node.Run(ctx) }()
+			}
+			waitCtx, waitCancel := context.WithTimeout(ctx, 10*time.Second)
+			defer waitCancel()
+			if err := coord.WaitForNodes(waitCtx, nodes); err != nil {
+				b.Fatal(err)
+			}
+
+			spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+				Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := fleet.Runner{Workers: 2, Engine: coord}
+			var last []fleet.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(spec)
 				if err != nil {
 					b.Fatal(err)
 				}

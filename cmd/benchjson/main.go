@@ -18,18 +18,24 @@
 //	fleet.events_per_s             kernel events/s aggregated across those cells
 //	gateway.jobs_per_s             icegate jobs submitted→done (uncached, in-process)
 //	gateway.cells_per_s            scenario cells/s through the gateway
+//	mesh.cells_per_s_1node         the same ensemble through an icemesh cluster
+//	mesh.cells_per_s_2node         (coordinator + N node runtimes over localhost TCP)
+//	mesh.scaling                   2-node / 1-node
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/icegate"
+	"repro/internal/icemesh"
 	"repro/internal/icewire"
 	"repro/internal/mednet"
 	"repro/internal/sim"
@@ -42,6 +48,16 @@ type report struct {
 	Wire    wireReport    `json:"wire"`
 	Fleet   fleetReport   `json:"fleet"`
 	Gateway gatewayReport `json:"gateway"`
+	Mesh    meshReport    `json:"mesh"`
+}
+
+type meshReport struct {
+	Scenario       string  `json:"scenario"`
+	Cells          int     `json:"cells"`
+	NodeWorkers    int     `json:"node_workers"`
+	CellsPerS1Node float64 `json:"cells_per_s_1node"`
+	CellsPerS2Node float64 `json:"cells_per_s_2node"`
+	Scaling        float64 `json:"scaling"`
 }
 
 type kernelReport struct {
@@ -205,6 +221,48 @@ func benchFleet(cells, workers int) (cellsPerS, eventsPerS float64, err error) {
 	return float64(rounds*cells) / elapsed, float64(events) / elapsed, nil
 }
 
+// benchMesh times the same PCA ensemble through an in-process icemesh
+// cluster: a coordinator plus `nodes` node runtimes talking real TCP on
+// localhost, each node running `nodeWorkers` fleet workers.
+func benchMesh(cells, nodeWorkers, nodes int) (cellsPerS float64, err error) {
+	coord := icemesh.NewCoordinator(icemesh.Config{ShardCells: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go coord.Serve(ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); ln.Close(); coord.Close() }()
+	for i := 0; i < nodes; i++ {
+		node := icemesh.NewNode(icemesh.NodeConfig{Coordinator: ln.Addr().String(), Workers: nodeWorkers})
+		go func() { _ = node.Run(ctx) }()
+	}
+	waitCtx, waitCancel := context.WithTimeout(ctx, 10*time.Second)
+	defer waitCancel()
+	if err := coord.WaitForNodes(waitCtx, nodes); err != nil {
+		return 0, err
+	}
+
+	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+	})
+	if err != nil {
+		return 0, err
+	}
+	runner := fleet.Runner{Workers: nodeWorkers, Engine: coord}
+	if _, err := runner.Run(spec); err != nil { // warm (build caches, page in)
+		return 0, err
+	}
+	const rounds = 3
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := runner.Run(spec); err != nil {
+			return 0, err
+		}
+	}
+	return float64(rounds*cells) / time.Since(start).Seconds(), nil
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	kernelOps := flag.Int("kernel-ops", 2_000_000, "kernel schedule+dispatch ops to time")
@@ -229,8 +287,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	nodeWorkers := max(*workers/2, 1)
+	mesh1, err := benchMesh(*cells, nodeWorkers, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	mesh2, err := benchMesh(*cells, nodeWorkers, 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	r := report{
-		PR: "pr4-icewire",
+		PR: "pr5-icemesh",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
@@ -249,6 +318,10 @@ func main() {
 			CellsPerS: cellsPerS, EventsPerS: eventsPerS,
 		},
 		Gateway: gw,
+		Mesh: meshReport{
+			Scenario: fleet.ScenarioPCASupervised, Cells: *cells, NodeWorkers: nodeWorkers,
+			CellsPerS1Node: mesh1, CellsPerS2Node: mesh2, Scaling: mesh2 / mesh1,
+		},
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -7,11 +7,23 @@
 // Usage:
 //
 //	icegated [-addr host:port] [-workers N] [-executors N] [-queue N] [-maxcells N]
+//	         [-mesh host:port] [-drain-timeout D]
 //
 // -addr accepts ":0" to bind an ephemeral port; the chosen address is
 // printed on the first line of output ("icegated: listening on ..."), so
 // scripts can start the daemon on a random port and scrape the address.
 // cmd/icerun -remote is the matching client.
+//
+// -mesh starts an icemesh coordinator on the given address (again ":0"
+// works; the address is printed as "icegated: mesh coordinator on ...")
+// and makes the cluster the job execution backend: cmd/icenode workers
+// register there and submitted jobs fan out across them, byte-identical
+// to local execution. Without -mesh, cells run in-process.
+//
+// On SIGTERM/SIGINT the daemon shuts down gracefully: the HTTP front
+// end stops accepting, queued and running jobs drain within
+// -drain-timeout, and the process exits 0; jobs still running at the
+// deadline are cancelled.
 package main
 
 import (
@@ -28,22 +40,43 @@ import (
 	"time"
 
 	"repro/internal/icegate"
+	"repro/internal/icemesh"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8844", "listen address (use :0 for an ephemeral port)")
-	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker pool width per job")
+	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker pool width per job (local backend)")
 	executors := flag.Int("executors", 2, "jobs executing concurrently")
 	queue := flag.Int("queue", 16, "queued-job capacity before submissions get 429")
 	maxCells := flag.Int("maxcells", 4096, "per-job cell ceiling (admission control)")
+	mesh := flag.String("mesh", "", "mesh coordinator listen address; when set, jobs execute on registered icenode workers")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued+running jobs on SIGTERM")
 	flag.Parse()
 
-	sched := icegate.NewScheduler(icegate.Config{
+	cfg := icegate.Config{
 		QueueDepth: *queue,
 		Executors:  *executors,
 		Workers:    *workers,
 		MaxCells:   *maxCells,
-	})
+	}
+
+	var coord *icemesh.Coordinator
+	if *mesh != "" {
+		meshLn, err := net.Listen("tcp", *mesh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icegated: mesh listener: %v\n", err)
+			os.Exit(1)
+		}
+		coord = icemesh.NewCoordinator(icemesh.Config{
+			Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		go func() { _ = coord.Serve(meshLn) }()
+		defer meshLn.Close()
+		cfg.Backend = coord
+		fmt.Printf("icegated: mesh coordinator on %s\n", meshLn.Addr())
+	}
+
+	sched := icegate.NewScheduler(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -60,7 +93,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("icegated: %v, shutting down\n", s)
+		fmt.Printf("icegated: %v, draining (timeout %v)\n", s, *drainTimeout)
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "icegated: %v\n", err)
@@ -69,10 +102,20 @@ func main() {
 		}
 	}
 
-	// Stop the HTTP front end first, then drain the scheduler, so no
-	// submission races the queue teardown.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful order: stop the HTTP front end (no new submissions race
+	// the teardown), drain queued and running jobs to completion within
+	// the deadline, then release everything. Exit 0 either way — a blown
+	// deadline cancelled the stragglers, it didn't corrupt anything.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	_ = srv.Shutdown(ctx)
+	if err := sched.Drain(ctx); err != nil {
+		fmt.Printf("icegated: drain deadline, cancelled remaining jobs: %v\n", err)
+	} else {
+		fmt.Println("icegated: drained clean")
+	}
 	sched.Close()
+	if coord != nil {
+		coord.Close()
+	}
 }

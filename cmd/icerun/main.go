@@ -21,6 +21,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/icegate"
+	"repro/internal/icemesh"
 )
 
 func main() {
@@ -105,10 +108,74 @@ func selectExperiments(expFlag string) ([]string, error) {
 	return ids, nil
 }
 
+// remoteClient is the one HTTP client every remote call shares, so the
+// submission, the status polls, and the result fetch ride a reused
+// keep-alive connection instead of the historical one-shot http.Get's.
+var remoteClient = &http.Client{Timeout: 30 * time.Second}
+
+// remoteBackoff is the retry policy for transient gateway failures: the
+// mesh's shared exponential backoff + jitter (icemesh.Retry), the same
+// policy icenode uses to re-dial a restarted coordinator.
+var remoteBackoff = icemesh.Backoff{Base: 200 * time.Millisecond, Max: 3 * time.Second}
+
+const remoteAttempts = 5
+
+// remoteJSON performs one request with retry on transport errors, 429s,
+// and 5xx responses; anything else is the gateway's final answer and is
+// returned without retrying. A nil out skips body decoding and returns
+// the raw body instead.
+func remoteJSON(method, url string, reqBody []byte, out any) (raw []byte, err error) {
+	var permanent error
+	err = icemesh.Retry(context.Background(), remoteAttempts, remoteBackoff, func() error {
+		var body io.Reader
+		if reqBody != nil {
+			body = bytes.NewReader(reqBody)
+		}
+		req, err := http.NewRequest(method, url, body)
+		if err != nil {
+			permanent = err
+			return nil
+		}
+		if reqBody != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := remoteClient.Do(req)
+		if err != nil {
+			return err // transport error: retry
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 300 {
+			err := fmt.Errorf("gateway %s (%s): %s", url, resp.Status, strings.TrimSpace(string(data)))
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+				return err // transient: retry with backoff
+			}
+			permanent = err
+			return nil
+		}
+		raw = data
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				permanent = err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		err = permanent
+	}
+	return raw, err
+}
+
 // fetchRemoteTable submits one experiment-table job to an icegated
 // gateway, waits for it, and returns the server-rendered table. The
 // request and status shapes are icegate's own wire types, so client and
-// server schemas stay coupled by the compiler.
+// server schemas stay coupled by the compiler. Submissions are retried
+// on transient failures — duplicates are harmless because the gateway's
+// deterministic cache converges them on the same table.
 func fetchRemoteTable(addr, id string, opt experiments.Options) (string, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
@@ -117,59 +184,25 @@ func fetchRemoteTable(addr, id string, opt experiments.Options) (string, error) 
 	base = strings.TrimSuffix(base, "/")
 
 	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells})
-	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusCreated {
-		msg, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		return "", fmt.Errorf("gateway refused job (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
 	var view icegate.View
-	err = json.NewDecoder(resp.Body).Decode(&view)
-	resp.Body.Close()
-	if err != nil {
+	if _, err := remoteJSON(http.MethodPost, base+"/api/v1/jobs", body, &view); err != nil {
 		return "", err
 	}
 
 	// Poll until the job leaves the queue/runner, then fetch the table.
-	for done := false; !done; {
-		switch view.Status {
-		case icegate.StatusDone:
-			done = true
-		case icegate.StatusFailed, icegate.StatusCancelled:
-			return "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
-		default:
-			time.Sleep(100 * time.Millisecond)
-			r, err := http.Get(base + "/api/v1/jobs/" + view.ID)
-			if err != nil {
-				return "", err
-			}
-			if r.StatusCode != http.StatusOK {
-				msg, _ := io.ReadAll(r.Body)
-				r.Body.Close()
-				return "", fmt.Errorf("remote job %s lost (%s): %s", view.ID, r.Status, strings.TrimSpace(string(msg)))
-			}
-			err = json.NewDecoder(r.Body).Decode(&view)
-			r.Body.Close()
-			if err != nil {
-				return "", err
-			}
+	for !view.Status.Terminal() {
+		time.Sleep(100 * time.Millisecond)
+		if _, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID, nil, &view); err != nil {
+			return "", err
 		}
 	}
+	if view.Status != icegate.StatusDone {
+		return "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
+	}
 
-	r, err := http.Get(base + "/api/v1/jobs/" + view.ID + "/result")
+	table, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID+"/result", nil, nil)
 	if err != nil {
 		return "", err
-	}
-	defer r.Body.Close()
-	table, err := io.ReadAll(r.Body)
-	if err != nil {
-		return "", err
-	}
-	if r.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("gateway result (%s): %s", r.Status, table)
 	}
 	return string(table), nil
 }

@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+)
 
 // Options carries the harness-wide knobs into a catalog runner — the
 // same triple cmd/icerun exposes as flags and the gateway accepts in a
@@ -10,6 +14,14 @@ type Options struct {
 	Seed    int64 // base simulation seed; 0 = 1
 	Cells   int   // trials per configuration for ensemble experiments (F1)
 	Workers int   // fleet worker pool width for parallel cell execution
+
+	// Engine, when non-nil, distributes fleet-backed experiments (F1,
+	// E6) across it instead of the local pool — the icegate mesh backend
+	// plugs the cluster in here. Deliberately NOT part of result
+	// identity: the fleet's determinism contract makes tables
+	// byte-identical wherever the cells ran, so engines are a deployment
+	// knob exactly like Workers.
+	Engine fleet.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -31,7 +43,7 @@ var catalog = []struct {
 	run func(o Options) (Table, error)
 }{
 	{"F1", func(o Options) (Table, error) {
-		return F1PCAControlLoop(F1Options{Seed: o.Seed, Trials: o.Cells, Workers: o.Workers})
+		return F1PCAControlLoop(F1Options{Seed: o.Seed, Trials: o.Cells, Workers: o.Workers, Engine: o.Engine})
 	}},
 	{"E2", func(o Options) (Table, error) {
 		opt := DefaultE2()
@@ -49,6 +61,7 @@ var catalog = []struct {
 		opt := DefaultE6()
 		opt.Seed = o.Seed
 		opt.Workers = o.Workers
+		opt.Engine = o.Engine
 		return E6CommFailure(opt)
 	}},
 	{"E7", func(o Options) (Table, error) {

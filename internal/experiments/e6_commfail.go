@@ -15,6 +15,10 @@ type E6Options struct {
 	Losses    []float64 // packet-loss probabilities to sweep
 	Workers   int       // fleet worker pool width; 0 = serial
 	WireCodec string    // ICE wire encoding inside cells; "" = binary
+
+	// Engine distributes the sweep's cells when non-nil (see
+	// Options.Engine); tables are byte-identical either way.
+	Engine fleet.Engine
 }
 
 // DefaultE6 returns the sweep in DESIGN.md.
@@ -89,7 +93,7 @@ func E6CommFailure(opt E6Options) (Table, error) {
 		spec.Name = fmt.Sprintf("E6 %s loss %.2f", c.mode, c.loss)
 		specs = append(specs, spec)
 	}
-	groups, err := fleet.Runner{Workers: opt.Workers}.RunAll(specs)
+	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine}.RunAll(specs)
 	if err != nil {
 		return t, fmt.Errorf("E6: %w", err)
 	}

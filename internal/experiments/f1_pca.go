@@ -16,6 +16,10 @@ type F1Options struct {
 	Trials    int      // independent patient sessions per configuration; 0 = 1
 	Workers   int      // fleet worker pool width; 0 = serial
 	WireCodec string   // ICE wire encoding inside cells; "" = binary
+
+	// Engine distributes the trial ensembles when non-nil (see
+	// Options.Engine); tables are byte-identical either way.
+	Engine fleet.Engine
 }
 
 // F1PCAControlLoop reproduces Figure 1 of the paper: the closed-loop PCA
@@ -55,7 +59,7 @@ func F1PCAControlLoop(opt F1Options) (Table, error) {
 		}
 		specs = append(specs, spec)
 	}
-	groups, err := fleet.Runner{Workers: opt.Workers}.RunAll(specs)
+	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine}.RunAll(specs)
 	if err != nil {
 		return t, fmt.Errorf("F1: %w", err)
 	}

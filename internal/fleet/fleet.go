@@ -116,6 +116,19 @@ type Spec struct {
 	SeedFn func(index int) int64
 
 	Run CellFunc
+
+	// scenario/params, when set, record how Build produced this spec —
+	// the provenance a distributed engine needs to rebuild the identical
+	// spec in another process (a spec's closures cannot travel). Hand-
+	// built specs carry none and always execute on the local pool.
+	scenario string
+	params   Params
+}
+
+// Provenance reports the registry name and Params this spec was built
+// from; ok is false for hand-built specs, which no engine can ship.
+func (s Spec) Provenance() (scenario string, p Params, ok bool) {
+	return s.scenario, s.params, s.scenario != ""
 }
 
 func (s Spec) seedFor(i int) int64 {
@@ -145,6 +158,12 @@ type Result struct {
 // serially (one worker).
 type Runner struct {
 	Workers int // goroutines executing cells; <=0 means 1
+
+	// Engine, when non-nil, executes Build-provenanced specs remotely
+	// instead of on the local pool (see Engine). Hand-built specs — those
+	// without Provenance — still run locally, so mixed workloads degrade
+	// to exactly the local behavior rather than failing.
+	Engine Engine
 }
 
 // Run executes every cell of one spec and returns results in cell order.
@@ -201,18 +220,44 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 		workers = 1
 	}
 	out := make([][]Result, len(specs))
+	// Partition: specs the engine can ship (provenance from Build) run
+	// remotely, one ensemble at a time — each fans its cells out across
+	// the cluster, so the parallelism lives inside RunRange. Everything
+	// else shares the local pool below.
+	remote := make([]bool, len(specs))
 	total := 0
 	for i, s := range specs {
 		out[i] = make([]Result, s.Cells)
-		total += s.Cells
+		if r.Engine != nil && s.scenario != "" {
+			remote[i] = true
+		} else {
+			total += s.Cells
+		}
 	}
 	if workers > total {
 		workers = total
 	}
 
+	var deliverMu sync.Mutex
+	var errs []error
+	for si, s := range specs {
+		if !remote[si] {
+			continue
+		}
+		err := r.runEngineSpec(ctx, s, out[si], func(res Result) {
+			if onCell != nil {
+				deliverMu.Lock()
+				onCell(res)
+				deliverMu.Unlock()
+			}
+		})
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+
 	type job struct{ si, ci int }
 	jobs := make(chan job)
-	var deliverMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -233,13 +278,19 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 	cancelled := 0
 dispatch:
 	for si, s := range specs {
+		if remote[si] {
+			continue
+		}
 		for ci := 0; ci < s.Cells; ci++ {
 			select {
 			case jobs <- job{si, ci}:
 			case <-ctx.Done():
-				// Mark this and every remaining cell as skipped. Seeds are
-				// still derived so partial result sets stay identifiable.
+				// Mark this and every remaining local cell as skipped. Seeds
+				// are still derived so partial result sets stay identifiable.
 				for sj := si; sj < len(specs); sj++ {
+					if remote[sj] {
+						continue
+					}
 					start := 0
 					if sj == si {
 						start = ci
@@ -259,12 +310,84 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
-	var errs []error
 	for si, group := range out {
+		if remote[si] {
+			continue // engine failures were recorded once, not per cell
+		}
 		for _, res := range group {
 			if res.Err != nil && !errors.Is(res.Err, ctx.Err()) {
 				errs = append(errs, fmt.Errorf("%s cell %d: %w", specs[si].Name, res.Cell.Index, res.Err))
 			}
+		}
+	}
+	if cancelled > 0 {
+		errs = append(errs, fmt.Errorf("fleet: %d cells skipped: %w", cancelled, ctx.Err()))
+	}
+	return out, errors.Join(errs...)
+}
+
+// RunRangeContext executes the contiguous cell range [start, end) of one
+// spec on the local pool — the node-side primitive distributed engines
+// are built from. Results carry their global ensemble index and seed,
+// exactly as the same cells would in a full local run, so merging range
+// results by index reproduces the local result slice byte for byte.
+// onCell, when non-nil, is invoked serially as cells complete; results
+// are returned in range order (position i holds cell start+i).
+func (r Runner) RunRangeContext(ctx context.Context, spec Spec, start, end int, onCell func(Result)) ([]Result, error) {
+	if spec.Run == nil {
+		return nil, fmt.Errorf("fleet: spec %q has no Run", spec.Name)
+	}
+	if start < 0 || end < start || end > spec.Cells {
+		return nil, fmt.Errorf("fleet: range [%d,%d) outside spec %q (%d cells)", start, end, spec.Name, spec.Cells)
+	}
+	n := end - start
+	out := make([]Result, n)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var deliverMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := &Scratch{}
+			for ci := range jobs {
+				res := runCell(spec, ci, scratch)
+				out[ci-start] = res
+				if onCell != nil {
+					deliverMu.Lock()
+					onCell(res)
+					deliverMu.Unlock()
+				}
+			}
+		}()
+	}
+	cancelled := 0
+dispatch:
+	for ci := start; ci < end; ci++ {
+		select {
+		case jobs <- ci:
+		case <-ctx.Done():
+			for cj := ci; cj < end; cj++ {
+				out[cj-start] = Result{Cell: Cell{Index: cj, Seed: spec.seedFor(cj)}, Err: ctx.Err()}
+				cancelled++
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var errs []error
+	for _, res := range out {
+		if res.Err != nil && !errors.Is(res.Err, ctx.Err()) {
+			errs = append(errs, fmt.Errorf("%s cell %d: %w", spec.Name, res.Cell.Index, res.Err))
 		}
 	}
 	if cancelled > 0 {

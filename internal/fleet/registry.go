@@ -67,7 +67,10 @@ func Names() []string {
 	return out
 }
 
-// Build resolves a scenario by name and instantiates its spec.
+// Build resolves a scenario by name and instantiates its spec. Built
+// specs carry provenance — the (name, params) pair they came from — so a
+// distributed engine can rebuild the identical spec on a remote node
+// (see Spec.Provenance and Runner.Engine).
 func Build(name string, p Params) (Spec, error) {
 	regMu.RLock()
 	f, ok := registry[name]
@@ -78,7 +81,11 @@ func Build(name string, p Params) (Spec, error) {
 	if p.Cells <= 0 {
 		p.Cells = 1
 	}
-	return f(p), nil
+	spec := f(p)
+	spec.scenario = name
+	p.Cells = spec.Cells // factories may resize; provenance must rebuild identically
+	spec.params = p
+	return spec, nil
 }
 
 // EnsembleSeeds is the seed rule for trial ensembles: cell 0 replays the

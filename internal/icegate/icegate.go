@@ -30,6 +30,11 @@ type Config struct {
 	Workers    int // fleet worker-pool width per job; <=0 means 1
 	MaxCells   int // per-job cell ceiling (admission control); <=0 means 4096
 	RetainJobs int // finished jobs kept for status queries; <=0 means 1024
+
+	// Backend selects where fleet cells execute; nil means LocalBackend
+	// (this process's pool). Deliberately not part of any result
+	// identity: determinism makes backends interchangeable.
+	Backend Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
+	}
+	if c.Backend == nil {
+		c.Backend = LocalBackend{}
 	}
 	return c
 }
@@ -71,6 +79,15 @@ type Scheduler struct {
 	seq    int
 	jobs   map[string]*Job
 	order  []string // submission order, for listing
+
+	// hooks let lifecycle tests observe transitions without polling;
+	// zero outside tests.
+	hooks schedulerHooks
+}
+
+// schedulerHooks are test observation points on the job lifecycle.
+type schedulerHooks struct {
+	jobRunning func(*Job) // after queued->running, before cells execute
 }
 
 // NewScheduler starts cfg.Executors executor goroutines and returns the
@@ -111,8 +128,42 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
+// Drain is the graceful half of shutdown: stop admitting, let queued
+// and running jobs run to completion, then release the executors. When
+// ctx expires first, whatever still runs is cancelled and Drain returns
+// ctx.Err() — the caller is exiting and a simulation cell is not
+// interruptible mid-kernel, so the deadline is the contract. Close
+// afterwards is safe (and a no-op for the queue). cmd/icegated calls
+// this on SIGTERM.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		s.stop()
+		return ctx.Err()
+	}
+}
+
 // Cache exposes the result cache (metrics and tests).
 func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Backend reports where this scheduler's cells execute.
+func (s *Scheduler) Backend() Backend { return s.cfg.Backend }
 
 // QueueDepth reports jobs admitted but not yet picked up by an executor.
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
@@ -237,6 +288,9 @@ func (s *Scheduler) runJob(job *Job, sum *fleet.Summary) {
 	if !job.start(cancel) {
 		return // cancelled while queued
 	}
+	if s.hooks.jobRunning != nil {
+		s.hooks.jobRunning(job)
+	}
 
 	var table string
 	var err error
@@ -285,7 +339,7 @@ func (s *Scheduler) runScenario(ctx context.Context, job *Job, sum *fleet.Summar
 	if err != nil {
 		return "", err
 	}
-	results, err := fleet.Runner{Workers: s.cfg.Workers}.RunContext(ctx, spec, func(r fleet.Result) {
+	results, err := fleet.Runner{Workers: s.cfg.Workers, Engine: s.cfg.Backend.Engine()}.RunContext(ctx, spec, func(r fleet.Result) {
 		cr := CellResult{Index: r.Cell.Index, Seed: r.Cell.Seed, Metrics: r.Metrics}
 		if r.Err != nil {
 			cr.Err = r.Err.Error()
@@ -329,6 +383,7 @@ func (s *Scheduler) runExperiment(ctx context.Context, job *Job) (string, error)
 		Seed:    job.Req.Seed,
 		Cells:   job.Req.Cells,
 		Workers: s.cfg.Workers,
+		Engine:  s.cfg.Backend.Engine(),
 	})
 	if err != nil {
 		return "", err

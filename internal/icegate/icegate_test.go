@@ -165,11 +165,12 @@ func TestIdenticalSubmissionsServedFromCacheByteIdentical(t *testing.T) {
 func TestStreamsCellsWhileConcurrentJobCancelled(t *testing.T) {
 	_, ts := newTestGateway(t, Config{QueueDepth: 8, Executors: 2, Workers: 2})
 
-	streamJob, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 100, Cells: 3})
+	streamSeed, victimSeed := nextGateSeed(), nextGateSeed()
+	streamJob, code := submit(t, ts, Request{Scenario: "test-gated", Seed: streamSeed, Cells: 3})
 	if code != http.StatusCreated {
 		t.Fatalf("submit stream job = %d", code)
 	}
-	victim, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 200, Cells: 2})
+	victim, code := submit(t, ts, Request{Scenario: "test-gated", Seed: victimSeed, Cells: 2})
 	if code != http.StatusCreated {
 		t.Fatalf("submit victim job = %d", code)
 	}
@@ -209,7 +210,7 @@ func TestStreamsCellsWhileConcurrentJobCancelled(t *testing.T) {
 	// the incremental-delivery proof.
 	seen := map[int]bool{}
 	for i := 0; i < 3; i++ {
-		gate(100) <- struct{}{}
+		gate(streamSeed) <- struct{}{}
 		l := readLine()
 		if l.Cell == nil {
 			t.Fatalf("expected cell line, got %+v", l)
@@ -234,7 +235,7 @@ func TestStreamsCellsWhileConcurrentJobCancelled(t *testing.T) {
 
 	// Unblock the victim's in-flight cells; the job must still end
 	// cancelled because its context was cancelled while they ran.
-	close(gate(200))
+	close(gate(victimSeed))
 	if v := waitDone(t, ts, victim.ID); v.Status != StatusCancelled {
 		t.Fatalf("victim status = %+v", v)
 	}
@@ -245,7 +246,8 @@ func TestStreamsCellsWhileConcurrentJobCancelled(t *testing.T) {
 func TestQueueFullRejectsWith429(t *testing.T) {
 	_, ts := newTestGateway(t, Config{QueueDepth: 1, Executors: 1, Workers: 1})
 
-	running, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 300, Cells: 1})
+	runSeed := nextGateSeed()
+	running, code := submit(t, ts, Request{Scenario: "test-gated", Seed: runSeed, Cells: 1})
 	if code != http.StatusCreated {
 		t.Fatalf("submit running = %d", code)
 	}
@@ -258,11 +260,11 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	queued, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 301, Cells: 1})
+	queued, code := submit(t, ts, Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1})
 	if code != http.StatusCreated {
 		t.Fatalf("submit queued = %d", code)
 	}
-	if _, code := submit(t, ts, Request{Scenario: "test-gated", Seed: 302, Cells: 1}); code != http.StatusTooManyRequests {
+	if _, code := submit(t, ts, Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); code != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit = %d, want 429", code)
 	}
 
@@ -277,7 +279,7 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 		t.Fatalf("queued job after cancel: %+v", v)
 	}
 
-	close(gate(300))
+	close(gate(runSeed))
 	if v := waitDone(t, ts, running.ID); v.Status != StatusDone {
 		t.Fatalf("running job finished as %+v", v)
 	}

@@ -132,9 +132,13 @@ const (
 	StatusCancelled Status = "cancelled"
 )
 
-func (s Status) terminal() bool {
+// Terminal reports whether the status is final — clients poll until it
+// is.
+func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
+
+func (s Status) terminal() bool { return s.Terminal() }
 
 // CellResult is the streamed per-cell record: one NDJSON line per
 // completed cell.

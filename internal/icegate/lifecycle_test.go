@@ -1,0 +1,264 @@
+package icegate
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Lifecycle-edge seeds: each test case needs its own gate (see
+// testGates); the counter keeps them unique under -count=N.
+var lifecycleSeeds atomic.Int64
+
+func nextGateSeed() int64 { return 50_000 + lifecycleSeeds.Add(1) }
+
+// TestJobLifecycleEdges drives the scheduler through its racy edges —
+// cancel while queued, cancel while running, 429 under a full queue with
+// a cancelled occupant — synchronized entirely by the scheduler's
+// jobRunning hook and the per-seed cell gates: no polling, no sleeps.
+func TestJobLifecycleEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, s *Scheduler, running <-chan *Job)
+	}{
+		{"cancel-while-queued", func(t *testing.T, s *Scheduler, running <-chan *Job) {
+			seedA := nextGateSeed()
+			a := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seedA, Cells: 1})
+			if got := <-running; got.ID != a.ID {
+				t.Fatalf("running job %s, want %s", got.ID, a.ID)
+			}
+			// The executor is occupied, so this one is provably queued.
+			b := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1})
+			if st := b.Status(); st != StatusQueued {
+				t.Fatalf("second job status %v, want queued", st)
+			}
+			if err := s.Cancel(b.ID); err != nil {
+				t.Fatal(err)
+			}
+			<-b.Done() // closes synchronously on queued->cancelled
+			if st := b.Status(); st != StatusCancelled {
+				t.Fatalf("cancelled-queued job status %v", st)
+			}
+			gate(seedA) <- struct{}{}
+			<-a.Done()
+			if st := a.Status(); st != StatusDone {
+				t.Fatalf("first job status %v, want done", st)
+			}
+			// The cancelled job must never have executed a cell.
+			if v := b.View(); v.CellsDone != 0 {
+				t.Fatalf("cancelled-queued job executed %d cells", v.CellsDone)
+			}
+		}},
+		{"cancel-while-running", func(t *testing.T, s *Scheduler, running <-chan *Job) {
+			seed := nextGateSeed()
+			a := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seed, Cells: 2})
+			if got := <-running; got.ID != a.ID {
+				t.Fatalf("running job %s, want %s", got.ID, a.ID)
+			}
+			// Provably running — and its cells provably in flight — when
+			// the cancel lands.
+			if err := s.Cancel(a.ID); err != nil {
+				t.Fatal(err)
+			}
+			close(gate(seed)) // let the in-flight cells finish
+			<-a.Done()
+			if st := a.Status(); st != StatusCancelled {
+				t.Fatalf("cancelled-running job status %v", st)
+			}
+			if _, ok := a.Table(); ok {
+				t.Fatal("cancelled job rendered a table")
+			}
+			// Terminal cancels are no-ops, not errors.
+			if err := s.Cancel(a.ID); err != nil {
+				t.Fatalf("re-cancel errored: %v", err)
+			}
+		}},
+		{"queue-full-429-race", func(t *testing.T, s *Scheduler, running <-chan *Job) {
+			seedA := nextGateSeed()
+			a := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seedA, Cells: 1})
+			if got := <-running; got.ID != a.ID {
+				t.Fatalf("running job %s, want %s", got.ID, a.ID)
+			}
+			b := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1})
+			// Queue depth 1 is spent: the next submission bounces.
+			if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+			}
+			// Cancelling the queued occupant does NOT free the slot: the
+			// channel slot empties only when an executor pops the corpse.
+			if err := s.Cancel(b.ID); err != nil {
+				t.Fatal(err)
+			}
+			<-b.Done()
+			if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("post-cancel submit err = %v, want ErrQueueFull (slot frees on pop, not cancel)", err)
+			}
+			// Release the runner; the executor pops the cancelled corpse
+			// (start refuses, nothing runs) and the queue opens up again.
+			gate(seedA) <- struct{}{}
+			<-a.Done()
+			seedD := nextGateSeed()
+			d := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seedD, Cells: 1})
+			if got := <-running; got.ID != d.ID {
+				t.Fatalf("running job %s, want %s (cancelled corpse must be skipped)", got.ID, d.ID)
+			}
+			gate(seedD) <- struct{}{}
+			<-d.Done()
+			if st := d.Status(); st != StatusDone {
+				t.Fatalf("post-race job status %v", st)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewScheduler(Config{QueueDepth: 1, Executors: 1, Workers: 2})
+			running := make(chan *Job, 8)
+			s.hooks.jobRunning = func(j *Job) { running <- j }
+			t.Cleanup(s.Close)
+			tc.run(t, s, running)
+		})
+	}
+}
+
+func mustSubmit(t *testing.T, s *Scheduler, req Request) *Job {
+	t.Helper()
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// Drain lets running work finish: submissions stop immediately, the
+// in-flight job completes (not cancelled), and Drain returns clean.
+func TestDrainFinishesRunningJobs(t *testing.T) {
+	s := NewScheduler(Config{QueueDepth: 2, Executors: 1, Workers: 1})
+	running := make(chan *Job, 1)
+	s.hooks.jobRunning = func(j *Job) { running <- j }
+	t.Cleanup(s.Close)
+
+	seed := nextGateSeed()
+	a := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seed, Cells: 1})
+	<-running
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// Drain's first act is flipping closed under the lock; spin until it
+	// has (no timing assumptions, just scheduling).
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Admission is already stopped while the job still runs.
+	if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); err == nil || errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit during drain err = %v, want scheduler-closed rejection", err)
+	}
+
+	gate(seed) <- struct{}{}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	<-a.Done()
+	if st := a.Status(); st != StatusDone {
+		t.Fatalf("drained job status %v, want done (drain must not cancel)", st)
+	}
+}
+
+// A drain that blows its deadline cancels the stragglers and reports
+// the deadline; the daemon then exits anyway.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s := NewScheduler(Config{QueueDepth: 2, Executors: 1, Workers: 1})
+	running := make(chan *Job, 1)
+	s.hooks.jobRunning = func(j *Job) { running <- j }
+
+	seed := nextGateSeed()
+	a := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seed, Cells: 1})
+	<-running
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already blown: the drain must cut straight to cancellation
+	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drain err = %v, want context.Canceled", err)
+	}
+	close(gate(seed)) // let the wedged cell return so the executor can exit
+	<-a.Done()
+	if st := a.Status(); st != StatusCancelled {
+		t.Fatalf("straggler status %v, want cancelled", st)
+	}
+	s.Close()
+}
+
+// The daemon's SIGTERM path, on the in-process server: the front end
+// stops, new submissions are refused, the running job drains to
+// completion (never cancelled), and its result stays fetchable — the
+// exact sequence cmd/icegated walks before exiting 0.
+func TestGracefulShutdownInProcessServer(t *testing.T) {
+	s := NewScheduler(Config{QueueDepth: 2, Executors: 1, Workers: 1})
+	running := make(chan *Job, 1)
+	s.hooks.jobRunning = func(j *Job) { running <- j }
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	seed := nextGateSeed()
+	v, code := submit(t, ts, Request{Scenario: "test-gated", Seed: seed, Cells: 1})
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	<-running
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			break
+		}
+		runtime.Gosched()
+	}
+	if _, code := submit(t, ts, Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); code != http.StatusBadRequest {
+		t.Fatalf("submit during drain = %d, want refusal", code)
+	}
+
+	gate(seed) <- struct{}{}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	job, _ := s.Get(v.ID)
+	<-job.Done()
+	if st := job.Status(); st != StatusDone {
+		t.Fatalf("job after graceful shutdown: %v, want done", st)
+	}
+	table, _, code := getResult(t, ts, v.ID)
+	if code != http.StatusOK || !strings.HasPrefix(table, "scenario test-gated") {
+		t.Fatalf("result after drain = %d:\n%s", code, table)
+	}
+}
+
+// The scheduler reports its backend in /metrics, and a local scheduler
+// runs experiment jobs with a nil engine (pure in-process).
+func TestBackendSurfacedInMetrics(t *testing.T) {
+	s := NewScheduler(Config{})
+	t.Cleanup(s.Close)
+	if got := s.Backend().Name(); got != "local" {
+		t.Fatalf("default backend %q", got)
+	}
+	if s.Backend().Engine() != nil {
+		t.Fatal("local backend has a non-nil engine")
+	}
+	m := s.renderMetrics()
+	if want := `icegate_backend{name="local"} 1`; !strings.Contains(m, want) {
+		t.Fatalf("metrics missing %q:\n%s", want, m)
+	}
+}

@@ -28,6 +28,10 @@ func newGatewayMetrics() *gatewayMetrics {
 	return &gatewayMetrics{start: time.Now()}
 }
 
+// MetricsText emits the Prometheus-style text form of the gateway's
+// state — the /metrics body, exported for embedders and tests.
+func (s *Scheduler) MetricsText() string { return s.renderMetrics() }
+
 // Render emits the Prometheus-style text form of the gateway's state.
 func (s *Scheduler) renderMetrics() string {
 	hits, misses, entries := s.cache.Stats()
@@ -74,5 +78,12 @@ func (s *Scheduler) renderMetrics() string {
 	// nothing, like the event gauges.
 	line("wire_bytes_total", s.met.wireBytes.Load())
 	line("wire_encode_ns", s.met.wireEncodeNS.Load())
+	// Execution backend: which one is active, plus whatever gauges it
+	// exports (the mesh coordinator reports node liveness, shard
+	// retries, and per-node throughput here).
+	fmt.Fprintf(&b, "icegate_backend{name=%q} 1\n", s.cfg.Backend.Name())
+	if bm, ok := s.cfg.Backend.(backendMetrics); ok {
+		b.WriteString(bm.MetricsText())
+	}
 	return b.String()
 }

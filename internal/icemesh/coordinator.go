@@ -1,0 +1,615 @@
+package icemesh
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	Heartbeat     time.Duration // node beat interval advertised in Welcome; <=0 means 1s
+	NodeTimeout   time.Duration // silence before a node is presumed dead; <=0 means 4x Heartbeat
+	ShardCells    int           // max cells per shard; <=0 means 8
+	ShardDeadline time.Duration // re-assign a shard not finished by then; <=0 means never
+	MaxRetries    int           // re-assignments per shard before the job fails; <=0 means 3
+	Logf          func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.NodeTimeout <= 0 {
+		c.NodeTimeout = 4 * c.Heartbeat
+	}
+	if c.ShardCells <= 0 {
+		c.ShardCells = 8
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ErrNoNodes rejects work when the mesh has no live, non-draining
+// workers to run it on.
+var ErrNoNodes = errors.New("icemesh: no live worker nodes")
+
+// Coordinator owns the node registry and the shard planner: it accepts
+// node registrations over the mesh wire protocol, splits each job's cell
+// range into contiguous shards, balances them across live nodes
+// (capacity-weighted), re-assigns on node loss or shard deadline, and
+// merges delivered cells back by global index.
+//
+// Coordinator implements fleet.Engine, and (structurally) icegate's
+// Backend — plugging the cluster in wherever a local worker pool was.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	closed   bool
+	nodes    map[string]*meshNode
+	shards   map[uint64]*meshShard
+	shardSeq uint64
+	nameSeq  int
+
+	met meshMetrics
+}
+
+type meshMetrics struct {
+	nodesJoined    atomic.Uint64
+	nodesLost      atomic.Uint64
+	shardsAssigned atomic.Uint64
+	shardRetries   atomic.Uint64
+	cellsDone      atomic.Uint64
+	jobs           atomic.Uint64
+	jobsFailed     atomic.Uint64
+}
+
+// meshNode is one registered worker connection.
+type meshNode struct {
+	name     string
+	capacity int
+	conn     net.Conn
+
+	wmu  sync.Mutex // serializes frame writes; wbuf is the encode scratch
+	wbuf []byte
+
+	// Guarded by Coordinator.mu.
+	inflight  map[uint64]*meshShard
+	draining  bool
+	lastBeat  time.Time
+	joined    time.Time
+	cellsDone uint64 // cells this node delivered (coordinator's count)
+}
+
+// send frames one message to the node with a short write deadline: a
+// peer that cannot drain a few control bytes within it is dead weight
+// and gets evicted by the caller on error.
+func (n *meshNode) send(m any) error {
+	n.wmu.Lock()
+	defer n.wmu.Unlock()
+	_ = n.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	buf, err := WriteMessage(n.conn, n.wbuf, m)
+	n.wbuf = buf
+	return err
+}
+
+// meshShard is one contiguous cell range of one job.
+type meshShard struct {
+	id         uint64
+	job        *meshJob
+	start, end int
+	retries    int
+	node       *meshNode   // current assignee
+	deadline   *time.Timer // ShardDeadline re-assignment, when configured
+}
+
+// meshJob is one RunRange call in flight.
+type meshJob struct {
+	scenario string
+	p        fleet.Params
+	deliver  func(fleet.Result)
+
+	// Guarded by Coordinator.mu.
+	base     int // global index of seen[0]
+	seen     []bool
+	pending  int // shards not yet terminally done
+	finished bool
+	failed   error
+	done     chan struct{}
+}
+
+func (j *meshJob) finish(err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.failed = err
+	close(j.done)
+}
+
+// NewCoordinator returns a coordinator ready to Serve a listener.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:    cfg.withDefaults(),
+		nodes:  map[string]*meshNode{},
+		shards: map[uint64]*meshShard{},
+	}
+}
+
+// Serve accepts node registrations until the listener closes. Run it in
+// a goroutine; it returns the accept error (net.ErrClosed after Close).
+func (c *Coordinator) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go c.serveConn(conn)
+	}
+}
+
+// Close evicts every node and fails every job still in flight.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	nodes := make([]*meshNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		c.nodeLost(n, errors.New("icemesh: coordinator closed"))
+	}
+}
+
+// Name implements the serving layer's Backend: jobs dispatched here fan
+// out across the mesh.
+func (c *Coordinator) Name() string { return "mesh" }
+
+// Engine implements Backend: the coordinator is its own fleet engine.
+func (c *Coordinator) Engine() fleet.Engine { return c }
+
+// NodeCount reports live registered nodes.
+func (c *Coordinator) NodeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// WaitForNodes blocks until at least n nodes are registered or the
+// context expires — the cluster-bringup helper scripts and tests use.
+func (c *Coordinator) WaitForNodes(ctx context.Context, n int) error {
+	for {
+		if c.NodeCount() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("icemesh: %w waiting for %d nodes", ctx.Err(), n)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// serveConn runs one node connection: Hello/Welcome handshake, then the
+// event loop. The read deadline doubles as the liveness janitor — a node
+// whose heartbeats stop arriving times the read out and is evicted.
+func (c *Coordinator) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	first, err := ReadMessage(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := first.(*Hello)
+	if !ok {
+		conn.Close()
+		return
+	}
+
+	node := &meshNode{
+		name:     hello.Node,
+		capacity: max(hello.Capacity, 1),
+		conn:     conn,
+		inflight: map[uint64]*meshShard{},
+		lastBeat: time.Now(),
+		joined:   time.Now(),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if node.name == "" {
+		c.nameSeq++
+		node.name = fmt.Sprintf("node-%d", c.nameSeq)
+	}
+	base := node.name
+	for _, taken := c.nodes[node.name]; taken; _, taken = c.nodes[node.name] {
+		c.nameSeq++
+		node.name = fmt.Sprintf("%s-%d", base, c.nameSeq)
+	}
+	c.nodes[node.name] = node
+	c.mu.Unlock()
+	c.met.nodesJoined.Add(1)
+	c.cfg.Logf("icemesh: node %s joined (capacity %d) from %s", node.name, node.capacity, conn.RemoteAddr())
+
+	if err := node.send(&Welcome{Node: node.name, HeartbeatMS: uint64(c.cfg.Heartbeat / time.Millisecond)}); err != nil {
+		c.nodeLost(node, err)
+		return
+	}
+
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.NodeTimeout))
+		m, err := ReadMessage(br)
+		if err != nil {
+			c.nodeLost(node, err)
+			return
+		}
+		switch v := m.(type) {
+		case *Heartbeat:
+			c.mu.Lock()
+			node.lastBeat = time.Now()
+			c.mu.Unlock()
+		case *CellDone:
+			c.onCellDone(node, v)
+		case *ShardDone:
+			c.onShardDone(node, v)
+		case *Drain:
+			c.cfg.Logf("icemesh: node %s draining: %s", node.name, v.Reason)
+			c.mu.Lock()
+			node.draining = true
+			c.mu.Unlock()
+		default:
+			c.nodeLost(node, fmt.Errorf("icemesh: unexpected %T from node", m))
+			return
+		}
+	}
+}
+
+// RunRange implements fleet.Engine: shard [start, end) across the live
+// nodes, re-assigning on failure, and deliver every cell exactly once.
+func (c *Coordinator) RunRange(ctx context.Context, scenario string, p fleet.Params, start, end int, deliver func(fleet.Result)) error {
+	if end <= start {
+		return nil
+	}
+	c.met.jobs.Add(1)
+	job := &meshJob{
+		scenario: scenario, p: p, deliver: deliver,
+		base: start, seen: make([]bool, end-start),
+		done: make(chan struct{}),
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("icemesh: coordinator closed")
+	}
+	live := c.liveNodesLocked()
+	if len(live) == 0 {
+		c.mu.Unlock()
+		c.met.jobsFailed.Add(1)
+		return ErrNoNodes
+	}
+	// Contiguous shard plan: small enough ranges that every node gets
+	// several (headroom for re-balancing when one dies mid-job), capped
+	// at ShardCells so huge ensembles stream rather than lump.
+	size := (end - start + 2*len(live) - 1) / (2 * len(live))
+	if size < 1 {
+		size = 1
+	}
+	if size > c.cfg.ShardCells {
+		size = c.cfg.ShardCells
+	}
+	var sends []assignment
+	for lo := start; lo < end; lo += size {
+		hi := min(lo+size, end)
+		c.shardSeq++
+		sh := &meshShard{id: c.shardSeq, job: job, start: lo, end: hi}
+		c.shards[sh.id] = sh
+		job.pending++
+		if a, err := c.assignLocked(sh); err != nil {
+			job.finish(err)
+			break
+		} else {
+			sends = append(sends, a)
+		}
+	}
+	c.mu.Unlock()
+	c.flush(sends)
+
+	defer c.releaseJob(job)
+	select {
+	case <-job.done:
+		if job.failed != nil {
+			c.met.jobsFailed.Add(1)
+		}
+		return job.failed
+	case <-ctx.Done():
+		c.met.jobsFailed.Add(1)
+		c.mu.Lock()
+		job.finish(ctx.Err())
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// assignment pairs a planned send with its target, so socket writes can
+// happen outside the coordinator lock.
+type assignment struct {
+	node *meshNode
+	msg  *Assign
+}
+
+// assignLocked picks the least-loaded live node for the shard and
+// records the assignment; the caller sends after unlocking. Callers hold
+// c.mu.
+func (c *Coordinator) assignLocked(sh *meshShard) (assignment, error) {
+	// Least-loaded wins, capacity-weighted; ties go to the node that has
+	// served the fewest cells (spreading sequential small jobs across an
+	// idle mesh), then to name order. Placement never affects results —
+	// cells are pure functions of their index — so this is purely a
+	// throughput policy.
+	better := func(n, old *meshNode) bool {
+		nl, ol := len(n.inflight)*old.capacity, len(old.inflight)*n.capacity
+		if nl != ol {
+			return nl < ol
+		}
+		if n.cellsDone != old.cellsDone {
+			return n.cellsDone < old.cellsDone
+		}
+		return n.name < old.name
+	}
+	live := c.liveNodesLocked()
+	var target *meshNode
+	for _, n := range live {
+		if n == sh.node && len(live) > 1 {
+			continue // deadline re-assignment prefers a different LIVE node
+		}
+		if target == nil || better(n, target) {
+			target = n
+		}
+	}
+	if target == nil {
+		return assignment{}, ErrNoNodes
+	}
+	sh.node = target
+	target.inflight[sh.id] = sh
+	c.met.shardsAssigned.Add(1)
+	if c.cfg.ShardDeadline > 0 {
+		if sh.deadline != nil {
+			sh.deadline.Stop()
+		}
+		id, node := sh.id, target
+		sh.deadline = time.AfterFunc(c.cfg.ShardDeadline, func() { c.shardTimedOut(id, node) })
+	}
+	p := sh.job.p
+	return assignment{node: target, msg: &Assign{
+		Shard: sh.id, Scenario: sh.job.scenario,
+		Seed: p.Seed, Cells: p.Cells, Start: sh.start, End: sh.end,
+		Duration: p.Duration, Codec: p.WireCodec, Knobs: p.Knobs,
+	}}, nil
+}
+
+// flush performs the socket writes a locked planning step deferred. A
+// failed write evicts the node, which re-queues everything it held.
+func (c *Coordinator) flush(sends []assignment) {
+	for _, a := range sends {
+		if err := a.node.send(a.msg); err != nil {
+			c.nodeLost(a.node, err)
+		}
+	}
+}
+
+func (c *Coordinator) liveNodesLocked() []*meshNode {
+	out := make([]*meshNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.draining {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// onCellDone merges one delivered cell. Duplicates (a shard finished by
+// a node we had already presumed dead and re-assigned) are dropped:
+// both copies are byte-identical by the determinism contract, so first
+// wins. deliver runs under the coordinator lock, which serializes it
+// per coordinator and orders every delivery before the job's close.
+func (c *Coordinator) onCellDone(node *meshNode, m *CellDone) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.shards[m.Shard]
+	if !ok || sh.job.finished {
+		return
+	}
+	job := sh.job
+	i := m.Index - job.base
+	if i < 0 || i >= len(job.seen) || job.seen[i] {
+		return
+	}
+	job.seen[i] = true
+	node.cellsDone++
+	c.met.cellsDone.Add(1)
+	res := fleet.Result{
+		Cell:         fleet.Cell{Index: m.Index, Seed: m.Seed},
+		Events:       m.Events,
+		WireBytes:    m.WireBytes,
+		WireEncodeNS: m.WireEncodeNS,
+	}
+	if len(m.Metrics) > 0 {
+		res.Metrics = m.Metrics
+	}
+	if m.Err != "" {
+		res.Err = errors.New(m.Err)
+	}
+	job.deliver(res)
+}
+
+// onShardDone retires one assignment. A shard-level error is a
+// deterministic failure (unknown scenario, bad range) that would fail
+// identically anywhere — the job fails rather than retrying.
+func (c *Coordinator) onShardDone(node *meshNode, m *ShardDone) {
+	c.mu.Lock()
+	sh, ok := c.shards[m.Shard]
+	if !ok || sh.node != node {
+		c.mu.Unlock()
+		return // stale: the shard was re-assigned or the job is gone
+	}
+	delete(c.shards, sh.id)
+	delete(node.inflight, sh.id)
+	if sh.deadline != nil {
+		sh.deadline.Stop()
+	}
+	job := sh.job
+	if !job.finished {
+		if m.Err != "" {
+			job.finish(fmt.Errorf("icemesh: node %s shard [%d,%d): %s", node.name, sh.start, sh.end, m.Err))
+		} else if job.pending--; job.pending == 0 {
+			job.finish(nil)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// nodeLost evicts a node and re-queues every shard it held.
+func (c *Coordinator) nodeLost(node *meshNode, cause error) {
+	c.mu.Lock()
+	if c.nodes[node.name] != node {
+		c.mu.Unlock()
+		return // already evicted
+	}
+	delete(c.nodes, node.name)
+	c.met.nodesLost.Add(1)
+	c.cfg.Logf("icemesh: node %s lost: %v", node.name, cause)
+	orphans := make([]*meshShard, 0, len(node.inflight))
+	for _, sh := range node.inflight {
+		orphans = append(orphans, sh)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
+	sends := c.requeueLocked(orphans, fmt.Errorf("icemesh: node %s lost: %w", node.name, cause))
+	c.mu.Unlock()
+	node.conn.Close()
+	c.flush(sends)
+}
+
+// shardTimedOut re-assigns one shard that blew its deadline while its
+// node stayed otherwise alive (wedged, or just slower than the SLA).
+func (c *Coordinator) shardTimedOut(id uint64, node *meshNode) {
+	c.mu.Lock()
+	sh, ok := c.shards[id]
+	if !ok || sh.node != node || sh.job.finished {
+		c.mu.Unlock()
+		return
+	}
+	delete(node.inflight, sh.id)
+	c.cfg.Logf("icemesh: shard %d [%d,%d) deadline on node %s, re-assigning", sh.id, sh.start, sh.end, node.name)
+	sends := c.requeueLocked([]*meshShard{sh}, fmt.Errorf("icemesh: shard %d deadline exceeded on %s", id, node.name))
+	c.mu.Unlock()
+	c.flush(sends)
+}
+
+// requeueLocked re-assigns orphaned shards, failing their jobs once the
+// retry budget is spent or no nodes remain. Callers hold c.mu.
+func (c *Coordinator) requeueLocked(orphans []*meshShard, cause error) []assignment {
+	var sends []assignment
+	for _, sh := range orphans {
+		if sh.job.finished {
+			delete(c.shards, sh.id)
+			continue
+		}
+		sh.retries++
+		c.met.shardRetries.Add(1)
+		if sh.retries > c.cfg.MaxRetries {
+			sh.job.finish(fmt.Errorf("icemesh: shard [%d,%d) failed after %d attempts: %w", sh.start, sh.end, sh.retries, cause))
+			delete(c.shards, sh.id)
+			continue
+		}
+		a, err := c.assignLocked(sh)
+		if err != nil {
+			sh.job.finish(errors.Join(err, cause))
+			delete(c.shards, sh.id)
+			continue
+		}
+		sends = append(sends, a)
+	}
+	return sends
+}
+
+// releaseJob drops a finished job's remaining shard bookkeeping.
+func (c *Coordinator) releaseJob(job *meshJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, sh := range c.shards {
+		if sh.job != job {
+			continue
+		}
+		if sh.deadline != nil {
+			sh.deadline.Stop()
+		}
+		if sh.node != nil {
+			delete(sh.node.inflight, id)
+		}
+		delete(c.shards, id)
+	}
+}
+
+// MetricsText renders the mesh gauges in Prometheus text style; icegate
+// appends it to /metrics when the mesh is the serving backend.
+func (c *Coordinator) MetricsText() string {
+	var b strings.Builder
+	line := func(name string, v any) { fmt.Fprintf(&b, "icemesh_%s %v\n", name, v) }
+	c.mu.Lock()
+	type nodeStat struct {
+		name      string
+		capacity  int
+		inflight  int
+		cellsDone uint64
+		perSec    float64
+	}
+	stats := make([]nodeStat, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		up := time.Since(n.joined).Seconds()
+		perSec := 0.0
+		if up > 0 {
+			perSec = float64(n.cellsDone) / up
+		}
+		stats = append(stats, nodeStat{n.name, n.capacity, len(n.inflight), n.cellsDone, perSec})
+	}
+	liveNodes := len(c.nodes)
+	c.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].name < stats[j].name })
+
+	line("nodes_live", liveNodes)
+	line("nodes_joined_total", c.met.nodesJoined.Load())
+	line("nodes_lost_total", c.met.nodesLost.Load())
+	line("jobs_total", c.met.jobs.Load())
+	line("jobs_failed_total", c.met.jobsFailed.Load())
+	line("shards_assigned_total", c.met.shardsAssigned.Load())
+	line("shard_retries_total", c.met.shardRetries.Load())
+	line("cells_done_total", c.met.cellsDone.Load())
+	for _, s := range stats {
+		fmt.Fprintf(&b, "icemesh_node_capacity{node=%q} %d\n", s.name, s.capacity)
+		fmt.Fprintf(&b, "icemesh_node_inflight_shards{node=%q} %d\n", s.name, s.inflight)
+		fmt.Fprintf(&b, "icemesh_node_cells_total{node=%q} %d\n", s.name, s.cellsDone)
+		fmt.Fprintf(&b, "icemesh_node_cells_per_second{node=%q} %.2f\n", s.name, s.perSec)
+	}
+	return b.String()
+}

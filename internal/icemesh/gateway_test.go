@@ -1,0 +1,93 @@
+package icemesh
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/icegate"
+)
+
+// The acceptance criterion for the distribution layer: every icerun
+// table renders byte-identical whether its fleet cells run locally or
+// across a 2-node mesh. Fleet-backed experiments (F1, E6) actually fan
+// out; the rest exercise the fallback paths (hand-built specs and
+// non-fleet runners execute locally even with an engine installed) —
+// either way the bytes must not move.
+func TestAllTablesByteIdenticalLocalVsMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 14-table differential; skipped in -short")
+	}
+	coord, _ := startMesh(t, Config{}, 2, 2)
+
+	for _, id := range experiments.IDs() {
+		t.Run(id, func(t *testing.T) {
+			local, err := experiments.Run(id, experiments.Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("local: %v", err)
+			}
+			mesh, err := experiments.Run(id, experiments.Options{Workers: 2, Engine: coord})
+			if err != nil {
+				t.Fatalf("mesh: %v", err)
+			}
+			if local.String() != mesh.String() {
+				t.Fatalf("table %s differs across backends:\n--- local ---\n%s\n--- mesh ---\n%s",
+					id, local.String(), mesh.String())
+			}
+		})
+	}
+	if coord.met.cellsDone.Load() == 0 {
+		t.Fatal("mesh executed no cells; the differential compared local against local")
+	}
+}
+
+// The serving layer on a mesh backend: a scenario job's rendered table
+// is byte-identical to the local backend's, the per-cell stream carries
+// every cell, and /metrics reports the backend plus the mesh gauges.
+func TestGatewayMeshBackendByteIdenticalToLocal(t *testing.T) {
+	coord, _ := startMesh(t, Config{ShardCells: 2}, 2, 2)
+
+	localSched := icegate.NewScheduler(icegate.Config{QueueDepth: 4, Executors: 1, Workers: 4})
+	t.Cleanup(localSched.Close)
+	meshSched := icegate.NewScheduler(icegate.Config{QueueDepth: 4, Executors: 1, Workers: 4, Backend: coord})
+	t.Cleanup(meshSched.Close)
+
+	req := icegate.Request{Scenario: fleet.ScenarioXRayVentSync, Seed: 11, Cells: 5,
+		Knobs: map[string]float64{"requests": 4}}
+	run := func(s *icegate.Scheduler) string {
+		t.Helper()
+		job, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.Done()
+		table, ok := job.Table()
+		if !ok {
+			t.Fatalf("job ended %v: %+v", job.Status(), job.View())
+		}
+		if v := job.View(); v.CellsDone != req.Cells {
+			t.Fatalf("streamed %d cells, want %d", v.CellsDone, req.Cells)
+		}
+		return table
+	}
+
+	localTable := run(localSched)
+	meshTable := run(meshSched)
+	if localTable != meshTable {
+		t.Fatalf("gateway tables differ across backends:\n--- local ---\n%s\n--- mesh ---\n%s",
+			localTable, meshTable)
+	}
+
+	m := meshSched.MetricsText()
+	for _, want := range []string{
+		`icegate_backend{name="mesh"} 1`,
+		"icemesh_nodes_live 2",
+		"icemesh_cells_done_total",
+		`icemesh_node_cells_per_second{node="worker-a"}`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("mesh-backed /metrics missing %q:\n%s", want, m)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package icemesh
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// NodeConfig sizes one worker node.
+type NodeConfig struct {
+	Coordinator  string  // coordinator address (host:port)
+	Name         string  // advertised node name; "" lets the coordinator pick
+	Workers      int     // local fleet pool width, advertised as capacity; <=0 means 1
+	DialRetry    Backoff // re-dial policy (zero value = 100ms doubling to 5s)
+	DialAttempts int     // dial attempts before Run gives up; <=0 means 30
+	QueueDepth   int     // assignments accepted but not yet executing; <=0 means 64
+	Logf         func(format string, args ...any)
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 30
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Node is one worker: it registers with the coordinator, heartbeats,
+// executes assigned cell ranges on a local fleet pool, and streams each
+// cell's result back as it lands. Assignments execute one at a time —
+// each already fans out across the node's full worker pool — so the
+// advertised capacity is an honest measure of parallelism.
+type Node struct {
+	cfg NodeConfig
+
+	conn net.Conn
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu        sync.Mutex
+	name      string // coordinator-assigned name, set after Welcome
+	inflight  int    // assignments queued or executing
+	cellsDone uint64
+	draining  bool
+}
+
+// NewNode returns an unconnected node; Run connects and serves.
+func NewNode(cfg NodeConfig) *Node {
+	return &Node{cfg: cfg.withDefaults()}
+}
+
+// Name reports the coordinator-assigned node name ("" before Welcome).
+func (n *Node) Name() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.name
+}
+
+func (n *Node) send(m any) error {
+	n.wmu.Lock()
+	defer n.wmu.Unlock()
+	if n.conn == nil {
+		return errors.New("icemesh: node not connected")
+	}
+	_ = n.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	buf, err := WriteMessage(n.conn, n.wbuf, m)
+	n.wbuf = buf
+	return err
+}
+
+// Run dials the coordinator (with the shared backoff+jitter retry),
+// registers, and serves assignments until the connection drops or ctx
+// is cancelled. A cleanly drained shutdown (Drain, then cancel) returns
+// nil; anything else returns the terminating error.
+func (n *Node) Run(ctx context.Context) error {
+	var conn net.Conn
+	dial := func() error {
+		c, err := (&net.Dialer{Timeout: 3 * time.Second}).DialContext(ctx, "tcp", n.cfg.Coordinator)
+		if err == nil {
+			conn = c
+		}
+		return err
+	}
+	if err := Retry(ctx, n.cfg.DialAttempts, n.cfg.DialRetry, dial); err != nil {
+		return fmt.Errorf("icemesh: dialing coordinator %s: %w", n.cfg.Coordinator, err)
+	}
+	defer conn.Close()
+	n.wmu.Lock()
+	n.conn = conn
+	n.wmu.Unlock()
+
+	if err := n.send(&Hello{Node: n.cfg.Name, Capacity: n.cfg.Workers}); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	first, err := ReadMessage(br)
+	if err != nil {
+		return fmt.Errorf("icemesh: awaiting welcome: %w", err)
+	}
+	welcome, ok := first.(*Welcome)
+	if !ok {
+		return fmt.Errorf("icemesh: expected welcome, got %T", first)
+	}
+	n.mu.Lock()
+	n.name = welcome.Node
+	n.mu.Unlock()
+	beat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
+	if beat <= 0 {
+		beat = time.Second
+	}
+	n.cfg.Logf("icemesh: registered as %s (capacity %d, heartbeat %v)", welcome.Node, n.cfg.Workers, beat)
+
+	// connCtx scopes the helper goroutines to THIS connection: it ends
+	// when ctx does or when the read loop breaks, so a dropped connection
+	// stops the heartbeats and flushes the queue instead of wedging
+	// workers.Wait() — Run must return for the daemon to re-dial.
+	connCtx, connCancel := context.WithCancel(ctx)
+	defer connCancel()
+	// ctx cancellation unblocks the reader by closing the socket.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	queue := make(chan *Assign, n.cfg.QueueDepth)
+	var workers sync.WaitGroup
+	workers.Add(2)
+	go func() { // heartbeats, independent of execution
+		defer workers.Done()
+		t := time.NewTicker(beat)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				n.mu.Lock()
+				hb := &Heartbeat{Inflight: n.inflight, CellsDone: n.cellsDone}
+				n.mu.Unlock()
+				_ = n.send(hb)
+			case <-connCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() { // executor: one assignment at a time, full pool each
+		defer workers.Done()
+		for a := range queue {
+			n.execute(connCtx, a)
+			n.mu.Lock()
+			n.inflight--
+			n.mu.Unlock()
+		}
+	}()
+
+	var readErr error
+	for {
+		_ = conn.SetReadDeadline(time.Time{}) // liveness is the coordinator's side
+		m, err := ReadMessage(br)
+		if err != nil {
+			readErr = err
+			connCancel() // connection gone: release heartbeats, skip queued work
+			break
+		}
+		switch v := m.(type) {
+		case *Assign:
+			n.mu.Lock()
+			n.inflight++
+			n.mu.Unlock()
+			queue <- v
+		case *Drain:
+			n.cfg.Logf("icemesh: coordinator drain: %s", v.Reason)
+		default:
+			// Tolerate unknown-but-valid control messages.
+		}
+	}
+	close(queue)
+	workers.Wait()
+
+	if ctx.Err() != nil || n.isDraining() {
+		return nil // orderly shutdown
+	}
+	return readErr
+}
+
+// execute runs one assigned range and streams results back. Cell-level
+// failures ride their CellDone (matching local fleet semantics, where a
+// bad cell doesn't kill the ensemble); only range-level failures — an
+// unknown scenario, an impossible range — fail the shard.
+func (n *Node) execute(ctx context.Context, a *Assign) {
+	spec, err := fleet.Build(a.Scenario, fleet.Params{
+		Seed:      a.Seed,
+		Cells:     a.Cells,
+		Duration:  a.Duration,
+		WireCodec: a.Codec,
+		Knobs:     a.Knobs,
+	})
+	if err == nil && a.End > spec.Cells {
+		err = fmt.Errorf("range [%d,%d) outside rebuilt spec (%d cells)", a.Start, a.End, spec.Cells)
+	}
+	if err != nil {
+		_ = n.send(&ShardDone{Shard: a.Shard, Err: err.Error()})
+		return
+	}
+	_, _ = fleet.Runner{Workers: n.cfg.Workers}.RunRangeContext(ctx, spec, a.Start, a.End, func(r fleet.Result) {
+		cd := &CellDone{
+			Shard: a.Shard, Index: r.Cell.Index, Seed: r.Cell.Seed,
+			Events: r.Events, WireBytes: r.WireBytes, WireEncodeNS: r.WireEncodeNS,
+			Metrics: r.Metrics,
+		}
+		if r.Err != nil {
+			cd.Err = r.Err.Error()
+		}
+		_ = n.send(cd)
+		n.mu.Lock()
+		n.cellsDone++
+		n.mu.Unlock()
+	})
+	_ = n.send(&ShardDone{Shard: a.Shard})
+}
+
+func (n *Node) isDraining() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.draining
+}
+
+// Drain is the node's graceful-shutdown handshake: announce the drain
+// (the coordinator assigns nothing more), finish everything queued and
+// executing, and return once idle — or with ctx's error at the
+// deadline, leaving stragglers to the coordinator's re-assignment.
+func (n *Node) Drain(ctx context.Context) error {
+	n.mu.Lock()
+	already := n.draining
+	n.draining = true
+	n.mu.Unlock()
+	if !already {
+		_ = n.send(&Drain{Reason: "node draining"})
+	}
+	for {
+		n.mu.Lock()
+		idle := n.inflight == 0
+		n.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("icemesh: drain deadline: %w", ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

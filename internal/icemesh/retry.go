@@ -1,0 +1,62 @@
+package icemesh
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff is the mesh's shared retry policy: exponential growth from
+// Base toward Max with full jitter (each delay is drawn uniformly from
+// [d/2, d]), so a fleet of clients re-dialing a restarted coordinator
+// spreads out instead of stampeding. The zero value is a sane default
+// (100ms doubling to a 5s ceiling). Node dialing, the icerun -remote
+// client, and anything else that talks to a daemon share this one
+// policy instead of growing private ones.
+type Backoff struct {
+	Base time.Duration // first delay; <=0 means 100ms
+	Max  time.Duration // delay ceiling; <=0 means 5s
+}
+
+// Delay returns the jittered pause before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// Retry runs op until it succeeds, the context is done, or attempts are
+// exhausted (attempts <= 0 retries forever). The returned error is op's
+// last failure, joined with the context's when the wait was cut short.
+func Retry(ctx context.Context, attempts int, b Backoff, op func() error) error {
+	var err error
+	for i := 0; attempts <= 0 || i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempts > 0 && i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.Delay(i))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(err, ctx.Err())
+		}
+	}
+	return err
+}

@@ -1,0 +1,66 @@
+package icemesh
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Delay grows exponentially from Base, never exceeds Max, and jitters
+// within [d/2, d] — the full-jitter contract that keeps re-dialing
+// clients from stampeding.
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		want := min(100*time.Millisecond<<attempt, time.Second)
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// The zero value defaults sanely.
+	if d := (Backoff{}).Delay(0); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("zero-value delay %v outside [50ms, 100ms]", d)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 5, Backoff{Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), 4, Backoff{Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Fatalf("err = %v after %d calls, want boom after 4", err, calls)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := Retry(ctx, 0 /* unlimited */, Backoff{Base: time.Hour, Max: time.Hour}, func() error {
+		cancel() // fail once, then the backoff wait must be cut short
+		return boom
+	})
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want boom joined with context.Canceled", err)
+	}
+}

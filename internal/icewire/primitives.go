@@ -1,0 +1,65 @@
+package icewire
+
+import "encoding/binary"
+
+// Exported frame primitives. The ICE envelope codec and the icemesh RPC
+// protocol share one low-level encoding — minimal-form LEB128 varints,
+// uvarint-length-prefixed byte fields, fixed 8-byte IEEE-754 floats,
+// strict 0/1 bools — so sibling wire formats inherit the same canonical-
+// form and never-panic guarantees instead of re-deriving them. The
+// append side composes encoding/binary's AppendUvarint with the helpers
+// below; the decode side is Reader, the bounds-checked cursor the fuzz
+// targets certify.
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte { return appendString(dst, s) }
+
+// AppendBytes appends a uvarint-length-prefixed byte field.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendFloat appends a float64 as its IEEE-754 bits, little-endian.
+func AppendFloat(dst []byte, f float64) []byte { return appendFloat(dst, f) }
+
+// AppendBool appends a bool as one strict 0/1 byte.
+func AppendBool(dst []byte, b bool) []byte { return appendBool(dst, b) }
+
+// Reader is a bounds-checked cursor over one frame. Every read reports
+// failure instead of panicking — the property that lets decoders built
+// on it assert "never panics on arbitrary bytes" — and varint reads
+// reject non-minimal encodings, so every accepted value has exactly one
+// wire form.
+type Reader struct{ r reader }
+
+// NewReader returns a cursor over data, positioned at offset 0.
+func NewReader(data []byte) *Reader { return &Reader{r: reader{data: data}} }
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, error) { return r.r.byte() }
+
+// Uvarint reads one minimal-form LEB128 varint.
+func (r *Reader) Uvarint() (uint64, error) { return r.r.uvarint() }
+
+// Bytes reads a uvarint-length-prefixed field as a subslice of the
+// frame — no copy; the result is valid as long as the input buffer is.
+func (r *Reader) Bytes() ([]byte, error) { return r.r.bytes() }
+
+// String reads a uvarint-length-prefixed field as a freshly allocated
+// string.
+func (r *Reader) String() (string, error) {
+	b, err := r.r.bytes()
+	return string(b), err
+}
+
+// Float reads a fixed 8-byte little-endian IEEE-754 float64.
+func (r *Reader) Float() (float64, error) { return r.r.float() }
+
+// Bool reads one byte, accepting only the strict 0/1 encodings.
+func (r *Reader) Bool() (bool, error) { return r.r.bool() }
+
+// Rest reports how many bytes remain unread. Decoders reject frames
+// with Rest != 0 after the last field, so trailing garbage never rides
+// along on an accepted frame.
+func (r *Reader) Rest() int { return r.r.rest() }
