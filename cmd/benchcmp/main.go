@@ -1,0 +1,197 @@
+// Command benchcmp compares two benchmark trajectory files
+// (BENCH_*.json, written by cmd/benchjson) and fails when the newer one
+// regresses. It is the CI perf gate:
+//
+//	go run ./cmd/benchcmp -old BENCH_pr5.json -new BENCH_pr6.json
+//
+// Every numeric metric is classified by its path:
+//
+//   - *_frame_bytes: deterministic encoder output. Gated exactly — any
+//     growth is a real wire-format regression, never noise.
+//   - *_per_s / *per_s_*: throughput, higher is better. Gated with a
+//     per-metric tolerance band: interleaved A/B runs of identical
+//     binaries on the benchmark machines swing ±10-20% run to run (see
+//     DESIGN.md "Reading the benchmarks"), so bands are sized to catch
+//     structural regressions, not scheduler weather. End-to-end paths
+//     (gateway, mesh) get wider bands than microbenchmarks.
+//   - speedup / scaling ratios and configuration echoes (cells, workers,
+//     ...): informational, printed but never gated.
+//
+// A throughput metric present in -old but missing from -new fails the
+// gate: silently dropping a measurement is how the last regression went
+// unnoticed. New metrics in -new are fine (the trajectory grows).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// tolerances maps metric paths to their relative regression band. The
+// fallthrough default (-tol) covers paths not listed here. Bands are
+// deliberately wider than one standard machine-noise swing: the gate
+// exists to catch the 2x cliff nobody noticed, and a band that cries
+// wolf on scheduler noise gets deleted within three PRs.
+var tolerances = map[string]float64{
+	"gateway.jobs_per_s":        0.45, // e2e: HTTP + scheduler + fleet, noisiest
+	"gateway.cells_per_s":       0.45,
+	"gateway.cached_jobs_per_s": 0.45,
+	"mesh.cells_per_s_1node":    0.45, // e2e: TCP RPC + node runtimes
+	"mesh.cells_per_s_2node":    0.45,
+	"fleet.cells_per_s":         0.35, // parallel pool on a shared machine
+	"fleet.events_per_s":        0.35,
+	"fleet.cells_per_s_w1":      0.35,
+	"fleet.cells_per_s_w4":      0.35,
+	"fleet.cells_per_s_w8":      0.35,
+	"fleet.cells_per_s_noproto": 0.35,
+}
+
+type metric struct {
+	old, new float64
+	hasOld   bool
+	hasNew   bool
+}
+
+// flatten walks a decoded JSON tree collecting numeric leaves under
+// dotted paths.
+func flatten(prefix string, v any, into map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, into)
+		}
+	case float64:
+		into[prefix] = t
+	}
+}
+
+func class(path string) string {
+	base := path[strings.LastIndexByte(path, '.')+1:]
+	switch {
+	case strings.HasSuffix(base, "_frame_bytes"):
+		return "bytes"
+	case strings.Contains(base, "per_s"):
+		return "throughput"
+	default:
+		return "info"
+	}
+}
+
+// compare renders the comparison table and returns the number of gated
+// regressions. defaultTol is the band for throughput metrics without an
+// entry in tolerances.
+func compare(oldDoc, newDoc []byte, defaultTol float64) (string, int) {
+	var oldV, newV any
+	if err := json.Unmarshal(oldDoc, &oldV); err != nil {
+		return fmt.Sprintf("benchcmp: bad -old JSON: %v\n", err), 1
+	}
+	if err := json.Unmarshal(newDoc, &newV); err != nil {
+		return fmt.Sprintf("benchcmp: bad -new JSON: %v\n", err), 1
+	}
+	oldM := map[string]float64{}
+	newM := map[string]float64{}
+	flatten("", oldV, oldM)
+	flatten("", newV, newM)
+
+	merged := map[string]*metric{}
+	for k, v := range oldM {
+		merged[k] = &metric{old: v, hasOld: true}
+	}
+	for k, v := range newM {
+		m, ok := merged[k]
+		if !ok {
+			m = &metric{}
+			merged[k] = m
+		}
+		m.new, m.hasNew = v, true
+	}
+	paths := make([]string, 0, len(merged))
+	for k := range merged {
+		paths = append(paths, k)
+	}
+	sort.Strings(paths)
+
+	var b strings.Builder
+	regressions := 0
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s  %s\n", "metric", "old", "new", "delta", "verdict")
+	for _, p := range paths {
+		m := merged[p]
+		c := class(p)
+		switch {
+		case !m.hasNew:
+			if c == "throughput" || c == "bytes" {
+				regressions++
+				fmt.Fprintf(&b, "%-34s %14.6g %14s %8s  FAIL (metric dropped)\n", p, m.old, "-", "-")
+			} else {
+				fmt.Fprintf(&b, "%-34s %14.6g %14s %8s  dropped (info)\n", p, m.old, "-", "-")
+			}
+			continue
+		case !m.hasOld:
+			fmt.Fprintf(&b, "%-34s %14s %14.6g %8s  new\n", p, "-", m.new, "-")
+			continue
+		}
+		delta := 0.0
+		if m.old != 0 {
+			delta = (m.new - m.old) / m.old
+		}
+		switch c {
+		case "bytes":
+			if m.new > m.old {
+				regressions++
+				fmt.Fprintf(&b, "%-34s %14.6g %14.6g %+7.1f%%  FAIL (frame grew; encoding is deterministic)\n", p, m.old, m.new, 100*delta)
+			} else {
+				fmt.Fprintf(&b, "%-34s %14.6g %14.6g %+7.1f%%  ok (exact)\n", p, m.old, m.new, 100*delta)
+			}
+		case "throughput":
+			tol, ok := tolerances[p]
+			if !ok {
+				tol = defaultTol
+			}
+			if m.new < m.old*(1-tol) {
+				regressions++
+				fmt.Fprintf(&b, "%-34s %14.6g %14.6g %+7.1f%%  FAIL (band -%.0f%%)\n", p, m.old, m.new, 100*delta, 100*tol)
+			} else {
+				fmt.Fprintf(&b, "%-34s %14.6g %14.6g %+7.1f%%  ok (band -%.0f%%)\n", p, m.old, m.new, 100*delta, 100*tol)
+			}
+		default:
+			fmt.Fprintf(&b, "%-34s %14.6g %14.6g %8s  info\n", p, m.old, m.new, "-")
+		}
+	}
+	return b.String(), regressions
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_*.json")
+	newPath := flag.String("new", "", "candidate BENCH_*.json")
+	tol := flag.Float64("tol", 0.30, "default relative regression band for throughput metrics without a per-metric entry")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: need -old and -new")
+		os.Exit(2)
+	}
+	oldDoc, err := os.ReadFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newDoc, err := os.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	table, regressions := compare(oldDoc, newDoc, *tol)
+	fmt.Print(table)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond tolerance\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: within tolerance")
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareGatesThroughputRegression(t *testing.T) {
+	oldDoc := []byte(`{"wire":{"binary_envelopes_per_s":1000000,"binary_frame_bytes":60}}`)
+	newDoc := []byte(`{"wire":{"binary_envelopes_per_s":500000,"binary_frame_bytes":60}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("missing FAIL verdict:\n%s", out)
+	}
+}
+
+func TestCompareToleratesNoise(t *testing.T) {
+	oldDoc := []byte(`{"fleet":{"cells_per_s":62.0},"kernel":{"arena_events_per_s":12500000}}`)
+	newDoc := []byte(`{"fleet":{"cells_per_s":55.0},"kernel":{"arena_events_per_s":11000000}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 0 {
+		t.Fatalf("noise-sized dips should pass, got %d regressions:\n%s", n, out)
+	}
+}
+
+func TestCompareFrameBytesExact(t *testing.T) {
+	oldDoc := []byte(`{"wire":{"binary_frame_bytes":60}}`)
+	newDoc := []byte(`{"wire":{"binary_frame_bytes":61}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 1 {
+		t.Fatalf("one grown byte must fail (deterministic encoder), got %d:\n%s", n, out)
+	}
+}
+
+func TestCompareDroppedMetricFails(t *testing.T) {
+	oldDoc := []byte(`{"fleet":{"cells_per_s":62.0}}`)
+	newDoc := []byte(`{"fleet":{}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 1 {
+		t.Fatalf("dropping a gated metric must fail, got %d:\n%s", n, out)
+	}
+}
+
+func TestCompareNewMetricsAndRatiosInformational(t *testing.T) {
+	oldDoc := []byte(`{"kernel":{"speedup":3.0}}`)
+	newDoc := []byte(`{"kernel":{"speedup":1.5},"mesh":{"scaling":0.9,"cells_per_s_1node":50}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 0 {
+		t.Fatalf("ratios are informational and new metrics are welcome, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("new metric not marked:\n%s", out)
+	}
+}

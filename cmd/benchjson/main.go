@@ -16,8 +16,12 @@
 //	wire.speedup                   binary / json (BenchmarkEnvelopeCodec's headline)
 //	fleet.cells_per_s              PCA ensemble throughput at the configured width
 //	fleet.events_per_s             kernel events/s aggregated across those cells
-//	gateway.jobs_per_s             icegate jobs submitted→done (uncached, in-process)
-//	gateway.cells_per_s            scenario cells/s through the gateway
+//	fleet.cells_per_s_noproto      the same fleet with prototype cloning disabled
+//	fleet.proto_speedup            cells_per_s / cells_per_s_noproto
+//	fleet.cells_per_s_w{1,4,8}     the worker-scaling axis (prototype on)
+//	gateway.jobs_per_s             icegate jobs submitted→done (cold: unique seeds)
+//	gateway.cells_per_s            scenario cells/s through the gateway (cold)
+//	gateway.cached_jobs_per_s      repeat-seed jobs served from the result cache
 //	mesh.cells_per_s_1node         the same ensemble through an icemesh cluster
 //	mesh.cells_per_s_2node         (coordinator + N node runtimes over localhost TCP)
 //	mesh.scaling                   2-node / 1-node
@@ -83,6 +87,10 @@ type gatewayReport struct {
 	Cells     int     `json:"cells_per_job"`
 	JobsPerS  float64 `json:"jobs_per_s"`
 	CellsPerS float64 `json:"cells_per_s"`
+	// CachedJobsPerS resubmits an already-computed request: the
+	// deterministic result cache answers without running a cell, so this
+	// measures pure serving overhead (scheduler + cache + render path).
+	CachedJobsPerS float64 `json:"cached_jobs_per_s"`
 }
 
 type fleetReport struct {
@@ -91,6 +99,15 @@ type fleetReport struct {
 	Workers    int     `json:"workers"`
 	CellsPerS  float64 `json:"cells_per_s"`
 	EventsPerS float64 `json:"events_per_s"`
+	// CellsPerSNoProto runs the identical fleet with prototype cloning
+	// disabled (every cell constructed from scratch); ProtoSpeedup is
+	// the on/off ratio. The worker axis (prototype on) tracks pool
+	// scaling on the benchmark machine.
+	CellsPerSNoProto float64 `json:"cells_per_s_noproto"`
+	ProtoSpeedup     float64 `json:"proto_speedup"`
+	CellsPerSW1      float64 `json:"cells_per_s_w1"`
+	CellsPerSW4      float64 `json:"cells_per_s_w4"`
+	CellsPerSW8      float64 `json:"cells_per_s_w8"`
 }
 
 // benchKernel times steady-state schedule+dispatch over a standing queue
@@ -156,7 +173,16 @@ func benchWire(n int, codec icewire.Codec) (perS float64, frameBytes int) {
 			panic(err)
 		}
 	}
-	return float64(n) / time.Since(start).Seconds(), len(buf)
+	perS = float64(n) / time.Since(start).Seconds()
+	// Frame size is reported for a canonical envelope with a fixed
+	// sequence number: cmd/benchcmp gates *_frame_bytes exactly, and the
+	// JSON codec encodes seq in decimal digits, so measuring the last
+	// loop frame would make the metric depend on the workload size.
+	canon, err := codec.AppendEnvelope(nil, icewire.MsgPublish, "ox1", "ice-manager", 4242, 5*sim.Second, &datum)
+	if err != nil {
+		panic(err)
+	}
+	return perS, len(canon)
 }
 
 // benchGateway drives the icegate scheduler in-process: jobs seeds vary
@@ -187,21 +213,32 @@ func benchGateway(jobs, cells, workers int) (gatewayReport, error) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	return gatewayReport{
+	rep := gatewayReport{
 		Jobs: jobs, Cells: cells,
 		JobsPerS:  float64(jobs) / elapsed,
 		CellsPerS: float64(jobs*cells) / elapsed,
-	}, nil
+	}
+	// Cached axis: resubmit the warm seed; the result cache answers
+	// without simulating, so cheap to sample many times.
+	const cachedJobs = 50
+	start = time.Now()
+	for i := 0; i < cachedJobs; i++ {
+		if err := run(999); err != nil {
+			return gatewayReport{}, err
+		}
+	}
+	rep.CachedJobsPerS = float64(cachedJobs) / time.Since(start).Seconds()
+	return rep, nil
 }
 
-func benchFleet(cells, workers int) (cellsPerS, eventsPerS float64, err error) {
+func benchFleet(cells, workers int, noProto bool) (cellsPerS, eventsPerS float64, err error) {
 	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
 		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
 	})
 	if err != nil {
 		return 0, 0, err
 	}
-	runner := fleet.Runner{Workers: workers}
+	runner := fleet.Runner{Workers: workers, NoPrototype: noProto}
 	if _, err := runner.Run(spec); err != nil { // warm (build caches, page in)
 		return 0, 0, err
 	}
@@ -277,10 +314,24 @@ func main() {
 	reference := benchKernel(*kernelOps, true)
 	binPerS, binBytes := benchWire(*envelopes, icewire.NewBinary())
 	jsonPerS, jsonBytes := benchWire(max(*envelopes/20, 1), icewire.NewJSON())
-	cellsPerS, eventsPerS, err := benchFleet(*cells, *workers)
+	cellsPerS, eventsPerS, err := benchFleet(*cells, *workers, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	noProtoPerS, _, err := benchFleet(*cells, *workers, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	workerAxis := map[int]float64{}
+	for _, w := range []int{1, 4, 8} {
+		perS, _, err := benchFleet(*cells, w, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		workerAxis[w] = perS
 	}
 	gw, err := benchGateway(*gwJobs, *cells, *workers)
 	if err != nil {
@@ -299,7 +350,7 @@ func main() {
 		os.Exit(1)
 	}
 	r := report{
-		PR: "pr5-icemesh",
+		PR: "pr6-prototype",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
@@ -316,6 +367,8 @@ func main() {
 		Fleet: fleetReport{
 			Scenario: fleet.ScenarioPCASupervised, Cells: *cells, Workers: *workers,
 			CellsPerS: cellsPerS, EventsPerS: eventsPerS,
+			CellsPerSNoProto: noProtoPerS, ProtoSpeedup: cellsPerS / noProtoPerS,
+			CellsPerSW1: workerAxis[1], CellsPerSW4: workerAxis[4], CellsPerSW8: workerAxis[8],
 		},
 		Gateway: gw,
 		Mesh: meshReport{

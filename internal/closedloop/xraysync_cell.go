@@ -82,11 +82,34 @@ func (o XRaySyncOutcome) Metrics() map[string]float64 {
 	}
 }
 
-// RunXRaySyncScenario builds the rig from cfg, runs the imaging session
-// to its horizon, and scores it. Construction order (and hence RNG fork
-// order) is fixed: experiments.E2 sweeps this exact function, and its
-// tables are bit-for-bit regression fixtures.
-func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
+// XRaySyncScenario is the assembled Section II.b rig, built once and —
+// for prototype cloning — rewound per cell by Reset.
+type XRaySyncScenario struct {
+	cfg XRaySyncScenarioConfig
+
+	K       *sim.Kernel
+	Net     *mednet.Network
+	Mgr     *core.Manager
+	Wire    core.Codec
+	Patient *physio.Patient
+	Vent    *device.Ventilator
+	XRay    *device.XRay
+	Ward    *device.Ward
+	Sync    *XRaySync
+	Trace   *sim.Trace
+
+	rootRNG    *sim.RNG
+	netRNG     *sim.RNG
+	patientRNG *sim.RNG
+	ws0        core.CodecStats // zero after build; set per cell by Reset
+}
+
+// BuildXRaySyncScenario constructs (but does not run) the rig.
+// Construction order (and hence RNG fork order) is fixed:
+// experiments.E2 sweeps this rig, and its tables are bit-for-bit
+// regression fixtures. As with BuildPCAScenario, Reset replays this
+// sequence, so changes here must be mirrored there.
+func BuildXRaySyncScenario(cfg XRaySyncScenarioConfig) (*XRaySyncScenario, error) {
 	if cfg.Requests == 0 {
 		cfg.Requests = 24
 	}
@@ -96,12 +119,14 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 
 	k := sim.NewKernel()
 	rng := sim.NewRNG(cfg.Seed)
-	net := mednet.MustNew(k, rng.Fork("net"), cfg.Link)
+	netRNG := rng.Fork("net")
+	net := mednet.MustNew(k, netRNG, cfg.Link)
 	wire := core.MustNewCodec(cfg.WireCodec)
 	mgrCfg := core.DefaultManagerConfig()
 	mgrCfg.Codec = wire
 	mgr := core.MustNewManager(k, net, mgrCfg)
-	patient := physio.DefaultPatient(rng.Fork("patient"))
+	patientRNG := rng.Fork("patient")
+	patient := physio.DefaultPatient(patientRNG)
 
 	vent := device.MustNewVentilator(k, net, cfg.Sync.VentilatorID, physio.DefaultBreathCycle(), patient, core.ConnectConfig{Codec: wire})
 	xray := device.MustNewXRay(k, net, cfg.Sync.XRayID, vent, core.ConnectConfig{Codec: wire})
@@ -115,35 +140,114 @@ func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
 
 	sync, err := NewXRaySync(k, mgr, cfg.Sync)
 	if err != nil {
-		return XRaySyncOutcome{}, err
+		return nil, err
 	}
 
 	for i := 0; i < cfg.Requests; i++ {
 		at := 10*sim.Second + sim.Time(i)*cfg.Spacing
 		k.AtFunc(at, runRequestImage, sync)
 	}
-	horizon := 10*sim.Second + sim.Time(cfg.Requests+6)*cfg.Spacing
-	if err := k.Run(horizon); err != nil {
+	return &XRaySyncScenario{
+		cfg: cfg, K: k, Net: net, Mgr: mgr, Wire: wire, Patient: patient,
+		Vent: vent, XRay: xray, Ward: ward, Sync: sync, Trace: tr,
+		rootRNG: rng, netRNG: netRNG, patientRNG: patientRNG,
+	}, nil
+}
+
+// Reset rewinds the rig to the just-built state for a new cell seeded
+// with seed, recording into trace (nil keeps the current trace, which
+// the caller must have Reset). The replay mirrors BuildXRaySyncScenario
+// exactly — same fork order, same scheduling order — so sequence
+// numbers and outputs match a fresh build.
+func (sc *XRaySyncScenario) Reset(seed int64, trace *sim.Trace) {
+	sc.K.Reset()
+	sc.rootRNG.Reseed(seed)
+	sc.netRNG.Reseed(sc.rootRNG.ForkSeed("net"))
+	sc.Net.Reset()
+	sc.ws0 = sc.Wire.Stats() // before re-announce traffic: deltas span exactly one cell
+	sc.Mgr.Reset()           // sweeper: first scheduled event, as at build
+	sc.patientRNG.Reseed(sc.rootRNG.ForkSeed("patient"))
+	sc.Patient.Reset()
+	sc.Vent.Reset() // re-announce + telemetry, in NewVentilator order
+	sc.XRay.Reset()
+	if trace != nil {
+		sc.Trace = trace
+		sc.Ward.Trace = trace
+	}
+	sc.Ward.Reset()
+	sc.Sync.Reset()
+	for i := 0; i < sc.cfg.Requests; i++ {
+		at := 10*sim.Second + sim.Time(i)*sc.cfg.Spacing
+		sc.K.AtFunc(at, runRequestImage, sc.Sync)
+	}
+}
+
+// run executes the session to its horizon and scores it. Wire stats are
+// reported relative to the last Reset baseline; after a fresh build the
+// baseline is zero, so the from-scratch view is unchanged.
+func (sc *XRaySyncScenario) run() (XRaySyncOutcome, error) {
+	horizon := 10*sim.Second + sim.Time(sc.cfg.Requests+6)*sc.cfg.Spacing
+	if err := sc.K.Run(horizon); err != nil {
 		return XRaySyncOutcome{}, err
 	}
 
-	ws := wire.Stats()
+	ws := sc.Wire.Stats()
 	out := XRaySyncOutcome{
-		Sharp: xray.Sharp, Blurred: xray.Blurred, Deferred: sync.Deferred,
-		ResumeFailures: sync.ResumeFailures,
-		MinSpO2:        tr.Stats("true/spo2").Min,
-		KernelEvents:   k.Executed(),
-		WireBytes:      ws.Bytes,
-		WireEncodeNS:   ws.EncodeNS,
+		Sharp: sc.XRay.Sharp, Blurred: sc.XRay.Blurred, Deferred: sc.Sync.Deferred,
+		ResumeFailures: sc.Sync.ResumeFailures,
+		MinSpO2:        sc.Trace.Stats("true/spo2").Min,
+		KernelEvents:   sc.K.Executed(),
+		WireBytes:      ws.Bytes - sc.ws0.Bytes,
+		WireEncodeNS:   ws.EncodeNS - sc.ws0.EncodeNS,
 	}
 	// Unventilated time: integrate the recorded mechanical-support series.
-	ev := tr.Series("true/extvent")
+	ev := sc.Trace.Series("true/extvent")
 	for i := 0; i+1 < len(ev); i++ {
 		if ev[i].V < 0.5 {
 			out.UnventilatedSeconds += (ev[i+1].T - ev[i].T).Seconds()
 		}
 	}
 	return out, nil
+}
+
+// RunXRaySyncScenario builds the rig from cfg, runs the imaging session
+// to its horizon, and scores it — the from-scratch path, unchanged in
+// behavior from when it built inline.
+func RunXRaySyncScenario(cfg XRaySyncScenarioConfig) (XRaySyncOutcome, error) {
+	sc, err := BuildXRaySyncScenario(cfg)
+	if err != nil {
+		return XRaySyncOutcome{}, err
+	}
+	return sc.run()
+}
+
+// XRaySyncCellRig is the prototype behind fleet cloning for imaging
+// cells: one built rig, stamped per cell by Reset.
+type XRaySyncCellRig struct {
+	sc *XRaySyncScenario
+}
+
+// NewXRaySyncCellRig builds the prototype once from cfg, or returns nil
+// when the config cannot build (callers fall back to from-scratch
+// construction, which reports the error per cell).
+func NewXRaySyncCellRig(cfg XRaySyncScenarioConfig) *XRaySyncCellRig {
+	cfg.Trace = nil // per-cell traces arrive through RunCell
+	sc, err := BuildXRaySyncScenario(cfg)
+	if err != nil {
+		return nil
+	}
+	return &XRaySyncCellRig{sc: sc}
+}
+
+// RunCell stamps one cell from the prototype — byte-identical metrics
+// to RunXRaySyncCell on the same config and seed.
+func (r *XRaySyncCellRig) RunCell(seed int64, trace *sim.Trace) (map[string]float64, error) {
+	r.sc.Reset(seed, trace)
+	out, err := r.sc.run()
+	if err != nil {
+		return nil, err
+	}
+	return out.Metrics(), nil
 }
 
 // RunXRaySyncCell is RunXRaySyncScenario in fleet-cell shape: a plain

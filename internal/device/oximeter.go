@@ -78,6 +78,20 @@ func MustNewOximeter(k *sim.Kernel, net *mednet.Network, id string, patient *phy
 // Conn exposes the ICE connection.
 func (o *Oximeter) Conn() *core.DeviceConn { return o.conn }
 
+// Reset returns the oximeter to its just-connected state for a
+// prototype clone: the ICE connection re-announces, the synthesizer and
+// estimator clear, counters zero, and the window ticker re-arms —
+// NewOximeter's scheduling order, replayed. The probe RNG is owned and
+// reseeded by the rig.
+func (o *Oximeter) Reset() {
+	o.conn.Reset()
+	o.synth.Reset()
+	o.est.Reset()
+	o.Estimates = 0
+	o.InvalidEstimates = 0
+	o.tick.Reset()
+}
+
 // InjectMotion corrupts the probe signal with motion artifact for d.
 func (o *Oximeter) InjectMotion(d sim.Time, gain float64) {
 	o.synth.InjectMotion(o.k.Now(), d, gain)

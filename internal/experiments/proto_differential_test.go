@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestDifferentialPrototypeCloning renders every catalog experiment —
+// the full set of icerun tables — with prototype cloning globally
+// disabled and again with it enabled, and holds each table
+// byte-identical. This is the tentpole's end-to-end gate: the
+// Reset-replay rigs must be indistinguishable from from-scratch
+// construction at the level users actually consume, the rendered
+// tables. Fleet-backed experiments run with a multi-worker pool so the
+// per-worker prototype caches are exercised, not just a single rig.
+func TestDifferentialPrototypeCloning(t *testing.T) {
+	defer fleet.SetPrototypesForTest(true)
+	opt := Options{Seed: 1, Cells: 2, Workers: 2}
+	for _, id := range IDs() {
+		fleet.SetPrototypesForTest(false)
+		scratch, err := Run(id, opt)
+		if err != nil {
+			t.Fatalf("%s from-scratch: %v", id, err)
+		}
+		fleet.SetPrototypesForTest(true)
+		cloned, err := Run(id, opt)
+		if err != nil {
+			t.Fatalf("%s cloned: %v", id, err)
+		}
+		if cloned.String() != scratch.String() {
+			t.Errorf("%s: prototype cloning changed the table\ncloned:\n%s\nfrom-scratch:\n%s",
+				id, cloned.String(), scratch.String())
+		}
+	}
+}

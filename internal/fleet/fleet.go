@@ -22,10 +22,21 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/closedloop"
 	"repro/internal/sim"
 )
+
+// prototypesDisabled globally gates prototype cloning (in addition to
+// the per-Runner NoPrototype switch). The differential suite flips it
+// to render whole experiment catalogs — whose runners the caller cannot
+// reach — with and without cloning and hold the outputs byte-identical.
+var prototypesDisabled atomic.Bool
+
+// SetPrototypesForTest globally enables or disables prototype cloning.
+// Tests only; not safe to flip while a fleet is running.
+func SetPrototypesForTest(enabled bool) { prototypesDisabled.Store(!enabled) }
 
 // Metrics is the named numeric outcome of one cell. Cell bodies outside
 // this package return plain map[string]float64 (assignable to Metrics) so
@@ -81,6 +92,12 @@ func (c Cell) Trace() *sim.Trace {
 // cells and cannot perturb determinism.
 type Scratch struct {
 	tr *sim.Trace
+
+	// protos caches one constructed prototype rig per spec (keyed by the
+	// spec's position in the worker's job set). A rig is built on the
+	// worker's first cell of a spec and stamps every later cell by
+	// Clone — construction cost is paid once per worker, not per cell.
+	protos map[int]Proto
 }
 
 func (s *Scratch) trace() *sim.Trace {
@@ -102,6 +119,23 @@ func (s *Scratch) reset() {
 // not share mutable state with other cells.
 type CellFunc func(c Cell) (Metrics, error)
 
+// Proto is a reusable cell prototype: one fully constructed scenario rig
+// that stamps out cells by resetting its kernel and reseeding its RNG
+// substreams instead of rebuilding patient, devices, network, and
+// manager from scratch. A Proto belongs to one worker goroutine (it
+// lives in that worker's Scratch), so it needs no locking.
+//
+// The contract is byte identity: Clone(c) must return exactly the
+// metrics Spec.Run(c) would, for any cell, in any order — the
+// differential suite holds every opted-in scenario to it. Factories
+// meet the bar by replaying their construction-time scheduling calls in
+// the original order after sim.Kernel.Reset, which reproduces the
+// original event sequence numbers and therefore the original execution
+// order (see DESIGN.md "Prototype cloning").
+type Proto interface {
+	Clone(c Cell) (Metrics, error)
+}
+
 // Spec describes one ensemble: how many cells, how they are seeded, and
 // how each is built and run.
 type Spec struct {
@@ -116,6 +150,13 @@ type Spec struct {
 	SeedFn func(index int) int64
 
 	Run CellFunc
+
+	// NewProto, when non-nil, builds a reusable prototype rig for this
+	// spec. The runner calls it at most once per worker and routes every
+	// cell through Proto.Clone; a nil NewProto (or Runner.NoPrototype)
+	// falls back to from-scratch construction via Run, so the registry
+	// contract is unchanged for factories that have not opted in.
+	NewProto func() Proto
 
 	// scenario/params, when set, record how Build produced this spec —
 	// the provenance a distributed engine needs to rebuild the identical
@@ -164,6 +205,12 @@ type Runner struct {
 	// without Provenance — still run locally, so mixed workloads degrade
 	// to exactly the local behavior rather than failing.
 	Engine Engine
+
+	// NoPrototype disables prototype cloning: every cell is built from
+	// scratch via Spec.Run even when the spec offers NewProto. The
+	// differential suite uses it to prove cloned and from-scratch cells
+	// byte-identical; it is also the honest baseline for benchmarks.
+	NoPrototype bool
 }
 
 // Run executes every cell of one spec and returns results in cell order.
@@ -265,7 +312,7 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 			defer wg.Done()
 			scratch := &Scratch{} // one per worker: cells on this goroutine share buffers serially
 			for j := range jobs {
-				res := runCell(specs[j.si], j.ci, scratch)
+				res := r.runCell(specs[j.si], j.si, j.ci, scratch)
 				out[j.si][j.ci] = res
 				if onCell != nil {
 					deliverMu.Lock()
@@ -358,7 +405,7 @@ func (r Runner) RunRangeContext(ctx context.Context, spec Spec, start, end int, 
 			defer wg.Done()
 			scratch := &Scratch{}
 			for ci := range jobs {
-				res := runCell(spec, ci, scratch)
+				res := r.runCell(spec, 0, ci, scratch)
 				out[ci-start] = res
 				if onCell != nil {
 					deliverMu.Lock()
@@ -399,19 +446,33 @@ dispatch:
 // runCell executes one cell, converting a panic in the model (the sim
 // kernel panics on causality violations) into a per-cell error so one bad
 // room cannot take down the fleet. The scratch pointer is stripped from
-// the stored Result so pooled buffers never escape the worker.
-func runCell(s Spec, i int, scratch *Scratch) (res Result) {
+// the stored Result so pooled buffers never escape the worker. si keys
+// the worker's prototype cache: cells of the same spec on the same
+// worker share one rig. A panic also evicts the spec's prototype — a
+// rig that blew up mid-run holds undefined state and must not stamp the
+// next cell.
+func (r Runner) runCell(s Spec, si, i int, scratch *Scratch) (res Result) {
 	seed := s.seedFor(i)
 	res.Cell = Cell{Index: i, Seed: seed}
 	defer func() {
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("cell panicked: %v", p)
+			if scratch != nil {
+				delete(scratch.protos, si)
+			}
 		}
 	}()
 	if scratch != nil {
 		scratch.reset()
 	}
-	m, err := s.Run(Cell{Index: i, Seed: seed, scratch: scratch})
+	cell := Cell{Index: i, Seed: seed, scratch: scratch}
+	var m Metrics
+	var err error
+	if proto := r.protoFor(s, si, scratch); proto != nil {
+		m, err = proto.Clone(cell)
+	} else {
+		m, err = s.Run(cell)
+	}
 	if ev, ok := m[MetricSimEvents]; ok {
 		res.Events = uint64(ev)
 		delete(m, MetricSimEvents)
@@ -426,4 +487,24 @@ func runCell(s Spec, i int, scratch *Scratch) (res Result) {
 	}
 	res.Metrics, res.Err = m, err
 	return res
+}
+
+// protoFor resolves the worker's cached prototype for spec si, building
+// it on first use. Returns nil — meaning "construct from scratch" —
+// when the spec offers no prototype, the runner disables cloning, or
+// the factory declined at build time (a nil Proto is cached so the
+// factory is not re-asked per cell).
+func (r Runner) protoFor(s Spec, si int, scratch *Scratch) Proto {
+	if r.NoPrototype || s.NewProto == nil || scratch == nil || prototypesDisabled.Load() {
+		return nil
+	}
+	p, ok := scratch.protos[si]
+	if !ok {
+		p = s.NewProto()
+		if scratch.protos == nil {
+			scratch.protos = make(map[int]Proto)
+		}
+		scratch.protos[si] = p
+	}
+	return p
 }
