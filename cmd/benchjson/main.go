@@ -25,6 +25,9 @@
 //	mesh.cells_per_s_1node         the same ensemble through an icemesh cluster
 //	mesh.cells_per_s_2node         (coordinator + N node runtimes over localhost TCP)
 //	mesh.scaling                   2-node / 1-node
+//	mesh.cells_per_s_1node_large   the large-cell axis: fewer, longer cells, so
+//	mesh.cells_per_s_2node_large   per-cell RPC overhead amortizes and scaling
+//	mesh.scaling_large             approaches the node count
 package main
 
 import (
@@ -62,6 +65,16 @@ type meshReport struct {
 	CellsPerS1Node float64 `json:"cells_per_s_1node"`
 	CellsPerS2Node float64 `json:"cells_per_s_2node"`
 	Scaling        float64 `json:"scaling"`
+	// The large-cell axis re-runs the same topology with fewer, longer
+	// cells (LargeCells × LargeDurationS of sim time each). Per-cell RPC
+	// and scheduling overhead is fixed, so long cells amortize it and
+	// ScalingLarge isolates the wire cost from the compute cost — the
+	// trace-confirmed explanation for the small-cell scaling gap.
+	LargeCells          int     `json:"large_cells"`
+	LargeDurationS      float64 `json:"large_duration_s"`
+	CellsPerS1NodeLarge float64 `json:"cells_per_s_1node_large"`
+	CellsPerS2NodeLarge float64 `json:"cells_per_s_2node_large"`
+	ScalingLarge        float64 `json:"scaling_large"`
 }
 
 type kernelReport struct {
@@ -260,8 +273,10 @@ func benchFleet(cells, workers int, noProto bool) (cellsPerS, eventsPerS float64
 
 // benchMesh times the same PCA ensemble through an in-process icemesh
 // cluster: a coordinator plus `nodes` node runtimes talking real TCP on
-// localhost, each node running `nodeWorkers` fleet workers.
-func benchMesh(cells, nodeWorkers, nodes int) (cellsPerS float64, err error) {
+// localhost, each node running `nodeWorkers` fleet workers. duration is
+// the per-cell sim horizon — the knob that moves the compute:RPC ratio
+// for the large-cell axis.
+func benchMesh(cells, nodeWorkers, nodes int, duration sim.Time, rounds int) (cellsPerS float64, err error) {
 	coord := icemesh.NewCoordinator(icemesh.Config{ShardCells: 2})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -281,7 +296,7 @@ func benchMesh(cells, nodeWorkers, nodes int) (cellsPerS float64, err error) {
 	}
 
 	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
-		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+		Seed: 42, Cells: cells, Duration: duration,
 	})
 	if err != nil {
 		return 0, err
@@ -290,7 +305,6 @@ func benchMesh(cells, nodeWorkers, nodes int) (cellsPerS float64, err error) {
 	if _, err := runner.Run(spec); err != nil { // warm (build caches, page in)
 		return 0, err
 	}
-	const rounds = 3
 	start := time.Now()
 	for i := 0; i < rounds; i++ {
 		if _, err := runner.Run(spec); err != nil {
@@ -308,6 +322,8 @@ func main() {
 	cells := flag.Int("cells", 8, "fleet cells per round")
 	workers := flag.Int("workers", runtime.NumCPU(), "fleet worker width")
 	gwJobs := flag.Int("gateway-jobs", 3, "gateway jobs to time")
+	largeCells := flag.Int("large-cells", 4, "cells for the large-cell mesh axis")
+	largeHours := flag.Float64("large-hours", 4, "per-cell sim horizon (hours) for the large-cell mesh axis")
 	flag.Parse()
 
 	arena := benchKernel(*kernelOps, false)
@@ -339,18 +355,29 @@ func main() {
 		os.Exit(1)
 	}
 	nodeWorkers := max(*workers/2, 1)
-	mesh1, err := benchMesh(*cells, nodeWorkers, 1)
+	mesh1, err := benchMesh(*cells, nodeWorkers, 1, 30*sim.Minute, 3)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	mesh2, err := benchMesh(*cells, nodeWorkers, 2)
+	mesh2, err := benchMesh(*cells, nodeWorkers, 2, 30*sim.Minute, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	largeDur := sim.Time(*largeHours * float64(sim.Hour))
+	mesh1Large, err := benchMesh(*largeCells, nodeWorkers, 1, largeDur, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	mesh2Large, err := benchMesh(*largeCells, nodeWorkers, 2, largeDur, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	r := report{
-		PR: "pr6-prototype",
+		PR: "pr7-icescope",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
@@ -374,6 +401,9 @@ func main() {
 		Mesh: meshReport{
 			Scenario: fleet.ScenarioPCASupervised, Cells: *cells, NodeWorkers: nodeWorkers,
 			CellsPerS1Node: mesh1, CellsPerS2Node: mesh2, Scaling: mesh2 / mesh1,
+			LargeCells: *largeCells, LargeDurationS: largeDur.Seconds(),
+			CellsPerS1NodeLarge: mesh1Large, CellsPerS2NodeLarge: mesh2Large,
+			ScalingLarge: mesh2Large / mesh1Large,
 		},
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	icegated [-addr host:port] [-workers N] [-executors N] [-queue N] [-maxcells N]
-//	         [-mesh host:port] [-drain-timeout D]
+//	         [-mesh host:port] [-pprof host:port] [-drain-timeout D]
 //
 // -addr accepts ":0" to bind an ephemeral port; the chosen address is
 // printed on the first line of output ("icegated: listening on ..."), so
 // scripts can start the daemon on a random port and scrape the address.
 // cmd/icerun -remote is the matching client.
+//
+// -pprof starts a separate debug listener (net/http/pprof profiles at
+// /debug/pprof/) kept off the API address so production traffic never
+// shares a mux with the profiler. Gateway metrics stay at the API's
+// /metrics endpoint.
 //
 // -mesh starts an icemesh coordinator on the given address (again ":0"
 // works; the address is printed as "icegated: mesh coordinator on ...")
@@ -41,6 +46,7 @@ import (
 
 	"repro/internal/icegate"
 	"repro/internal/icemesh"
+	"repro/internal/icescope"
 )
 
 func main() {
@@ -50,8 +56,22 @@ func main() {
 	queue := flag.Int("queue", 16, "queued-job capacity before submissions get 429")
 	maxCells := flag.Int("maxcells", 4096, "per-job cell ceiling (admission control)")
 	mesh := flag.String("mesh", "", "mesh coordinator listen address; when set, jobs execute on registered icenode workers")
+	pprofAddr := flag.String("pprof", "", "debug listen address for net/http/pprof profiles (off unless set)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued+running jobs on SIGTERM")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		debugLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icegated: pprof listener: %v\n", err)
+			os.Exit(1)
+		}
+		// Gateway metrics are already on the API mux (/metrics); the debug
+		// listener carries only the profiler.
+		go func() { _ = http.Serve(debugLn, icescope.DebugMux(nil)) }()
+		defer debugLn.Close()
+		fmt.Printf("icegated: pprof on %s\n", debugLn.Addr())
+	}
 
 	cfg := icegate.Config{
 		QueueDepth: *queue,

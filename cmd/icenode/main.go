@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	icenode -coord host:port [-name N] [-workers N]
+//	icenode -coord host:port [-name N] [-workers N] [-pprof host:port]
+//	        [-tracefile path] [-drain-timeout D]
 //
 // The daemon re-dials with exponential backoff + jitter if the
 // coordinator is down or restarts, so nodes and coordinator can be
@@ -14,6 +15,13 @@
 // queued and in-flight shards within -drain-timeout, and exits 0;
 // anything unfinished at the deadline is abandoned to the coordinator's
 // re-assignment.
+//
+// -pprof starts a debug listener serving net/http/pprof profiles plus
+// the node's own /metrics (icenode_* counters and histograms in
+// Prometheus text format). -tracefile records an icescope span trace of
+// the whole process — dials, sessions, shards — and writes it on exit:
+// a .json suffix selects Chrome trace-event format (load it in
+// Perfetto), anything else the indented text tree.
 package main
 
 import (
@@ -21,19 +29,25 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/icemesh"
+	"repro/internal/icescope"
 )
 
 func main() {
 	coord := flag.String("coord", "", "coordinator address (host:port), required")
 	name := flag.String("name", "", "advertised node name (default: coordinator-assigned)")
 	workers := flag.Int("workers", runtime.NumCPU(), "local fleet pool width (advertised capacity)")
+	pprofAddr := flag.String("pprof", "", "debug listen address for net/http/pprof profiles and node /metrics (off unless set)")
+	traceFile := flag.String("tracefile", "", "write an icescope trace of this process on exit (.json = Chrome trace-event format, else text tree)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight shards on SIGTERM")
 	flag.Parse()
 	if *coord == "" {
@@ -43,12 +57,36 @@ func main() {
 	}
 	logf := log.New(os.Stdout, "", log.LstdFlags).Printf
 
+	// One registry and one NodeObs for the whole process: the node re-uses
+	// them across coordinator re-dials, so counters survive reconnects.
+	reg := icescope.NewRegistry()
+	obs := icemesh.NewNodeObs(reg)
+
+	if *pprofAddr != "" {
+		debugLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icenode: pprof listener: %v\n", err)
+			os.Exit(1)
+		}
+		go func() { _ = http.Serve(debugLn, icescope.DebugMux(reg)) }()
+		defer debugLn.Close()
+		logf("icenode: pprof on %s", debugLn.Addr())
+	}
+
+	var tr *icescope.Trace
+	if *traceFile != "" {
+		tr = icescope.NewTrace("icenode")
+		defer writeTrace(tr, *traceFile, logf)
+	}
+
 	ctx, stop := context.WithCancel(context.Background())
 	node := icemesh.NewNode(icemesh.NodeConfig{
 		Coordinator: *coord,
 		Name:        *name,
 		Workers:     *workers,
 		Logf:        logf,
+		Obs:         obs,
+		Trace:       tr,
 	})
 
 	sig := make(chan os.Signal, 1)
@@ -72,10 +110,31 @@ func main() {
 		err := node.Run(ctx)
 		if ctx.Err() != nil {
 			logf("icenode: exiting")
-			return // drained shutdown: exit 0
+			return // drained shutdown: exit 0 (deferred trace write runs)
 		}
 		if err != nil {
 			logf("icenode: connection lost: %v; re-dialing", err)
 		}
 	}
+}
+
+// writeTrace dumps the process trace to path on exit; the extension
+// picks the format (.json → Chrome trace events, else text tree).
+func writeTrace(tr *icescope.Trace, path string, logf func(string, ...any)) {
+	f, err := os.Create(path)
+	if err != nil {
+		logf("icenode: tracefile: %v", err)
+		return
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = tr.WriteChrome(f)
+	} else {
+		err = tr.WriteText(f)
+	}
+	if err != nil {
+		logf("icenode: tracefile: %v", err)
+		return
+	}
+	logf("icenode: trace written to %s", path)
 }

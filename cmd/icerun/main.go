@@ -4,6 +4,7 @@
 // Usage:
 //
 //	icerun [-exp F1,E2,...|all] [-seed N] [-cells N] [-workers N] [-remote addr]
+//	       [-tracefile path]
 //
 // -cells and -workers drive the fleet runner: F1 runs that many
 // independent patient sessions per configuration, and the sweep-shaped
@@ -18,6 +19,14 @@
 // (repeat submissions are served from the gateway's result cache).
 // Worker-pool width is a server-side deployment knob, so -workers is
 // ignored in remote mode.
+//
+// -tracefile records an icescope span trace of the run and writes it
+// after the tables: one trace spanning every experiment locally, or the
+// gateway's per-job traces in remote mode (jobs are submitted with
+// "trace": true and the trace fetched from /jobs/{id}/trace). A .json
+// suffix selects Chrome trace-event format — load it in Perfetto — and
+// anything else the indented text tree. Tracing never changes the
+// tables: results are byte-identical with it on or off.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/icegate"
 	"repro/internal/icemesh"
+	"repro/internal/icescope"
 )
 
 func main() {
@@ -52,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cells := fs.Int("cells", 1, "trials per configuration for ensemble experiments (currently F1 only; sweep experiments run one cell per sweep point)")
 	workers := fs.Int("workers", 1, "fleet worker pool width for parallel cell execution (F1, E6, E7); local mode only")
 	remote := fs.String("remote", "", "icegated gateway address (host:port or URL); render tables from the server instead of running locally")
+	traceFile := fs.String("tracefile", "", "write an icescope trace of the run (.json = Chrome trace-event format, else text tree)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: icerun [flags]\n")
 		fs.PrintDefaults()
@@ -68,14 +79,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	chrome := strings.HasSuffix(*traceFile, ".json")
+	if *traceFile != "" && *remote != "" && chrome && len(ids) > 1 {
+		// Each remote job has its own trace; text trees concatenate, one
+		// Chrome JSON document per file does not.
+		fmt.Fprintln(stderr, "icerun: -tracefile *.json with -remote needs a single -exp (one job per Chrome trace)")
+		return 2
+	}
+
+	// Local tracing hangs every experiment off one process-wide root span,
+	// so a single file attributes the whole run.
+	var tr *icescope.Trace
+	var root icescope.Span
 	opt := experiments.Options{Seed: *seed, Cells: *cells, Workers: *workers}
+	if *traceFile != "" && *remote == "" {
+		tr = icescope.NewTrace("icerun")
+		root = tr.Start(icescope.Span{}, "icerun")
+		opt.Trace = root
+	}
+
+	var remoteTraces []string
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Fprintln(stdout)
 		}
 		var rendered string
 		if *remote != "" {
-			rendered, err = fetchRemoteTable(*remote, id, opt)
+			var trace string
+			rendered, trace, err = fetchRemoteTable(*remote, id, opt, *traceFile != "", chrome)
+			if trace != "" {
+				remoteTraces = append(remoteTraces, trace)
+			}
 		} else {
 			var tab experiments.Table
 			tab, err = experiments.Run(id, opt)
@@ -87,7 +121,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, rendered)
 	}
+
+	if *traceFile != "" {
+		root.End()
+		if err := writeTraceFile(*traceFile, chrome, tr, remoteTraces); err != nil {
+			fmt.Fprintf(stderr, "icerun: tracefile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "icerun: trace written to %s\n", *traceFile)
+	}
 	return 0
+}
+
+// writeTraceFile dumps either the local trace or the collected remote
+// per-job traces to path in the format the extension picked.
+func writeTraceFile(path string, chrome bool, tr *icescope.Trace, remoteTraces []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if tr != nil {
+		if chrome {
+			return tr.WriteChrome(f)
+		}
+		return tr.WriteText(f)
+	}
+	for i, t := range remoteTraces {
+		if i > 0 && !chrome {
+			if _, err := io.WriteString(f, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(f, t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // selectExperiments resolves the -exp flag against the catalog: "all"
@@ -176,33 +246,47 @@ func remoteJSON(method, url string, reqBody []byte, out any) (raw []byte, err er
 // server schemas stay coupled by the compiler. Submissions are retried
 // on transient failures — duplicates are harmless because the gateway's
 // deterministic cache converges them on the same table.
-func fetchRemoteTable(addr, id string, opt experiments.Options) (string, error) {
+//
+// With wantTrace the job is submitted with "trace": true and the
+// server-side span trace is fetched once the job is terminal (chrome
+// picks the Perfetto-loadable JSON format over the text tree).
+func fetchRemoteTable(addr, id string, opt experiments.Options, wantTrace, chrome bool) (string, string, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimSuffix(base, "/")
 
-	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells})
+	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells, Trace: wantTrace})
 	var view icegate.View
 	if _, err := remoteJSON(http.MethodPost, base+"/api/v1/jobs", body, &view); err != nil {
-		return "", err
+		return "", "", err
 	}
 
 	// Poll until the job leaves the queue/runner, then fetch the table.
 	for !view.Status.Terminal() {
 		time.Sleep(100 * time.Millisecond)
 		if _, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID, nil, &view); err != nil {
-			return "", err
+			return "", "", err
 		}
 	}
 	if view.Status != icegate.StatusDone {
-		return "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
+		return "", "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
 	}
 
 	table, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID+"/result", nil, nil)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
-	return string(table), nil
+	var trace []byte
+	if wantTrace {
+		url := base + "/api/v1/jobs/" + view.ID + "/trace"
+		if chrome {
+			url += "?format=chrome"
+		}
+		if trace, err = remoteJSON(http.MethodGet, url, nil, nil); err != nil {
+			return "", "", err
+		}
+	}
+	return string(table), string(trace), nil
 }

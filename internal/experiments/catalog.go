@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
 // Options carries the harness-wide knobs into a catalog runner — the
@@ -22,6 +23,14 @@ type Options struct {
 	// byte-identical wherever the cells ran, so engines are a deployment
 	// knob exactly like Workers.
 	Engine fleet.Engine
+
+	// Trace, when active, parents the experiment's icescope spans; Obs
+	// feeds the fleet's latency histograms. Both are observability-only:
+	// like Workers and Engine they never enter result identity, and the
+	// trace differential suite holds tables byte-identical with tracing
+	// on and off.
+	Trace icescope.Span
+	Obs   *fleet.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -43,7 +52,10 @@ var catalog = []struct {
 	run func(o Options) (Table, error)
 }{
 	{"F1", func(o Options) (Table, error) {
-		return F1PCAControlLoop(F1Options{Seed: o.Seed, Trials: o.Cells, Workers: o.Workers, Engine: o.Engine})
+		return F1PCAControlLoop(F1Options{
+			Seed: o.Seed, Trials: o.Cells, Workers: o.Workers,
+			Engine: o.Engine, Trace: o.Trace, Obs: o.Obs,
+		})
 	}},
 	{"E2", func(o Options) (Table, error) {
 		opt := DefaultE2()
@@ -62,10 +74,12 @@ var catalog = []struct {
 		opt.Seed = o.Seed
 		opt.Workers = o.Workers
 		opt.Engine = o.Engine
+		opt.Trace = o.Trace
+		opt.Obs = o.Obs
 		return E6CommFailure(opt)
 	}},
 	{"E7", func(o Options) (Table, error) {
-		return E7AdaptiveThresholds(E7Options{Seed: o.Seed, Workers: o.Workers})
+		return E7AdaptiveThresholds(E7Options{Seed: o.Seed, Workers: o.Workers, Trace: o.Trace, Obs: o.Obs})
 	}},
 	{"E8", func(Options) (Table, error) { return E8IncrementalCert() }},
 	{"E9", func(o Options) (Table, error) {
@@ -116,6 +130,13 @@ func Run(id string, o Options) (Table, error) {
 	o = o.withDefaults()
 	for _, e := range catalog {
 		if e.id == id {
+			if o.Trace.Active() {
+				sp := o.Trace.Child("exp " + id)
+				o.Trace = sp
+				tab, err := e.run(o)
+				sp.End()
+				return tab, err
+			}
 			return e.run(o)
 		}
 	}

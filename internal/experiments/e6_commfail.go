@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/closedloop"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 	"repro/internal/sim"
 )
 
@@ -19,6 +20,11 @@ type E6Options struct {
 	// Engine distributes the sweep's cells when non-nil (see
 	// Options.Engine); tables are byte-identical either way.
 	Engine fleet.Engine
+
+	// Trace/Obs are observability passthroughs (see Options); never part
+	// of result identity.
+	Trace icescope.Span
+	Obs   *fleet.Obs
 }
 
 // DefaultE6 returns the sweep in DESIGN.md.
@@ -93,7 +99,7 @@ func E6CommFailure(opt E6Options) (Table, error) {
 		spec.Name = fmt.Sprintf("E6 %s loss %.2f", c.mode, c.loss)
 		specs = append(specs, spec)
 	}
-	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine}.RunAll(specs)
+	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine, Span: opt.Trace, Obs: opt.Obs}.RunAll(specs)
 	if err != nil {
 		return t, fmt.Errorf("E6: %w", err)
 	}

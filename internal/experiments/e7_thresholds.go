@@ -6,6 +6,7 @@ import (
 	"repro/internal/alarm"
 	"repro/internal/ehr"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 	"repro/internal/sim"
 )
 
@@ -16,6 +17,11 @@ type E7Options struct {
 	Average  int      // 0 = 10
 	Duration sim.Time // 0 = 12 h
 	Workers  int      // fleet worker pool width; 0 = serial
+
+	// Trace/Obs are observability passthroughs (see Options); never part
+	// of result identity.
+	Trace icescope.Span
+	Obs   *fleet.Obs
 }
 
 // e7Series synthesizes a heart-rate series for one patient: baseline plus
@@ -98,7 +104,7 @@ func e7Score(opt E7Options, personalized bool) (alarm.Metrics, error) {
 			}, nil
 		},
 	}
-	results, err := fleet.Runner{Workers: opt.Workers}.Run(spec)
+	results, err := fleet.Runner{Workers: opt.Workers, Span: opt.Trace, Obs: opt.Obs}.Run(spec)
 	if err != nil {
 		return alarm.Metrics{}, err
 	}

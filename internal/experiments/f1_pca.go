@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/closedloop"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 	"repro/internal/sim"
 )
 
@@ -20,6 +21,11 @@ type F1Options struct {
 	// Engine distributes the trial ensembles when non-nil (see
 	// Options.Engine); tables are byte-identical either way.
 	Engine fleet.Engine
+
+	// Trace/Obs are observability passthroughs (see Options); never part
+	// of result identity.
+	Trace icescope.Span
+	Obs   *fleet.Obs
 }
 
 // F1PCAControlLoop reproduces Figure 1 of the paper: the closed-loop PCA
@@ -59,7 +65,7 @@ func F1PCAControlLoop(opt F1Options) (Table, error) {
 		}
 		specs = append(specs, spec)
 	}
-	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine}.RunAll(specs)
+	groups, err := fleet.Runner{Workers: opt.Workers, Engine: opt.Engine, Span: opt.Trace, Obs: opt.Obs}.RunAll(specs)
 	if err != nil {
 		return t, fmt.Errorf("F1: %w", err)
 	}

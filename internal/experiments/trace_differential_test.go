@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/icescope"
+)
+
+// TestDifferentialTracing renders every catalog experiment — the full
+// set of icerun tables — once bare and once under an active icescope
+// span with fleet histograms attached, and holds each table
+// byte-identical. This is the observability layer's determinism gate:
+// spans and metrics ride alongside the simulation, never inside it, so
+// turning them on cannot perturb a single byte of output. Fleet-backed
+// experiments run multi-worker so the per-worker span buffers and the
+// latency histograms are actually exercised.
+func TestDifferentialTracing(t *testing.T) {
+	plain := Options{Seed: 1, Cells: 2, Workers: 2}
+
+	reg := icescope.NewRegistry()
+	obs := &fleet.Obs{
+		CellSeconds:      reg.Histogram("test_cell_seconds", "Cell wall time.", nil),
+		QueueWaitSeconds: reg.Histogram("test_queue_wait_seconds", "Cell queue wait.", nil),
+	}
+	tr := icescope.NewTrace("differential")
+	root := tr.Start(icescope.Span{}, "icerun")
+	traced := plain
+	traced.Trace = root
+	traced.Obs = obs
+
+	for _, id := range IDs() {
+		bare, err := Run(id, plain)
+		if err != nil {
+			t.Fatalf("%s bare: %v", id, err)
+		}
+		instrumented, err := Run(id, traced)
+		if err != nil {
+			t.Fatalf("%s traced: %v", id, err)
+		}
+		if instrumented.String() != bare.String() {
+			t.Errorf("%s: tracing changed the table\ntraced:\n%s\nbare:\n%s",
+				id, instrumented.String(), bare.String())
+		}
+	}
+	root.End()
+
+	// The instrumentation must have actually observed something, or this
+	// differential proved nothing.
+	if tr.Coverage(root) <= 0 {
+		t.Error("trace recorded no leaf spans — differential exercised nothing")
+	}
+	if obs.CellSeconds.Count() == 0 {
+		t.Error("cell latency histogram never observed — differential exercised nothing")
+	}
+	if err := icescope.Lint(reg.Expose()); err != nil {
+		t.Errorf("histogram exposition fails lint: %v", err)
+	}
+}

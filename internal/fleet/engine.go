@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/icescope"
 )
 
 // Engine executes a range of a scenario's cells somewhere other than the
@@ -32,6 +34,14 @@ type Engine interface {
 // determinism contract. Cells the engine never delivered are filled with
 // the engine's error so the result slice stays complete.
 func (r Runner) runEngineSpec(ctx context.Context, s Spec, out []Result, deliver func(Result)) error {
+	// Trace the remote range and propagate the span over the context —
+	// the only channel that crosses the Engine interface — so a
+	// distributed coordinator can hang its plan/shard spans on this tree.
+	sp := icescope.Span{}
+	if r.Span.Active() {
+		sp = r.Span.Child("engine " + s.Name)
+		ctx = icescope.ContextWithSpan(ctx, sp)
+	}
 	var mu sync.Mutex
 	seen := make([]bool, s.Cells)
 	err := r.Engine.RunRange(ctx, s.scenario, s.params, 0, s.Cells, func(res Result) {
@@ -45,6 +55,8 @@ func (r Runner) runEngineSpec(ctx context.Context, s Spec, out []Result, deliver
 		mu.Unlock()
 		deliver(res)
 	})
+
+	sp.End(icescope.IntAttr("cells", s.Cells))
 
 	fillErr := err
 	if fillErr == nil {

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/closedloop"
+	"repro/internal/icescope"
 	"repro/internal/sim"
 )
 
@@ -195,6 +197,17 @@ type Result struct {
 	Err          error
 }
 
+// Obs receives the fleet's timing metrics when a caller wires a runner
+// into an icescope registry. All fields are optional; a nil Obs (the
+// default) skips every clock read, so un-observed runs pay nothing.
+type Obs struct {
+	// CellSeconds observes each cell's execution latency (build + run).
+	CellSeconds *icescope.Histogram
+	// QueueWaitSeconds observes how long each cell sat between dispatch
+	// and a worker picking it up — the pool-saturation signal.
+	QueueWaitSeconds *icescope.Histogram
+}
+
 // Runner executes specs across a bounded worker pool. The zero value runs
 // serially (one worker).
 type Runner struct {
@@ -211,6 +224,38 @@ type Runner struct {
 	// differential suite uses it to prove cloned and from-scratch cells
 	// byte-identical; it is also the honest baseline for benchmarks.
 	NoPrototype bool
+
+	// Span, when active, parents the run's trace: each worker records
+	// per-cell spans into its own lock-free buffer, prototype builds get
+	// their own spans, and engine-shipped specs propagate the span over
+	// the context so a distributed coordinator can attach its shard
+	// spans to the same tree. The zero Span disables tracing entirely —
+	// observability never touches cell seeds, scheduling, or results.
+	Span icescope.Span
+
+	// Obs, when non-nil, feeds the fleet's latency histograms.
+	Obs *Obs
+
+	// ProfileRegions opts this run's cell hot loop into runtime/trace
+	// regions (visible in `go tool trace`). Off by default so kernel
+	// loops stay untraced; even on, it is a no-op unless the Go
+	// execution tracer is actually collecting.
+	ProfileRegions bool
+}
+
+// stamp reads the clock only when queue-wait observation is on.
+func (r Runner) stamp() time.Time {
+	if r.Obs != nil && r.Obs.QueueWaitSeconds != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observeWait records dispatch-to-pickup latency for one cell.
+func (r Runner) observeWait(enq time.Time) {
+	if !enq.IsZero() {
+		r.Obs.QueueWaitSeconds.Observe(time.Since(enq).Seconds())
+	}
 }
 
 // Run executes every cell of one spec and returns results in cell order.
@@ -303,7 +348,10 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 		}
 	}
 
-	type job struct{ si, ci int }
+	type job struct {
+		si, ci int
+		enq    time.Time // dispatch stamp; zero unless queue wait is observed
+	}
 	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -311,8 +359,10 @@ func (r Runner) RunAllContext(ctx context.Context, specs []Spec, onCell func(Res
 		go func() {
 			defer wg.Done()
 			scratch := &Scratch{} // one per worker: cells on this goroutine share buffers serially
+			buf := r.Span.Trace().Buffer()
 			for j := range jobs {
-				res := r.runCell(specs[j.si], j.si, j.ci, scratch)
+				r.observeWait(j.enq)
+				res := r.runCell(specs[j.si], j.si, j.ci, scratch, buf)
 				out[j.si][j.ci] = res
 				if onCell != nil {
 					deliverMu.Lock()
@@ -330,7 +380,7 @@ dispatch:
 		}
 		for ci := 0; ci < s.Cells; ci++ {
 			select {
-			case jobs <- job{si, ci}:
+			case jobs <- job{si, ci, r.stamp()}:
 			case <-ctx.Done():
 				// Mark this and every remaining local cell as skipped. Seeds
 				// are still derived so partial result sets stay identifiable.
@@ -404,8 +454,9 @@ func (r Runner) RunRangeContext(ctx context.Context, spec Spec, start, end int, 
 		go func() {
 			defer wg.Done()
 			scratch := &Scratch{}
+			buf := r.Span.Trace().Buffer()
 			for ci := range jobs {
-				res := r.runCell(spec, 0, ci, scratch)
+				res := r.runCell(spec, 0, ci, scratch, buf)
 				out[ci-start] = res
 				if onCell != nil {
 					deliverMu.Lock()
@@ -451,9 +502,10 @@ dispatch:
 // worker share one rig. A panic also evicts the spec's prototype — a
 // rig that blew up mid-run holds undefined state and must not stamp the
 // next cell.
-func (r Runner) runCell(s Spec, si, i int, scratch *Scratch) (res Result) {
+func (r Runner) runCell(s Spec, si, i int, scratch *Scratch, buf *icescope.Buffer) (res Result) {
 	seed := s.seedFor(i)
 	res.Cell = Cell{Index: i, Seed: seed}
+	defer icescope.Region(r.ProfileRegions, "fleet.cell")()
 	defer func() {
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("cell panicked: %v", p)
@@ -465,13 +517,28 @@ func (r Runner) runCell(s Spec, si, i int, scratch *Scratch) (res Result) {
 	if scratch != nil {
 		scratch.reset()
 	}
+	var t0 time.Time
+	if r.Obs != nil && r.Obs.CellSeconds != nil {
+		t0 = time.Now()
+	}
 	cell := Cell{Index: i, Seed: seed, scratch: scratch}
 	var m Metrics
 	var err error
-	if proto := r.protoFor(s, si, scratch); proto != nil {
+	// Resolve the prototype before opening the cell span: "proto build"
+	// and "cell run" are sibling leaves, so trace coverage attributes
+	// construction and execution separately.
+	proto := r.protoFor(s, si, scratch, buf, r.Span)
+	mode := "scratch"
+	sp := buf.Start(r.Span, "cell run")
+	if proto != nil {
+		mode = "proto"
 		m, err = proto.Clone(cell)
 	} else {
 		m, err = s.Run(cell)
+	}
+	sp.End(icescope.IntAttr("cell", i), icescope.StrAttr("mode", mode))
+	if !t0.IsZero() {
+		r.Obs.CellSeconds.Observe(time.Since(t0).Seconds())
 	}
 	if ev, ok := m[MetricSimEvents]; ok {
 		res.Events = uint64(ev)
@@ -494,13 +561,15 @@ func (r Runner) runCell(s Spec, si, i int, scratch *Scratch) (res Result) {
 // when the spec offers no prototype, the runner disables cloning, or
 // the factory declined at build time (a nil Proto is cached so the
 // factory is not re-asked per cell).
-func (r Runner) protoFor(s Spec, si int, scratch *Scratch) Proto {
+func (r Runner) protoFor(s Spec, si int, scratch *Scratch, buf *icescope.Buffer, parent icescope.Span) Proto {
 	if r.NoPrototype || s.NewProto == nil || scratch == nil || prototypesDisabled.Load() {
 		return nil
 	}
 	p, ok := scratch.protos[si]
 	if !ok {
+		bsp := buf.Start(parent, "proto build")
 		p = s.NewProto()
+		bsp.End(icescope.StrAttr("spec", s.Name))
 		if scratch.protos == nil {
 			scratch.protos = make(map[int]Proto)
 		}

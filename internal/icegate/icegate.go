@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
 // Config sizes the gateway.
@@ -98,12 +99,12 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:     cfg,
 		cache:   NewCache(),
-		met:     newGatewayMetrics(),
 		baseCtx: ctx,
 		stop:    stop,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
 	}
+	s.met = newGatewayMetrics(s) // after s: the GaugeFuncs read scheduler state
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -187,8 +188,12 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), req)
+	if req.Trace {
+		job.enableTrace()
+	}
 
 	if e, ok := s.cache.get(job.key); ok {
+		job.traceInstant("cache hit")
 		for _, cr := range e.cells {
 			job.deliver(cr)
 		}
@@ -330,22 +335,30 @@ func (s *Scheduler) runJob(job *Job, sum *fleet.Summary) {
 // and reducing into the executor's pooled summary.
 func (s *Scheduler) runScenario(ctx context.Context, job *Job, sum *fleet.Summary) (string, error) {
 	req := job.Req
+	build := job.run.Child("build spec")
 	spec, err := fleet.Build(req.Scenario, fleet.Params{
 		Seed:     req.Seed,
 		Cells:    req.Cells,
 		Duration: req.duration(),
 		Knobs:    req.Knobs,
 	})
+	build.End(icescope.StrAttr("scenario", req.Scenario))
 	if err != nil {
 		return "", err
 	}
-	results, err := fleet.Runner{Workers: s.cfg.Workers, Engine: s.cfg.Backend.Engine()}.RunContext(ctx, spec, func(r fleet.Result) {
+	runner := fleet.Runner{
+		Workers: s.cfg.Workers,
+		Engine:  s.cfg.Backend.Engine(),
+		Span:    job.run,
+		Obs:     s.met.fleetObs,
+	}
+	results, err := runner.RunContext(ctx, spec, func(r fleet.Result) {
 		cr := CellResult{Index: r.Cell.Index, Seed: r.Cell.Seed, Metrics: r.Metrics}
 		if r.Err != nil {
 			cr.Err = r.Err.Error()
 		}
 		job.deliver(cr)
-		s.met.cellsDone.Add(1)
+		s.met.cellsDone.Inc()
 		s.met.simEvents.Add(r.Events)
 		s.met.wireBytes.Add(r.WireBytes)
 		s.met.wireEncodeNS.Add(r.WireEncodeNS)
@@ -353,7 +366,10 @@ func (s *Scheduler) runScenario(ctx context.Context, job *Job, sum *fleet.Summar
 	if err != nil {
 		return "", err
 	}
-	return renderScenarioTable(req, results, sum), nil
+	merge := job.run.Child("merge")
+	table := renderScenarioTable(req, results, sum)
+	merge.End(icescope.IntAttr("cells", len(results)))
+	return table, nil
 }
 
 // renderScenarioTable is the canonical rendering of a scenario job: the
@@ -384,6 +400,8 @@ func (s *Scheduler) runExperiment(ctx context.Context, job *Job) (string, error)
 		Cells:   job.Req.Cells,
 		Workers: s.cfg.Workers,
 		Engine:  s.cfg.Backend.Engine(),
+		Trace:   job.run,
+		Obs:     s.met.fleetObs,
 	})
 	if err != nil {
 		return "", err

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 	"repro/internal/sim"
 )
 
@@ -29,6 +30,13 @@ type Request struct {
 	Cells     int                `json:"cells,omitempty"`
 	DurationS float64            `json:"duration_s,omitempty"` // scenario horizon; 0 = scenario default
 	Knobs     map[string]float64 `json:"knobs,omitempty"`
+
+	// Trace opts this job into icescope span recording, retrievable from
+	// GET /jobs/{id}/trace once the job is terminal. Like worker width it
+	// is a serving knob, NOT part of result identity: results are byte-
+	// identical with tracing on or off, so Key() ignores it and a traced
+	// request can be served from an untraced request's cache line.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate rejects requests that could never run or whose key would be
@@ -165,6 +173,16 @@ type Job struct {
 	cancel     context.CancelFunc
 	subs       []chan CellResult
 	done       chan struct{} // closed on terminal status
+
+	// Tracing (nil/zero unless Req.Trace): tr holds the job's spans, root
+	// covers submission→terminal, qspan covers the time queued, and run
+	// covers the executor's work — the parent every fleet/engine span
+	// hangs from. run is written in start() and read by the same executor
+	// goroutine, so it needs no extra locking.
+	tr    *icescope.Trace
+	root  icescope.Span
+	qspan icescope.Span
+	run   icescope.Span
 }
 
 func newJob(id string, req Request) *Job {
@@ -174,6 +192,48 @@ func newJob(id string, req Request) *Job {
 		j.cellsTotal = req.Cells
 	}
 	return j
+}
+
+// enableTrace arms span recording for the job; called once at Submit,
+// before the job is visible to anything concurrent.
+func (j *Job) enableTrace() {
+	j.tr = icescope.NewTrace(j.ID)
+	j.root = j.tr.Start(icescope.Span{}, "job "+j.ID)
+	j.qspan = j.root.Child("queued")
+}
+
+// traceInstant drops a zero-duration marker on the job's trace.
+func (j *Job) traceInstant(name string) {
+	j.tr.Instant(j.root, name)
+}
+
+// TraceData returns the job's completed trace, or nil while the job is
+// still live (worker span buffers are not synchronized mid-run) or when
+// the job was not traced.
+func (j *Job) TraceData() *icescope.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.tr == nil || !j.status.terminal() {
+		return nil
+	}
+	return j.tr
+}
+
+// Traced reports whether the job was submitted with tracing on.
+func (j *Job) Traced() bool { return j.tr != nil }
+
+// closeTraceLocked ends whatever job-lifecycle spans are still open as
+// the job reaches status; callers hold j.mu. Ending the zero Span is a
+// no-op, so every path simply calls this once.
+func (j *Job) closeTraceLocked(status Status) {
+	j.qspan.End()
+	j.qspan = icescope.Span{}
+	j.run.End()
+	j.run = icescope.Span{}
+	if j.root.Active() {
+		j.root.End(icescope.StrAttr("status", string(status)))
+		j.root = icescope.Span{}
+	}
 }
 
 // View is the JSON shape of a job's status.
@@ -225,6 +285,9 @@ func (j *Job) start(cancel context.CancelFunc) bool {
 	}
 	j.status = StatusRunning
 	j.cancel = cancel
+	j.qspan.End()
+	j.qspan = icescope.Span{}
+	j.run = j.root.Child("run")
 	return true
 }
 
@@ -254,6 +317,7 @@ func (j *Job) finish(status Status, table, errMsg string, cached bool) {
 	j.table = table
 	j.errMsg = errMsg
 	j.cached = cached
+	j.closeTraceLocked(status)
 	for _, ch := range j.subs {
 		close(ch)
 	}
@@ -268,6 +332,7 @@ func (j *Job) requestCancel() bool {
 	if j.status == StatusQueued {
 		j.status = StatusCancelled
 		j.errMsg = context.Canceled.Error()
+		j.closeTraceLocked(StatusCancelled)
 		for _, ch := range j.subs {
 			close(ch)
 		}

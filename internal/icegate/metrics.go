@@ -1,89 +1,123 @@
 package icegate
 
 import (
-	"fmt"
-	"strings"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
-// gatewayMetrics are the serving-side counters behind /metrics. They
-// describe the gateway process (wall-clock throughput, queue pressure,
-// cache efficiency) and are deliberately separate from simulation
-// results, which stay deterministic.
+// gatewayMetrics is the gateway's icescope registry plus the typed
+// handles the serving paths update. They describe the gateway process
+// (wall-clock throughput, queue pressure, cache efficiency) and are
+// deliberately separate from simulation results, which stay
+// deterministic. Derived gauges (uptime, rates, queue depth) are
+// GaugeFuncs evaluated at scrape time, so the write side stays
+// counters-only and allocation-free.
 type gatewayMetrics struct {
-	start         time.Time
-	cellsDone     atomic.Uint64
-	simEvents     atomic.Uint64 // kernel events executed by scenario cells
-	wireBytes     atomic.Uint64 // envelope bytes encoded by scenario cells
-	wireEncodeNS  atomic.Uint64 // sampled envelope-encode wall time, ns
-	jobsSubmitted atomic.Uint64
-	jobsRejected  atomic.Uint64
-	jobsDone      atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCancelled atomic.Uint64
+	reg   *icescope.Registry
+	start time.Time
+
+	jobsSubmitted *icescope.Counter
+	jobsRejected  *icescope.Counter
+	jobsDone      *icescope.Counter
+	jobsFailed    *icescope.Counter
+	jobsCancelled *icescope.Counter
+
+	cellsDone    *icescope.Counter
+	simEvents    *icescope.Counter // kernel events executed by scenario cells
+	wireBytes    *icescope.Counter // envelope bytes encoded by scenario cells
+	wireEncodeNS *icescope.Counter // sampled envelope-encode wall time, ns
+
+	// fleetObs is handed to every job's fleet.Runner: cell execution
+	// latency and dispatch-to-pickup queue wait, as histograms.
+	fleetObs *fleet.Obs
 }
 
-func newGatewayMetrics() *gatewayMetrics {
-	return &gatewayMetrics{start: time.Now()}
+// newGatewayMetrics builds the registry against a constructed scheduler
+// (the GaugeFuncs read its queue and cache at scrape time).
+func newGatewayMetrics(s *Scheduler) *gatewayMetrics {
+	m := &gatewayMetrics{reg: icescope.NewRegistry(), start: time.Now()}
+	r := m.reg
+
+	r.GaugeFunc("icegate_uptime_seconds", "Seconds since the gateway started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	r.GaugeFunc("icegate_queue_depth", "Jobs admitted but not yet picked up by an executor.",
+		func() float64 { return float64(s.QueueDepth()) })
+	r.GaugeFunc("icegate_queue_capacity", "Admission queue size.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("icegate_executors", "Concurrent job executors.",
+		func() float64 { return float64(s.cfg.Executors) })
+	r.GaugeFunc("icegate_fleet_workers", "Fleet worker-pool width per job.",
+		func() float64 { return float64(s.cfg.Workers) })
+
+	m.jobsSubmitted = r.Counter("icegate_jobs_submitted_total", "Jobs admitted (including cache hits).")
+	m.jobsRejected = r.Counter("icegate_jobs_rejected_total", "Jobs rejected by admission control.")
+	m.jobsDone = r.Counter("icegate_jobs_done_total", "Jobs finished successfully.")
+	m.jobsFailed = r.Counter("icegate_jobs_failed_total", "Jobs that ended in failure.")
+	m.jobsCancelled = r.Counter("icegate_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.")
+
+	r.GaugeFunc("icegate_cache_entries", "Result-cache entries resident.",
+		func() float64 { _, _, entries := s.cache.Stats(); return float64(entries) })
+	r.GaugeFunc("icegate_cache_hits_total", "Result-cache hits.",
+		func() float64 { hits, _, _ := s.cache.Stats(); return float64(hits) })
+	r.GaugeFunc("icegate_cache_misses_total", "Result-cache misses.",
+		func() float64 { _, misses, _ := s.cache.Stats(); return float64(misses) })
+	r.GaugeFunc("icegate_cache_hit_rate", "Fraction of lookups served from cache.",
+		func() float64 {
+			hits, misses, _ := s.cache.Stats()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
+
+	m.cellsDone = r.Counter("icegate_cells_done_total", "Fleet cells completed.")
+	r.GaugeFunc("icegate_cells_per_second", "Cells completed per second of uptime.",
+		func() float64 { return m.rate(float64(m.cellsDone.Value())) })
+	// True engine throughput: kernel events actually executed (cache hits
+	// replay stored results and so add nothing — by design).
+	m.simEvents = r.Counter("icegate_sim_events_total", "Kernel events executed by scenario cells.")
+	r.GaugeFunc("icegate_sim_events_per_second", "Kernel events executed per second of uptime.",
+		func() float64 { return m.rate(float64(m.simEvents.Value())) })
+	// Wire-codec accounting: bytes the cells' ICE envelopes encoded to,
+	// and the (sampled) wall time spent encoding them.
+	m.wireBytes = r.Counter("icegate_wire_bytes_total", "Envelope bytes encoded by scenario cells.")
+	m.wireEncodeNS = r.Counter("icegate_wire_encode_ns", "Sampled envelope-encode wall time, nanoseconds.")
+
+	m.fleetObs = &fleet.Obs{
+		CellSeconds: r.Histogram("icegate_cell_seconds",
+			"Per-cell execution latency (build + run).", nil),
+		QueueWaitSeconds: r.Histogram("icegate_cell_queue_wait_seconds",
+			"Per-cell wait between fleet dispatch and worker pickup.", nil),
+	}
+
+	// Execution backend: which one is active (a one-hot labeled gauge).
+	r.GaugeVec("icegate_backend", "Active execution backend.", "name").
+		With(s.cfg.Backend.Name()).Set(1)
+	return m
 }
 
-// MetricsText emits the Prometheus-style text form of the gateway's
+// rate divides a running total by uptime.
+func (m *gatewayMetrics) rate(total float64) float64 {
+	up := time.Since(m.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return total / up
+}
+
+// MetricsText emits the Prometheus text exposition of the gateway's
 // state — the /metrics body, exported for embedders and tests.
 func (s *Scheduler) MetricsText() string { return s.renderMetrics() }
 
-// Render emits the Prometheus-style text form of the gateway's state.
+// renderMetrics renders the registry, then appends whatever the backend
+// exports (the mesh coordinator reports node liveness, shard retries,
+// and per-node throughput here).
 func (s *Scheduler) renderMetrics() string {
-	hits, misses, entries := s.cache.Stats()
-	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
-	}
-	uptime := time.Since(s.met.start).Seconds()
-	cells := s.met.cellsDone.Load()
-	cellsPerSec := 0.0
-	if uptime > 0 {
-		cellsPerSec = float64(cells) / uptime
-	}
-	// True engine throughput: kernel events actually executed (cache hits
-	// replay stored results and so add nothing — by design).
-	events := s.met.simEvents.Load()
-	eventsPerSec := 0.0
-	if uptime > 0 {
-		eventsPerSec = float64(events) / uptime
-	}
-
-	var b strings.Builder
-	line := func(name string, v any) { fmt.Fprintf(&b, "icegate_%s %v\n", name, v) }
-	line("uptime_seconds", fmt.Sprintf("%.1f", uptime))
-	line("queue_depth", s.QueueDepth())
-	line("queue_capacity", s.cfg.QueueDepth)
-	line("executors", s.cfg.Executors)
-	line("fleet_workers", s.cfg.Workers)
-	line("jobs_submitted_total", s.met.jobsSubmitted.Load())
-	line("jobs_rejected_total", s.met.jobsRejected.Load())
-	line("jobs_done_total", s.met.jobsDone.Load())
-	line("jobs_failed_total", s.met.jobsFailed.Load())
-	line("jobs_cancelled_total", s.met.jobsCancelled.Load())
-	line("cache_entries", entries)
-	line("cache_hits_total", hits)
-	line("cache_misses_total", misses)
-	line("cache_hit_rate", fmt.Sprintf("%.3f", hitRate))
-	line("cells_done_total", cells)
-	line("cells_per_second", fmt.Sprintf("%.2f", cellsPerSec))
-	line("sim_events_total", events)
-	line("sim_events_per_second", fmt.Sprintf("%.0f", eventsPerSec))
-	// Wire-codec accounting: bytes the cells' ICE envelopes encoded to,
-	// and the (sampled) wall time spent encoding them. Cache hits add
-	// nothing, like the event gauges.
-	line("wire_bytes_total", s.met.wireBytes.Load())
-	line("wire_encode_ns", s.met.wireEncodeNS.Load())
-	// Execution backend: which one is active, plus whatever gauges it
-	// exports (the mesh coordinator reports node liveness, shard
-	// retries, and per-node throughput here).
-	fmt.Fprintf(&b, "icegate_backend{name=%q} 1\n", s.cfg.Backend.Name())
+	text := s.met.reg.Expose()
 	if bm, ok := s.cfg.Backend.(backendMetrics); ok {
-		b.WriteString(bm.MetricsText())
+		text += bm.MetricsText()
 	}
-	return b.String()
+	return text
 }

@@ -19,6 +19,9 @@ import (
 //	DELETE /api/v1/jobs/{id}         cancel a queued or running job
 //	GET    /api/v1/jobs/{id}/result  rendered table (text/plain) once done
 //	GET    /api/v1/jobs/{id}/stream  per-cell results as NDJSON, live
+//	GET    /api/v1/jobs/{id}/trace   span trace once terminal (text tree, or
+//	                                 ?format=chrome for Perfetto-loadable JSON);
+//	                                 only for jobs submitted with "trace": true
 //	GET    /metrics                  gateway counters, Prometheus text style
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
@@ -92,6 +95,33 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		streamJob(s, w, r)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		if !job.Traced() {
+			writeError(w, http.StatusNotFound, "job was not submitted with trace enabled")
+			return
+		}
+		tr := job.TraceData()
+		if tr == nil {
+			// Worker span buffers are only safe to read once the job is
+			// terminal; tell the client to come back.
+			writeJSON(w, http.StatusAccepted, job.View())
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_ = tr.WriteChrome(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = tr.WriteText(w)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

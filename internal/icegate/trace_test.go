@@ -1,0 +1,155 @@
+package icegate
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/icescope"
+)
+
+// The trace endpoint's contract end to end: untraced jobs 404, live
+// traced jobs 202, terminal traced jobs return a text tree whose spans
+// cover the job lifecycle, and ?format=chrome yields valid trace-event
+// JSON — all without changing the rendered table (trace is a serving
+// knob, so the traced request is even served from the untraced one's
+// cache line).
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+
+	plain := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 17, Cells: 2, DurationS: 300}
+	v, code := submit(t, ts, plain)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if v = waitDone(t, ts, v.ID); v.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	if code, _ := get(t, ts, "/api/v1/jobs/"+v.ID+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("trace of untraced job = %d, want 404", code)
+	}
+	plainTable := fetchResult(t, ts, v.ID)
+
+	traced := plain
+	traced.Trace = true
+	tv, code := submit(t, ts, traced)
+	if code != http.StatusCreated {
+		t.Fatalf("traced submit = %d", code)
+	}
+	if tv = waitDone(t, ts, tv.ID); tv.Status != StatusDone {
+		t.Fatalf("traced job ended %s: %s", tv.Status, tv.Error)
+	}
+	// Trace is not part of result identity: same cache line, same bytes.
+	if !tv.Cached {
+		t.Error("traced resubmission missed the cache — Trace leaked into the key")
+	}
+	if got := fetchResult(t, ts, tv.ID); got != plainTable {
+		t.Errorf("traced table differs from untraced:\n%s\nvs\n%s", got, plainTable)
+	}
+
+	code, text := get(t, ts, "/api/v1/jobs/"+tv.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch = %d: %s", code, text)
+	}
+	for _, want := range []string{"job " + tv.ID, "queued", "cache hit"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace tree missing %q:\n%s", want, text)
+		}
+	}
+
+	code, raw := get(t, ts, "/api/v1/jobs/"+tv.ID+"/trace?format=chrome")
+	if code != http.StatusOK {
+		t.Fatalf("chrome trace fetch = %d", code)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(raw), &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+// An uncached traced job records the executor-side spans — run, build
+// spec, merge, and the fleet's per-cell leaves — not just lifecycle
+// bookkeeping.
+func TestJobTraceRecordsExecutionSpans(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	req := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 23, Cells: 3, DurationS: 300, Trace: true}
+	v, code := submit(t, ts, req)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if v = waitDone(t, ts, v.ID); v.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	code, text := get(t, ts, "/api/v1/jobs/"+v.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch = %d", code)
+	}
+	for _, want := range []string{"run", "build spec", "merge", "cell run", "proto build"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing execution span %q:\n%s", want, text)
+		}
+	}
+}
+
+// The gateway's full exposition — registry plus any backend suffix —
+// must satisfy the icescope linter, and the hand-picked lines CI greps
+// for must survive the registry rewrite byte for byte.
+func TestGatewayExpositionLints(t *testing.T) {
+	s, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	req := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 29, Cells: 1, DurationS: 300}
+	v, code := submit(t, ts, req)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, ts, v.ID)
+	if v, _ = submit(t, ts, req); !v.Cached {
+		t.Fatal("resubmission not cached")
+	}
+
+	text := s.renderMetrics()
+	if err := icescope.Lint(text); err != nil {
+		t.Fatalf("gateway exposition fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"icegate_cache_hits_total 1\n",
+		"icegate_jobs_done_total 2\n",
+		`icegate_backend{name="local"} 1` + "\n",
+		"# TYPE icegate_cell_seconds histogram\n",
+		"# HELP icegate_queue_depth ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// get fetches a path from the test server and returns (status, body).
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// fetchResult returns the rendered table of a done job.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	code, body := get(t, ts, "/api/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result fetch = %d: %s", code, body)
+	}
+	return body
+}

@@ -5,14 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
-	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
 // Config sizes the coordinator.
@@ -69,14 +69,88 @@ type Coordinator struct {
 	met meshMetrics
 }
 
+// meshMetrics is the coordinator's icescope registry plus the handles
+// its serving paths update. Per-node gauges are labeled vectors synced
+// from the node registry by an OnCollect hook at scrape time; a lost
+// node's children are deleted so /metrics never reports ghosts.
 type meshMetrics struct {
-	nodesJoined    atomic.Uint64
-	nodesLost      atomic.Uint64
-	shardsAssigned atomic.Uint64
-	shardRetries   atomic.Uint64
-	cellsDone      atomic.Uint64
-	jobs           atomic.Uint64
-	jobsFailed     atomic.Uint64
+	reg *icescope.Registry
+
+	nodesJoined    *icescope.Counter
+	nodesLost      *icescope.Counter
+	shardsAssigned *icescope.Counter
+	shardRetries   *icescope.Counter
+	cellsDone      *icescope.Counter
+	jobs           *icescope.Counter
+	jobsFailed     *icescope.Counter
+
+	// heartbeatJitter observes |actual beat interval − configured
+	// interval| per received heartbeat: the mesh's clock-health signal.
+	heartbeatJitter *icescope.Histogram
+
+	nodeCapacity *icescope.GaugeVec
+	nodeInflight *icescope.GaugeVec
+	nodeCells    *icescope.GaugeVec
+	nodeCellsPS  *icescope.GaugeVec
+}
+
+func newMeshMetrics(c *Coordinator) meshMetrics {
+	r := icescope.NewRegistry()
+	m := meshMetrics{reg: r}
+	r.GaugeFunc("icemesh_nodes_live", "Worker nodes currently registered.",
+		func() float64 { return float64(c.NodeCount()) })
+	m.nodesJoined = r.Counter("icemesh_nodes_joined_total", "Node registrations accepted.")
+	m.nodesLost = r.Counter("icemesh_nodes_lost_total", "Nodes evicted (drop, timeout, close).")
+	m.jobs = r.Counter("icemesh_jobs_total", "RunRange jobs accepted.")
+	m.jobsFailed = r.Counter("icemesh_jobs_failed_total", "RunRange jobs that returned an error.")
+	m.shardsAssigned = r.Counter("icemesh_shards_assigned_total", "Shard assignments sent (including re-assignments).")
+	m.shardRetries = r.Counter("icemesh_shard_retries_total", "Shards re-queued after node loss or deadline.")
+	m.cellsDone = r.Counter("icemesh_cells_done_total", "Cells delivered back and merged.")
+	m.heartbeatJitter = r.Histogram("icemesh_heartbeat_jitter_seconds",
+		"Absolute deviation of node heartbeat intervals from the configured beat.", nil)
+	m.nodeCapacity = r.GaugeVec("icemesh_node_capacity", "Advertised worker capacity per node.", "node")
+	m.nodeInflight = r.GaugeVec("icemesh_node_inflight_shards", "Shards assigned and unfinished per node.", "node")
+	m.nodeCells = r.GaugeVec("icemesh_node_cells_total", "Cells delivered per node.", "node")
+	m.nodeCellsPS = r.GaugeVec("icemesh_node_cells_per_second", "Per-node delivery rate since join.", "node")
+	r.OnCollect(c.syncNodeGauges)
+	return m
+}
+
+// syncNodeGauges refreshes the per-node vectors from the registry at
+// scrape time.
+func (c *Coordinator) syncNodeGauges() {
+	type nodeStat struct {
+		name      string
+		capacity  int
+		inflight  int
+		cellsDone uint64
+		perSec    float64
+	}
+	c.mu.Lock()
+	stats := make([]nodeStat, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		up := time.Since(n.joined).Seconds()
+		perSec := 0.0
+		if up > 0 {
+			perSec = float64(n.cellsDone) / up
+		}
+		stats = append(stats, nodeStat{n.name, n.capacity, len(n.inflight), n.cellsDone, perSec})
+	}
+	c.mu.Unlock()
+	for _, s := range stats {
+		c.met.nodeCapacity.With(s.name).Set(float64(s.capacity))
+		c.met.nodeInflight.With(s.name).Set(float64(s.inflight))
+		c.met.nodeCells.With(s.name).Set(float64(s.cellsDone))
+		c.met.nodeCellsPS.With(s.name).Set(s.perSec)
+	}
+}
+
+// dropNodeGauges removes a departed node's labeled series.
+func (c *Coordinator) dropNodeGauges(name string) {
+	c.met.nodeCapacity.Delete(name)
+	c.met.nodeInflight.Delete(name)
+	c.met.nodeCells.Delete(name)
+	c.met.nodeCellsPS.Delete(name)
 }
 
 // meshNode is one registered worker connection.
@@ -116,6 +190,7 @@ type meshShard struct {
 	retries    int
 	node       *meshNode   // current assignee
 	deadline   *time.Timer // ShardDeadline re-assignment, when configured
+	span       icescope.Span
 }
 
 // meshJob is one RunRange call in flight.
@@ -123,6 +198,7 @@ type meshJob struct {
 	scenario string
 	p        fleet.Params
 	deliver  func(fleet.Result)
+	span     icescope.Span // engine-side parent, propagated over RunRange's ctx
 
 	// Guarded by Coordinator.mu.
 	base     int // global index of seen[0]
@@ -144,11 +220,13 @@ func (j *meshJob) finish(err error) {
 
 // NewCoordinator returns a coordinator ready to Serve a listener.
 func NewCoordinator(cfg Config) *Coordinator {
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:    cfg.withDefaults(),
 		nodes:  map[string]*meshNode{},
 		shards: map[uint64]*meshShard{},
 	}
+	c.met = newMeshMetrics(c)
+	return c
 }
 
 // Serve accepts node registrations until the listener closes. Run it in
@@ -248,7 +326,7 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	}
 	c.nodes[node.name] = node
 	c.mu.Unlock()
-	c.met.nodesJoined.Add(1)
+	c.met.nodesJoined.Inc()
 	c.cfg.Logf("icemesh: node %s joined (capacity %d) from %s", node.name, node.capacity, conn.RemoteAddr())
 
 	if err := node.send(&Welcome{Node: node.name, HeartbeatMS: uint64(c.cfg.Heartbeat / time.Millisecond)}); err != nil {
@@ -266,8 +344,10 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		switch v := m.(type) {
 		case *Heartbeat:
 			c.mu.Lock()
+			interval := time.Since(node.lastBeat)
 			node.lastBeat = time.Now()
 			c.mu.Unlock()
+			c.met.heartbeatJitter.Observe(math.Abs((interval - c.cfg.Heartbeat).Seconds()))
 		case *CellDone:
 			c.onCellDone(node, v)
 		case *ShardDone:
@@ -290,12 +370,14 @@ func (c *Coordinator) RunRange(ctx context.Context, scenario string, p fleet.Par
 	if end <= start {
 		return nil
 	}
-	c.met.jobs.Add(1)
+	c.met.jobs.Inc()
 	job := &meshJob{
 		scenario: scenario, p: p, deliver: deliver,
 		base: start, seen: make([]bool, end-start),
 		done: make(chan struct{}),
+		span: icescope.SpanFromContext(ctx),
 	}
+	plan := job.span.Child("plan")
 
 	c.mu.Lock()
 	if c.closed {
@@ -305,7 +387,7 @@ func (c *Coordinator) RunRange(ctx context.Context, scenario string, p fleet.Par
 	live := c.liveNodesLocked()
 	if len(live) == 0 {
 		c.mu.Unlock()
-		c.met.jobsFailed.Add(1)
+		c.met.jobsFailed.Inc()
 		return ErrNoNodes
 	}
 	// Contiguous shard plan: small enough ranges that every node gets
@@ -333,17 +415,18 @@ func (c *Coordinator) RunRange(ctx context.Context, scenario string, p fleet.Par
 		}
 	}
 	c.mu.Unlock()
+	plan.End(icescope.IntAttr("shards", len(sends)), icescope.IntAttr("nodes", len(live)))
 	c.flush(sends)
 
 	defer c.releaseJob(job)
 	select {
 	case <-job.done:
 		if job.failed != nil {
-			c.met.jobsFailed.Add(1)
+			c.met.jobsFailed.Inc()
 		}
 		return job.failed
 	case <-ctx.Done():
-		c.met.jobsFailed.Add(1)
+		c.met.jobsFailed.Inc()
 		c.mu.Lock()
 		job.finish(ctx.Err())
 		c.mu.Unlock()
@@ -392,7 +475,11 @@ func (c *Coordinator) assignLocked(sh *meshShard) (assignment, error) {
 	}
 	sh.node = target
 	target.inflight[sh.id] = sh
-	c.met.shardsAssigned.Add(1)
+	c.met.shardsAssigned.Inc()
+	if sh.job.span.Active() {
+		sh.span.End(icescope.StrAttr("outcome", "requeued"))
+		sh.span = sh.job.span.Child(fmt.Sprintf("shard %d [%d,%d) %s", sh.id, sh.start, sh.end, target.name))
+	}
 	if c.cfg.ShardDeadline > 0 {
 		if sh.deadline != nil {
 			sh.deadline.Stop()
@@ -447,7 +534,7 @@ func (c *Coordinator) onCellDone(node *meshNode, m *CellDone) {
 	}
 	job.seen[i] = true
 	node.cellsDone++
-	c.met.cellsDone.Add(1)
+	c.met.cellsDone.Inc()
 	res := fleet.Result{
 		Cell:         fleet.Cell{Index: m.Index, Seed: m.Seed},
 		Events:       m.Events,
@@ -478,6 +565,12 @@ func (c *Coordinator) onShardDone(node *meshNode, m *ShardDone) {
 	if sh.deadline != nil {
 		sh.deadline.Stop()
 	}
+	outcome := "done"
+	if m.Err != "" {
+		outcome = "failed"
+	}
+	sh.span.End(icescope.StrAttr("outcome", outcome), icescope.IntAttr("cells", sh.end-sh.start))
+	sh.span = icescope.Span{}
 	job := sh.job
 	if !job.finished {
 		if m.Err != "" {
@@ -497,7 +590,8 @@ func (c *Coordinator) nodeLost(node *meshNode, cause error) {
 		return // already evicted
 	}
 	delete(c.nodes, node.name)
-	c.met.nodesLost.Add(1)
+	c.met.nodesLost.Inc()
+	c.dropNodeGauges(node.name)
 	c.cfg.Logf("icemesh: node %s lost: %v", node.name, cause)
 	orphans := make([]*meshShard, 0, len(node.inflight))
 	for _, sh := range node.inflight {
@@ -536,7 +630,7 @@ func (c *Coordinator) requeueLocked(orphans []*meshShard, cause error) []assignm
 			continue
 		}
 		sh.retries++
-		c.met.shardRetries.Add(1)
+		c.met.shardRetries.Inc()
 		if sh.retries > c.cfg.MaxRetries {
 			sh.job.finish(fmt.Errorf("icemesh: shard [%d,%d) failed after %d attempts: %w", sh.start, sh.end, sh.retries, cause))
 			delete(c.shards, sh.id)
@@ -571,45 +665,10 @@ func (c *Coordinator) releaseJob(job *meshJob) {
 	}
 }
 
-// MetricsText renders the mesh gauges in Prometheus text style; icegate
-// appends it to /metrics when the mesh is the serving backend.
+// MetricsText renders the mesh registry in Prometheus text exposition
+// format (HELP/TYPE lines included); icegate appends it to /metrics when
+// the mesh is the serving backend, and the OnCollect hook refreshes the
+// per-node gauges just before rendering.
 func (c *Coordinator) MetricsText() string {
-	var b strings.Builder
-	line := func(name string, v any) { fmt.Fprintf(&b, "icemesh_%s %v\n", name, v) }
-	c.mu.Lock()
-	type nodeStat struct {
-		name      string
-		capacity  int
-		inflight  int
-		cellsDone uint64
-		perSec    float64
-	}
-	stats := make([]nodeStat, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		up := time.Since(n.joined).Seconds()
-		perSec := 0.0
-		if up > 0 {
-			perSec = float64(n.cellsDone) / up
-		}
-		stats = append(stats, nodeStat{n.name, n.capacity, len(n.inflight), n.cellsDone, perSec})
-	}
-	liveNodes := len(c.nodes)
-	c.mu.Unlock()
-	sort.Slice(stats, func(i, j int) bool { return stats[i].name < stats[j].name })
-
-	line("nodes_live", liveNodes)
-	line("nodes_joined_total", c.met.nodesJoined.Load())
-	line("nodes_lost_total", c.met.nodesLost.Load())
-	line("jobs_total", c.met.jobs.Load())
-	line("jobs_failed_total", c.met.jobsFailed.Load())
-	line("shards_assigned_total", c.met.shardsAssigned.Load())
-	line("shard_retries_total", c.met.shardRetries.Load())
-	line("cells_done_total", c.met.cellsDone.Load())
-	for _, s := range stats {
-		fmt.Fprintf(&b, "icemesh_node_capacity{node=%q} %d\n", s.name, s.capacity)
-		fmt.Fprintf(&b, "icemesh_node_inflight_shards{node=%q} %d\n", s.name, s.inflight)
-		fmt.Fprintf(&b, "icemesh_node_cells_total{node=%q} %d\n", s.name, s.cellsDone)
-		fmt.Fprintf(&b, "icemesh_node_cells_per_second{node=%q} %.2f\n", s.name, s.perSec)
-	}
-	return b.String()
+	return c.met.reg.Expose()
 }

@@ -37,7 +37,7 @@ func TestAllTablesByteIdenticalLocalVsMesh(t *testing.T) {
 			}
 		})
 	}
-	if coord.met.cellsDone.Load() == 0 {
+	if coord.met.cellsDone.Value() == 0 {
 		t.Fatal("mesh executed no cells; the differential compared local against local")
 	}
 }

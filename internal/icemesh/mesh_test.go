@@ -188,7 +188,7 @@ func TestMeshNodeKillMidJobStillByteIdentical(t *testing.T) {
 	if out.err != nil {
 		t.Fatalf("mesh run after node kill: %v", out.err)
 	}
-	if coord.met.shardRetries.Load() == 0 {
+	if coord.met.shardRetries.Value() == 0 {
 		t.Fatal("no shard was re-assigned, the kill tested nothing")
 	}
 
@@ -229,7 +229,7 @@ func TestShardDeadlineReassignsFromWedgedNode(t *testing.T) {
 	// The one shard is gated on whichever node got it; wait for the
 	// deadline to bounce it to the other node.
 	deadline := time.Now().Add(10 * time.Second)
-	for coord.met.shardRetries.Load() == 0 {
+	for coord.met.shardRetries.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("shard deadline never fired")
 		}

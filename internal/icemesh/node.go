@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
 // NodeConfig sizes one worker node.
@@ -21,6 +22,47 @@ type NodeConfig struct {
 	DialAttempts int     // dial attempts before Run gives up; <=0 means 30
 	QueueDepth   int     // assignments accepted but not yet executing; <=0 means 64
 	Logf         func(format string, args ...any)
+
+	// Obs, when non-nil, receives the node's serving metrics. The daemon
+	// registers the handles once (NewNodeObs) and reuses them across
+	// re-dials, so counters survive connection loss.
+	Obs *NodeObs
+
+	// Trace, when non-nil, records the node's session: dial/handshake,
+	// one span per executed shard, and per-cell fleet spans
+	// (cmd/icenode -tracefile). Purely observational — assignment
+	// execution and CellDone bytes are identical with tracing on or off.
+	Trace *icescope.Trace
+}
+
+// NodeObs bundles the worker node's icescope handles: how many shards
+// and cells it executed, its heartbeat cadence, and where its time goes
+// (shard execution, per-cell latency, pool queue wait).
+type NodeObs struct {
+	ShardsDone   *icescope.Counter
+	ShardsFailed *icescope.Counter
+	CellsDone    *icescope.Counter
+	Heartbeats   *icescope.Counter
+	ShardSeconds *icescope.Histogram
+	Fleet        *fleet.Obs
+}
+
+// NewNodeObs registers the node metric family on reg (icenode_*) and
+// returns the handles for NodeConfig.Obs. Call once per process.
+func NewNodeObs(reg *icescope.Registry) *NodeObs {
+	return &NodeObs{
+		ShardsDone:   reg.Counter("icenode_shards_done_total", "Shard assignments executed to completion."),
+		ShardsFailed: reg.Counter("icenode_shards_failed_total", "Shard assignments that failed at build or range validation."),
+		CellsDone:    reg.Counter("icenode_cells_done_total", "Cells executed and streamed back."),
+		Heartbeats:   reg.Counter("icenode_heartbeats_total", "Heartbeats sent to the coordinator."),
+		ShardSeconds: reg.Histogram("icenode_shard_seconds", "Wall time executing one shard assignment.", nil),
+		Fleet: &fleet.Obs{
+			CellSeconds: reg.Histogram("icenode_cell_seconds",
+				"Per-cell execution latency on this node's pool.", nil),
+			QueueWaitSeconds: reg.Histogram("icenode_cell_queue_wait_seconds",
+				"Per-cell wait between dispatch and worker pickup on this node.", nil),
+		},
+	}
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -56,6 +98,10 @@ type Node struct {
 	inflight  int    // assignments queued or executing
 	cellsDone uint64
 	draining  bool
+
+	// sess parents this connection's shard spans; set in Run before the
+	// executor goroutine starts, zero when the node is untraced.
+	sess icescope.Span
 }
 
 // NewNode returns an unconnected node; Run connects and serves.
@@ -87,6 +133,7 @@ func (n *Node) send(m any) error {
 // is cancelled. A cleanly drained shutdown (Drain, then cancel) returns
 // nil; anything else returns the terminating error.
 func (n *Node) Run(ctx context.Context) error {
+	dialSp := n.cfg.Trace.Start(icescope.Span{}, "dial coordinator")
 	var conn net.Conn
 	dial := func() error {
 		c, err := (&net.Dialer{Timeout: 3 * time.Second}).DialContext(ctx, "tcp", n.cfg.Coordinator)
@@ -119,6 +166,9 @@ func (n *Node) Run(ctx context.Context) error {
 	n.mu.Lock()
 	n.name = welcome.Node
 	n.mu.Unlock()
+	dialSp.End(icescope.StrAttr("node", welcome.Node))
+	n.sess = n.cfg.Trace.Start(icescope.Span{}, "session "+welcome.Node)
+	defer func() { n.sess.End(); n.sess = icescope.Span{} }()
 	beat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
 	if beat <= 0 {
 		beat = time.Second
@@ -149,6 +199,9 @@ func (n *Node) Run(ctx context.Context) error {
 				hb := &Heartbeat{Inflight: n.inflight, CellsDone: n.cellsDone}
 				n.mu.Unlock()
 				_ = n.send(hb)
+				if n.cfg.Obs != nil {
+					n.cfg.Obs.Heartbeats.Inc()
+				}
 			case <-connCtx.Done():
 				return
 			}
@@ -199,6 +252,14 @@ func (n *Node) Run(ctx context.Context) error {
 // bad cell doesn't kill the ensemble); only range-level failures — an
 // unknown scenario, an impossible range — fail the shard.
 func (n *Node) execute(ctx context.Context, a *Assign) {
+	var t0 time.Time
+	if n.cfg.Obs != nil {
+		t0 = time.Now()
+	}
+	sp := icescope.Span{}
+	if n.sess.Active() {
+		sp = n.sess.Child(fmt.Sprintf("shard %d [%d,%d)", a.Shard, a.Start, a.End))
+	}
 	spec, err := fleet.Build(a.Scenario, fleet.Params{
 		Seed:      a.Seed,
 		Cells:     a.Cells,
@@ -211,9 +272,17 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 	}
 	if err != nil {
 		_ = n.send(&ShardDone{Shard: a.Shard, Err: err.Error()})
+		sp.End(icescope.StrAttr("outcome", "failed"))
+		if n.cfg.Obs != nil {
+			n.cfg.Obs.ShardsFailed.Inc()
+		}
 		return
 	}
-	_, _ = fleet.Runner{Workers: n.cfg.Workers}.RunRangeContext(ctx, spec, a.Start, a.End, func(r fleet.Result) {
+	runner := fleet.Runner{Workers: n.cfg.Workers, Span: sp}
+	if n.cfg.Obs != nil {
+		runner.Obs = n.cfg.Obs.Fleet
+	}
+	_, _ = runner.RunRangeContext(ctx, spec, a.Start, a.End, func(r fleet.Result) {
 		cd := &CellDone{
 			Shard: a.Shard, Index: r.Cell.Index, Seed: r.Cell.Seed,
 			Events: r.Events, WireBytes: r.WireBytes, WireEncodeNS: r.WireEncodeNS,
@@ -226,8 +295,16 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 		n.mu.Lock()
 		n.cellsDone++
 		n.mu.Unlock()
+		if n.cfg.Obs != nil {
+			n.cfg.Obs.CellsDone.Inc()
+		}
 	})
 	_ = n.send(&ShardDone{Shard: a.Shard})
+	sp.End(icescope.StrAttr("outcome", "done"), icescope.IntAttr("cells", a.End-a.Start))
+	if n.cfg.Obs != nil {
+		n.cfg.Obs.ShardsDone.Inc()
+		n.cfg.Obs.ShardSeconds.Observe(time.Since(t0).Seconds())
+	}
 }
 
 func (n *Node) isDraining() bool {

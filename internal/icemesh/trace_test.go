@@ -1,0 +1,164 @@
+package icemesh
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/icescope"
+	"repro/internal/sim"
+)
+
+// TestMeshTraceCoverage is the attribution acceptance gate: a traced
+// 8-cell job on a 2-node mesh must attribute at least 90% of its wall
+// time to named leaf spans (plan + per-shard round trips), so the trace
+// can actually explain where the scaling headroom goes instead of
+// leaving it in anonymous gaps. The rendered tree is logged — DESIGN.md
+// quotes a run of this shape.
+func TestMeshTraceCoverage(t *testing.T) {
+	coord, _ := startMesh(t, Config{ShardCells: 2}, 2, 2)
+
+	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+		Seed: 42, Cells: 8, Duration: 30 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := icescope.NewTrace("mesh-job")
+	root := tr.Start(icescope.Span{}, "job mesh-bench")
+	runner := fleet.Runner{Workers: 2, Engine: coord, Span: root}
+	if _, err := runner.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	cov := tr.Coverage(root)
+	t.Logf("trace coverage: %.3f\n%s", cov, tr.TextString())
+	if cov < 0.9 {
+		t.Fatalf("trace attributes only %.1f%% of wall time to leaf spans, want >= 90%%\n%s",
+			cov*100, tr.TextString())
+	}
+	text := tr.TextString()
+	for _, want := range []string{"engine " + fleet.ScenarioPCASupervised, "plan", "shard 1 [0,2)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace tree missing span %q:\n%s", want, text)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("trace dropped %d spans under the default cap", tr.Dropped())
+	}
+}
+
+// Tracing is observability, not identity: the same mesh job with and
+// without a span root reduces to byte-identical tables.
+func TestMeshTraceDifferential(t *testing.T) {
+	coord, _ := startMesh(t, Config{ShardCells: 3}, 2, 2)
+
+	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+		Seed: 7, Cells: 5, Duration: 30 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fleet.Runner{Workers: 2, Engine: coord}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := icescope.NewTrace("diff")
+	root := tr.Start(icescope.Span{}, "job")
+	traced, err := fleet.Runner{Workers: 2, Engine: coord, Span: root}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if got, want := summarize(traced), summarize(plain); got != want {
+		t.Fatalf("tracing changed the mesh table:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Node loss must leave the coordinator's metrics both well-formed and
+// arithmetically right: one eviction, at least one shard retry, and —
+// because delivery is deduplicated by job.seen — exactly one count per
+// cell even though some cells were assigned twice.
+func TestNodeLossMetricsStayCorrect(t *testing.T) {
+	seed := 9000 + killSeeds.Add(1)
+	const cells = 6
+	coord, cancels := startMesh(t, Config{ShardCells: 1, Heartbeat: 50 * time.Millisecond}, 2, 1)
+
+	spec, err := fleet.Build("mesh-gated", fleet.Params{Seed: seed, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := fleet.Runner{Workers: 4, Engine: coord}.RunContext(context.Background(), spec, nil)
+		done <- err
+	}()
+
+	// Wait until both nodes hold gated work, then kill one.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		coord.mu.Lock()
+		busy := 0
+		for _, n := range coord.nodes {
+			if len(n.inflight) > 0 {
+				busy++
+			}
+		}
+		coord.mu.Unlock()
+		if busy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("nodes never picked up shards")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancels[0]()
+	deadline = time.Now().Add(10 * time.Second)
+	for coord.NodeCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("killed node never evicted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(meshGate(seed))
+	if err := <-done; err != nil {
+		t.Fatalf("mesh run after node kill: %v", err)
+	}
+
+	if got := coord.met.nodesLost.Value(); got != 1 {
+		t.Errorf("nodes_lost_total = %d, want 1", got)
+	}
+	if coord.met.shardRetries.Value() == 0 {
+		t.Error("shard_retries_total = 0 after a mid-job node kill")
+	}
+	if got := coord.met.cellsDone.Value(); got != cells {
+		t.Errorf("cells_done_total = %d, want %d (re-assigned cells double-counted?)", got, cells)
+	}
+
+	text := coord.MetricsText()
+	if err := icescope.Lint(text); err != nil {
+		t.Errorf("post-loss exposition fails lint: %v", err)
+	}
+	for _, want := range []string{
+		"icemesh_nodes_lost_total 1\n",
+		"icemesh_nodes_live 1\n",
+		"# TYPE icemesh_shard_retries_total counter\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The dead node's per-node gauges must be gone; the survivor's stay.
+	if strings.Contains(text, `node="worker-a"`) {
+		t.Errorf("evicted node still has per-node gauges:\n%s", text)
+	}
+	if !strings.Contains(text, `icemesh_node_cells_total{node="worker-b"} `+
+		"6\n") {
+		t.Errorf("survivor's cell gauge wrong:\n%s", text)
+	}
+}

@@ -1,0 +1,74 @@
+// Package icescope is the observability layer of the serving stack: a
+// span recorder for end-to-end job tracing, a unified metrics registry
+// rendered in Prometheus exposition format, and profiling hooks — all
+// provably off the determinism path. Nothing in this package touches a
+// simulation kernel, an RNG, or a result byte: tracing and metrics read
+// wall clocks and write to side buffers, so results are byte-identical
+// with observability on or off (the differential suite holds the stack
+// to that).
+//
+// The three pieces:
+//
+//   - Trace/Span/Buffer: a low-overhead span recorder. Control-plane
+//     spans (job lifecycle, shard plans, RPC round trips) append under
+//     one mutex and may start/end on different goroutines; data-plane
+//     spans (per-cell execution) go through per-worker Buffers that
+//     append lock-free because each buffer has exactly one writing
+//     goroutine. Traces export as a text tree or as Chrome trace-event
+//     JSON loadable in Perfetto, and Coverage reports how much of a
+//     root span's wall time its leaf spans attribute.
+//
+//   - Registry/Counter/Gauge/Histogram: generic metric types (atomic,
+//     zero-alloc on the hot path) replacing per-package hand-rolled
+//     structs, with one Prometheus-exposition writer emitting HELP and
+//     TYPE lines; Lint validates any exposition text.
+//
+//   - Region and DebugMux: a runtime/trace region wrapper that stays a
+//     no-op unless a job opts in AND the Go execution tracer is running,
+//     and an http mux bundling net/http/pprof with a registry's
+//     /metrics for the daemons' -pprof flag.
+package icescope
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	rtrace "runtime/trace"
+)
+
+// regionNoop is the shared do-nothing closer, so a disabled Region call
+// costs two branches and zero allocations.
+var regionNoop = func() {}
+
+// Region opens a runtime/trace region and returns its closer. It is a
+// no-op unless both the caller opted in (enabled — a per-job choice) and
+// the Go execution tracer is actually collecting (the -pprof
+// /debug/pprof/trace endpoint or `go test -trace`): kernel hot loops
+// stay untraced by default, but a profiling session of an opted-in job
+// sees each cell as a named region on its worker goroutine.
+func Region(enabled bool, name string) func() {
+	if !enabled || !rtrace.IsEnabled() {
+		return regionNoop
+	}
+	return rtrace.StartRegion(context.Background(), name).End
+}
+
+// DebugMux serves the standard net/http/pprof endpoints (profile, heap,
+// goroutine, trace, ...) plus, when reg is non-nil, the registry's
+// Prometheus exposition at /metrics. The daemons hang this off their
+// -pprof flag so profiling never shares a listener with the serving API.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(reg.Expose()))
+		})
+	}
+	return mux
+}

@@ -1,0 +1,406 @@
+package icescope
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a set of metric families and renders them all through
+// one Prometheus-exposition writer. Registration (Counter, Gauge, ...)
+// happens at construction time and takes a lock; the returned handles
+// are the hot path — atomic operations, zero allocations — so wiring the
+// registry into a serving loop cannot perturb its throughput. Families
+// render in registration order, labeled children in label order, so the
+// exposition text is deterministic for tests.
+type Registry struct {
+	mu      sync.Mutex
+	fams    []*family
+	byName  map[string]*family
+	collect []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+type family struct {
+	name, help, typ string
+	labelKey        string // "" = one unlabeled series
+
+	single any // *Counter, *Gauge, func() float64, or *Histogram
+
+	cmu      sync.RWMutex
+	children map[string]any // label value -> series (labeled families)
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// register installs a family, panicking on duplicate or lint-invalid
+// names — registration is init-time code and a collision is a bug.
+func (r *Registry) register(name, help, typ, labelKey string, single any) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("icescope: invalid metric name %q", name))
+	}
+	if labelKey != "" && !labelNameRE.MatchString(labelKey) {
+		panic(fmt.Sprintf("icescope: invalid label name %q", labelKey))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("icescope: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, typ: typ, labelKey: labelKey, single: single}
+	if labelKey != "" {
+		f.children = map[string]any{}
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// OnCollect registers a hook run at the start of every exposition, for
+// values that must be synced from external state just-in-time (the mesh
+// coordinator uses it to refresh its per-node gauge vectors).
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments by delta (CAS loop; still allocation-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets. Observe
+// is atomic and allocation-free; rendering emits the standard
+// <name>_bucket{le="..."} series plus _sum and _count.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count reports total observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the running total of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// LatencyBuckets is the default duration-in-seconds bucket ladder:
+// 100µs to ~100s, a decade per three buckets — wide enough for a cell
+// (ms) and a mesh job (s) on one axis.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("icescope: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", "", c)
+	return c
+}
+
+// Gauge registers and returns an unlabeled settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", "", g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at exposition
+// time — uptime, queue depth, derived rates.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", "", fn)
+}
+
+// Histogram registers a histogram with the given ascending bucket
+// upper bounds (nil means LatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets()
+	}
+	h := newHistogram(bounds)
+	r.register(name, help, "histogram", "", h)
+	return h
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", label, nil)}
+}
+
+// With returns (creating if needed) the child counter for the label
+// value. Callers on hot paths should cache the child.
+func (v *CounterVec) With(value string) *Counter {
+	return v.f.child(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// Delete drops the child for the label value (a departed mesh node).
+func (v *CounterVec) Delete(value string) { v.f.delete(value) }
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", label, nil)}
+}
+
+// With returns (creating if needed) the child gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.f.child(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Delete drops the child for the label value.
+func (v *GaugeVec) Delete(value string) { v.f.delete(value) }
+
+func (f *family) child(value string, mk func() any) any {
+	f.cmu.RLock()
+	c, ok := f.children[value]
+	f.cmu.RUnlock()
+	if ok {
+		return c
+	}
+	f.cmu.Lock()
+	defer f.cmu.Unlock()
+	if c, ok := f.children[value]; ok {
+		return c
+	}
+	c = mk()
+	f.children[value] = c
+	return c
+}
+
+func (f *family) delete(value string) {
+	f.cmu.Lock()
+	defer f.cmu.Unlock()
+	delete(f.children, value)
+}
+
+// fmtFloat renders a float the way Prometheus exposition expects:
+// shortest round-trip decimal, with integral values staying integral
+// ("2", not "2.000000").
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Expose renders every family in Prometheus text exposition format —
+// HELP and TYPE comment lines followed by the samples. Deterministic:
+// families in registration order, labeled children sorted by value.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// WriteTo renders the exposition into b.
+func (r *Registry) WriteTo(b *strings.Builder) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	hooks := append([]func(){}, r.collect...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	for _, f := range fams {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.labelKey == "" {
+			writeSeries(b, f.name, "", f.single)
+			continue
+		}
+		f.cmu.RLock()
+		values := make([]string, 0, len(f.children))
+		for v := range f.children {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			label := fmt.Sprintf(`%s="%s"`, f.labelKey, escapeLabel(v))
+			writeSeries(b, f.name, label, f.children[v])
+		}
+		f.cmu.RUnlock()
+	}
+}
+
+func writeSeries(b *strings.Builder, name, label string, s any) {
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + "}"
+	}
+	switch v := s.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", name, suffix, v.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %s\n", name, suffix, fmtFloat(v.Value()))
+	case func() float64:
+		fmt.Fprintf(b, "%s%s %s\n", name, suffix, fmtFloat(v()))
+	case *Histogram:
+		cum := uint64(0)
+		for i, bound := range v.bounds {
+			cum += v.counts[i].Load()
+			le := fmt.Sprintf(`le="%s"`, fmtFloat(bound))
+			if label != "" {
+				le = label + "," + le
+			}
+			fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, le, cum)
+		}
+		le := `le="+Inf"`
+		if label != "" {
+			le = label + "," + le
+		}
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, le, v.Count())
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtFloat(v.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, v.Count())
+	default:
+		panic(fmt.Sprintf("icescope: unknown series type %T", s))
+	}
+}
+
+var sampleRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// Lint validates Prometheus exposition text: every sample line must
+// parse, every metric name must pass the name lint, and every sample's
+// family must have been introduced by HELP and TYPE lines (histogram
+// _bucket/_sum/_count series resolve to their base family). Tests hold
+// /metrics bodies and coordinator exposition to this.
+func Lint(text string) error {
+	typed := map[string]string{} // family -> TYPE
+	helped := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: malformed HELP %q", ln+1, line)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q", ln+1, typ)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free comment
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable sample %q", ln+1, line)
+		}
+		name := m[1]
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if typed[fam] == "" {
+			return fmt.Errorf("line %d: sample %q has no TYPE line", ln+1, name)
+		}
+		if !helped[fam] {
+			return fmt.Errorf("line %d: sample %q has no HELP line", ln+1, name)
+		}
+		if typed[fam] == "counter" && !strings.HasSuffix(fam, "_total") && !strings.HasSuffix(fam, "_ns") {
+			// Counters should read as totals; the _ns suffix is grand-
+			// fathered for the pre-registry wire-encode accounting names.
+			return fmt.Errorf("line %d: counter %q should end in _total", ln+1, fam)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package icescope
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_cells_done_total", "Cells completed.")
+	g := r.Gauge("app_queue_depth", "Jobs queued.")
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	h := r.Histogram("app_cell_seconds", "Cell latency.", nil)
+	cv := r.CounterVec("app_node_cells_total", "Cells per node.", "node")
+	gv := r.GaugeVec("app_backend", "Active backend.", "name")
+
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.003)
+	h.Observe(7)
+	cv.With("b").Add(2)
+	cv.With("a").Inc()
+	gv.With("mesh").Set(1)
+
+	text := r.Expose()
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint rejected own exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# HELP app_cells_done_total Cells completed.",
+		"# TYPE app_cells_done_total counter",
+		"app_cells_done_total 3",
+		"app_queue_depth 2",
+		"app_uptime_seconds 12.5",
+		"# TYPE app_cell_seconds histogram",
+		`app_cell_seconds_bucket{le="0.0025"} 0`,
+		`app_cell_seconds_bucket{le="0.005"} 1`,
+		`app_cell_seconds_bucket{le="+Inf"} 2`,
+		"app_cell_seconds_sum 7.003",
+		"app_cell_seconds_count 2",
+		`app_node_cells_total{node="a"} 1`,
+		`app_node_cells_total{node="b"} 2`,
+		`app_backend{name="mesh"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Children render sorted by label value.
+	if strings.Index(text, `node="a"`) > strings.Index(text, `node="b"`) {
+		t.Errorf("vec children not sorted:\n%s", text)
+	}
+}
+
+func TestOnCollectAndDelete(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("mesh_node_up", "Node liveness.", "node")
+	live := map[string]bool{"a": true, "b": true}
+	r.OnCollect(func() {
+		for n := range live {
+			gv.With(n).Set(1)
+		}
+	})
+	text := r.Expose()
+	if !strings.Contains(text, `mesh_node_up{node="a"} 1`) || !strings.Contains(text, `mesh_node_up{node="b"} 1`) {
+		t.Fatalf("OnCollect did not populate children:\n%s", text)
+	}
+	delete(live, "b")
+	gv.Delete("b")
+	if text := r.Expose(); strings.Contains(text, `node="b"`) {
+		t.Fatalf("deleted child still rendered:\n%s", text)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":    func() { r.Counter("ok_total", "again") },
+		"invalid name": func() { r.Counter("0bad", "x") },
+		"bad bounds":   func() { r.Histogram("h_x", "x", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLintCatchesBadInput(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":         "# HELP x_total a\nx_total 1\n",
+		"no HELP":         "# TYPE x_total counter\nx_total 1\n",
+		"bad sample":      "# HELP x_total a\n# TYPE x_total counter\nx_total one\n",
+		"counter suffix":  "# HELP x a\n# TYPE x counter\nx 1\n",
+		"bad TYPE":        "# HELP x a\n# TYPE x enum\nx 1\n",
+		"unescaped label": "# HELP x a\n# TYPE x gauge\nx{l=\"a\"b\"} 1\n",
+	}
+	for name, text := range cases {
+		if Lint(text) == nil {
+			t.Errorf("%s: Lint accepted %q", name, text)
+		}
+	}
+	good := "# HELP x_total a\n# TYPE x_total counter\nx_total{l=\"a\\\"b\"} 1\n"
+	if err := Lint(good); err != nil {
+		t.Errorf("Lint rejected valid text: %v", err)
+	}
+}
+
+// The registry's write side must be allocation-free: these handles sit
+// on the scheduling/delivery hot paths that the repo's existing alloc
+// gates protect.
+func TestMetricsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("z_total", "x")
+	g := r.Gauge("z_g", "x")
+	h := r.Histogram("z_h", "x", nil)
+	cv := r.CounterVec("z_v_total", "x", "k")
+	cv.With("warm") // create outside the measured loop
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Gauge.Set":         func() { g.Set(1) },
+		"Gauge.Add":         func() { g.Add(1) },
+		"Histogram.Observe": func() { h.Observe(0.004) },
+		"Vec.With(warm)":    func() { cv.With("warm").Inc() },
+	} {
+		if n := testing.AllocsPerRun(200, fn); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package icescope
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeAndExports(t *testing.T) {
+	tr := NewTrace("job test-1")
+	root := tr.Start(Span{}, "job")
+	plan := root.Child("plan")
+	time.Sleep(time.Millisecond)
+	plan.End(IntAttr("shards", 4))
+	buf := tr.Buffer()
+	cell := buf.Start(root, "cell 0 run")
+	time.Sleep(time.Millisecond)
+	cell.End(StrAttr("mode", "proto"))
+	tr.Instant(root, "celldone", IntAttr("cell", 0))
+	root.End()
+
+	text := tr.TextString()
+	for _, want := range []string{"trace job test-1", "job", "plan", "shards=4", "cell 0 run", "mode=proto", "celldone !"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q:\n%s", want, text)
+		}
+	}
+	// plan must be indented under job.
+	jobLine, planLine := "", ""
+	for _, ln := range strings.Split(text, "\n") {
+		if strings.Contains(ln, "job ") || strings.TrimSpace(ln) == "job" || strings.HasPrefix(strings.TrimLeft(ln, " "), "job ") {
+			if jobLine == "" && !strings.HasPrefix(ln, "trace") {
+				jobLine = ln
+			}
+		}
+		if strings.Contains(ln, "plan") {
+			planLine = ln
+		}
+	}
+	if jobLine == "" || planLine == "" {
+		t.Fatalf("missing job/plan lines:\n%s", text)
+	}
+	indent := func(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+	if indent(planLine) <= indent(jobLine) {
+		t.Errorf("plan not nested under job:\njob:  %q\nplan: %q", jobLine, planLine)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int32          `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, b.String())
+	}
+	if len(file.TraceEvents) != 4 {
+		t.Fatalf("want 4 events, got %d", len(file.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range file.TraceEvents {
+		byName[ev.Name] = i
+	}
+	if ev := file.TraceEvents[byName["cell 0 run"]]; ev.TID != 1 || ev.Phase != "X" || ev.Dur <= 0 || ev.Args["mode"] != "proto" {
+		t.Errorf("cell event wrong: %+v", ev)
+	}
+	if ev := file.TraceEvents[byName["celldone"]]; ev.Phase != "i" {
+		t.Errorf("instant not ph=i: %+v", ev)
+	}
+	if ev := file.TraceEvents[byName["plan"]]; ev.TID != 0 {
+		t.Errorf("control span not tid 0: %+v", ev)
+	}
+}
+
+func TestNilTraceAndZeroSpanAreInert(t *testing.T) {
+	var tr *Trace
+	s := tr.Start(Span{}, "x")
+	if s.Active() {
+		t.Fatal("span on nil trace is active")
+	}
+	s.End()
+	s.Child("y").End()
+	tr.Instant(s, "z")
+	b := tr.Buffer()
+	if b != nil {
+		t.Fatal("nil trace returned a buffer")
+	}
+	if sp := b.Start(s, "w"); sp.Active() {
+		t.Fatal("nil buffer span is active")
+	}
+	if tr.Coverage(s) != 0 || tr.Name() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil trace accessors not zero")
+	}
+	if got := tr.TextString(); got != "(no trace)\n" {
+		t.Fatalf("nil text export = %q", got)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil || !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatalf("nil chrome export: %v %q", err, sb.String())
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := NewTrace("cap")
+	tr.SetMaxSpans(3)
+	root := tr.Start(Span{}, "root")
+	root.End()
+	for i := 0; i < 5; i++ {
+		tr.Start(root, "s").End()
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if n := len(tr.snapshot()); n != 3 {
+		t.Fatalf("recorded %d spans, want 3", n)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tr := NewTrace("cov")
+	root := tr.Start(Span{}, "root")
+	// Two leaves covering disjoint halves with a gap, plus a parent span
+	// that must NOT count (its children do), plus an overlap.
+	mk := func(start, end time.Duration, parent Span, name string) Span {
+		s := tr.Start(parent, name)
+		s.start = start
+		rec := spanRec{id: s.id, parent: s.parent, name: name, start: start, end: end}
+		tr.mu.Lock()
+		tr.ctl = append(tr.ctl, rec)
+		tr.mu.Unlock()
+		return s
+	}
+	mid := mk(0, 100*time.Millisecond, root, "phase") // becomes a parent
+	mk(0, 40*time.Millisecond, mid, "a")
+	mk(30*time.Millisecond, 60*time.Millisecond, mid, "b") // overlaps a
+	mk(80*time.Millisecond, 100*time.Millisecond, root, "c")
+	// Close root at exactly 100ms.
+	tr.mu.Lock()
+	tr.ctl = append(tr.ctl, spanRec{id: root.id, parent: 0, name: "root", start: 0, end: 100 * time.Millisecond})
+	tr.mu.Unlock()
+	// Union of leaves: [0,60) ∪ [80,100) = 80ms of 100ms.
+	if got := tr.Coverage(root); got < 0.79 || got > 0.81 {
+		t.Fatalf("coverage = %v, want 0.8", got)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTrace("ctx")
+	root := tr.Start(Span{}, "root")
+	ctx := ContextWithSpan(context.Background(), root)
+	got := SpanFromContext(ctx)
+	if got.ID() != root.ID() || got.Trace() != tr {
+		t.Fatal("span did not round-trip through context")
+	}
+	if s := SpanFromContext(context.Background()); s.Active() {
+		t.Fatal("empty context produced an active span")
+	}
+	if ctx2 := ContextWithSpan(context.Background(), Span{}); ctx2 != context.Background() {
+		t.Fatal("inert span should not wrap the context")
+	}
+}
+
+// Control-plane spans may start and end on different goroutines while
+// worker buffers record concurrently; this must be race-free (run under
+// -race in CI).
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTrace("conc")
+	root := tr.Start(Span{}, "root")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		buf := tr.Buffer() // registered on the spawning goroutine
+		wg.Add(1)
+		go func(b *Buffer) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := b.Start(root, "cell")
+				tr.Instant(root, "mark")
+				sp.End()
+			}
+		}(buf)
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.snapshot()); n != 4*200+1 {
+		t.Fatalf("recorded %d spans, want %d", n, 4*200+1)
+	}
+	if cov := tr.Coverage(root); cov <= 0 || cov > 1 {
+		t.Fatalf("coverage out of range: %v", cov)
+	}
+}
+
+func TestRegionNoopWhenDisabled(t *testing.T) {
+	// Tracer not running: both calls must return the shared no-op.
+	end := Region(true, "x")
+	end()
+	if n := testing.AllocsPerRun(100, func() { Region(false, "cell")() }); n != 0 {
+		t.Fatalf("disabled Region allocates %.1f per op", n)
+	}
+}
