@@ -297,17 +297,25 @@ func BenchmarkFleetPCAScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkMeshScaling runs the same fixed PCA fleet through an
-// in-process icemesh cluster (coordinator + N node runtimes over real
-// TCP on localhost) at increasing node counts. cells/s should scale
-// with nodes while the reduced clinical outcome stays bit-identical to
-// BenchmarkFleetPCAScaling's — the mesh differential tests assert the
-// bytes; the benchmark reports the mean nadir as the same tripwire.
+// BenchmarkMeshScaling drives a latency-bound tele-ICU probe fleet
+// through an in-process icemesh cluster (coordinator + N node runtimes
+// over real TCP on localhost) at increasing node counts. Probe cells
+// spend most of their wall time waiting on a seed-derived remote RTT
+// (rtt_ms knob), not on the CPU, so adding nodes buys real concurrency
+// even on a single-core host — this is the workload the streaming
+// work-stealing coordinator has to scale: cells/s at 2 nodes should be
+// >= 1.8x the 1-node rate, and >= 3.4x at 4 nodes. The reduced clinical
+// outcome stays bit-identical to local execution (the mesh differential
+// tests assert the bytes; the benchmark reports the mean nadir as a
+// tripwire). Set -benchtime 1x: one iteration runs the full fleet.
 func BenchmarkMeshScaling(b *testing.B) {
-	const cells = 8
+	cells := 10000
+	if testing.Short() {
+		cells = 400
+	}
 	for _, nodes := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			coord := icemesh.NewCoordinator(icemesh.Config{ShardCells: 2})
+			coord := icemesh.NewCoordinator(icemesh.Config{})
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				b.Fatal(err)
@@ -327,8 +335,9 @@ func BenchmarkMeshScaling(b *testing.B) {
 				b.Fatal(err)
 			}
 
-			spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
-				Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
+			spec, err := fleet.Build(fleet.ScenarioTeleICUProbe, fleet.Params{
+				Seed: 42, Cells: cells, Duration: sim.Minute,
+				Knobs: map[string]float64{"rtt_ms": 8},
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -28,6 +28,11 @@
 //	mesh.cells_per_s_1node_large   the large-cell axis: fewer, longer cells, so
 //	mesh.cells_per_s_2node_large   per-cell RPC overhead amortizes and scaling
 //	mesh.scaling_large             approaches the node count
+//	mesh.cells_per_s_1node_probe   the latency-bound axis: tele-icu-probe cells
+//	mesh.cells_per_s_2node_probe   wait on a seed-derived remote RTT, so node
+//	mesh.cells_per_s_4node         scaling is visible even on a single-core
+//	mesh.scaling_2node_probe       host — the axis the streaming work-stealing
+//	mesh.scaling_4node             coordinator is gated on (>=1.8x / >=3.4x)
 package main
 
 import (
@@ -75,6 +80,19 @@ type meshReport struct {
 	CellsPerS1NodeLarge float64 `json:"cells_per_s_1node_large"`
 	CellsPerS2NodeLarge float64 `json:"cells_per_s_2node_large"`
 	ScalingLarge        float64 `json:"scaling_large"`
+	// The probe axis is latency-bound rather than CPU-bound: each
+	// tele-icu-probe cell sleeps a seed-derived remote RTT (rtt_ms knob)
+	// after a short simulated session, so cells/s scales with total
+	// worker count, not host cores. This is the axis that exercises the
+	// streaming work-stealing coordinator — 4 nodes must pull shards
+	// fast enough to keep 8 workers inside their RTTs.
+	ProbeCells          int     `json:"probe_cells"`
+	ProbeRTTMS          float64 `json:"probe_rtt_ms"`
+	CellsPerS1NodeProbe float64 `json:"cells_per_s_1node_probe"`
+	CellsPerS2NodeProbe float64 `json:"cells_per_s_2node_probe"`
+	CellsPerS4Node      float64 `json:"cells_per_s_4node"`
+	Scaling2NodeProbe   float64 `json:"scaling_2node_probe"`
+	Scaling4Node        float64 `json:"scaling_4node"`
 }
 
 type kernelReport struct {
@@ -271,13 +289,14 @@ func benchFleet(cells, workers int, noProto bool) (cellsPerS, eventsPerS float64
 	return float64(rounds*cells) / elapsed, float64(events) / elapsed, nil
 }
 
-// benchMesh times the same PCA ensemble through an in-process icemesh
+// benchMesh times one fleet ensemble through an in-process icemesh
 // cluster: a coordinator plus `nodes` node runtimes talking real TCP on
 // localhost, each node running `nodeWorkers` fleet workers. duration is
 // the per-cell sim horizon — the knob that moves the compute:RPC ratio
-// for the large-cell axis.
-func benchMesh(cells, nodeWorkers, nodes int, duration sim.Time, rounds int) (cellsPerS float64, err error) {
-	coord := icemesh.NewCoordinator(icemesh.Config{ShardCells: 2})
+// for the large-cell axis — and knobs parameterize the scenario (the
+// probe axis sets rtt_ms to make cells latency-bound).
+func benchMesh(scenario string, cells, nodeWorkers, nodes int, duration sim.Time, knobs map[string]float64, rounds int) (cellsPerS float64, err error) {
+	coord := icemesh.NewCoordinator(icemesh.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, err
@@ -295,8 +314,8 @@ func benchMesh(cells, nodeWorkers, nodes int, duration sim.Time, rounds int) (ce
 		return 0, err
 	}
 
-	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
-		Seed: 42, Cells: cells, Duration: duration,
+	spec, err := fleet.Build(scenario, fleet.Params{
+		Seed: 42, Cells: cells, Duration: duration, Knobs: knobs,
 	})
 	if err != nil {
 		return 0, err
@@ -324,6 +343,8 @@ func main() {
 	gwJobs := flag.Int("gateway-jobs", 3, "gateway jobs to time")
 	largeCells := flag.Int("large-cells", 4, "cells for the large-cell mesh axis")
 	largeHours := flag.Float64("large-hours", 4, "per-cell sim horizon (hours) for the large-cell mesh axis")
+	probeCells := flag.Int("probe-cells", 400, "cells for the latency-bound mesh probe axis")
+	probeRTT := flag.Float64("probe-rtt-ms", 8, "per-cell remote RTT (ms) for the mesh probe axis")
 	flag.Parse()
 
 	arena := benchKernel(*kernelOps, false)
@@ -355,29 +376,41 @@ func main() {
 		os.Exit(1)
 	}
 	nodeWorkers := max(*workers/2, 1)
-	mesh1, err := benchMesh(*cells, nodeWorkers, 1, 30*sim.Minute, 3)
+	mesh1, err := benchMesh(fleet.ScenarioPCASupervised, *cells, nodeWorkers, 1, 30*sim.Minute, nil, 3)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	mesh2, err := benchMesh(*cells, nodeWorkers, 2, 30*sim.Minute, 3)
+	mesh2, err := benchMesh(fleet.ScenarioPCASupervised, *cells, nodeWorkers, 2, 30*sim.Minute, nil, 3)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	largeDur := sim.Time(*largeHours * float64(sim.Hour))
-	mesh1Large, err := benchMesh(*largeCells, nodeWorkers, 1, largeDur, 1)
+	mesh1Large, err := benchMesh(fleet.ScenarioPCASupervised, *largeCells, nodeWorkers, 1, largeDur, nil, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	mesh2Large, err := benchMesh(*largeCells, nodeWorkers, 2, largeDur, 1)
+	mesh2Large, err := benchMesh(fleet.ScenarioPCASupervised, *largeCells, nodeWorkers, 2, largeDur, nil, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	// Probe axis: latency-bound cells, two workers per node, so the
+	// cluster's concurrency — not the host's core count — sets the rate.
+	probeKnobs := map[string]float64{"rtt_ms": *probeRTT}
+	probe := map[int]float64{}
+	for _, nodes := range []int{1, 2, 4} {
+		perS, err := benchMesh(fleet.ScenarioTeleICUProbe, *probeCells, 2, nodes, sim.Minute, probeKnobs, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		probe[nodes] = perS
 	}
 	r := report{
-		PR: "pr7-icescope",
+		PR: "pr8-streaming",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
@@ -404,6 +437,11 @@ func main() {
 			LargeCells: *largeCells, LargeDurationS: largeDur.Seconds(),
 			CellsPerS1NodeLarge: mesh1Large, CellsPerS2NodeLarge: mesh2Large,
 			ScalingLarge: mesh2Large / mesh1Large,
+			ProbeCells:   *probeCells, ProbeRTTMS: *probeRTT,
+			CellsPerS1NodeProbe: probe[1], CellsPerS2NodeProbe: probe[2],
+			CellsPerS4Node:    probe[4],
+			Scaling2NodeProbe: probe[2] / probe[1],
+			Scaling4Node:      probe[4] / probe[1],
 		},
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

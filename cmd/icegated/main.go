@@ -7,7 +7,8 @@
 // Usage:
 //
 //	icegated [-addr host:port] [-workers N] [-executors N] [-queue N] [-maxcells N]
-//	         [-mesh host:port] [-pprof host:port] [-drain-timeout D]
+//	         [-mesh host:port] [-shard-cells N] [-shard-window N]
+//	         [-trace-sample N] [-pprof host:port] [-drain-timeout D]
 //
 // -addr accepts ":0" to bind an ephemeral port; the chosen address is
 // printed on the first line of output ("icegated: listening on ..."), so
@@ -23,7 +24,13 @@
 // works; the address is printed as "icegated: mesh coordinator on ...")
 // and makes the cluster the job execution backend: cmd/icenode workers
 // register there and submitted jobs fan out across them, byte-identical
-// to local execution. Without -mesh, cells run in-process.
+// to local execution. Without -mesh, cells run in-process. -shard-cells
+// and -shard-window tune the coordinator's streaming assignment (shard
+// granularity and per-node in-flight credit).
+//
+// -trace-sample N force-enables span recording on every Nth submitted
+// job, so a long-running daemon always has recent traces at
+// /jobs/{id}/trace without clients opting in.
 //
 // On SIGTERM/SIGINT the daemon shuts down gracefully: the HTTP front
 // end stops accepting, queued and running jobs drain within
@@ -56,6 +63,9 @@ func main() {
 	queue := flag.Int("queue", 16, "queued-job capacity before submissions get 429")
 	maxCells := flag.Int("maxcells", 4096, "per-job cell ceiling (admission control)")
 	mesh := flag.String("mesh", "", "mesh coordinator listen address; when set, jobs execute on registered icenode workers")
+	shardCells := flag.Int("shard-cells", 0, "mesh shard granularity in cells (0 = coordinator default)")
+	shardWindow := flag.Int("shard-window", 0, "mesh per-node in-flight shard window (0 = sized from node capacity)")
+	traceSample := flag.Int("trace-sample", 0, "force-trace every Nth submitted job (0 = only on request)")
 	pprofAddr := flag.String("pprof", "", "debug listen address for net/http/pprof profiles (off unless set)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued+running jobs on SIGTERM")
 	flag.Parse()
@@ -74,10 +84,11 @@ func main() {
 	}
 
 	cfg := icegate.Config{
-		QueueDepth: *queue,
-		Executors:  *executors,
-		Workers:    *workers,
-		MaxCells:   *maxCells,
+		QueueDepth:  *queue,
+		Executors:   *executors,
+		Workers:     *workers,
+		MaxCells:    *maxCells,
+		TraceSample: *traceSample,
 	}
 
 	var coord *icemesh.Coordinator
@@ -88,7 +99,9 @@ func main() {
 			os.Exit(1)
 		}
 		coord = icemesh.NewCoordinator(icemesh.Config{
-			Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+			ShardCells: *shardCells,
+			Window:     *shardWindow,
+			Logf:       func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 		})
 		go func() { _ = coord.Serve(meshLn) }()
 		defer meshLn.Close()

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/closedloop"
@@ -16,6 +17,7 @@ func init() {
 	Register(ScenarioPCAUnsupervised, pcaFactory(false))
 	Register(ScenarioPCACommFault, commFaultFactory)
 	Register(ScenarioXRayVentSync, xraySyncFactory)
+	Register(ScenarioTeleICUProbe, teleProbeFactory)
 }
 
 // Built-in scenario names.
@@ -40,6 +42,19 @@ const (
 	// requested duration converts to one image request per 20 s). One
 	// cell = one imaging session; trials beyond cell 0 draw substreams.
 	ScenarioXRayVentSync = "xray-ventsync"
+	// ScenarioTeleICUProbe models a tele-ICU check: a short supervised
+	// PCA session (default 2 sim-minutes) whose wall time is dominated by
+	// the round trips to the remote bedside — knob "rtt_ms" (default 0 =
+	// no pacing) adds a deterministic per-cell wall-clock wait, spread by
+	// knob "jitter" (fraction of rtt_ms, default 0.5, derived from the
+	// cell seed so it is identical at any worker or node count). The wait
+	// never touches metrics: tables are byte-identical with pacing on or
+	// off. It exists for two real workload shapes: latency-bound fleets
+	// (cells gated on external devices, not CPU), and mesh scaling
+	// benchmarks on a single host, where in-process "nodes" share the
+	// machine's cores and only a latency-bound cell can measure the
+	// assignment pipeline rather than the core count.
+	ScenarioTeleICUProbe = "tele-icu-probe"
 )
 
 // scenarioKnobs declares the knob names each built-in scenario consumes.
@@ -51,6 +66,7 @@ var scenarioKnobs = map[string][]string{
 	ScenarioPCAUnsupervised: {},
 	ScenarioPCACommFault:    {"loss", "failsafe"},
 	ScenarioXRayVentSync:    {"protocol", "delay_ms", "loss", "requests"},
+	ScenarioTeleICUProbe:    {"rtt_ms", "jitter"},
 }
 
 // KnownKnobs returns the knob names the named scenario consumes and
@@ -165,6 +181,71 @@ func xraySyncFactory(p Params) Spec {
 				return nil
 			}
 			return xrayProto{rig}
+		},
+	}
+}
+
+// probeWait derives one cell's remote round-trip wall wait: rtt_ms
+// scaled by a seed-derived factor in [1-jitter, 1+jitter]. Pure function
+// of (seed, knobs), so pacing is identical wherever the cell runs.
+func probeWait(seed int64, p Params) time.Duration {
+	rtt := p.Knob("rtt_ms", 0)
+	if rtt <= 0 {
+		return 0
+	}
+	jit := p.Knob("jitter", 0.5)
+	jit = math.Min(math.Max(jit, 0), 1)
+	u := float64(uint64(sim.SubSeed(seed, "tele-icu-probe/rtt", 0))>>11) / float64(1<<53)
+	return time.Duration(rtt * (1 + jit*(2*u-1)) * float64(time.Millisecond))
+}
+
+// probeProto paces the cloned cell exactly as the from-scratch Run
+// does; the wait happens after the metrics are computed, so the clone
+// contract (byte identity with Run) is untouched.
+type probeProto struct {
+	rig  *closedloop.PCACellRig
+	pace func(seed int64)
+}
+
+func (p probeProto) Clone(c Cell) (Metrics, error) {
+	m, err := p.rig.RunCell(c.Seed, c.Trace())
+	p.pace(c.Seed)
+	return m, err
+}
+
+func teleProbeFactory(p Params) Spec {
+	if p.Duration <= 0 {
+		p.Duration = 2 * sim.Minute // short session: the RTT dominates, by design
+	}
+	cfgFor := func(seed int64) closedloop.PCAScenarioConfig {
+		cfg := pcaConfig(seed, p.Duration)
+		cfg.SupervisorEnabled = true
+		cfg.WireCodec = p.WireCodec
+		return cfg
+	}
+	pace := func(seed int64) {
+		if d := probeWait(seed, p); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return Spec{
+		Name:   ScenarioTeleICUProbe,
+		Seed:   p.Seed,
+		Cells:  p.Cells,
+		SeedFn: EnsembleSeeds(p.Seed, ScenarioTeleICUProbe+"/trial"),
+		Run: func(c Cell) (Metrics, error) {
+			cfg := cfgFor(c.Seed)
+			cfg.Trace = c.Trace()
+			m, err := closedloop.RunPCACell(cfg)
+			pace(c.Seed)
+			return m, err
+		},
+		NewProto: func() Proto {
+			rig := closedloop.NewPCACellRig(cfgFor(0))
+			if rig == nil {
+				return nil
+			}
+			return probeProto{rig, pace}
 		},
 	}
 }

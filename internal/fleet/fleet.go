@@ -431,67 +431,12 @@ dispatch:
 // onCell, when non-nil, is invoked serially as cells complete; results
 // are returned in range order (position i holds cell start+i).
 func (r Runner) RunRangeContext(ctx context.Context, spec Spec, start, end int, onCell func(Result)) ([]Result, error) {
-	if spec.Run == nil {
-		return nil, fmt.Errorf("fleet: spec %q has no Run", spec.Name)
+	sess, err := r.NewSession(spec)
+	if err != nil {
+		return nil, err
 	}
-	if start < 0 || end < start || end > spec.Cells {
-		return nil, fmt.Errorf("fleet: range [%d,%d) outside spec %q (%d cells)", start, end, spec.Name, spec.Cells)
-	}
-	n := end - start
-	out := make([]Result, n)
-	workers := r.Workers
-	if workers <= 0 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	jobs := make(chan int)
-	var deliverMu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scratch := &Scratch{}
-			buf := r.Span.Trace().Buffer()
-			for ci := range jobs {
-				res := r.runCell(spec, 0, ci, scratch, buf)
-				out[ci-start] = res
-				if onCell != nil {
-					deliverMu.Lock()
-					onCell(res)
-					deliverMu.Unlock()
-				}
-			}
-		}()
-	}
-	cancelled := 0
-dispatch:
-	for ci := start; ci < end; ci++ {
-		select {
-		case jobs <- ci:
-		case <-ctx.Done():
-			for cj := ci; cj < end; cj++ {
-				out[cj-start] = Result{Cell: Cell{Index: cj, Seed: spec.seedFor(cj)}, Err: ctx.Err()}
-				cancelled++
-			}
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	var errs []error
-	for _, res := range out {
-		if res.Err != nil && !errors.Is(res.Err, ctx.Err()) {
-			errs = append(errs, fmt.Errorf("%s cell %d: %w", spec.Name, res.Cell.Index, res.Err))
-		}
-	}
-	if cancelled > 0 {
-		errs = append(errs, fmt.Errorf("fleet: %d cells skipped: %w", cancelled, ctx.Err()))
-	}
-	return out, errors.Join(errs...)
+	defer sess.Close()
+	return sess.RunRange(ctx, start, end, onCell)
 }
 
 // runCell executes one cell, converting a panic in the model (the sim

@@ -32,6 +32,14 @@ type Config struct {
 	MaxCells   int // per-job cell ceiling (admission control); <=0 means 4096
 	RetainJobs int // finished jobs kept for status queries; <=0 means 1024
 
+	// TraceSample, when positive, force-enables span recording on every
+	// Nth submitted job (the 1-in-N always-on profile a long-running
+	// daemon wants: recent traces on hand without clients asking).
+	// Tracing is observability only — it never touches result bytes or
+	// cache identity — so sampling composes with per-request Trace: a
+	// sampled job is traced exactly as if the client had asked.
+	TraceSample int
+
 	// Backend selects where fleet cells execute; nil means LocalBackend
 	// (this process's pool). Deliberately not part of any result
 	// identity: determinism makes backends interchangeable.
@@ -188,7 +196,7 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), req)
-	if req.Trace {
+	if req.Trace || (s.cfg.TraceSample > 0 && s.seq%s.cfg.TraceSample == 0) {
 		job.enableTrace()
 	}
 

@@ -100,6 +100,41 @@ func TestJobTraceRecordsExecutionSpans(t *testing.T) {
 	}
 }
 
+// TraceSample force-traces every Nth submission without clients opting
+// in: with N=2, the 2nd and 4th jobs expose a trace and the others 404.
+// Sampling must not leak into result identity — the sampled job is
+// served from the unsampled one's cache line.
+func TestTraceSampleForcesEveryNthJob(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QueueDepth: 8, Executors: 1, Workers: 2, TraceSample: 2})
+
+	wantTraced := map[int]bool{1: false, 2: true, 3: false, 4: true}
+	for i := 1; i <= 4; i++ {
+		// Distinct seeds except job 3, which repeats job 1 (cache-hit path).
+		seed := int64(40 + i)
+		if i == 3 {
+			seed = 41
+		}
+		req := Request{Scenario: fleet.ScenarioPCASupervised, Seed: seed, Cells: 1, DurationS: 300}
+		v, code := submit(t, ts, req)
+		if code != http.StatusCreated {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		if v = waitDone(t, ts, v.ID); v.Status != StatusDone {
+			t.Fatalf("job %d ended %s: %s", i, v.Status, v.Error)
+		}
+		code, _ = get(t, ts, "/api/v1/jobs/"+v.ID+"/trace")
+		if wantTraced[i] && code != http.StatusOK {
+			t.Errorf("sampled job %d trace = %d, want 200", i, code)
+		}
+		if !wantTraced[i] && code != http.StatusNotFound {
+			t.Errorf("unsampled job %d trace = %d, want 404", i, code)
+		}
+		if i == 3 && !v.Cached {
+			t.Error("unsampled repeat of job 1 missed the cache — sampling leaked into the key")
+		}
+	}
+}
+
 // The gateway's full exposition — registry plus any backend suffix —
 // must satisfy the icescope linter, and the hand-picked lines CI greps
 // for must survive the registry rewrite byte for byte.

@@ -19,8 +19,9 @@ import (
 type Config struct {
 	Heartbeat     time.Duration // node beat interval advertised in Welcome; <=0 means 1s
 	NodeTimeout   time.Duration // silence before a node is presumed dead; <=0 means 4x Heartbeat
-	ShardCells    int           // max cells per shard; <=0 means 8
-	ShardDeadline time.Duration // re-assign a shard not finished by then; <=0 means never
+	ShardCells    int           // cells per shard; <=0 means 2 (fine-grained streaming)
+	Window        int           // max in-flight shards per node; <=0 sizes from capacity (see windowLocked)
+	ShardDeadline time.Duration // re-queue a shard not finished by then; <=0 means never
 	MaxRetries    int           // re-assignments per shard before the job fails; <=0 means 3
 	Logf          func(format string, args ...any)
 }
@@ -33,7 +34,7 @@ func (c Config) withDefaults() Config {
 		c.NodeTimeout = 4 * c.Heartbeat
 	}
 	if c.ShardCells <= 0 {
-		c.ShardCells = 8
+		c.ShardCells = 2
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
@@ -48,11 +49,15 @@ func (c Config) withDefaults() Config {
 // workers to run it on.
 var ErrNoNodes = errors.New("icemesh: no live worker nodes")
 
-// Coordinator owns the node registry and the shard planner: it accepts
-// node registrations over the mesh wire protocol, splits each job's cell
-// range into contiguous shards, balances them across live nodes
-// (capacity-weighted), re-assigns on node loss or shard deadline, and
-// merges delivered cells back by global index.
+// Coordinator owns the node registry and the shard queue: it accepts
+// node registrations over the mesh wire protocol, splits each job's
+// cell range into fine-grained contiguous shards, and streams them to
+// nodes pull-style — every node holds at most a small credit window of
+// in-flight shards, and each ShardDone (or node join) pulls the next
+// shard off the global FIFO, so fast nodes automatically steal the tail
+// and a slow cell can never serialize a backlog behind it. Shards lost
+// to node death or deadline are re-queued at the front; delivered cells
+// merge back by global index, deduplicated first-wins.
 //
 // Coordinator implements fleet.Engine, and (structurally) icegate's
 // Backend — plugging the cluster in wherever a local worker pool was.
@@ -63,6 +68,7 @@ type Coordinator struct {
 	closed   bool
 	nodes    map[string]*meshNode
 	shards   map[uint64]*meshShard
+	pending  []*meshShard // global FIFO of shards awaiting a node with credit
 	shardSeq uint64
 	nameSeq  int
 
@@ -81,6 +87,7 @@ type meshMetrics struct {
 	shardsAssigned *icescope.Counter
 	shardRetries   *icescope.Counter
 	cellsDone      *icescope.Counter
+	cellBatches    *icescope.Counter
 	jobs           *icescope.Counter
 	jobsFailed     *icescope.Counter
 
@@ -106,6 +113,13 @@ func newMeshMetrics(c *Coordinator) meshMetrics {
 	m.shardsAssigned = r.Counter("icemesh_shards_assigned_total", "Shard assignments sent (including re-assignments).")
 	m.shardRetries = r.Counter("icemesh_shard_retries_total", "Shards re-queued after node loss or deadline.")
 	m.cellsDone = r.Counter("icemesh_cells_done_total", "Cells delivered back and merged.")
+	m.cellBatches = r.Counter("icemesh_cell_batches_total", "Batched CellDone frames received.")
+	r.GaugeFunc("icemesh_queue_depth", "Shards awaiting a node with window credit.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.pending))
+		})
 	m.heartbeatJitter = r.Histogram("icemesh_heartbeat_jitter_seconds",
 		"Absolute deviation of node heartbeat intervals from the configured beat.", nil)
 	m.nodeCapacity = r.GaugeVec("icemesh_node_capacity", "Advertised worker capacity per node.", "node")
@@ -182,14 +196,17 @@ func (n *meshNode) send(m any) error {
 	return err
 }
 
-// meshShard is one contiguous cell range of one job.
+// meshShard is one contiguous cell range of one job. A shard is either
+// assigned (node != nil, counted in that node's window) or queued on the
+// coordinator's pending FIFO (node == nil).
 type meshShard struct {
 	id         uint64
 	job        *meshJob
 	start, end int
 	retries    int
-	node       *meshNode   // current assignee
-	deadline   *time.Timer // ShardDeadline re-assignment, when configured
+	node       *meshNode   // current assignee; nil while queued
+	lastNode   *meshNode   // previous assignee; re-dispatch prefers a different node
+	deadline   *time.Timer // ShardDeadline re-queue, when configured
 	span       icescope.Span
 }
 
@@ -334,6 +351,13 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		return
 	}
 
+	// A node that joins mid-job starts pulling queued shards immediately —
+	// elasticity is a property of the queue, not of a plan.
+	c.mu.Lock()
+	sends := c.dispatchLocked()
+	c.mu.Unlock()
+	c.flush(sends)
+
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.NodeTimeout))
 		m, err := ReadMessage(br)
@@ -346,10 +370,17 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 			c.mu.Lock()
 			interval := time.Since(node.lastBeat)
 			node.lastBeat = time.Now()
+			// Safety net: a beat also pulls work, so a dispatch
+			// opportunity missed to a transient condition heals within
+			// one heartbeat instead of wedging the queue.
+			sends := c.dispatchLocked()
 			c.mu.Unlock()
+			c.flush(sends)
 			c.met.heartbeatJitter.Observe(math.Abs((interval - c.cfg.Heartbeat).Seconds()))
 		case *CellDone:
 			c.onCellDone(node, v)
+		case *CellBatch:
+			c.onCellBatch(node, v)
 		case *ShardDone:
 			c.onShardDone(node, v)
 		case *Drain:
@@ -382,40 +413,34 @@ func (c *Coordinator) RunRange(ctx context.Context, scenario string, p fleet.Par
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		plan.End(icescope.StrAttr("outcome", "closed"))
 		return errors.New("icemesh: coordinator closed")
 	}
 	live := c.liveNodesLocked()
 	if len(live) == 0 {
 		c.mu.Unlock()
+		plan.End(icescope.StrAttr("outcome", "no-nodes"))
 		c.met.jobsFailed.Inc()
 		return ErrNoNodes
 	}
-	// Contiguous shard plan: small enough ranges that every node gets
-	// several (headroom for re-balancing when one dies mid-job), capped
-	// at ShardCells so huge ensembles stream rather than lump.
-	size := (end - start + 2*len(live) - 1) / (2 * len(live))
-	if size < 1 {
-		size = 1
-	}
-	if size > c.cfg.ShardCells {
-		size = c.cfg.ShardCells
-	}
-	var sends []assignment
-	for lo := start; lo < end; lo += size {
-		hi := min(lo+size, end)
+	// No up-front placement: the job just appends fine-grained shards to
+	// the global queue, and the credit loop streams them to whichever node
+	// has window room. Placement is decided shard-by-shard at pull time,
+	// so relative node speed — not a plan drawn before the first cell ran
+	// — determines who executes the tail.
+	shards := 0
+	for lo := start; lo < end; lo += c.cfg.ShardCells {
+		hi := min(lo+c.cfg.ShardCells, end)
 		c.shardSeq++
 		sh := &meshShard{id: c.shardSeq, job: job, start: lo, end: hi}
 		c.shards[sh.id] = sh
+		c.pending = append(c.pending, sh)
 		job.pending++
-		if a, err := c.assignLocked(sh); err != nil {
-			job.finish(err)
-			break
-		} else {
-			sends = append(sends, a)
-		}
+		shards++
 	}
+	sends := c.dispatchLocked()
 	c.mu.Unlock()
-	plan.End(icescope.IntAttr("shards", len(sends)), icescope.IntAttr("nodes", len(live)))
+	plan.End(icescope.IntAttr("shards", shards), icescope.IntAttr("nodes", len(live)))
 	c.flush(sends)
 
 	defer c.releaseJob(job)
@@ -441,15 +466,32 @@ type assignment struct {
 	msg  *Assign
 }
 
-// assignLocked picks the least-loaded live node for the shard and
-// records the assignment; the caller sends after unlocking. Callers hold
-// c.mu.
-func (c *Coordinator) assignLocked(sh *meshShard) (assignment, error) {
-	// Least-loaded wins, capacity-weighted; ties go to the node that has
-	// served the fewest cells (spreading sequential small jobs across an
-	// idle mesh), then to name order. Placement never affects results —
-	// cells are pure functions of their index — so this is purely a
-	// throughput policy.
+// windowLocked is node n's credit: the number of shards it may hold in
+// flight. The default sizes the window so the node's workers stay fed —
+// enough shards to cover its capacity at the configured grain, plus two
+// so the next pull overlaps the current execution — while keeping the
+// tail stealable: everything beyond the window lives on the coordinator
+// queue where a faster node can take it. Callers hold c.mu.
+func (c *Coordinator) windowLocked(n *meshNode) int {
+	if c.cfg.Window > 0 {
+		return c.cfg.Window
+	}
+	w := (n.capacity+c.cfg.ShardCells-1)/c.cfg.ShardCells + 2
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// pickNodeLocked chooses the node to pull the queue head: least-loaded
+// among live nodes with spare window credit, capacity-weighted; ties go
+// to the node that has served the fewest cells, then to name order. A
+// re-queued shard prefers a node other than its previous assignee (the
+// previous one was slow or suspect) but falls back to it rather than
+// stall. Placement never affects results — cells are pure functions of
+// their index — so this is purely a throughput policy. Returns nil when
+// no node has credit. Callers hold c.mu.
+func (c *Coordinator) pickNodeLocked(sh *meshShard) *meshNode {
 	better := func(n, old *meshNode) bool {
 		nl, ol := len(n.inflight)*old.capacity, len(old.inflight)*n.capacity
 		if nl != ol {
@@ -460,19 +502,53 @@ func (c *Coordinator) assignLocked(sh *meshShard) (assignment, error) {
 		}
 		return n.name < old.name
 	}
-	live := c.liveNodesLocked()
-	var target *meshNode
-	for _, n := range live {
-		if n == sh.node && len(live) > 1 {
-			continue // deadline re-assignment prefers a different LIVE node
+	var target, previous *meshNode
+	for _, n := range c.nodes {
+		if n.draining || len(n.inflight) >= c.windowLocked(n) {
+			continue
+		}
+		if n == sh.lastNode {
+			previous = n
+			continue
 		}
 		if target == nil || better(n, target) {
 			target = n
 		}
 	}
 	if target == nil {
-		return assignment{}, ErrNoNodes
+		target = previous
 	}
+	return target
+}
+
+// dispatchLocked streams queued shards to nodes with window credit, in
+// queue order, until the queue is empty or every node's window is full.
+// This is the single scheduling step; it runs on every event that frees
+// or adds capacity — job enqueue, ShardDone, node join, re-queue, and
+// (as a safety net) heartbeat. Callers hold c.mu and must flush the
+// returned sends after unlocking.
+func (c *Coordinator) dispatchLocked() []assignment {
+	var sends []assignment
+	for len(c.pending) > 0 {
+		sh := c.pending[0]
+		if sh.job.finished {
+			c.pending = c.pending[1:]
+			delete(c.shards, sh.id)
+			continue
+		}
+		target := c.pickNodeLocked(sh)
+		if target == nil {
+			break // every node at its window; the next ShardDone resumes
+		}
+		c.pending = c.pending[1:]
+		sends = append(sends, c.assignToLocked(sh, target))
+	}
+	return sends
+}
+
+// assignToLocked records the shard's assignment to target and builds the
+// Assign frame; the caller sends after unlocking. Callers hold c.mu.
+func (c *Coordinator) assignToLocked(sh *meshShard, target *meshNode) assignment {
 	sh.node = target
 	target.inflight[sh.id] = sh
 	c.met.shardsAssigned.Inc()
@@ -492,7 +568,7 @@ func (c *Coordinator) assignLocked(sh *meshShard) (assignment, error) {
 		Shard: sh.id, Scenario: sh.job.scenario,
 		Seed: p.Seed, Cells: p.Cells, Start: sh.start, End: sh.end,
 		Duration: p.Duration, Codec: p.WireCodec, Knobs: p.Knobs,
-	}}, nil
+	}}
 }
 
 // flush performs the socket writes a locked planning step deferred. A
@@ -515,14 +591,31 @@ func (c *Coordinator) liveNodesLocked() []*meshNode {
 	return out
 }
 
-// onCellDone merges one delivered cell. Duplicates (a shard finished by
-// a node we had already presumed dead and re-assigned) are dropped:
-// both copies are byte-identical by the determinism contract, so first
-// wins. deliver runs under the coordinator lock, which serializes it
-// per coordinator and orders every delivery before the job's close.
+// onCellDone merges one delivered cell; onCellBatch merges a node-side
+// flush of many under a single lock acquisition — the amortization that
+// keeps shard size 1 from turning every cell into a contended merge.
 func (c *Coordinator) onCellDone(node *meshNode, m *CellDone) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mergeCellLocked(node, m)
+}
+
+func (c *Coordinator) onCellBatch(node *meshNode, m *CellBatch) {
+	c.met.cellBatches.Inc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range m.Cells {
+		c.mergeCellLocked(node, &m.Cells[i])
+	}
+}
+
+// mergeCellLocked merges one delivered cell. Duplicates (a shard
+// finished by a node we had already presumed dead and re-assigned) are
+// dropped: both copies are byte-identical by the determinism contract,
+// so first wins. deliver runs under the coordinator lock, which
+// serializes it per coordinator and orders every delivery before the
+// job's close. Callers hold c.mu.
+func (c *Coordinator) mergeCellLocked(node *meshNode, m *CellDone) {
 	sh, ok := c.shards[m.Shard]
 	if !ok || sh.job.finished {
 		return
@@ -579,7 +672,13 @@ func (c *Coordinator) onShardDone(node *meshNode, m *ShardDone) {
 			job.finish(nil)
 		}
 	}
+	// The retiring shard freed one slot of this node's window: pull the
+	// next queued shard. This is the streaming loop's heartbeat — the
+	// queue drains at exactly the rate the mesh completes work, so the
+	// fastest node ends up executing the most shards.
+	sends := c.dispatchLocked()
 	c.mu.Unlock()
+	c.flush(sends)
 }
 
 // nodeLost evicts a node and re-queues every shard it held.
@@ -620,10 +719,14 @@ func (c *Coordinator) shardTimedOut(id uint64, node *meshNode) {
 	c.flush(sends)
 }
 
-// requeueLocked re-assigns orphaned shards, failing their jobs once the
-// retry budget is spent or no nodes remain. Callers hold c.mu.
+// requeueLocked pushes orphaned shards back onto the FRONT of the queue
+// — they are older than everything queued behind them, and front-placed
+// retries keep the merge window (the span of indices with holes) small.
+// A job fails once a shard's retry budget is spent, or immediately when
+// the mesh has no live node left to ever run it. Callers hold c.mu and
+// must flush the returned sends after unlocking.
 func (c *Coordinator) requeueLocked(orphans []*meshShard, cause error) []assignment {
-	var sends []assignment
+	requeued := make([]*meshShard, 0, len(orphans))
 	for _, sh := range orphans {
 		if sh.job.finished {
 			delete(c.shards, sh.id)
@@ -636,18 +739,27 @@ func (c *Coordinator) requeueLocked(orphans []*meshShard, cause error) []assignm
 			delete(c.shards, sh.id)
 			continue
 		}
-		a, err := c.assignLocked(sh)
-		if err != nil {
-			sh.job.finish(errors.Join(err, cause))
+		if len(c.liveNodesLocked()) == 0 {
+			sh.job.finish(errors.Join(ErrNoNodes, cause))
 			delete(c.shards, sh.id)
 			continue
 		}
-		sends = append(sends, a)
+		sh.lastNode = sh.node
+		sh.node = nil
+		if sh.deadline != nil {
+			sh.deadline.Stop()
+			sh.deadline = nil
+		}
+		requeued = append(requeued, sh)
 	}
-	return sends
+	if len(requeued) > 0 {
+		c.pending = append(requeued, c.pending...)
+	}
+	return c.dispatchLocked()
 }
 
-// releaseJob drops a finished job's remaining shard bookkeeping.
+// releaseJob drops a finished job's remaining shard bookkeeping,
+// including anything still sitting on the queue.
 func (c *Coordinator) releaseJob(job *meshJob) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -663,6 +775,13 @@ func (c *Coordinator) releaseJob(job *meshJob) {
 		}
 		delete(c.shards, id)
 	}
+	kept := c.pending[:0]
+	for _, sh := range c.pending {
+		if sh.job != job {
+			kept = append(kept, sh)
+		}
+	}
+	c.pending = kept
 }
 
 // MetricsText renders the mesh registry in Prometheus text exposition

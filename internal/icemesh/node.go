@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,12 +17,13 @@ import (
 
 // NodeConfig sizes one worker node.
 type NodeConfig struct {
-	Coordinator  string  // coordinator address (host:port)
-	Name         string  // advertised node name; "" lets the coordinator pick
-	Workers      int     // local fleet pool width, advertised as capacity; <=0 means 1
-	DialRetry    Backoff // re-dial policy (zero value = 100ms doubling to 5s)
-	DialAttempts int     // dial attempts before Run gives up; <=0 means 30
-	QueueDepth   int     // assignments accepted but not yet executing; <=0 means 64
+	Coordinator  string        // coordinator address (host:port)
+	Name         string        // advertised node name; "" lets the coordinator pick
+	Workers      int           // local fleet pool width, advertised as capacity; <=0 means 1
+	DialRetry    Backoff       // re-dial policy (zero value = 100ms doubling to 5s)
+	DialAttempts int           // dial attempts before Run gives up; <=0 means 30
+	BatchCells   int           // CellDone entries coalesced per CellBatch frame; <=0 means 32
+	BatchFlush   time.Duration // max delay before a partial batch flushes; <=0 means 2ms
 	Logf         func(format string, args ...any)
 
 	// Obs, when non-nil, receives the node's serving metrics. The daemon
@@ -72,8 +75,11 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.DialAttempts <= 0 {
 		c.DialAttempts = 30
 	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 64
+	if c.BatchCells <= 0 {
+		c.BatchCells = 32
+	}
+	if c.BatchFlush <= 0 {
+		c.BatchFlush = 2 * time.Millisecond
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -82,10 +88,12 @@ func (c NodeConfig) withDefaults() NodeConfig {
 }
 
 // Node is one worker: it registers with the coordinator, heartbeats,
-// executes assigned cell ranges on a local fleet pool, and streams each
-// cell's result back as it lands. Assignments execute one at a time —
-// each already fans out across the node's full worker pool — so the
-// advertised capacity is an honest measure of parallelism.
+// executes assigned cell ranges, and streams results back in batched
+// CellDone frames. Assignments within the coordinator-granted credit
+// window execute concurrently, all sharing one persistent fleet session
+// per job — the pool bounds actual parallelism at Workers, and the
+// session keeps the spec built once, so shard size 1 costs a function
+// call, not a scenario rebuild.
 type Node struct {
 	cfg NodeConfig
 
@@ -95,18 +103,33 @@ type Node struct {
 
 	mu        sync.Mutex
 	name      string // coordinator-assigned name, set after Welcome
-	inflight  int    // assignments queued or executing
+	inflight  int    // assignments accepted and not yet finished
 	cellsDone uint64
 	draining  bool
 
-	// sess parents this connection's shard spans; set in Run before the
-	// executor goroutine starts, zero when the node is untraced.
+	// smu guards the per-job session cache; batch coalesces outgoing
+	// cell deliveries. Both are rebuilt per Run (per connection).
+	smu      sync.Mutex
+	sessions map[string]*nodeSession
+	batch    *cellBatcher
+
+	// sess parents this connection's shard spans; set in Run before
+	// assignments arrive, zero when the node is untraced.
 	sess icescope.Span
+}
+
+// nodeSession is one cached (built spec, worker pool) pair, keyed by the
+// assignment's job parameters: every shard of the same job hits the same
+// session, so the ~1%-of-shard build cost is paid once per (job, node)
+// instead of once per shard.
+type nodeSession struct {
+	sess *fleet.Session
+	refs int // assignments currently executing on it
 }
 
 // NewNode returns an unconnected node; Run connects and serves.
 func NewNode(cfg NodeConfig) *Node {
-	return &Node{cfg: cfg.withDefaults()}
+	return &Node{cfg: cfg.withDefaults(), sessions: map[string]*nodeSession{}}
 }
 
 // Name reports the coordinator-assigned node name ("" before Welcome).
@@ -126,6 +149,143 @@ func (n *Node) send(m any) error {
 	buf, err := WriteMessage(n.conn, n.wbuf, m)
 	n.wbuf = buf
 	return err
+}
+
+// cellBatcher coalesces per-cell deliveries into CellBatch frames,
+// bounded by count (BatchCells) and latency (BatchFlush). At shard size
+// 1 every cell would otherwise be its own framed write plus its own
+// coordinator lock acquisition; batching amortizes both without
+// changing content — the coordinator merges batch entries through the
+// exact same dedup path as singletons.
+type cellBatcher struct {
+	n    *Node
+	max  int
+	wait time.Duration
+
+	mu    sync.Mutex // held across the wire write: batches leave in take order
+	buf   []CellDone
+	timer *time.Timer
+}
+
+// add queues one cell, flushing when the batch is full; a partial batch
+// is flushed by the timer within wait.
+func (b *cellBatcher) add(cd CellDone) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, cd)
+	if len(b.buf) >= b.max {
+		b.sendLocked()
+		return
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.wait, func() { _ = b.flushThen(nil) })
+	}
+}
+
+// flushThen drains the pending batch and then — atomically with the
+// drain — sends m. That atomicity is the ordering seam ShardDone needs:
+// frame order is write order on TCP, so the coordinator has merged every
+// cell of a shard before the ShardDone that retires it arrives.
+func (b *cellBatcher) flushThen(m any) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sendLocked()
+	if m != nil {
+		return b.n.send(m)
+	}
+	return nil
+}
+
+// sendLocked writes the pending batch, if any. Callers hold b.mu.
+func (b *cellBatcher) sendLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.buf) == 0 {
+		return
+	}
+	batch := b.buf
+	b.buf = nil
+	// Send errors are deliberately dropped: a dead connection surfaces
+	// in Run's read loop, and the coordinator re-queues whatever this
+	// node never delivered.
+	_ = b.n.send(&CellBatch{Cells: batch})
+}
+
+// assignKey identifies the job a shard belongs to by its rebuild
+// parameters — every shard of one job carries identical ones, so the key
+// needs no job id on the wire.
+func assignKey(a *Assign) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%d|%d|%d|%s", a.Scenario, a.Seed, a.Cells, int64(a.Duration), a.Codec)
+	knobs := make([]string, 0, len(a.Knobs))
+	for k := range a.Knobs {
+		knobs = append(knobs, k)
+	}
+	sort.Strings(knobs)
+	for _, k := range knobs {
+		fmt.Fprintf(&sb, "|%s=%g", k, a.Knobs[k])
+	}
+	return sb.String()
+}
+
+// sessionFor returns the cached fleet session for the assignment's job,
+// building spec and pool on first use, plus a release for when the
+// shard finishes. Creating a session for a new job evicts idle sessions
+// of old ones, so the cache holds one session per concurrently-running
+// job, not one per job ever seen.
+func (n *Node) sessionFor(a *Assign) (*fleet.Session, func(), error) {
+	key := assignKey(a)
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	ns := n.sessions[key]
+	if ns == nil {
+		spec, err := fleet.Build(a.Scenario, fleet.Params{
+			Seed:      a.Seed,
+			Cells:     a.Cells,
+			Duration:  a.Duration,
+			WireCodec: a.Codec,
+			Knobs:     a.Knobs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		runner := fleet.Runner{Workers: n.cfg.Workers, Span: n.sess}
+		if n.cfg.Obs != nil {
+			runner.Obs = n.cfg.Obs.Fleet
+		}
+		sess, err := runner.NewSession(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, old := range n.sessions {
+			if old.refs == 0 && old.sess.Idle() {
+				old.sess.Close()
+				delete(n.sessions, k)
+			}
+		}
+		ns = &nodeSession{sess: sess}
+		n.sessions[key] = ns
+	}
+	ns.refs++
+	return ns.sess, func() {
+		n.smu.Lock()
+		ns.refs--
+		n.smu.Unlock()
+	}, nil
+}
+
+// closeSessions tears down the session cache at connection end; every
+// execute goroutine has returned by then, so all pools are idle.
+func (n *Node) closeSessions() {
+	n.smu.Lock()
+	all := n.sessions
+	n.sessions = map[string]*nodeSession{}
+	n.smu.Unlock()
+	for _, ns := range all {
+		ns.sess.Close()
+	}
 }
 
 // Run dials the coordinator (with the shared backoff+jitter retry),
@@ -185,9 +345,10 @@ func (n *Node) Run(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	queue := make(chan *Assign, n.cfg.QueueDepth)
+	n.batch = &cellBatcher{n: n, max: n.cfg.BatchCells, wait: n.cfg.BatchFlush}
+	defer n.closeSessions()
 	var workers sync.WaitGroup
-	workers.Add(2)
+	workers.Add(1)
 	go func() { // heartbeats, independent of execution
 		defer workers.Done()
 		t := time.NewTicker(beat)
@@ -207,15 +368,6 @@ func (n *Node) Run(ctx context.Context) error {
 			}
 		}
 	}()
-	go func() { // executor: one assignment at a time, full pool each
-		defer workers.Done()
-		for a := range queue {
-			n.execute(connCtx, a)
-			n.mu.Lock()
-			n.inflight--
-			n.mu.Unlock()
-		}
-	}()
 
 	var readErr error
 	for {
@@ -223,23 +375,33 @@ func (n *Node) Run(ctx context.Context) error {
 		m, err := ReadMessage(br)
 		if err != nil {
 			readErr = err
-			connCancel() // connection gone: release heartbeats, skip queued work
+			connCancel() // connection gone: release heartbeats, cancel running work
 			break
 		}
 		switch v := m.(type) {
 		case *Assign:
+			// Assignments in the credit window run concurrently; the
+			// shared per-job session bounds actual parallelism at the
+			// pool's worker count, so capacity stays an honest number.
 			n.mu.Lock()
 			n.inflight++
 			n.mu.Unlock()
-			queue <- v
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				n.execute(connCtx, v)
+				n.mu.Lock()
+				n.inflight--
+				n.mu.Unlock()
+			}()
 		case *Drain:
 			n.cfg.Logf("icemesh: coordinator drain: %s", v.Reason)
 		default:
 			// Tolerate unknown-but-valid control messages.
 		}
 	}
-	close(queue)
 	workers.Wait()
+	_ = n.batch.flushThen(nil) // stop the flush timer; a send would fail anyway
 
 	if ctx.Err() != nil || n.isDraining() {
 		return nil // orderly shutdown
@@ -247,10 +409,11 @@ func (n *Node) Run(ctx context.Context) error {
 	return readErr
 }
 
-// execute runs one assigned range and streams results back. Cell-level
-// failures ride their CellDone (matching local fleet semantics, where a
-// bad cell doesn't kill the ensemble); only range-level failures — an
-// unknown scenario, an impossible range — fail the shard.
+// execute runs one assigned range on the job's cached session and
+// streams results back through the batcher. Cell-level failures ride
+// their CellDone (matching local fleet semantics, where a bad cell
+// doesn't kill the ensemble); only range-level failures — an unknown
+// scenario, an impossible range — fail the shard.
 func (n *Node) execute(ctx context.Context, a *Assign) {
 	var t0 time.Time
 	if n.cfg.Obs != nil {
@@ -260,30 +423,23 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 	if n.sess.Active() {
 		sp = n.sess.Child(fmt.Sprintf("shard %d [%d,%d)", a.Shard, a.Start, a.End))
 	}
-	spec, err := fleet.Build(a.Scenario, fleet.Params{
-		Seed:      a.Seed,
-		Cells:     a.Cells,
-		Duration:  a.Duration,
-		WireCodec: a.Codec,
-		Knobs:     a.Knobs,
-	})
-	if err == nil && a.End > spec.Cells {
-		err = fmt.Errorf("range [%d,%d) outside rebuilt spec (%d cells)", a.Start, a.End, spec.Cells)
+	sess, release, err := n.sessionFor(a)
+	if err == nil && a.End > sess.Spec().Cells {
+		err = fmt.Errorf("range [%d,%d) outside rebuilt spec (%d cells)", a.Start, a.End, sess.Spec().Cells)
 	}
 	if err != nil {
-		_ = n.send(&ShardDone{Shard: a.Shard, Err: err.Error()})
+		if release != nil {
+			release()
+		}
+		_ = n.batch.flushThen(&ShardDone{Shard: a.Shard, Err: err.Error()})
 		sp.End(icescope.StrAttr("outcome", "failed"))
 		if n.cfg.Obs != nil {
 			n.cfg.Obs.ShardsFailed.Inc()
 		}
 		return
 	}
-	runner := fleet.Runner{Workers: n.cfg.Workers, Span: sp}
-	if n.cfg.Obs != nil {
-		runner.Obs = n.cfg.Obs.Fleet
-	}
-	_, _ = runner.RunRangeContext(ctx, spec, a.Start, a.End, func(r fleet.Result) {
-		cd := &CellDone{
+	_, _ = sess.RunRange(ctx, a.Start, a.End, func(r fleet.Result) {
+		cd := CellDone{
 			Shard: a.Shard, Index: r.Cell.Index, Seed: r.Cell.Seed,
 			Events: r.Events, WireBytes: r.WireBytes, WireEncodeNS: r.WireEncodeNS,
 			Metrics: r.Metrics,
@@ -291,7 +447,7 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 		if r.Err != nil {
 			cd.Err = r.Err.Error()
 		}
-		_ = n.send(cd)
+		n.batch.add(cd)
 		n.mu.Lock()
 		n.cellsDone++
 		n.mu.Unlock()
@@ -299,7 +455,17 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 			n.cfg.Obs.CellsDone.Inc()
 		}
 	})
-	_ = n.send(&ShardDone{Shard: a.Shard})
+	release()
+	if ctx.Err() != nil {
+		// Connection teardown cancelled the range mid-dispatch: cells may
+		// have been skipped, so a clean ShardDone here could race ahead of
+		// the coordinator's eviction and retire the shard with holes in
+		// it. Send nothing — eviction re-queues everything we held, and
+		// any cells we did deliver are deduplicated on the re-run.
+		sp.End(icescope.StrAttr("outcome", "cancelled"))
+		return
+	}
+	_ = n.batch.flushThen(&ShardDone{Shard: a.Shard})
 	sp.End(icescope.StrAttr("outcome", "done"), icescope.IntAttr("cells", a.End-a.Start))
 	if n.cfg.Obs != nil {
 		n.cfg.Obs.ShardsDone.Inc()

@@ -1,0 +1,236 @@
+package icemesh
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Streaming byte-identity sweep: the merge contract must hold at every
+// (node count, shard grain) corner the config exposes, because the
+// whole point of work-stealing is that placement varies run to run.
+func TestMeshStreamingByteIdentityAcrossNodeCounts(t *testing.T) {
+	spec, err := fleet.Build(fleet.ScenarioXRayVentSync, fleet.Params{
+		Seed: 42, Cells: 9, Knobs: map[string]float64{"requests": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fleet.Runner{Workers: 4}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{1, 2, 4} {
+		for _, shardCells := range []int{1, 3, 64} {
+			t.Run(fmt.Sprintf("nodes=%d/shard=%d", nodes, shardCells), func(t *testing.T) {
+				coord, _ := startMesh(t, Config{ShardCells: shardCells}, nodes, 2)
+				mesh, err := fleet.Runner{Workers: 4, Engine: coord}.RunContext(context.Background(), spec, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := summarize(mesh), summarize(local); got != want {
+					t.Fatalf("mesh table differs from local:\n%s\nvs\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// A node that joins mid-job must start pulling queued shards immediately
+// — the join-side half of elasticity (the kill test covers the leave
+// side) — and the merged table stays byte-identical.
+func TestMeshNodeJoinMidJobStealsQueuedShards(t *testing.T) {
+	seed := 9000 + killSeeds.Add(1)
+	const cells = 8
+	// One node, one worker, shard size 1: the window holds a few shards
+	// and the rest of the job waits on the coordinator queue.
+	coord, _ := startMesh(t, Config{ShardCells: 1, Heartbeat: 50 * time.Millisecond}, 1, 1)
+
+	spec, err := fleet.Build("mesh-gated", fleet.Params{Seed: seed, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type meshOut struct {
+		res []fleet.Result
+		err error
+	}
+	done := make(chan meshOut, 1)
+	go func() {
+		res, err := fleet.Runner{Workers: 4, Engine: coord}.RunContext(context.Background(), spec, nil)
+		done <- meshOut{res, err}
+	}()
+
+	// Wait until the first node is saturated and shards are queued.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		coord.mu.Lock()
+		queued := len(coord.pending)
+		coord.mu.Unlock()
+		if queued > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never backed up behind the single node")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Join a second node mid-job. With every cell gated, the only way it
+	// can hold work is the join-time dispatch pulling from the queue.
+	ln := coordListener(t, coord)
+	joiner := NewNode(NodeConfig{Coordinator: ln, Name: "joiner", Workers: 1, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() {
+		if err := joiner.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("joiner: %v", err)
+		}
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		coord.mu.Lock()
+		n := coord.nodes["joiner"]
+		holds := n != nil && len(n.inflight) > 0
+		coord.mu.Unlock()
+		if holds {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mid-job joiner never received queued work")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(meshGate(seed))
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("mesh run with mid-job join: %v", out.err)
+	}
+
+	local, err := fleet.Runner{Workers: 4}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summarize(out.res), summarize(local); got != want {
+		t.Fatalf("post-join mesh table differs from local:\n%s\nvs\n%s", got, want)
+	}
+	coord.mu.Lock()
+	joined := coord.nodes["joiner"].cellsDone
+	coord.mu.Unlock()
+	if joined == 0 {
+		t.Fatal("joiner delivered no cells — join-time dispatch tested nothing")
+	}
+}
+
+// The deadline-vs-ShardDone race, pinned without sleeps by driving the
+// coordinator's handlers directly in both orders: a shard is re-queued
+// exactly once per expiry, a ShardDone that already retired it makes the
+// timeout a no-op, and a late ShardDone from the old assignee cannot
+// retire the re-assigned shard.
+func TestShardDeadlineRequeueExactlyOnce(t *testing.T) {
+	c := NewCoordinator(Config{ShardCells: 1, ShardDeadline: time.Hour, Logf: t.Logf})
+	t.Cleanup(c.Close)
+	a := fakeNode(t, c, "a")
+	b := fakeNode(t, c, "b")
+
+	newShard := func() (*meshShard, *meshJob) {
+		job := &meshJob{
+			scenario: "unused", p: fleet.Params{Cells: 1},
+			deliver: func(fleet.Result) {},
+			base:    0, seen: make([]bool, 1), pending: 1,
+			done: make(chan struct{}),
+		}
+		c.mu.Lock()
+		c.shardSeq++
+		sh := &meshShard{id: c.shardSeq, job: job, start: 0, end: 1}
+		c.shards[sh.id] = sh
+		c.pending = append(c.pending, sh)
+		c.dispatchLocked() // assigns to "a" (name-order tiebreak); sends dropped: no real node executes
+		c.mu.Unlock()
+		if sh.node != a {
+			t.Fatalf("setup: shard on %q, want a", sh.node.name)
+		}
+		return sh, job
+	}
+
+	// Order 1: ShardDone first, then the (now stale) deadline fires.
+	sh, job := newShard()
+	c.onShardDone(a, &ShardDone{Shard: sh.id})
+	if !job.finished {
+		t.Fatal("clean ShardDone did not finish the 1-shard job")
+	}
+	c.shardTimedOut(sh.id, a)
+	if got := c.met.shardRetries.Value(); got != 0 {
+		t.Fatalf("stale deadline after ShardDone re-queued the shard: retries = %d, want 0", got)
+	}
+
+	// Order 2: deadline fires first; the late ShardDone from the old
+	// assignee and a duplicate timeout are both no-ops.
+	sh, job = newShard()
+	c.shardTimedOut(sh.id, a)
+	if got := c.met.shardRetries.Value(); got != 1 {
+		t.Fatalf("deadline expiry re-queued %d times, want 1", got)
+	}
+	if sh.retries != 1 || sh.node != b {
+		t.Fatalf("after timeout: retries=%d node=%v, want 1 re-assignment onto b", sh.retries, sh.node)
+	}
+	c.mu.Lock()
+	if len(a.inflight) != 0 {
+		t.Fatal("timed-out shard still counted against a's window")
+	}
+	c.mu.Unlock()
+
+	c.onShardDone(a, &ShardDone{Shard: sh.id}) // late SD from the old assignee
+	if job.finished {
+		t.Fatal("late ShardDone from the old assignee retired the re-assigned shard")
+	}
+	c.shardTimedOut(sh.id, a) // duplicate timeout for the old assignment
+	if got := c.met.shardRetries.Value(); got != 1 {
+		t.Fatalf("duplicate timeout re-queued again: retries = %d, want 1", got)
+	}
+
+	c.onShardDone(b, &ShardDone{Shard: sh.id}) // the real assignee retires it
+	if !job.finished || job.failed != nil {
+		t.Fatalf("re-assigned shard did not finish cleanly: finished=%v err=%v", job.finished, job.failed)
+	}
+}
+
+// fakeNode registers a coordinator-side node backed by one end of a pipe
+// — enough identity for the scheduling handlers. The far end discards
+// whatever the coordinator assigns; nothing executes.
+func fakeNode(t *testing.T, c *Coordinator, name string) *meshNode {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	go func() { _, _ = io.Copy(io.Discard, server) }()
+	n := &meshNode{
+		name:     name,
+		capacity: 1,
+		conn:     client,
+		inflight: map[uint64]*meshShard{},
+		lastBeat: time.Now(),
+		joined:   time.Now(),
+	}
+	c.mu.Lock()
+	c.nodes[name] = n
+	c.mu.Unlock()
+	return n
+}
+
+// coordListener digs the listen address back out of a startMesh'd
+// coordinator by asking one of its nodes where it dialed.
+func coordListener(t *testing.T, c *Coordinator) string {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		return n.conn.LocalAddr().String()
+	}
+	t.Fatal("no nodes registered")
+	return ""
+}

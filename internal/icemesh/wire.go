@@ -45,6 +45,7 @@ const (
 	codeCellDone  = 5 // node -> coordinator: one cell's result
 	codeShardDone = 6 // node -> coordinator: range finished
 	codeDrain     = 7 // either direction: stop assigning, finish in-flight
+	codeCellBatch = 8 // node -> coordinator: several cells' results in one frame
 )
 
 // Hello registers a node with the coordinator: its advertised name and
@@ -95,6 +96,18 @@ type CellDone struct {
 	WireEncodeNS uint64
 	Err          string
 	Metrics      map[string]float64
+}
+
+// CellBatch carries several cell results in one frame. With streaming
+// fine-grained shards the per-cell CellDone frame (header + syscall per
+// cell) would dominate the wire, so nodes coalesce deliveries — size-
+// and time-bounded — into one batch per flush. Entries may mix shards;
+// order within a batch is completion order, and every entry is decoded
+// with exactly the CellDone field rules. An empty batch carries no
+// information and is rejected on both ends, so every accepted frame has
+// one canonical encoding.
+type CellBatch struct {
+	Cells []CellDone
 }
 
 // ShardDone closes one assignment; Err is the range-level failure (every
@@ -225,14 +238,20 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 			return dst, fmt.Errorf("icemesh: negative cell index %d", v.Index)
 		}
 		dst = append(dst, MeshV1, codeCellDone)
-		dst = binary.AppendUvarint(dst, v.Shard)
-		dst = binary.AppendUvarint(dst, uint64(v.Index))
-		dst = appendZigzag(dst, v.Seed)
-		dst = binary.AppendUvarint(dst, v.Events)
-		dst = binary.AppendUvarint(dst, v.WireBytes)
-		dst = binary.AppendUvarint(dst, v.WireEncodeNS)
-		dst = icewire.AppendString(dst, v.Err)
-		return appendMap(dst, v.Metrics), nil
+		return appendCellDone(dst, v), nil
+	case *CellBatch:
+		if len(v.Cells) == 0 {
+			return dst, errors.New("icemesh: empty cell batch")
+		}
+		dst = append(dst, MeshV1, codeCellBatch)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Cells)))
+		for i := range v.Cells {
+			if v.Cells[i].Index < 0 {
+				return dst, fmt.Errorf("icemesh: negative cell index %d", v.Cells[i].Index)
+			}
+			dst = appendCellDone(dst, &v.Cells[i])
+		}
+		return dst, nil
 	case *ShardDone:
 		dst = append(dst, MeshV1, codeShardDone)
 		dst = binary.AppendUvarint(dst, v.Shard)
@@ -243,6 +262,19 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 	default:
 		return dst, fmt.Errorf("icemesh: cannot encode message type %T", m)
 	}
+}
+
+// appendCellDone encodes one cell result's fields — the shared body of
+// CellDone frames and CellBatch entries, so the two can never drift.
+func appendCellDone(dst []byte, v *CellDone) []byte {
+	dst = binary.AppendUvarint(dst, v.Shard)
+	dst = binary.AppendUvarint(dst, uint64(v.Index))
+	dst = appendZigzag(dst, v.Seed)
+	dst = binary.AppendUvarint(dst, v.Events)
+	dst = binary.AppendUvarint(dst, v.WireBytes)
+	dst = binary.AppendUvarint(dst, v.WireEncodeNS)
+	dst = icewire.AppendString(dst, v.Err)
+	return appendMap(dst, v.Metrics)
 }
 
 // DecodeMessage parses one RPC payload, returning a pointer to the typed
@@ -288,6 +320,22 @@ func DecodeMessage(data []byte) (any, error) {
 	case codeCellDone:
 		v := &CellDone{}
 		err = decodeCellDone(r, v)
+		m = v
+	case codeCellBatch:
+		v := &CellBatch{}
+		// Each entry is at least 8 bytes (six 1-byte varints plus two
+		// 1-byte lengths), so hostile counts are rejected pre-allocation.
+		var n int
+		if n, err = readCount(r, 8); err == nil {
+			if n == 0 {
+				err = errors.New("icemesh: empty cell batch")
+			} else {
+				v.Cells = make([]CellDone, n)
+				for i := 0; i < n && err == nil; i++ {
+					err = decodeCellDone(r, &v.Cells[i])
+				}
+			}
+		}
 		m = v
 	case codeShardDone:
 		v := &ShardDone{}

@@ -36,6 +36,11 @@ func goldenMessages() []struct {
 		{"celldone", &CellDone{Shard: 9, Index: 17, Seed: 1234567, Events: 250000, WireBytes: 65536,
 			WireEncodeNS: 777, Metrics: map[string]float64{"alarms": 3, "min_spo2": 88.5}}},
 		{"celldone-err", &CellDone{Shard: 9, Index: 18, Seed: -7, Err: "cell panicked: causality"}},
+		{"cellbatch", &CellBatch{Cells: []CellDone{
+			{Shard: 9, Index: 17, Seed: 1234567, Events: 250000, WireBytes: 65536,
+				WireEncodeNS: 777, Metrics: map[string]float64{"alarms": 3, "min_spo2": 88.5}},
+			{Shard: 11, Index: 18, Seed: -7, Err: "cell panicked: causality"},
+		}}},
 		{"sharddone", &ShardDone{Shard: 9}},
 		{"sharddone-err", &ShardDone{Shard: 10, Err: "unknown scenario"}},
 		{"drain", &Drain{Reason: "SIGTERM"}},
@@ -93,7 +98,7 @@ func TestMeshVersionAndTypeRejection(t *testing.T) {
 			t.Errorf("version 0x%02x: err = %v, want version rejection", v, err)
 		}
 	}
-	for _, c := range []byte{0, 8, 0xFF} {
+	for _, c := range []byte{0, 9, 0xFF} {
 		bad := append([]byte(nil), payload...)
 		bad[1] = c
 		if _, err := DecodeMessage(bad); err == nil {
@@ -176,6 +181,8 @@ func FuzzDecodeMeshMessage(f *testing.F) {
 	f.Add([]byte{MeshV1})
 	f.Add([]byte{MeshV1, codeAssign, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
 	f.Add(append([]byte{MeshV1, codeCellDone}, bytes.Repeat([]byte{0x80}, 11)...))
+	f.Add([]byte{MeshV1, codeCellBatch, 0})                            // empty batch: rejected
+	f.Add([]byte{MeshV1, codeCellBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // hostile count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)
@@ -199,6 +206,7 @@ func FuzzMeshRoundTrip(f *testing.F) {
 	f.Add(byte(0), "node-a", uint64(8), int64(0), "k", 0.5, "")
 	f.Add(byte(3), "pca-supervised", uint64(64), int64(-42), "loss", 0.15, "binary")
 	f.Add(byte(4), "m", uint64(17), int64(7), "alarms", math.Inf(1), "boom")
+	f.Add(byte(7), "batch", uint64(64), int64(-3), "min_spo2", 88.5, "err")
 
 	f.Fuzz(func(t *testing.T, kind byte, s1 string, u1 uint64, i1 int64, key string, v1 float64, s2 string) {
 		n := int(u1 % (1 << 20))
@@ -207,7 +215,7 @@ func FuzzMeshRoundTrip(f *testing.F) {
 			kv = map[string]float64{key: v1}
 		}
 		var msg any
-		switch kind % 7 {
+		switch kind % 8 {
 		case 0:
 			msg = &Hello{Node: s1, Capacity: n}
 		case 1:
@@ -224,6 +232,11 @@ func FuzzMeshRoundTrip(f *testing.F) {
 			msg = &ShardDone{Shard: u1, Err: s2}
 		case 6:
 			msg = &Drain{Reason: s1}
+		case 7:
+			msg = &CellBatch{Cells: []CellDone{
+				{Shard: u1, Index: n, Seed: i1, Events: u1, Err: s2, Metrics: kv},
+				{Shard: u1 + 1, Index: n / 2, Seed: -i1, WireBytes: u1 / 2, WireEncodeNS: u1 / 3},
+			}}
 		}
 		payload, err := AppendMessage(nil, msg)
 		if err != nil {
@@ -267,6 +280,8 @@ func TestMeshFuzzSeedCorpus(t *testing.T) {
 	seeds["bad-version"] = []byte{0x02, codeHello, 0}
 	seeds["huge-count"] = []byte{MeshV1, codeAssign, 1, 1, 'x', 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
 	seeds["overlong-varint"] = append([]byte{MeshV1, codeCellDone}, bytes.Repeat([]byte{0x80}, 11)...)
+	seeds["empty-batch"] = []byte{MeshV1, codeCellBatch, 0}
+	seeds["huge-batch-count"] = []byte{MeshV1, codeCellBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
 	for name, data := range seeds {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
