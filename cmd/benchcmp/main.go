@@ -37,9 +37,13 @@ import (
 // exists to catch the 2x cliff nobody noticed, and a band that cries
 // wolf on scheduler noise gets deleted within three PRs.
 var tolerances = map[string]float64{
-	"gateway.jobs_per_s":        0.45, // e2e: HTTP + scheduler + fleet, noisiest
-	"gateway.cells_per_s":       0.45,
-	"gateway.cached_jobs_per_s": 0.45,
+	"gateway.jobs_per_s":            0.45, // e2e: HTTP + scheduler + fleet, noisiest
+	"gateway.cells_per_s":           0.45,
+	"gateway.cached_jobs_per_s":     0.45,
+	"gateway.cells_per_s_2tenant":   0.45, // e2e plus WFQ bookkeeping
+	"gateway.store_cold_jobs_per_s": 0.45, // e2e plus disk write-through
+	"gateway.store_warm_jobs_per_s": 0.45, // disk read + checksum + render
+
 	"mesh.cells_per_s_1node":    0.45, // e2e: TCP RPC + node runtimes
 	"mesh.cells_per_s_2node":    0.45,
 	"fleet.cells_per_s":         0.35, // parallel pool on a shared machine

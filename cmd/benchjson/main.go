@@ -22,6 +22,12 @@
 //	gateway.jobs_per_s             icegate jobs submitted→done (cold: unique seeds)
 //	gateway.cells_per_s            scenario cells/s through the gateway (cold)
 //	gateway.cached_jobs_per_s      repeat-seed jobs served from the result cache
+//	gateway.cells_per_s_2tenant    aggregate cells/s with two tenants driving the
+//	                               weighted-fair scheduler (batch flood + interactive)
+//	gateway.store_cold_jobs_per_s  unique-seed jobs computed AND persisted to a
+//	                               fresh disk store (write-through cost)
+//	gateway.store_warm_jobs_per_s  the same requests served from the disk store by
+//	                               a restarted gateway with an empty memory cache
 //	mesh.cells_per_s_1node         the same ensemble through an icemesh cluster
 //	mesh.cells_per_s_2node         (coordinator + N node runtimes over localhost TCP)
 //	mesh.scaling                   2-node / 1-node
@@ -48,6 +54,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/icegate"
 	"repro/internal/icemesh"
+	"repro/internal/icestore"
 	"repro/internal/icewire"
 	"repro/internal/mednet"
 	"repro/internal/sim"
@@ -122,6 +129,18 @@ type gatewayReport struct {
 	// deterministic result cache answers without running a cell, so this
 	// measures pure serving overhead (scheduler + cache + render path).
 	CachedJobsPerS float64 `json:"cached_jobs_per_s"`
+	// CellsPerS2Tenant drives two tenants at once — a weight-1 batch
+	// flood and a weight-4 interactive stream — through the weighted-fair
+	// scheduler, reporting aggregate cell throughput. Fairness must not
+	// cost meaningful throughput; this is the axis that would catch a WFQ
+	// bookkeeping cliff.
+	CellsPerS2Tenant float64 `json:"cells_per_s_2tenant"`
+	// The disk-store axes: cold runs compute unique-seed jobs and
+	// write-through to a fresh store (persistence cost on the hot path);
+	// warm replays the same requests against a restarted gateway whose
+	// memory cache is empty, so every answer comes off disk.
+	StoreColdJobsPerS float64 `json:"store_cold_jobs_per_s"`
+	StoreWarmJobsPerS float64 `json:"store_warm_jobs_per_s"`
 }
 
 type fleetReport struct {
@@ -262,6 +281,126 @@ func benchGateway(jobs, cells, workers int) (gatewayReport, error) {
 	return rep, nil
 }
 
+// benchGateway2Tenant runs a batch flood and an interactive stream from
+// two tenants concurrently through the weighted-fair scheduler and
+// reports aggregate cells/s — the cost of fairness bookkeeping on the
+// serving path.
+func benchGateway2Tenant(jobsPerTenant, cells, workers int) (float64, error) {
+	sched := icegate.NewScheduler(icegate.Config{
+		QueueDepth: 2*jobsPerTenant + 2, Executors: 2, Workers: workers,
+		Tenants: icegate.TenantsConfig{Tenants: map[string]icegate.Quota{
+			"sweep": {Weight: 1}, "live": {Weight: 4},
+		}},
+	})
+	defer sched.Close()
+	submit := func(tenant, lane string, seed int64) (*icegate.Job, error) {
+		return sched.Submit(icegate.Request{
+			Scenario: fleet.ScenarioPCASupervised, Seed: seed, Cells: cells, DurationS: 1800,
+			Tenant: tenant, Lane: lane,
+		})
+	}
+	warm, err := submit("sweep", icegate.LaneBatch, 1999) // build caches, page in
+	if err != nil {
+		return 0, err
+	}
+	<-warm.Done()
+	var jobs []*icegate.Job
+	start := time.Now()
+	for i := 0; i < jobsPerTenant; i++ {
+		a, err := submit("sweep", icegate.LaneBatch, int64(2000+i))
+		if err != nil {
+			return 0, err
+		}
+		b, err := submit("live", icegate.LaneInteractive, int64(3000+i))
+		if err != nil {
+			return 0, err
+		}
+		jobs = append(jobs, a, b)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+		if st := j.Status(); st != icegate.StatusDone {
+			return 0, fmt.Errorf("benchjson: 2-tenant job ended %v", st)
+		}
+	}
+	return float64(len(jobs)*cells) / time.Since(start).Seconds(), nil
+}
+
+// benchGatewayStore measures the disk store's two regimes: cold (unique
+// seeds computed and written through to a fresh store) and warm (the
+// identical requests answered by a restarted gateway whose memory cache
+// is empty, so every hit comes off disk).
+func benchGatewayStore(jobs, cells, workers int) (coldPerS, warmPerS float64, err error) {
+	dir, err := os.MkdirTemp("", "benchjson-store-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	open := func() (*icegate.Scheduler, error) {
+		st, err := icestore.Open(icestore.Config{Dir: dir})
+		if err != nil {
+			return nil, err
+		}
+		return icegate.NewScheduler(icegate.Config{
+			QueueDepth: jobs + 1, Executors: 2, Workers: workers, Store: st,
+		}), nil
+	}
+	run := func(sched *icegate.Scheduler, seed int64) error {
+		job, err := sched.Submit(icegate.Request{
+			Scenario: fleet.ScenarioPCASupervised, Seed: seed, Cells: cells, DurationS: 1800,
+		})
+		if err != nil {
+			return err
+		}
+		<-job.Done()
+		if st := job.Status(); st != icegate.StatusDone {
+			return fmt.Errorf("benchjson: store job ended %v", st)
+		}
+		return nil
+	}
+	cold, err := open()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := run(cold, 4999); err != nil { // warm the fleet paths, not the store seeds
+		cold.Close()
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if err := run(cold, int64(5000+i)); err != nil {
+			cold.Close()
+			return 0, 0, err
+		}
+	}
+	coldPerS = float64(jobs) / time.Since(start).Seconds()
+	cold.Close()
+	// The "restart": a fresh scheduler (empty memory cache) over the same
+	// store directory — the daemon-restart serving path, in-process. A
+	// disk hit promotes the entry into the memory cache, so each round
+	// reopens to keep every answer coming off disk; only the serving time
+	// is on the clock.
+	const warmRounds = 5
+	var warmElapsed time.Duration
+	for r := 0; r < warmRounds; r++ {
+		warm, err := open()
+		if err != nil {
+			return 0, 0, err
+		}
+		start = time.Now()
+		for i := 0; i < jobs; i++ {
+			if err := run(warm, int64(5000+i)); err != nil {
+				warm.Close()
+				return 0, 0, err
+			}
+		}
+		warmElapsed += time.Since(start)
+		warm.Close()
+	}
+	warmPerS = float64(warmRounds*jobs) / warmElapsed.Seconds()
+	return coldPerS, warmPerS, nil
+}
+
 func benchFleet(cells, workers int, noProto bool) (cellsPerS, eventsPerS float64, err error) {
 	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
 		Seed: 42, Cells: cells, Duration: 30 * sim.Minute,
@@ -375,6 +514,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	gw.CellsPerS2Tenant, err = benchGateway2Tenant(*gwJobs, *cells, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	gw.StoreColdJobsPerS, gw.StoreWarmJobsPerS, err = benchGatewayStore(*gwJobs, *cells, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	nodeWorkers := max(*workers/2, 1)
 	mesh1, err := benchMesh(fleet.ScenarioPCASupervised, *cells, nodeWorkers, 1, 30*sim.Minute, nil, 3)
 	if err != nil {
@@ -410,7 +559,7 @@ func main() {
 		probe[nodes] = perS
 	}
 	r := report{
-		PR: "pr8-streaming",
+		PR: "pr9-multitenant",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,

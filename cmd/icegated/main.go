@@ -7,6 +7,7 @@
 // Usage:
 //
 //	icegated [-addr host:port] [-workers N] [-executors N] [-queue N] [-maxcells N]
+//	         [-tenants file.json] [-store dir] [-store-bytes N]
 //	         [-mesh host:port] [-shard-cells N] [-shard-window N]
 //	         [-trace-sample N] [-pprof host:port] [-drain-timeout D]
 //
@@ -27,6 +28,16 @@
 // to local execution. Without -mesh, cells run in-process. -shard-cells
 // and -shard-window tune the coordinator's streaming assignment (shard
 // granularity and per-node in-flight credit).
+//
+// -tenants loads per-tenant quotas and fair-share weights from a JSON
+// file (see icegate.TenantsConfig); without it every caller shares the
+// anonymous tenant under unlimited quotas. Clients name their tenant via
+// the X-Icegate-Tenant header or the request body's "tenant" field.
+//
+// -store points at a directory for the disk-backed result store: finished
+// tables persist there keyed by the deterministic cache key, so cache
+// hits survive daemon restarts byte-identical. -store-bytes caps the
+// store's on-disk footprint (LRU eviction; 0 = unlimited).
 //
 // -trace-sample N force-enables span recording on every Nth submitted
 // job, so a long-running daemon always has recent traces at
@@ -54,6 +65,7 @@ import (
 	"repro/internal/icegate"
 	"repro/internal/icemesh"
 	"repro/internal/icescope"
+	"repro/internal/icestore"
 )
 
 func main() {
@@ -62,6 +74,9 @@ func main() {
 	executors := flag.Int("executors", 2, "jobs executing concurrently")
 	queue := flag.Int("queue", 16, "queued-job capacity before submissions get 429")
 	maxCells := flag.Int("maxcells", 4096, "per-job cell ceiling (admission control)")
+	tenantsPath := flag.String("tenants", "", "JSON file with per-tenant quotas and weights (unset = single anonymous tenant)")
+	storeDir := flag.String("store", "", "directory for the disk-backed result store (unset = memory cache only)")
+	storeBytes := flag.Int64("store-bytes", 0, "disk-store byte budget, LRU-evicted (0 = unlimited)")
 	mesh := flag.String("mesh", "", "mesh coordinator listen address; when set, jobs execute on registered icenode workers")
 	shardCells := flag.Int("shard-cells", 0, "mesh shard granularity in cells (0 = coordinator default)")
 	shardWindow := flag.Int("shard-window", 0, "mesh per-node in-flight shard window (0 = sized from node capacity)")
@@ -89,6 +104,27 @@ func main() {
 		Workers:     *workers,
 		MaxCells:    *maxCells,
 		TraceSample: *traceSample,
+	}
+
+	if *tenantsPath != "" {
+		tcfg, err := icegate.LoadTenants(*tenantsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icegated: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Tenants = tcfg
+		fmt.Printf("icegated: tenant config loaded from %s (%d named tenants)\n", *tenantsPath, len(tcfg.Tenants))
+	}
+
+	if *storeDir != "" {
+		st, err := icestore.Open(icestore.Config{Dir: *storeDir, MaxBytes: *storeBytes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icegated: result store: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+		stat := st.Stats()
+		fmt.Printf("icegated: result store at %s (%d entries, %d bytes recovered)\n", st.Dir(), stat.Entries, stat.Bytes)
 	}
 
 	var coord *icemesh.Coordinator

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	icerun [-exp F1,E2,...|all] [-seed N] [-cells N] [-workers N] [-remote addr]
-//	       [-tracefile path]
+//	       [-tenant name] [-tracefile path]
 //
 // -cells and -workers drive the fleet runner: F1 runs that many
 // independent patient sessions per configuration, and the sweep-shaped
@@ -31,13 +31,13 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cells := fs.Int("cells", 1, "trials per configuration for ensemble experiments (currently F1 only; sweep experiments run one cell per sweep point)")
 	workers := fs.Int("workers", 1, "fleet worker pool width for parallel cell execution (F1, E6, E7); local mode only")
 	remote := fs.String("remote", "", "icegated gateway address (host:port or URL); render tables from the server instead of running locally")
+	tenant := fs.String("tenant", "", "tenant identity for -remote submissions (gateway quota accounting and fair scheduling); empty = the gateway's anonymous default")
 	traceFile := fs.String("tracefile", "", "write an icescope trace of the run (.json = Chrome trace-event format, else text tree)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: icerun [flags]\n")
@@ -106,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var rendered string
 		if *remote != "" {
 			var trace string
-			rendered, trace, err = fetchRemoteTable(*remote, id, opt, *traceFile != "", chrome)
+			rendered, trace, err = fetchRemoteTable(*remote, id, opt, *tenant, *traceFile != "", chrome)
 			if trace != "" {
 				remoteTraces = append(remoteTraces, trace)
 			}
@@ -184,60 +185,114 @@ func selectExperiments(expFlag string) ([]string, error) {
 var remoteClient = &http.Client{Timeout: 30 * time.Second}
 
 // remoteBackoff is the retry policy for transient gateway failures: the
-// mesh's shared exponential backoff + jitter (icemesh.Retry), the same
-// policy icenode uses to re-dial a restarted coordinator.
+// mesh's shared exponential backoff + jitter, the same policy icenode
+// uses to re-dial a restarted coordinator. It is the FALLBACK pause — a
+// 429 carrying Retry-After uses the server's number instead, because the
+// gateway computes it from the tenant's actual backlog.
 var remoteBackoff = icemesh.Backoff{Base: 200 * time.Millisecond, Max: 3 * time.Second}
 
 const remoteAttempts = 5
 
+// sleepFn pauses between retry attempts; a variable so tests can pin the
+// exact delays chosen without waiting them out.
+var sleepFn = time.Sleep
+
+// parseRetryAfter interprets a Retry-After header, which HTTP allows in
+// two shapes: delay-seconds ("7") or an HTTP-date. Returns false when
+// the header is absent or unparseable (callers fall back to backoff).
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(h); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // remoteJSON performs one request with retry on transport errors, 429s,
 // and 5xx responses; anything else is the gateway's final answer and is
-// returned without retrying. A nil out skips body decoding and returns
-// the raw body instead.
-func remoteJSON(method, url string, reqBody []byte, out any) (raw []byte, err error) {
-	var permanent error
-	err = icemesh.Retry(context.Background(), remoteAttempts, remoteBackoff, func() error {
+// returned without retrying. A 429's Retry-After header, when parseable,
+// replaces the generic backoff delay — the server knows how long the
+// tenant's quota will stay exhausted; guessing shorter just burns the
+// remaining attempts. A nil out skips body decoding and returns the raw
+// body instead. tenant, when non-empty, rides every request as the
+// gateway's tenant header.
+func remoteJSON(method, url, tenant string, reqBody []byte, out any) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < remoteAttempts; attempt++ {
 		var body io.Reader
 		if reqBody != nil {
 			body = bytes.NewReader(reqBody)
 		}
 		req, err := http.NewRequest(method, url, body)
 		if err != nil {
-			permanent = err
-			return nil
+			return nil, err
 		}
 		if reqBody != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		resp, err := remoteClient.Do(req)
-		if err != nil {
-			return err // transport error: retry
+		if tenant != "" {
+			req.Header.Set(icegate.TenantHeader, tenant)
 		}
-		defer resp.Body.Close()
-		data, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode >= 300 {
-			err := fmt.Errorf("gateway %s (%s): %s", url, resp.Status, strings.TrimSpace(string(data)))
-			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-				return err // transient: retry with backoff
+
+		raw, retryIn, err := attemptRemote(req, attempt)
+		if err == nil {
+			if out != nil {
+				if err := json.Unmarshal(raw, out); err != nil {
+					return raw, err
+				}
 			}
-			permanent = err
-			return nil
+			return raw, nil
 		}
-		raw = data
-		if out != nil {
-			if err := json.Unmarshal(data, out); err != nil {
-				permanent = err
-			}
+		lastErr = err
+		if retryIn < 0 || attempt == remoteAttempts-1 {
+			break // permanent, or out of attempts
 		}
-		return nil
-	})
-	if err == nil {
-		err = permanent
+		sleepFn(retryIn)
 	}
-	return raw, err
+	return nil, lastErr
+}
+
+// attemptRemote executes one attempt and classifies the outcome: on
+// failure, retryIn is the pause before the next try (the server's
+// Retry-After on a 429 when present, the shared jittered backoff
+// otherwise) or negative when the failure is permanent.
+func attemptRemote(req *http.Request, attempt int) (raw []byte, retryIn time.Duration, err error) {
+	resp, err := remoteClient.Do(req)
+	if err != nil {
+		return nil, remoteBackoff.Delay(attempt), err // transport error: retry
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, remoteBackoff.Delay(attempt), err
+	}
+	if resp.StatusCode < 300 {
+		return data, 0, nil
+	}
+	err = fmt.Errorf("gateway %s (%s): %s", req.URL, resp.Status, strings.TrimSpace(string(data)))
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			return nil, d, err
+		}
+		return nil, remoteBackoff.Delay(attempt), err
+	case resp.StatusCode >= 500:
+		return nil, remoteBackoff.Delay(attempt), err
+	}
+	return nil, -1, err // client error: the gateway's final answer
 }
 
 // fetchRemoteTable submits one experiment-table job to an icegated
@@ -250,7 +305,7 @@ func remoteJSON(method, url string, reqBody []byte, out any) (raw []byte, err er
 // With wantTrace the job is submitted with "trace": true and the
 // server-side span trace is fetched once the job is terminal (chrome
 // picks the Perfetto-loadable JSON format over the text tree).
-func fetchRemoteTable(addr, id string, opt experiments.Options, wantTrace, chrome bool) (string, string, error) {
+func fetchRemoteTable(addr, id string, opt experiments.Options, tenant string, wantTrace, chrome bool) (string, string, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -259,14 +314,14 @@ func fetchRemoteTable(addr, id string, opt experiments.Options, wantTrace, chrom
 
 	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells, Trace: wantTrace})
 	var view icegate.View
-	if _, err := remoteJSON(http.MethodPost, base+"/api/v1/jobs", body, &view); err != nil {
+	if _, err := remoteJSON(http.MethodPost, base+"/api/v1/jobs", tenant, body, &view); err != nil {
 		return "", "", err
 	}
 
 	// Poll until the job leaves the queue/runner, then fetch the table.
 	for !view.Status.Terminal() {
 		time.Sleep(100 * time.Millisecond)
-		if _, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID, nil, &view); err != nil {
+		if _, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID, tenant, nil, &view); err != nil {
 			return "", "", err
 		}
 	}
@@ -274,7 +329,7 @@ func fetchRemoteTable(addr, id string, opt experiments.Options, wantTrace, chrom
 		return "", "", fmt.Errorf("remote job %s %s: %s", view.ID, view.Status, view.Error)
 	}
 
-	table, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID+"/result", nil, nil)
+	table, err := remoteJSON(http.MethodGet, base+"/api/v1/jobs/"+view.ID+"/result", tenant, nil, nil)
 	if err != nil {
 		return "", "", err
 	}
@@ -284,7 +339,7 @@ func fetchRemoteTable(addr, id string, opt experiments.Options, wantTrace, chrom
 		if chrome {
 			url += "?format=chrome"
 		}
-		if trace, err = remoteJSON(http.MethodGet, url, nil, nil); err != nil {
+		if trace, err = remoteJSON(http.MethodGet, url, tenant, nil, nil); err != nil {
 			return "", "", err
 		}
 	}

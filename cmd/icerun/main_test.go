@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/icegate"
 )
@@ -91,5 +94,104 @@ func TestRunRemoteMatchesLocal(t *testing.T) {
 	}
 	if hits, _, _ := sched.Cache().Stats(); hits != 1 {
 		t.Fatalf("cache hits = %d", hits)
+	}
+}
+
+// parseRetryAfter covers both HTTP shapes of the header plus the junk a
+// client must shrug off.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"7", 7 * time.Second, true},
+		{" 2 ", 2 * time.Second, true},
+		{"0", 0, true},
+		{now.Add(90 * time.Second).UTC().Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0, true}, // past date: retry now
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// A 429 with Retry-After must pause for exactly the server's delay — not
+// the generic jittered backoff — and the tenant flag must ride requests
+// as the gateway's header.
+func TestRemote429HonorsRetryAfter(t *testing.T) {
+	var calls int
+	var gotTenant string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		gotTenant = r.Header.Get(icegate.TenantHeader)
+		if calls < 3 {
+			w.Header().Set("Retry-After", strconv.Itoa(4+calls)) // 5, then 6
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok": true}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	oldSleep := sleepFn
+	sleepFn = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { sleepFn = oldSleep }()
+
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if _, err := remoteJSON(http.MethodGet, srv.URL, "sweeper", nil, &out); err != nil || !out.OK {
+		t.Fatalf("remoteJSON = %v (ok=%v)", err, out.OK)
+	}
+	if calls != 3 || gotTenant != "sweeper" {
+		t.Fatalf("calls=%d tenant=%q, want 3 calls as sweeper", calls, gotTenant)
+	}
+	// The exact parsed delays, not backoff jitter.
+	if len(slept) != 2 || slept[0] != 5*time.Second || slept[1] != 6*time.Second {
+		t.Fatalf("slept %v, want [5s 6s]", slept)
+	}
+}
+
+// A 429 without the header falls back to the jittered backoff, attempts
+// stay bounded, and a 4xx is permanent (no sleeps at all).
+func TestRemoteRetryFallbackAndPermanent(t *testing.T) {
+	var slept []time.Duration
+	oldSleep := sleepFn
+	sleepFn = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { sleepFn = oldSleep }()
+
+	always429 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer always429.Close()
+	if _, err := remoteJSON(http.MethodGet, always429.URL, "", nil, nil); err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("exhausted retries err = %v", err)
+	}
+	if len(slept) != remoteAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(slept), remoteAttempts-1)
+	}
+	for _, d := range slept {
+		if d <= 0 || d > remoteBackoff.Max {
+			t.Fatalf("fallback delay %v outside backoff envelope", d)
+		}
+	}
+
+	slept = nil
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	defer notFound.Close()
+	if _, err := remoteJSON(http.MethodGet, notFound.URL, "", nil, nil); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("permanent err = %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("permanent failure slept %v, want none", slept)
 	}
 }

@@ -1,6 +1,9 @@
 package icegate
 
-import "sync"
+import (
+	"encoding/json"
+	"sync"
+)
 
 // cacheEntry memoizes one successful job: the rendered table plus the
 // per-cell records in deterministic cell-index order, so a cache hit can
@@ -51,4 +54,45 @@ func (c *Cache) Stats() (hits, misses uint64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// storedResult is the disk encoding of a cacheEntry: stable JSON inside
+// the store's checksummed envelope, so an entry written by one daemon
+// replays byte-identically from the next.
+type storedResult struct {
+	Table string       `json:"table"`
+	Cells []CellResult `json:"cells"`
+}
+
+// storeGet looks the key up in the disk store (the L2 below the
+// in-memory cache). A corrupt or undecodable payload is a miss — the
+// store has already quarantined checksum failures, and a JSON-level
+// failure here just means re-simulating.
+func (s *Scheduler) storeGet(key string) (cacheEntry, bool) {
+	if s.store == nil {
+		return cacheEntry{}, false
+	}
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return cacheEntry{}, false
+	}
+	var sr storedResult
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return cacheEntry{}, false
+	}
+	return cacheEntry{table: sr.Table, cells: sr.Cells}, true
+}
+
+// storePut writes a finished result through to the disk store. Failures
+// (oversized for the store's budget, disk trouble) cost only restart
+// durability, never correctness, so they are dropped.
+func (s *Scheduler) storePut(key string, e cacheEntry) {
+	if s.store == nil {
+		return
+	}
+	raw, err := json.Marshal(storedResult{Table: e.table, Cells: e.cells})
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(key, raw)
 }

@@ -1,8 +1,10 @@
 // Package icegate is the serving layer above the fleet: a long-running
 // gateway that accepts scenario-run and experiment-table jobs over
-// HTTP/JSON, schedules them on a bounded queue with admission control,
-// streams per-cell results as they complete, and memoizes finished
-// results in a deterministic cache.
+// HTTP/JSON, schedules them across tenants with quotas and weighted
+// fair queueing, streams per-cell results as they complete, and
+// memoizes finished results in a deterministic cache — in memory and,
+// when configured, in a disk-backed content-addressed store that
+// survives restarts.
 //
 // The design leans on the layer below it: because a fleet result is a
 // pure function of (scenario, seed, cells, duration, knobs) — byte-
@@ -18,19 +20,27 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/icescope"
+	"repro/internal/icestore"
 )
 
 // Config sizes the gateway.
 type Config struct {
-	QueueDepth int // jobs admitted but not yet executing; <=0 means 16
+	QueueDepth int // jobs admitted but not yet executing, all tenants; <=0 means 16
 	Executors  int // jobs executing concurrently; <=0 means 1
 	Workers    int // fleet worker-pool width per job; <=0 means 1
 	MaxCells   int // per-job cell ceiling (admission control); <=0 means 4096
 	RetainJobs int // finished jobs kept for status queries; <=0 means 1024
+
+	// Tenants is the multi-tenant policy: per-tenant quotas and fair-share
+	// weights. The zero value admits everyone under one unlimited default
+	// quota, which reduces the scheduler to the single-tenant FIFO it used
+	// to be.
+	Tenants TenantsConfig
 
 	// TraceSample, when positive, force-enables span recording on every
 	// Nth submitted job (the 1-in-N always-on profile a long-running
@@ -44,6 +54,11 @@ type Config struct {
 	// (this process's pool). Deliberately not part of any result
 	// identity: determinism makes backends interchangeable.
 	Backend Backend
+
+	// Store, when non-nil, is the disk-backed second cache level: results
+	// missing from the in-memory cache are looked up there, and finished
+	// results are written through, so cache hits survive daemon restarts.
+	Store *icestore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -68,26 +83,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ErrQueueFull is admission control's rejection: the HTTP layer maps it
-// to 429 Too Many Requests.
+// ErrQueueFull is admission control's global rejection: the HTTP layer
+// maps it (and the per-tenant QuotaError wrapping it) to 429 Too Many
+// Requests.
 var ErrQueueFull = errors.New("icegate: job queue full")
 
-// Scheduler owns the job queue, the executor pool, and the result cache.
+// Scheduler owns the tenant queues, the executor pool, and the result
+// cache hierarchy.
 type Scheduler struct {
 	cfg   Config
 	cache *Cache
+	store *icestore.Store
 	met   *gatewayMetrics
 
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *Job
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
+	cond   *sync.Cond // signalled on enqueue; broadcast on completion/close
 	closed bool
 	seq    int
 	jobs   map[string]*Job
 	order  []string // submission order, for listing
+
+	// Multi-tenant scheduling state, all guarded by mu. tenants holds one
+	// state per identity with work in flight; vtime is the weighted-fair-
+	// queueing virtual clock, advanced to the dispatched tenant's pass at
+	// every pop so tenants activating later join the race where it
+	// currently stands rather than at zero (which would let them starve
+	// everyone while they burn banked credit).
+	tenants     map[string]*tenantState
+	queuedTotal int
+	vtime       float64
 
 	// hooks let lifecycle tests observe transitions without polling;
 	// zero outside tests.
@@ -107,11 +135,13 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:     cfg,
 		cache:   NewCache(),
+		store:   cfg.Store,
 		baseCtx: ctx,
 		stop:    stop,
-		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
+		tenants: map[string]*tenantState{},
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.met = newGatewayMetrics(s) // after s: the GaugeFuncs read scheduler state
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
@@ -127,10 +157,12 @@ func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
 		for _, j := range s.jobs {
-			j.requestCancel()
+			if j.requestCancel() {
+				s.removeQueuedLocked(j)
+			}
 		}
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	s.stop()
@@ -142,13 +174,13 @@ func (s *Scheduler) Close() {
 // ctx expires first, whatever still runs is cancelled and Drain returns
 // ctx.Err() — the caller is exiting and a simulation cell is not
 // interruptible mid-kernel, so the deadline is the contract. Close
-// afterwards is safe (and a no-op for the queue). cmd/icegated calls
+// afterwards is safe (and a no-op for the queues). cmd/icegated calls
 // this on SIGTERM.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -160,27 +192,39 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
-			j.requestCancel()
+			if j.requestCancel() {
+				s.removeQueuedLocked(j)
+			}
 		}
+		s.cond.Broadcast()
 		s.mu.Unlock()
 		s.stop()
 		return ctx.Err()
 	}
 }
 
-// Cache exposes the result cache (metrics and tests).
+// Cache exposes the in-memory result cache (metrics and tests).
 func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Store exposes the disk-backed result store; nil when none configured.
+func (s *Scheduler) Store() *icestore.Store { return s.store }
 
 // Backend reports where this scheduler's cells execute.
 func (s *Scheduler) Backend() Backend { return s.cfg.Backend }
 
-// QueueDepth reports jobs admitted but not yet picked up by an executor.
-func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+// QueueDepth reports jobs admitted but not yet picked up by an executor,
+// across all tenants and lanes.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedTotal
+}
 
-// Submit validates and admits one job. A cache hit completes the job
-// instantly — it is registered with an ID like any other so clients keep
-// one code path — and a full queue returns ErrQueueFull without
-// registering anything.
+// Submit validates and admits one job under its tenant's quota. A cache
+// or store hit completes the job instantly — it is registered with an ID
+// like any other so clients keep one code path — and an admission
+// rejection (global queue full, or any per-tenant quota) returns an
+// ErrQueueFull-family error without registering anything.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -192,7 +236,7 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("icegate: scheduler closed")
+		return nil, errSchedulerClosed
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), req)
@@ -201,27 +245,223 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	}
 
 	if e, ok := s.cache.get(job.key); ok {
-		job.traceInstant("cache hit")
-		for _, cr := range e.cells {
-			job.deliver(cr)
-		}
-		job.finish(StatusDone, e.table, "", true)
-		s.register(job)
-		s.met.jobsDone.Add(1)
+		s.finishFromCache(job, e, "cache hit")
+		return job, nil
+	}
+	// L2: the disk store. A hit is promoted into the in-memory cache so
+	// the next repeat skips the disk entirely.
+	if e, ok := s.storeGet(job.key); ok {
+		s.cache.put(job.key, e)
+		s.finishFromCache(job, e, "store hit")
 		return job, nil
 	}
 
-	// Admission control: a full queue rejects rather than blocks, so one
-	// flood of submissions degrades to fast 429s instead of head-of-line
-	// latency for everyone.
-	select {
-	case s.queue <- job:
-	default:
-		s.met.jobsRejected.Add(1)
+	// Admission control, cheapest rejection first. Every path rejects
+	// rather than blocks, so one flood of submissions degrades to fast
+	// 429s instead of head-of-line latency for everyone.
+	name := job.Req.Tenant
+	t := s.tenants[name]
+	if t == nil && !s.admitNewTenantLocked(name) {
+		s.rejectLocked(name)
+		return nil, &QuotaError{Tenant: name, Reason: "tenants", RetryAfter: retryAfterHint(0)}
+	}
+	if s.queuedTotal >= s.cfg.QueueDepth {
+		s.rejectLocked(name)
 		return nil, ErrQueueFull
 	}
+	quota := s.cfg.Tenants.quotaFor(name)
+	queued, cells := 0, 0
+	if t != nil {
+		queued, cells = t.queued, t.cells
+	}
+	if quota.MaxQueued > 0 && queued >= quota.MaxQueued {
+		s.rejectLocked(name)
+		return nil, &QuotaError{Tenant: name, Reason: "queued", RetryAfter: retryAfterHint(queued)}
+	}
+	if quota.MaxCells > 0 && cells+job.cost > quota.MaxCells {
+		s.rejectLocked(name)
+		return nil, &QuotaError{Tenant: name, Reason: "cells", RetryAfter: retryAfterHint(queued)}
+	}
+
+	s.enqueueLocked(s.tenantLocked(name), job)
 	s.register(job)
 	return job, nil
+}
+
+// finishFromCache completes a job instantly from a memoized entry;
+// callers hold s.mu.
+func (s *Scheduler) finishFromCache(job *Job, e cacheEntry, how string) {
+	job.traceInstant(how)
+	for _, cr := range e.cells {
+		job.deliver(cr)
+	}
+	job.finish(StatusDone, e.table, "", true)
+	s.register(job)
+	s.met.jobsDone.Add(1)
+}
+
+// admitNewTenantLocked decides whether an identity with no state yet may
+// enter the scheduler. Configured tenants and the anonymous bucket are
+// always admitted; unnamed identities are capped so a hostile client
+// minting fresh names cannot grow the tenant table (and the metric
+// label space) without bound. Callers hold s.mu.
+func (s *Scheduler) admitNewTenantLocked(name string) bool {
+	if name == AnonTenant {
+		return true
+	}
+	if _, named := s.cfg.Tenants.Tenants[name]; named {
+		return true
+	}
+	return len(s.tenants) < s.cfg.Tenants.maxTenants()
+}
+
+// rejectLocked counts one admission rejection; callers hold s.mu.
+func (s *Scheduler) rejectLocked(tenant string) {
+	s.met.jobsRejected.Add(1)
+	s.met.tenantRejected.With(tenant).Inc()
+}
+
+// retryAfterHint scales the 429 Retry-After hint with the tenant's
+// backlog — one second plus one per queued job, bounded — so a client
+// honoring it naturally backs off harder the deeper it has dug.
+func retryAfterHint(queued int) time.Duration {
+	d := time.Duration(1+queued) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// tenantLocked returns the live state for name, creating it at the
+// current virtual time if the tenant is newly active. Callers hold s.mu
+// and must have passed admitNewTenantLocked.
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	t := &tenantState{name: name, q: s.cfg.Tenants.quotaFor(name), pass: s.vtime}
+	s.tenants[name] = t
+	return t
+}
+
+// enqueueLocked charges the job to its tenant and appends it to the
+// tenant's lane queue. Callers hold s.mu.
+func (s *Scheduler) enqueueLocked(t *tenantState, job *Job) {
+	if !t.active() && t.pass < s.vtime {
+		// An idle tenant's pass is stale; catch it up so it neither
+		// starves behind everyone (pass too high never happens — pops only
+		// raise it) nor spends banked credit from its idle time.
+		t.pass = s.vtime
+	}
+	job.enqueuedAt = time.Now()
+	t.queues[job.laneIdx] = append(t.queues[job.laneIdx], job)
+	t.queued++
+	t.cells += job.cost
+	s.queuedTotal++
+	s.met.tenantSubmitted.With(t.name).Inc()
+	s.cond.Signal()
+}
+
+// popLocked selects the next job to dispatch: strict lane priority
+// first (interactive before batch, across all tenants), weighted fair
+// queueing between tenants within the lane, FIFO within one tenant's
+// lane. Tenants at their MaxRunning cap are passed over without losing
+// their place. Returns nil when nothing is dispatchable. Callers hold
+// s.mu.
+func (s *Scheduler) popLocked() *Job {
+	for lane := 0; lane < numLanes; lane++ {
+		var best *tenantState
+		for _, t := range s.tenants {
+			if len(t.queues[lane]) == 0 {
+				continue
+			}
+			if t.q.MaxRunning > 0 && t.running >= t.q.MaxRunning {
+				continue
+			}
+			if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+				best = t
+			}
+		}
+		if best == nil {
+			continue
+		}
+		q := best.queues[lane]
+		job := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		best.queues[lane] = q[:len(q)-1]
+		best.queued--
+		best.running++
+		s.queuedTotal--
+		// Advance the virtual clock to the winner's pass, then charge the
+		// winner cost/weight: heavier tenants' passes climb slower, so
+		// they win proportionally more dispatches.
+		s.vtime = best.pass
+		best.pass += float64(job.cost) / best.weight()
+		s.met.queueWait.With(laneName(lane)).Observe(time.Since(job.enqueuedAt).Seconds())
+		return job
+	}
+	return nil
+}
+
+// jobDoneLocked returns a dispatched job's resources to its tenant after
+// the executor is through with it (run, cancelled mid-run, or skipped
+// because it was cancelled between pop and start). Callers hold s.mu.
+func (s *Scheduler) jobDoneLocked(job *Job) {
+	t := s.tenants[job.Req.Tenant]
+	if t == nil {
+		return
+	}
+	t.running--
+	s.freeQuotaLocked(t, job)
+	s.reapLocked(t)
+	s.cond.Broadcast()
+}
+
+// removeQueuedLocked takes a cancelled job out of its tenant's lane
+// queue, freeing its queue slot and cell charge immediately rather than
+// when an executor would have popped it. A job already popped (or
+// already removed) is left to jobDoneLocked. Callers hold s.mu.
+func (s *Scheduler) removeQueuedLocked(job *Job) {
+	t := s.tenants[job.Req.Tenant]
+	if t == nil {
+		return
+	}
+	q := t.queues[job.laneIdx]
+	for i, j := range q {
+		if j != job {
+			continue
+		}
+		copy(q[i:], q[i+1:])
+		q[len(q)-1] = nil
+		t.queues[job.laneIdx] = q[:len(q)-1]
+		t.queued--
+		s.queuedTotal--
+		s.freeQuotaLocked(t, job)
+		s.reapLocked(t)
+		s.cond.Broadcast()
+		return
+	}
+}
+
+// freeQuotaLocked releases a job's cell charge exactly once, no matter
+// how many paths observe its end. Callers hold s.mu.
+func (s *Scheduler) freeQuotaLocked(t *tenantState, job *Job) {
+	if job.quotaFreed {
+		return
+	}
+	job.quotaFreed = true
+	t.cells -= job.cost
+}
+
+// reapLocked drops a tenant with nothing in flight: state is cheap to
+// recreate (tenantLocked), and dropping it bounds the tenant table and
+// the per-tenant metric children at "currently active" instead of "ever
+// seen". Callers hold s.mu.
+func (s *Scheduler) reapLocked(t *tenantState) {
+	if !t.active() {
+		delete(s.tenants, t.name)
+	}
 }
 
 // register records the job; callers hold s.mu.
@@ -271,15 +511,19 @@ func (s *Scheduler) Jobs() []*Job {
 	return out
 }
 
-// Cancel aborts a queued or running job. Cancelling an unknown job is an
-// error; cancelling a terminal one is a no-op.
+// Cancel aborts a queued or running job. Cancelling a queued job frees
+// its queue slot and quota charge immediately. Cancelling an unknown job
+// is an error; cancelling a terminal one is a no-op.
 func (s *Scheduler) Cancel(id string) error {
-	j, ok := s.Get(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
 	if !ok {
 		return fmt.Errorf("icegate: unknown job %q", id)
 	}
 	if j.requestCancel() {
 		s.met.jobsCancelled.Add(1)
+		s.removeQueuedLocked(j)
 	}
 	return nil
 }
@@ -289,8 +533,24 @@ func (s *Scheduler) executor() {
 	// Each executor owns one reduce accumulator, reused across its jobs
 	// so steady-state serving reallocates no per-metric buffers.
 	sum := fleet.NewSummary()
-	for job := range s.queue {
+	for {
+		s.mu.Lock()
+		var job *Job
+		for {
+			if job = s.popLocked(); job != nil {
+				break
+			}
+			if s.closed && s.queuedTotal == 0 {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
 		s.runJob(job, sum)
+		s.mu.Lock()
+		s.jobDoneLocked(job)
+		s.mu.Unlock()
 	}
 }
 
@@ -333,7 +593,9 @@ func (s *Scheduler) runJob(job *Job, sum *fleet.Summary) {
 				ordered[cr.Index] = cr
 			}
 		}
-		s.cache.put(job.key, cacheEntry{table: table, cells: ordered})
+		entry := cacheEntry{table: table, cells: ordered}
+		s.cache.put(job.key, entry)
+		s.storePut(job.key, entry)
 		s.met.jobsDone.Add(1)
 		job.finish(StatusDone, table, "", false)
 	}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -37,6 +38,15 @@ type Request struct {
 	// identical with tracing on or off, so Key() ignores it and a traced
 	// request can be served from an untraced request's cache line.
 	Trace bool `json:"trace,omitempty"`
+
+	// Tenant identifies who is submitting, for quota accounting and fair
+	// scheduling; empty means AnonTenant. Lane picks the dispatch
+	// priority lane: LaneInteractive (the default) is always served
+	// before LaneBatch, so bulk sweeps belong in "batch". Both are
+	// serving knobs like Trace — they never enter Key(), so every tenant
+	// shares one cache line per result.
+	Tenant string `json:"tenant,omitempty"`
+	Lane   string `json:"lane,omitempty"`
 }
 
 // Validate rejects requests that could never run or whose key would be
@@ -55,6 +65,12 @@ func (r Request) Validate() error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("icegate: knob %q is not finite", k)
 		}
+	}
+	if r.Tenant != "" && !tenantNameRE.MatchString(r.Tenant) {
+		return fmt.Errorf("icegate: bad tenant %q (want %s)", r.Tenant, tenantNameRE)
+	}
+	if r.Lane != "" && r.Lane != LaneInteractive && r.Lane != LaneBatch {
+		return fmt.Errorf("icegate: unknown lane %q (want %q or %q)", r.Lane, LaneInteractive, LaneBatch)
 	}
 	if r.Scenario != "" {
 		found := false
@@ -88,13 +104,21 @@ func (r Request) Validate() error {
 }
 
 // normalized fills the defaults that participate in result identity, so
-// "cells omitted" and "cells: 1" hit the same cache line.
+// "cells omitted" and "cells: 1" hit the same cache line — plus the
+// serving-side defaults (tenant, lane), so views and quota accounting
+// always see resolved identities.
 func (r Request) normalized() Request {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
 	if r.Cells <= 0 {
 		r.Cells = 1
+	}
+	if r.Tenant == "" {
+		r.Tenant = AnonTenant
+	}
+	if r.Lane == "" {
+		r.Lane = LaneInteractive
 	}
 	return r
 }
@@ -163,6 +187,14 @@ type Job struct {
 	Req Request // normalized form
 	key string
 
+	// Scheduler bookkeeping, guarded by Scheduler.mu (not j.mu): the
+	// dispatch lane, the cell-quota charge, whether that charge has been
+	// returned, and when the job entered its queue.
+	laneIdx    int
+	cost       int
+	quotaFreed bool
+	enqueuedAt time.Time
+
 	mu         sync.Mutex
 	status     Status
 	errMsg     string
@@ -187,7 +219,10 @@ type Job struct {
 
 func newJob(id string, req Request) *Job {
 	req = req.normalized()
-	j := &Job{ID: id, Req: req, key: req.Key(), status: StatusQueued, done: make(chan struct{})}
+	j := &Job{
+		ID: id, Req: req, key: req.Key(), status: StatusQueued, done: make(chan struct{}),
+		laneIdx: laneIndex(req.Lane), cost: req.Cells,
+	}
 	if req.Scenario != "" {
 		j.cellsTotal = req.Cells
 	}
@@ -241,6 +276,8 @@ type View struct {
 	ID         string  `json:"id"`
 	Status     Status  `json:"status"`
 	Request    Request `json:"request"`
+	Tenant     string  `json:"tenant"`
+	Lane       string  `json:"lane"`
 	Cached     bool    `json:"cached"`
 	CellsTotal int     `json:"cells_total"`
 	CellsDone  int     `json:"cells_done"`
@@ -252,7 +289,8 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return View{
-		ID: j.ID, Status: j.status, Request: j.Req, Cached: j.cached,
+		ID: j.ID, Status: j.status, Request: j.Req, Tenant: j.Req.Tenant,
+		Lane: j.Req.Lane, Cached: j.cached,
 		CellsTotal: j.cellsTotal, CellsDone: len(j.cells), Error: j.errMsg,
 	}
 }

@@ -89,21 +89,28 @@ func TestJobLifecycleEdges(t *testing.T) {
 			if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); !errors.Is(err, ErrQueueFull) {
 				t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
 			}
-			// Cancelling the queued occupant does NOT free the slot: the
-			// channel slot empties only when an executor pops the corpse.
+			// Cancelling the queued occupant frees its slot immediately —
+			// the tenant scheduler removes it from its lane queue, no
+			// executor pop required.
 			if err := s.Cancel(b.ID); err != nil {
 				t.Fatal(err)
 			}
 			<-b.Done()
-			if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); !errors.Is(err, ErrQueueFull) {
-				t.Fatalf("post-cancel submit err = %v, want ErrQueueFull (slot frees on pop, not cancel)", err)
+			// ...and exactly once: a terminal re-cancel must not free a
+			// second slot, so after one replacement fills the queue the
+			// next submission bounces again.
+			if err := s.Cancel(b.ID); err != nil {
+				t.Fatalf("re-cancel errored: %v", err)
 			}
-			// Release the runner; the executor pops the cancelled corpse
-			// (start refuses, nothing runs) and the queue opens up again.
-			gate(seedA) <- struct{}{}
-			<-a.Done()
 			seedD := nextGateSeed()
 			d := mustSubmit(t, s, Request{Scenario: "test-gated", Seed: seedD, Cells: 1})
+			if _, err := s.Submit(Request{Scenario: "test-gated", Seed: nextGateSeed(), Cells: 1}); !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("post-refill submit err = %v, want ErrQueueFull (cancel must free exactly one slot)", err)
+			}
+			// Release the runner; the replacement (never the cancelled
+			// corpse) runs next.
+			gate(seedA) <- struct{}{}
+			<-a.Done()
 			if got := <-running; got.ID != d.ID {
 				t.Fatalf("running job %s, want %s (cancelled corpse must be skipped)", got.ID, d.ID)
 			}

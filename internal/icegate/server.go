@@ -4,10 +4,26 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 )
+
+// TenantHeader carries the tenant identity on API requests; when set it
+// overrides the request body's "tenant" field.
+const TenantHeader = "X-Icegate-Tenant"
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, never below one (zero would invite a tight retry loop).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 // NewHandler wires the gateway's HTTP/JSON API around a scheduler.
 //
@@ -40,9 +56,20 @@ func NewHandler(s *Scheduler) http.Handler {
 			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
+		// The header is the authoritative tenant identity when present
+		// (proxies stamp it); the body field serves clients that cannot
+		// set headers.
+		if hdr := r.Header.Get(TenantHeader); hdr != "" {
+			req.Tenant = hdr
+		}
 		job, err := s.Submit(req)
+		var qe *QuotaError
 		switch {
+		case errors.As(err, &qe):
+			w.Header().Set("Retry-After", retryAfterSeconds(qe.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err.Error())

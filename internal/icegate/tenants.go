@@ -1,0 +1,189 @@
+package icegate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+)
+
+// Tenancy: every request carries a tenant identity (the X-Icegate-Tenant
+// header, a "tenant" request field, or the anonymous default), and the
+// scheduler enforces per-tenant quotas at admission plus weighted fair
+// queueing between tenants at dispatch. Tenancy is a serving concern
+// only — like worker width and tracing it never enters the result cache
+// key, so two tenants submitting the same request share one cache line.
+
+// AnonTenant is the identity of requests that declare none.
+const AnonTenant = "anon"
+
+// Priority lanes. Interactive is dispatched strictly before batch, so a
+// tenant flooding the batch lane can never add more than the currently
+// executing job's runtime to an interactive job's wait.
+const (
+	LaneInteractive = "interactive"
+	LaneBatch       = "batch"
+)
+
+const numLanes = 2
+
+// laneIndex maps a normalized lane name to its dispatch priority
+// (lower = served first).
+func laneIndex(lane string) int {
+	if lane == LaneBatch {
+		return 1
+	}
+	return 0
+}
+
+func laneName(idx int) string {
+	if idx == 1 {
+		return LaneBatch
+	}
+	return LaneInteractive
+}
+
+// tenantNameRE bounds tenant identities: they become metric label
+// values and map keys, so arbitrary bytes and unbounded lengths are
+// rejected at validation, not laundered.
+var tenantNameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// Quota bounds one tenant's load on the gateway. The zero value is
+// unlimited (weight 1): a gateway without a tenants file behaves
+// exactly like the single-tenant gateway it used to be.
+type Quota struct {
+	MaxQueued  int `json:"max_queued,omitempty"`  // jobs admitted but not yet running; <=0 unlimited
+	MaxRunning int `json:"max_running,omitempty"` // jobs executing concurrently; <=0 unlimited
+	MaxCells   int `json:"max_cells,omitempty"`   // cells in flight across queued+running jobs; <=0 unlimited
+	Weight     int `json:"weight,omitempty"`      // fair-share weight; <=0 means 1
+}
+
+// TenantsConfig is the icegated -tenants file: named tenants with their
+// quotas, the default quota applied to everyone else (including anon),
+// and a cap on how many distinct tenant identities the scheduler will
+// track (label cardinality is memory; a hostile client minting fresh
+// names must hit a wall).
+type TenantsConfig struct {
+	Default    Quota            `json:"default"`
+	Tenants    map[string]Quota `json:"tenants,omitempty"`
+	MaxTenants int              `json:"max_tenants,omitempty"` // <=0 means 64
+}
+
+func (c TenantsConfig) maxTenants() int {
+	n := c.MaxTenants
+	if n <= 0 {
+		n = 64
+	}
+	// Named tenants are always admitted; the cap must leave room for
+	// them plus at least the anonymous bucket.
+	if min := len(c.Tenants) + 1; n < min {
+		n = min
+	}
+	return n
+}
+
+// quotaFor resolves the quota a tenant name is subject to.
+func (c TenantsConfig) quotaFor(name string) Quota {
+	if q, ok := c.Tenants[name]; ok {
+		return q
+	}
+	return c.Default
+}
+
+// Validate rejects configurations that could never be meant: negative
+// limits and tenant names that would be rejected at request time.
+func (c TenantsConfig) Validate() error {
+	check := func(who string, q Quota) error {
+		if q.MaxQueued < 0 || q.MaxRunning < 0 || q.MaxCells < 0 || q.Weight < 0 {
+			return fmt.Errorf("icegate: tenant %q has a negative quota: %+v", who, q)
+		}
+		return nil
+	}
+	if err := check("default", c.Default); err != nil {
+		return err
+	}
+	if c.MaxTenants < 0 {
+		return fmt.Errorf("icegate: negative max_tenants %d", c.MaxTenants)
+	}
+	for name, q := range c.Tenants {
+		if !tenantNameRE.MatchString(name) {
+			return fmt.Errorf("icegate: bad tenant name %q (want %s)", name, tenantNameRE)
+		}
+		if err := check(name, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTenants reads and validates a -tenants JSON file. Unknown fields
+// are rejected: a typoed "max_qeued" silently meaning "unlimited" is
+// exactly the kind of quota hole this file exists to close.
+func LoadTenants(path string) (TenantsConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TenantsConfig{}, fmt.Errorf("icegate: tenants file: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var cfg TenantsConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return TenantsConfig{}, fmt.Errorf("icegate: tenants file %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return TenantsConfig{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return cfg, nil
+}
+
+// QuotaError is admission control's per-tenant rejection: the HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After header.
+// It wraps ErrQueueFull so existing errors.Is checks (and clients that
+// treat every 429 as transient) keep working.
+type QuotaError struct {
+	Tenant     string
+	Reason     string // which limit tripped: "queued", "cells", "tenants"
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("icegate: tenant %q over quota (%s), retry in %s", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// Unwrap ties QuotaError into the ErrQueueFull family: both are "back
+// off and retry" admissions failures.
+func (e *QuotaError) Unwrap() error { return ErrQueueFull }
+
+var errSchedulerClosed = errors.New("icegate: scheduler closed")
+
+// tenantState is the scheduler's per-tenant bookkeeping: the quota, the
+// per-lane FIFO queues, the in-flight accounting the quota is enforced
+// against, and the weighted-fair-queueing virtual time. All fields are
+// guarded by Scheduler.mu.
+type tenantState struct {
+	name string
+	q    Quota
+
+	// pass is the tenant's WFQ virtual time: advanced by cost/weight at
+	// every dispatch, so tenants with more weight advance slower and win
+	// more dispatches. The runnable tenant with the smallest pass goes
+	// next; ties break by name for determinism.
+	pass float64
+
+	queues  [numLanes][]*Job
+	queued  int // jobs admitted but not yet dispatched, across lanes
+	running int // jobs executing now
+	cells   int // cells in flight across queued+running jobs
+}
+
+func (t *tenantState) weight() float64 {
+	if t.q.Weight <= 0 {
+		return 1
+	}
+	return float64(t.q.Weight)
+}
+
+func (t *tenantState) active() bool { return t.queued > 0 || t.running > 0 }

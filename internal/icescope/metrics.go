@@ -202,6 +202,32 @@ func (v *CounterVec) With(value string) *Counter {
 // Delete drops the child for the label value (a departed mesh node).
 func (v *CounterVec) Delete(value string) { v.f.delete(value) }
 
+// HistogramVec is a histogram family keyed by one label; every child
+// shares the family's bucket ladder.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family with the given
+// ascending bucket upper bounds (nil means LatencyBuckets).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = LatencyBuckets()
+	}
+	newHistogram(bounds) // validate the ladder once, at registration
+	return &HistogramVec{f: r.register(name, help, "histogram", label, nil), bounds: bounds}
+}
+
+// With returns (creating if needed) the child histogram for the label
+// value. Callers on hot paths should cache the child.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.f.child(value, func() any { return newHistogram(v.bounds) }).(*Histogram)
+}
+
+// Delete drops the child for the label value.
+func (v *HistogramVec) Delete(value string) { v.f.delete(value) }
+
 // GaugeVec is a gauge family keyed by one label.
 type GaugeVec struct{ f *family }
 

@@ -52,6 +52,39 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 }
 
+// A labeled histogram family: children share the bucket ladder, render
+// with the label composed into every bucket line, and lint clean.
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("app_queue_wait_seconds", "Queue wait by lane.", "lane", []float64{0.01, 1})
+	hv.With("interactive").Observe(0.002)
+	hv.With("batch").Observe(0.5)
+	hv.With("batch").Observe(30)
+
+	text := r.Expose()
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint rejected HistogramVec exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE app_queue_wait_seconds histogram",
+		`app_queue_wait_seconds_bucket{lane="batch",le="0.01"} 0`,
+		`app_queue_wait_seconds_bucket{lane="batch",le="1"} 1`,
+		`app_queue_wait_seconds_bucket{lane="batch",le="+Inf"} 2`,
+		`app_queue_wait_seconds_sum{lane="batch"} 30.5`,
+		`app_queue_wait_seconds_count{lane="batch"} 2`,
+		`app_queue_wait_seconds_bucket{lane="interactive",le="0.01"} 1`,
+		`app_queue_wait_seconds_count{lane="interactive"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	hv.Delete("batch")
+	if text := r.Expose(); strings.Contains(text, `lane="batch"`) {
+		t.Fatalf("deleted histogram child still rendered:\n%s", text)
+	}
+}
+
 func TestOnCollectAndDelete(t *testing.T) {
 	r := NewRegistry()
 	gv := r.GaugeVec("mesh_node_up", "Node liveness.", "node")

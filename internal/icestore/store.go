@@ -1,0 +1,407 @@
+// Package icestore is the gateway's durable result layer: a disk-backed
+// content-addressed blob store keyed by icegate's deterministic cache
+// key. Because a fleet result is a pure function of its key, a stored
+// entry never goes stale — so the store can persist results across
+// daemon restarts and serve them byte-identical forever.
+//
+// Layout under the configured directory:
+//
+//	objects/<sha256(key)>.ice   committed entries (one checksummed file each)
+//	tmp/                        in-flight writes, renamed into objects/ on commit
+//	quarantine/                 entries that failed validation, kept for autopsy
+//
+// The durability contract is commit-by-rename: an entry is written to
+// tmp/, synced, and atomically renamed into objects/, so a crash at any
+// point leaves either the old state or the new one, never a torn entry.
+// Whatever garbage does end up in objects/ (torn disks, manual edits) is
+// caught by the startup recovery scan or by the per-read checksum and
+// moved to quarantine/ instead of being served.
+//
+// Eviction is LRU by total committed bytes. Recency rides on file
+// mtimes — Get touches the entry — so the eviction order itself
+// survives a restart.
+package icestore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File format v1: magic, key (so the recovery scan can rebuild the
+// index without a sidecar), payload, and a trailing CRC over everything
+// before it.
+//
+//	"ICST" | version=1 | keyLen u32 | key | payloadLen u64 | payload | crc32c u32
+var magic = [5]byte{'I', 'C', 'S', 'T', 1}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrOversized reports a payload that can never fit the configured byte
+// budget; the entry is not stored (persistence is best-effort, but the
+// caller may want to count these).
+var ErrOversized = errors.New("icestore: payload exceeds the store byte budget")
+
+// Config sizes and places the store.
+type Config struct {
+	Dir      string           // root directory; created if missing
+	MaxBytes int64            // committed-bytes budget; <=0 = unbounded
+	Now      func() time.Time // recency clock; nil = time.Now (tests inject)
+}
+
+// Stats is a snapshot of the store's lifetime counters.
+type Stats struct {
+	Hits        uint64 // Get served a validated entry
+	Misses      uint64 // Get found nothing (including entries lost to corruption)
+	Puts        uint64 // entries committed
+	Evictions   uint64 // entries removed by the LRU byte budget
+	Quarantined uint64 // entries that failed validation and were moved aside
+	Entries     int    // committed entries resident now
+	Bytes       int64  // committed bytes resident now
+}
+
+// Store is a concurrency-safe content-addressed blob store. All methods
+// may be called from any goroutine.
+type Store struct {
+	dir      string
+	maxBytes int64
+	now      func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry // key -> entry
+	lru     *list.List        // front = most recently used; values are *entry
+	total   int64
+	stats   Stats
+	tmpSeq  int
+}
+
+type entry struct {
+	key  string
+	file string // object file name (content address + extension)
+	size int64  // on-disk size
+	elem *list.Element
+}
+
+func (s *Store) objDir() string  { return filepath.Join(s.dir, "objects") }
+func (s *Store) tmpDir() string  { return filepath.Join(s.dir, "tmp") }
+func (s *Store) quarDir() string { return filepath.Join(s.dir, "quarantine") }
+
+// objectName is the content address: the key's SHA-256, hex.
+func objectName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".ice"
+}
+
+// Open creates (or reopens) the store rooted at cfg.Dir, running the
+// recovery scan: leftover tmp files from interrupted commits are
+// deleted, every committed entry is validated end to end, corrupt or
+// truncated ones are quarantined, and the survivors are indexed in
+// mtime order so the LRU state picks up where the last process left it.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("icestore: Config.Dir is required")
+	}
+	s := &Store{
+		dir:      cfg.Dir,
+		maxBytes: cfg.MaxBytes,
+		now:      cfg.Now,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	for _, d := range []string{s.objDir(), s.tmpDir(), s.quarDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("icestore: %w", err)
+		}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover is the startup scan described on Open.
+func (s *Store) recover() error {
+	// A tmp file is an interrupted commit: the rename never happened, so
+	// the entry was never promised to anyone. Delete.
+	tmps, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return fmt.Errorf("icestore: %w", err)
+	}
+	for _, t := range tmps {
+		_ = os.Remove(filepath.Join(s.tmpDir(), t.Name()))
+	}
+
+	objs, err := os.ReadDir(s.objDir())
+	if err != nil {
+		return fmt.Errorf("icestore: %w", err)
+	}
+	type found struct {
+		e     *entry
+		mtime time.Time
+	}
+	var scanned []found
+	for _, o := range objs {
+		if o.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.objDir(), o.Name())
+		key, size, err := s.validateFile(path)
+		if err != nil || objectName(key) != o.Name() {
+			// Corrupt, truncated, or filed under the wrong address:
+			// never serve it, keep the bytes for autopsy.
+			s.quarantineLocked(path)
+			continue
+		}
+		info, err := o.Info()
+		if err != nil {
+			s.quarantineLocked(path)
+			continue
+		}
+		scanned = append(scanned, found{&entry{key: key, file: o.Name(), size: size}, info.ModTime()})
+	}
+	// Oldest first, so pushing each to the LRU front leaves the most
+	// recently used entry at the front — the order the last process saw.
+	sort.Slice(scanned, func(i, j int) bool {
+		if !scanned[i].mtime.Equal(scanned[j].mtime) {
+			return scanned[i].mtime.Before(scanned[j].mtime)
+		}
+		return scanned[i].e.file < scanned[j].e.file
+	})
+	for _, f := range scanned {
+		f.e.elem = s.lru.PushFront(f.e)
+		s.entries[f.e.key] = f.e
+		s.total += f.e.size
+	}
+	s.evictLocked()
+	return nil
+}
+
+// validateFile reads and fully validates one object file, returning the
+// embedded key and the file size.
+func (s *Store) validateFile(path string) (key string, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	key, payload, err := decodeObject(data)
+	if err != nil {
+		return "", 0, err
+	}
+	_ = payload
+	return key, int64(len(data)), nil
+}
+
+// encodeObject renders the v1 file image for (key, payload).
+func encodeObject(key string, payload []byte) []byte {
+	n := len(magic) + 4 + len(key) + 8 + len(payload) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// decodeObject parses and checksum-verifies a v1 file image.
+func decodeObject(data []byte) (key string, payload []byte, err error) {
+	if len(data) < len(magic)+4+8+4 {
+		return "", nil, errors.New("icestore: truncated header")
+	}
+	if [5]byte(data[:5]) != magic {
+		return "", nil, errors.New("icestore: bad magic")
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(crcBytes) {
+		return "", nil, errors.New("icestore: checksum mismatch")
+	}
+	off := len(magic)
+	keyLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+	off += 4
+	if keyLen < 0 || off+keyLen+8 > len(body) {
+		return "", nil, errors.New("icestore: bad key length")
+	}
+	key = string(body[off : off+keyLen])
+	off += keyLen
+	payloadLen := binary.BigEndian.Uint64(body[off : off+8])
+	off += 8
+	if payloadLen != uint64(len(body)-off) {
+		return "", nil, errors.New("icestore: bad payload length")
+	}
+	return key, body[off:], nil
+}
+
+// quarantineLocked moves a failed file into quarantine/ (best-effort:
+// if even the rename fails, the file is removed so it can never be
+// served). Callers hold s.mu or run before the store is shared.
+func (s *Store) quarantineLocked(path string) {
+	dst := filepath.Join(s.quarDir(), filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.quarDir(), fmt.Sprintf("%s.%d", filepath.Base(path), i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		_ = os.Remove(path)
+	}
+	s.stats.Quarantined++
+}
+
+// Get returns the payload committed under key, re-verifying the
+// checksum on every read: an entry that rotted on disk is quarantined
+// and reported as a miss rather than served. A hit refreshes both the
+// in-memory LRU position and the file mtime, so recency survives
+// restarts.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	path := filepath.Join(s.objDir(), e.file)
+	data, err := os.ReadFile(path)
+	var payload []byte
+	if err == nil {
+		var gotKey string
+		gotKey, payload, err = decodeObject(data)
+		if err == nil && gotKey != key {
+			err = errors.New("icestore: key mismatch")
+		}
+	}
+	if err != nil {
+		s.quarantineLocked(path)
+		s.dropLocked(e)
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(e.elem)
+	now := s.now()
+	_ = os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// Put commits payload under key: full image to tmp/, fsync, atomic
+// rename into objects/. Re-putting a key overwrites in place (the same
+// deterministic key should carry the same bytes, but the store does not
+// assume it). The write that pushes the store over budget evicts
+// least-recently-used entries until it fits.
+func (s *Store) Put(key string, payload []byte) error {
+	image := encodeObject(key, payload)
+	if s.maxBytes > 0 && int64(len(image)) > s.maxBytes {
+		return ErrOversized
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tmpSeq++
+	tmp := filepath.Join(s.tmpDir(), fmt.Sprintf("put-%d.tmp", s.tmpSeq))
+	if err := writeAndSync(tmp, image); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("icestore: %w", err)
+	}
+	name := objectName(key)
+	path := filepath.Join(s.objDir(), name)
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("icestore: %w", err)
+	}
+	now := s.now()
+	_ = os.Chtimes(path, now, now)
+
+	if old, ok := s.entries[key]; ok {
+		s.total -= old.size
+		s.lru.Remove(old.elem)
+	}
+	e := &entry{key: key, file: name, size: int64(len(image))}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.total += e.size
+	s.stats.Puts++
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked enforces the byte budget, oldest entries first. Callers
+// hold s.mu.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.total > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		_ = os.Remove(filepath.Join(s.objDir(), e.file))
+		s.dropLocked(e)
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked removes an entry from the index (the file is the caller's
+// problem). Callers hold s.mu.
+func (s *Store) dropLocked(e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.key)
+	s.total -= e.size
+}
+
+// Stats snapshots the lifetime counters and resident totals.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.total
+	return st
+}
+
+// Keys lists resident keys, most recently used first (tests and
+// debugging; the order is the inverse eviction order).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// writeAndSync writes data to path and fsyncs it, so the subsequent
+// rename publishes bytes that are actually on the platter.
+func writeAndSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,411 @@
+package icestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic Now: each call advances one second, so
+// every write/touch gets a distinct, ordered mtime regardless of how
+// fast the test runs.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+func newTestStore(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, MaxBytes: maxBytes, Now: (&testClock{t: time.Unix(1_700_000_000, 0)}).Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTripAndStats(t *testing.T) {
+	s := newTestStore(t, t.TempDir(), 0)
+	payload := []byte("scenario table bytes\nwith lines\n")
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	if err := s.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-put overwrites, not duplicates.
+	if err := s.Put("k1", []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("k1"); string(got) != "other" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("overwrite duplicated the entry: %+v", st)
+	}
+}
+
+// Committed entries must come back byte-identical through a full
+// close/reopen cycle — the disk cache's whole reason to exist.
+func TestRestartServesCommittedEntriesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, 0)
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("scenario/x?seed=%d", i)
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 100+i)
+		want[key] = payload
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re := newTestStore(t, dir, 0)
+	for key, payload := range want {
+		got, ok := re.Get(key)
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("after restart %q = %v, %v", key, got, ok)
+		}
+	}
+	if st := re.Stats(); st.Entries != 5 || st.Quarantined != 0 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+}
+
+// The crash-mid-write scan: an interrupted commit leaves a tmp file
+// (never promised, deleted on reopen) while a torn object file — the
+// half-written entry — is quarantined instead of served, and every
+// other entry survives intact.
+func TestCrashMidWriteQuarantinesHalfWrittenEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, 0)
+	if err := s.Put("good", []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("this payload will be cut mid-write")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: one commit interrupted before rename (tmp
+	// leftover) and one entry torn on disk (truncated to half its bytes).
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "put-99.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tornPath := filepath.Join(dir, "objects", objectName("torn"))
+	img, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, img[:len(img)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := newTestStore(t, dir, 0)
+	if _, ok := re.Get("torn"); ok {
+		t.Fatal("half-written entry was served")
+	}
+	got, ok := re.Get("good")
+	if !ok || string(got) != "good payload" {
+		t.Fatalf("intact entry lost: %q, %v", got, ok)
+	}
+	st := re.Stats()
+	if st.Quarantined != 1 || st.Entries != 1 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	// The torn bytes are kept for autopsy, not deleted.
+	quar, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(quar) != 1 {
+		t.Fatalf("quarantine dir = %v, %v", quar, err)
+	}
+	// The interrupted tmp write is gone.
+	tmps, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil || len(tmps) != 0 {
+		t.Fatalf("tmp dir = %v, %v", tmps, err)
+	}
+}
+
+// Corruption that happens after startup (bit rot under a running
+// daemon) is caught by the per-read checksum: quarantined, reported as
+// a miss, never served.
+func TestReadTimeCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, 0)
+	if err := s.Put("rot", []byte("payload that will rot")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", objectName("rot"))
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xFF
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("rot"); ok {
+		t.Fatal("rotten entry served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats after rot = %+v", st)
+	}
+	// The slot is free again: a fresh Put repairs the store.
+	if err := s.Put("rot", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("rot"); !ok || string(got) != "fresh" {
+		t.Fatalf("repair failed: %q, %v", got, ok)
+	}
+	// Rot the repaired entry too: the quarantine name collides with the
+	// first autopsy file and must be suffixed, not clobbered.
+	img2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2[0] ^= 0xFF
+	if err := os.WriteFile(path, img2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("rot"); ok {
+		t.Fatal("re-rotten entry served")
+	}
+	quar, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil || len(quar) != 2 {
+		t.Fatalf("quarantine dir after double rot = %v, %v", quar, err)
+	}
+}
+
+// A file renamed to the wrong content address must not be served under
+// the address it squats on.
+func TestMisfiledEntryQuarantinedOnScan(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir, 0)
+	if err := s.Put("honest", []byte("honest payload")); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "objects", objectName("honest"))
+	dst := filepath.Join(dir, "objects", objectName("victim"))
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	re := newTestStore(t, dir, 0)
+	if _, ok := re.Get("victim"); ok {
+		t.Fatal("misfiled entry served under the squatted key")
+	}
+	if st := re.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry's file image is ~50 bytes overhead + payload; pick a
+	// budget that holds three 100-byte payloads but not four.
+	payload := func(c byte) []byte { return bytes.Repeat([]byte{c}, 100) }
+	one := int64(len(encodeObject("kX", payload('x'))))
+	s := newTestStore(t, dir, 3*one+one/2)
+
+	for _, k := range []string{"kA", "kB", "kC"} {
+		if err := s.Put(k, payload(k[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch kA so kB is the least recently used.
+	if _, ok := s.Get("kA"); !ok {
+		t.Fatal("kA missing")
+	}
+	if err := s.Put("kD", payload('D')); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("kB"); ok {
+		t.Fatal("LRU entry kB survived eviction")
+	}
+	for _, k := range []string{"kA", "kC", "kD"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// The regression the mtime design exists for: recency (and therefore
+// the eviction order) survives a restart.
+func TestEvictionOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	payload := func(c byte) []byte { return bytes.Repeat([]byte{c}, 100) }
+	one := int64(len(encodeObject("kX", payload('x'))))
+
+	s := newTestStore(t, dir, 0) // unbounded while we set up recency
+	for _, k := range []string{"kA", "kB", "kC"} {
+		if err := s.Put(k, payload(k[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("kA"); !ok { // kA most recent, kB least
+		t.Fatal("kA missing")
+	}
+
+	re := newTestStore(t, dir, 3*one+one/2)
+	if got := re.Keys(); strings.Join(got, ",") != "kA,kC,kB" {
+		t.Fatalf("recency after restart = %v, want [kA kC kB]", got)
+	}
+	if err := re.Put("kD", payload('D')); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("kB"); ok {
+		t.Fatal("pre-restart LRU entry kB survived the post-restart eviction")
+	}
+	for _, k := range []string{"kA", "kC", "kD"} {
+		if _, ok := re.Get(k); !ok {
+			t.Fatalf("%s evicted out of order after restart", k)
+		}
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	s := newTestStore(t, t.TempDir(), 64)
+	if err := s.Put("big", bytes.Repeat([]byte{'x'}, 1024)); err != ErrOversized {
+		t.Fatalf("oversized put err = %v", err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Puts != 0 {
+		t.Fatalf("oversized put leaked state: %+v", st)
+	}
+}
+
+func TestOpenRequiresDirAndRecoversOverBudget(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open without a dir succeeded")
+	}
+	// A root that is a plain file cannot become a store.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: blocked}); err == nil {
+		t.Fatal("Open over a plain file succeeded")
+	}
+	// Subdirectories in objects/ are ignored, not quarantined.
+	okDir := t.TempDir()
+	s0 := newTestStore(t, okDir, 0)
+	if err := os.Mkdir(filepath.Join(okDir, "objects", "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if st := newTestStore(t, okDir, 0).Stats(); st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("scan over subdir = %+v", st)
+	}
+	// A store reopened with a smaller budget trims to fit at startup.
+	dir := t.TempDir()
+	s := newTestStore(t, dir, 0)
+	payload := bytes.Repeat([]byte{'p'}, 100)
+	one := int64(len(encodeObject("k0", payload)))
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := newTestStore(t, dir, 2*one+one/2)
+	st := re.Stats()
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("over-budget recovery stats = %+v", st)
+	}
+	// The two newest survive.
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok := re.Get(k); !ok {
+			t.Fatalf("%s trimmed, want newest kept", k)
+		}
+	}
+}
+
+// The store's concurrent path: parallel gets, puts, and the evictions
+// they trigger, exercised under -race (the CI suite runs this package
+// with the race detector).
+func TestConcurrentGetPutEvict(t *testing.T) {
+	payload := bytes.Repeat([]byte{'c'}, 200)
+	one := int64(len(encodeObject("w0-k00", payload)))
+	s := newTestStore(t, t.TempDir(), 8*one) // small budget: constant eviction churn
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-k%02d", w, i%10)
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, payload) {
+					t.Errorf("get %s returned wrong bytes", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Bytes > 8*one {
+		t.Fatalf("budget blown: %+v", st)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("concurrent churn quarantined entries: %+v", st)
+	}
+	// Every resident entry still round-trips.
+	for _, k := range s.Keys() {
+		if got, ok := s.Get(k); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("post-churn %s = %v, %v", k, got, ok)
+		}
+	}
+}
+
+func TestDecodeObjectRejectsGarbage(t *testing.T) {
+	good := encodeObject("key", []byte("payload"))
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         good[:8],
+		"bad magic":     append([]byte("NOPE!"), good[5:]...),
+		"truncated":     good[:len(good)-2],
+		"flipped byte":  flip(good, 10),
+		"flipped crc":   flip(good, len(good)-1),
+		"inflated klen": flip(good, 6),
+	}
+	for name, data := range cases {
+		if _, _, err := decodeObject(data); err == nil {
+			t.Errorf("%s: decodeObject accepted", name)
+		}
+	}
+	if key, payload, err := decodeObject(good); err != nil || key != "key" || string(payload) != "payload" {
+		t.Fatalf("good image rejected: %q %q %v", key, payload, err)
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x40
+	return c
+}
