@@ -20,13 +20,28 @@
 // A throughput metric present in -old but missing from -new fails the
 // gate: silently dropping a measurement is how the last regression went
 // unnoticed. New metrics in -new are fine (the trajectory grows).
+//
+// Two additions on top of the plain two-file diff:
+//
+//   - Multiple baselines: -baseline is repeatable and glob-expanded
+//     ("-baseline 'BENCH_pr*.json'"); the gate compares -new against the
+//     per-metric MEAN of every baseline, so one noisy historical run
+//     can't single-handedly move the band.
+//   - Trace attribution: trace.* metrics (per-span self-time shares from
+//     benchjson's instrumented run) are diffed in percentage points but
+//     never gated on their own — shares are where time went, not how
+//     fast it ran. When a throughput metric DOES fail, the verdict names
+//     the top-moved spans, turning "mesh got slower" into "mesh got
+//     slower and cell_run's share grew 12 points".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -78,6 +93,9 @@ func flatten(prefix string, v any, into map[string]float64) {
 }
 
 func class(path string) string {
+	if strings.HasPrefix(path, "trace.") {
+		return "trace"
+	}
 	base := path[strings.LastIndexByte(path, '.')+1:]
 	switch {
 	case strings.HasSuffix(base, "_frame_bytes"):
@@ -89,26 +107,54 @@ func class(path string) string {
 	}
 }
 
-// compare renders the comparison table and returns the number of gated
-// regressions. defaultTol is the band for throughput metrics without an
-// entry in tolerances.
+// traceDelta is one span's share movement, kept aside so a throughput
+// failure can name the top movers.
+type traceDelta struct {
+	span     string // path with the trace.self_share. prefix stripped
+	old, new float64
+}
+
+// compare renders the comparison against one baseline and returns the
+// number of gated regressions — the original two-file entry point,
+// kept for callers and tests.
 func compare(oldDoc, newDoc []byte, defaultTol float64) (string, int) {
-	var oldV, newV any
-	if err := json.Unmarshal(oldDoc, &oldV); err != nil {
-		return fmt.Sprintf("benchcmp: bad -old JSON: %v\n", err), 1
+	return compareDocs([][]byte{oldDoc}, newDoc, defaultTol)
+}
+
+// compareDocs renders the comparison table and returns the number of
+// gated regressions. Each metric's baseline is the mean of its values
+// across the oldDocs that report it; defaultTol is the band for
+// throughput metrics without an entry in tolerances.
+func compareDocs(oldDocs [][]byte, newDoc []byte, defaultTol float64) (string, int) {
+	merged := map[string]*metric{}
+	counts := map[string]int{}
+	for i, doc := range oldDocs {
+		var v any
+		if err := json.Unmarshal(doc, &v); err != nil {
+			return fmt.Sprintf("benchcmp: bad baseline JSON (#%d): %v\n", i+1, err), 1
+		}
+		flat := map[string]float64{}
+		flatten("", v, flat)
+		for k, val := range flat {
+			m, ok := merged[k]
+			if !ok {
+				m = &metric{}
+				merged[k] = m
+			}
+			m.old += val
+			m.hasOld = true
+			counts[k]++
+		}
 	}
+	for k, n := range counts {
+		merged[k].old /= float64(n)
+	}
+	var newV any
 	if err := json.Unmarshal(newDoc, &newV); err != nil {
 		return fmt.Sprintf("benchcmp: bad -new JSON: %v\n", err), 1
 	}
-	oldM := map[string]float64{}
 	newM := map[string]float64{}
-	flatten("", oldV, oldM)
 	flatten("", newV, newM)
-
-	merged := map[string]*metric{}
-	for k, v := range oldM {
-		merged[k] = &metric{old: v, hasOld: true}
-	}
 	for k, v := range newM {
 		m, ok := merged[k]
 		if !ok {
@@ -125,7 +171,12 @@ func compare(oldDoc, newDoc []byte, defaultTol float64) (string, int) {
 
 	var b strings.Builder
 	regressions := 0
-	fmt.Fprintf(&b, "%-34s %14s %14s %8s  %s\n", "metric", "old", "new", "delta", "verdict")
+	var moved []traceDelta
+	oldLabel := "old"
+	if len(oldDocs) > 1 {
+		oldLabel = fmt.Sprintf("old(mean/%d)", len(oldDocs))
+	}
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s  %s\n", "metric", oldLabel, "new", "delta", "verdict")
 	for _, p := range paths {
 		m := merged[p]
 		c := class(p)
@@ -165,33 +216,80 @@ func compare(oldDoc, newDoc []byte, defaultTol float64) (string, int) {
 			} else {
 				fmt.Fprintf(&b, "%-34s %14.6g %14.6g %+7.1f%%  ok (band -%.0f%%)\n", p, m.old, m.new, 100*delta, 100*tol)
 			}
+		case "trace":
+			// Shares diff in percentage points, not relative: a span going
+			// 0.01 -> 0.02 of the run is a 1-point move, not a "100%
+			// regression". Attribution informs the verdict, never is one.
+			pp := (m.new - m.old) * 100
+			fmt.Fprintf(&b, "%-34s %14.4f %14.4f %+6.1fpp  trace\n", p, m.old, m.new, pp)
+			moved = append(moved, traceDelta{span: strings.TrimPrefix(p, "trace.self_share."), old: m.old, new: m.new})
 		default:
 			fmt.Fprintf(&b, "%-34s %14.6g %14.6g %8s  info\n", p, m.old, m.new, "-")
+		}
+	}
+	if regressions > 0 && len(moved) > 0 {
+		sort.Slice(moved, func(i, j int) bool {
+			return math.Abs(moved[i].new-moved[i].old) > math.Abs(moved[j].new-moved[j].old)
+		})
+		fmt.Fprintf(&b, "top moved spans by self-time share (trace attribution):\n")
+		for i, d := range moved {
+			if i == 3 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-24s %+6.1fpp (%.3f -> %.3f)\n", d.span, (d.new-d.old)*100, d.old, d.new)
 		}
 	}
 	return b.String(), regressions
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
-	oldPath := flag.String("old", "", "baseline BENCH_*.json")
+	oldPath := flag.String("old", "", "baseline BENCH_*.json (single; see -baseline for several)")
+	var baselines multiFlag
+	flag.Var(&baselines, "baseline", "baseline BENCH_*.json; repeatable, glob-expanded; the gate compares against the per-metric mean")
 	newPath := flag.String("new", "", "candidate BENCH_*.json")
 	tol := flag.Float64("tol", 0.30, "default relative regression band for throughput metrics without a per-metric entry")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchcmp: need -old and -new")
+	patterns := append(multiFlag(nil), baselines...)
+	if *oldPath != "" {
+		patterns = append(patterns, *oldPath)
+	}
+	if len(patterns) == 0 || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: need -new and at least one of -old/-baseline")
 		os.Exit(2)
 	}
-	oldDoc, err := os.ReadFile(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcmp:", err)
-		os.Exit(2)
+	var files []string
+	for _, pat := range patterns {
+		hits, err := filepath.Glob(pat)
+		if err != nil || len(hits) == 0 {
+			// Not a glob (or no match): treat as a literal path so a typo
+			// fails loudly at ReadFile instead of silently shrinking the
+			// baseline set.
+			hits = []string{pat}
+		}
+		files = append(files, hits...)
+	}
+	sort.Strings(files)
+	var oldDocs [][]byte
+	for _, f := range files {
+		doc, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		oldDocs = append(oldDocs, doc)
 	}
 	newDoc, err := os.ReadFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(2)
 	}
-	table, regressions := compare(oldDoc, newDoc, *tol)
+	table, regressions := compareDocs(oldDocs, newDoc, *tol)
 	fmt.Print(table)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond tolerance\n", regressions)

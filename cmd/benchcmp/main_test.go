@@ -55,3 +55,85 @@ func TestCompareNewMetricsAndRatiosInformational(t *testing.T) {
 		t.Fatalf("new metric not marked:\n%s", out)
 	}
 }
+
+func TestCompareTraceSharesNotGated(t *testing.T) {
+	oldDoc := []byte(`{"trace":{"self_share":{"cell_run":0.50,"shard":0.30}}}`)
+	newDoc := []byte(`{"trace":{"self_share":{"cell_run":0.10,"shard":0.70}}}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 0 {
+		t.Fatalf("trace shares must never gate on their own, got %d regressions:\n%s", n, out)
+	}
+	if !strings.Contains(out, "trace.self_share.cell_run") || !strings.Contains(out, "pp") {
+		t.Fatalf("trace shares not diffed in percentage points:\n%s", out)
+	}
+	if strings.Contains(out, "top moved spans") {
+		t.Fatalf("attribution footer printed without a throughput failure:\n%s", out)
+	}
+}
+
+// The synthetic regression fixture: throughput collapses AND the trace
+// section shows where the time went. The failure output must name the
+// top-moved span so the gate explains the regression, not just flag it.
+func TestCompareRegressionNamesTopMovedSpans(t *testing.T) {
+	oldDoc := []byte(`{
+		"mesh":{"cells_per_s_2node":100},
+		"trace":{"self_share":{"cell_run":0.20,"shard":0.10,"plan":0.05,"node":0.65}}
+	}`)
+	newDoc := []byte(`{
+		"mesh":{"cells_per_s_2node":40},
+		"trace":{"self_share":{"cell_run":0.55,"shard":0.12,"plan":0.04,"node":0.29}}
+	}`)
+	out, n := compare(oldDoc, newDoc, 0.30)
+	if n != 1 {
+		t.Fatalf("want 1 throughput regression, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "top moved spans") {
+		t.Fatalf("failure output missing trace attribution footer:\n%s", out)
+	}
+	// cell_run (+35pp) and node (-36pp) are the top movers; plan (-1pp)
+	// must be cut by the top-3 limit.
+	footer := out[strings.Index(out, "top moved spans"):]
+	if !strings.Contains(footer, "cell_run") || !strings.Contains(footer, "node") {
+		t.Fatalf("top movers not named:\n%s", footer)
+	}
+	if strings.Contains(footer, "plan") {
+		t.Fatalf("minor mover survived the top-3 cut:\n%s", footer)
+	}
+}
+
+func TestCompareDocsAveragesBaselines(t *testing.T) {
+	// Baselines 80 and 120 average to 100; a candidate at 75 is inside
+	// the 30% band of the mean (70) but would fail against the 120
+	// baseline alone — the mean is the contract.
+	base1 := []byte(`{"fleet":{"cells_per_s":80}}`)
+	base2 := []byte(`{"fleet":{"cells_per_s":120}}`)
+	newDoc := []byte(`{"fleet":{"cells_per_s":75}}`)
+	out, n := compareDocs([][]byte{base1, base2}, newDoc, 0.30)
+	if n != 0 {
+		t.Fatalf("75 vs mean(80,120)=100 is within the 35%% fleet band, got %d regressions:\n%s", n, out)
+	}
+	if !strings.Contains(out, "old(mean/2)") {
+		t.Fatalf("multi-baseline header missing:\n%s", out)
+	}
+	// And a real collapse still fails against the mean.
+	_, n = compareDocs([][]byte{base1, base2}, []byte(`{"fleet":{"cells_per_s":30}}`), 0.30)
+	if n != 1 {
+		t.Fatalf("30 vs mean 100 must fail, got %d regressions", n)
+	}
+}
+
+// A metric reported by only some baselines averages over those that
+// have it, rather than being diluted by zeros.
+func TestCompareDocsPartialBaselineCoverage(t *testing.T) {
+	base1 := []byte(`{"fleet":{"cells_per_s":100}}`)
+	base2 := []byte(`{"fleet":{"cells_per_s":100},"mesh":{"cells_per_s_2node":50}}`)
+	newDoc := []byte(`{"fleet":{"cells_per_s":100},"mesh":{"cells_per_s_2node":48}}`)
+	out, n := compareDocs([][]byte{base1, base2}, newDoc, 0.30)
+	if n != 0 {
+		t.Fatalf("48 vs single-baseline 50 is fine; zero-dilution would read the mean as 25 and pass a collapse instead. got %d:\n%s", n, out)
+	}
+	_, n = compareDocs([][]byte{base1, base2}, []byte(`{"fleet":{"cells_per_s":100},"mesh":{"cells_per_s_2node":20}}`), 0.30)
+	if n != 1 {
+		t.Fatalf("20 vs 50 must fail even when one baseline lacks the metric, got %d", n)
+	}
+}

@@ -34,6 +34,8 @@
 //	mesh.cells_per_s_1node_large   the large-cell axis: fewer, longer cells, so
 //	mesh.cells_per_s_2node_large   per-cell RPC overhead amortizes and scaling
 //	mesh.scaling_large             approaches the node count
+//	trace.self_share.<span>        per-span-name share of total self time in a
+//	                               traced 2-node mesh run (attribution, not gated)
 //	mesh.cells_per_s_1node_probe   the latency-bound axis: tele-icu-probe cells
 //	mesh.cells_per_s_2node_probe   wait on a seed-derived remote RTT, so node
 //	mesh.cells_per_s_4node         scaling is visible even on a single-core
@@ -49,11 +51,13 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/icegate"
 	"repro/internal/icemesh"
+	"repro/internal/icescope"
 	"repro/internal/icestore"
 	"repro/internal/icewire"
 	"repro/internal/mednet"
@@ -68,6 +72,17 @@ type report struct {
 	Fleet   fleetReport   `json:"fleet"`
 	Gateway gatewayReport `json:"gateway"`
 	Mesh    meshReport    `json:"mesh"`
+	Trace   traceReport   `json:"trace"`
+}
+
+// traceReport is the attribution section: where a traced 2-node mesh
+// ensemble's time actually goes, as per-span-name shares of total self
+// time (each span's duration minus its direct children's). Shares are
+// scale-free — they diff meaningfully across machines of different
+// speeds — so benchcmp reports which spans moved when throughput
+// regresses, but never gates on them independently.
+type traceReport struct {
+	SelfShare map[string]float64 `json:"self_share"`
 }
 
 type meshReport struct {
@@ -472,6 +487,73 @@ func benchMesh(scenario string, cells, nodeWorkers, nodes int, duration sim.Time
 	return float64(rounds*cells) / time.Since(start).Seconds(), nil
 }
 
+// normalizeSpanName collapses instance-specific span names into stable
+// attribution keys: tokens containing digits (shard ids, cell ranges,
+// node names) are dropped and the rest join with underscores, so
+// "shard 3 [6,8) worker-1" and "shard 9 [0,2) worker-2" both become
+// "shard" and their self times aggregate.
+func normalizeSpanName(name string) string {
+	var kept []string
+	for _, tok := range strings.Fields(name) {
+		if strings.ContainsAny(tok, "0123456789") {
+			continue
+		}
+		kept = append(kept, tok)
+	}
+	if len(kept) == 0 {
+		return "other"
+	}
+	return strings.Join(kept, "_")
+}
+
+// benchTrace runs one traced ensemble through a 2-node mesh — the
+// instrumented twin of the mesh axis, with span forwarding live — and
+// reports each normalized span name's share of total self time.
+func benchTrace(scenario string, cells, nodeWorkers int) (map[string]float64, error) {
+	coord := icemesh.NewCoordinator(icemesh.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go coord.Serve(ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() { cancel(); ln.Close(); coord.Close() }()
+	for i := 0; i < 2; i++ {
+		node := icemesh.NewNode(icemesh.NodeConfig{Coordinator: ln.Addr().String(), Workers: nodeWorkers})
+		go func() { _ = node.Run(ctx) }()
+	}
+	waitCtx, waitCancel := context.WithTimeout(ctx, 10*time.Second)
+	defer waitCancel()
+	if err := coord.WaitForNodes(waitCtx, 2); err != nil {
+		return nil, err
+	}
+	spec, err := fleet.Build(scenario, fleet.Params{Seed: 42, Cells: cells, Duration: 30 * sim.Minute})
+	if err != nil {
+		return nil, err
+	}
+	tr := icescope.NewTrace("benchjson")
+	root := tr.Start(icescope.Span{}, "job")
+	runner := fleet.Runner{Workers: nodeWorkers, Engine: coord, Span: root}
+	if _, err := runner.Run(spec); err != nil {
+		return nil, err
+	}
+	root.End()
+	byName := map[string]time.Duration{}
+	var total time.Duration
+	for name, self := range tr.SelfTimes() {
+		byName[normalizeSpanName(name)] += self
+		total += self
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("benchjson: traced run attributed no self time")
+	}
+	shares := make(map[string]float64, len(byName))
+	for name, self := range byName {
+		shares[name] = self.Seconds() / total.Seconds()
+	}
+	return shares, nil
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	kernelOps := flag.Int("kernel-ops", 2_000_000, "kernel schedule+dispatch ops to time")
@@ -558,8 +640,13 @@ func main() {
 		}
 		probe[nodes] = perS
 	}
+	traceShares, err := benchTrace(fleet.ScenarioPCASupervised, *cells, nodeWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	r := report{
-		PR: "pr9-multitenant",
+		PR: "pr10-telemetry",
 		Kernel: kernelReport{
 			ArenaEventsPerS:     arena,
 			ReferenceEventsPerS: reference,
@@ -592,6 +679,7 @@ func main() {
 			Scaling2NodeProbe: probe[2] / probe[1],
 			Scaling4Node:      probe[4] / probe[1],
 		},
+		Trace: traceReport{SelfShare: traceShares},
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

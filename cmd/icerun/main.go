@@ -27,9 +27,17 @@
 // suffix selects Chrome trace-event format — load it in Perfetto — and
 // anything else the indented text tree. Tracing never changes the
 // tables: results are byte-identical with it on or off.
+//
+// -follow streams the run's span events to stderr as they happen: in
+// remote mode it consumes the gateway's live NDJSON events endpoint
+// (/jobs/{id}/events), so a long mesh job narrates its shard and cell
+// progress — including spans forwarded from worker nodes — while the
+// table is still computing; locally it subscribes to the in-process
+// trace. Tables on stdout stay byte-identical with -follow on or off.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -64,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	remote := fs.String("remote", "", "icegated gateway address (host:port or URL); render tables from the server instead of running locally")
 	tenant := fs.String("tenant", "", "tenant identity for -remote submissions (gateway quota accounting and fair scheduling); empty = the gateway's anonymous default")
 	traceFile := fs.String("tracefile", "", "write an icescope trace of the run (.json = Chrome trace-event format, else text tree)")
+	follow := fs.Bool("follow", false, "stream live span events to stderr while experiments run (remote mode follows the gateway's /events NDJSON stream)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: icerun [flags]\n")
 		fs.PrintDefaults()
@@ -89,14 +98,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Local tracing hangs every experiment off one process-wide root span,
-	// so a single file attributes the whole run.
+	// so a single file attributes the whole run. -follow piggybacks on the
+	// same trace, so it arms one even without -tracefile.
 	var tr *icescope.Trace
 	var root icescope.Span
+	var followDone chan struct{}
 	opt := experiments.Options{Seed: *seed, Cells: *cells, Workers: *workers}
-	if *traceFile != "" && *remote == "" {
+	if (*traceFile != "" || *follow) && *remote == "" {
 		tr = icescope.NewTrace("icerun")
+		if *follow {
+			tr.StreamEvents(1 << 16)
+		}
 		root = tr.Start(icescope.Span{}, "icerun")
 		opt.Trace = root
+		if *follow {
+			_, live, _ := tr.SubscribeEvents()
+			followDone = make(chan struct{})
+			go func() {
+				defer close(followDone)
+				for ev := range live {
+					fmt.Fprintf(stderr, "follow: %s\n", fmtEvent(ev.Kind.String(), ev.Name,
+						float64(ev.Start)/float64(time.Microsecond), float64(ev.End)/float64(time.Microsecond)))
+				}
+			}()
+		}
 	}
 
 	var remoteTraces []string
@@ -107,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var rendered string
 		if *remote != "" {
 			var trace string
-			rendered, trace, err = fetchRemoteTable(*remote, id, opt, *tenant, *traceFile != "", chrome)
+			rendered, trace, err = fetchRemoteTable(*remote, id, opt, *tenant, *traceFile != "", chrome, *follow, stderr)
 			if trace != "" {
 				remoteTraces = append(remoteTraces, trace)
 			}
@@ -123,8 +148,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, rendered)
 	}
 
-	if *traceFile != "" {
+	if tr != nil {
 		root.End()
+		tr.CloseEvents()
+		if followDone != nil {
+			<-followDone
+		}
+	}
+	if *traceFile != "" {
 		if err := writeTraceFile(*traceFile, chrome, tr, remoteTraces); err != nil {
 			fmt.Fprintf(stderr, "icerun: tracefile: %v\n", err)
 			return 1
@@ -132,6 +163,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "icerun: trace written to %s\n", *traceFile)
 	}
 	return 0
+}
+
+// fmtEvent renders one span event for the -follow stream: offset from
+// the trace epoch, the event kind, the span name, and (for ends) the
+// span's duration.
+func fmtEvent(kind, name string, startUS, endUS float64) string {
+	if kind == "end" || (kind == "instant" && endUS > startUS) {
+		return fmt.Sprintf("[%10.3fms] %-7s %s (%.3fms)", startUS/1000, kind, name, (endUS-startUS)/1000)
+	}
+	return fmt.Sprintf("[%10.3fms] %-7s %s", startUS/1000, kind, name)
+}
+
+// streamClient serves the -follow NDJSON stream: deliberately no
+// timeout — the stream lives as long as the job runs.
+var streamClient = &http.Client{}
+
+// followRemote consumes one job's live events endpoint and renders each
+// line to stderr until the terminal line (or stream error). Returns a
+// channel closed when the stream ends, so the caller can let the
+// narration finish before starting the next experiment's.
+func followRemote(base, id, tenant string, stderr io.Writer) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, err := http.NewRequest(http.MethodGet, base+"/api/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "icerun: follow %s: %v\n", id, err)
+			return
+		}
+		if tenant != "" {
+			req.Header.Set(icegate.TenantHeader, tenant)
+		}
+		resp, err := streamClient.Do(req)
+		if err != nil {
+			fmt.Fprintf(stderr, "icerun: follow %s: %v\n", id, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			fmt.Fprintf(stderr, "icerun: follow %s: %s: %s\n", id, resp.Status, strings.TrimSpace(string(body)))
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev icegate.EventLine
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				continue
+			}
+			if ev.Done {
+				fmt.Fprintf(stderr, "follow %s: %s (events dropped: %d)\n", id, ev.Status, ev.Dropped)
+				return
+			}
+			fmt.Fprintf(stderr, "follow %s: %s\n", id, fmtEvent(ev.Kind, ev.Name, ev.StartUS, ev.EndUS))
+		}
+	}()
+	return done
 }
 
 // writeTraceFile dumps either the local trace or the collected remote
@@ -304,18 +393,25 @@ func attemptRemote(req *http.Request, attempt int) (raw []byte, retryIn time.Dur
 //
 // With wantTrace the job is submitted with "trace": true and the
 // server-side span trace is fetched once the job is terminal (chrome
-// picks the Perfetto-loadable JSON format over the text tree).
-func fetchRemoteTable(addr, id string, opt experiments.Options, tenant string, wantTrace, chrome bool) (string, string, error) {
+// picks the Perfetto-loadable JSON format over the text tree). follow
+// additionally streams the job's live events to stderr while polling —
+// it implies a traced submission, but not a trace fetch.
+func fetchRemoteTable(addr, id string, opt experiments.Options, tenant string, wantTrace, chrome, follow bool, stderr io.Writer) (string, string, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimSuffix(base, "/")
 
-	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells, Trace: wantTrace})
+	body, _ := json.Marshal(icegate.Request{Exp: id, Seed: opt.Seed, Cells: opt.Cells, Trace: wantTrace || follow})
 	var view icegate.View
 	if _, err := remoteJSON(http.MethodPost, base+"/api/v1/jobs", tenant, body, &view); err != nil {
 		return "", "", err
+	}
+	if follow {
+		// The stream closes itself at the job's terminal line; wait for it
+		// so experiment narrations don't interleave.
+		defer func(ch <-chan struct{}) { <-ch }(followRemote(base, view.ID, tenant, stderr))
 	}
 
 	// Poll until the job leaves the queue/runner, then fetch the table.

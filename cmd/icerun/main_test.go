@@ -195,3 +195,43 @@ func TestRemoteRetryFallbackAndPermanent(t *testing.T) {
 		t.Fatalf("permanent failure slept %v, want none", slept)
 	}
 }
+
+// -follow is narration, not computation: tables on stdout stay
+// byte-identical with the live event stream on or off, locally and
+// through a gateway — and the stream actually narrates span events to
+// stderr in both modes.
+func TestRunFollowByteIdentity(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-exp", "E12"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("local run: %s", plainErr.String())
+	}
+	var followed, followedErr bytes.Buffer
+	if code := run([]string{"-exp", "E12", "-follow"}, &followed, &followedErr); code != 0 {
+		t.Fatalf("local -follow run: %s", followedErr.String())
+	}
+	if followed.String() != plain.String() {
+		t.Fatalf("-follow changed the local table:\n%s\nvs\n%s", followed.String(), plain.String())
+	}
+	if !strings.Contains(followedErr.String(), "follow:") {
+		t.Fatalf("local -follow streamed nothing to stderr:\n%s", followedErr.String())
+	}
+
+	sched := icegate.NewScheduler(icegate.Config{QueueDepth: 4, Executors: 1, Workers: 2})
+	ts := httptest.NewServer(icegate.NewHandler(sched))
+	defer func() {
+		ts.Close()
+		sched.Close()
+	}()
+	for i := 0; i < 2; i++ { // second pass replays a cached traced job
+		var remote, remoteErr bytes.Buffer
+		if code := run([]string{"-exp", "E12", "-remote", ts.URL, "-follow"}, &remote, &remoteErr); code != 0 {
+			t.Fatalf("remote -follow run %d: %s", i, remoteErr.String())
+		}
+		if remote.String() != plain.String() {
+			t.Fatalf("remote -follow table %d differs:\n%s\nvs\n%s", i, remote.String(), plain.String())
+		}
+		if !strings.Contains(remoteErr.String(), "follow job-") {
+			t.Fatalf("remote -follow run %d streamed nothing:\n%s", i, remoteErr.String())
+		}
+	}
+}

@@ -117,6 +117,12 @@ type Scheduler struct {
 	queuedTotal int
 	vtime       float64
 
+	// Span/event drop totals carried over from evicted jobs, so the
+	// icescope_*_dropped_total expositions stay monotone after the job
+	// registry rotates. Guarded by mu.
+	evictedSpanDrops  uint64
+	evictedEventDrops uint64
+
 	// hooks let lifecycle tests observe transitions without polling;
 	// zero outside tests.
 	hooks schedulerHooks
@@ -484,12 +490,25 @@ func (s *Scheduler) evictLocked() {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if len(s.jobs) > s.cfg.RetainJobs && j.Status().terminal() {
+			s.evictedSpanDrops += j.tr.Dropped()
+			s.evictedEventDrops += j.tr.EventsDropped()
 			delete(s.jobs, id)
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// spanDropsLocked sums span and live-event drops across every retained
+// traced job plus the evicted carry-over; callers hold s.mu.
+func (s *Scheduler) spanDropsLocked() (spans, events uint64) {
+	spans, events = s.evictedSpanDrops, s.evictedEventDrops
+	for _, j := range s.jobs {
+		spans += j.tr.Dropped()
+		events += j.tr.EventsDropped()
+	}
+	return spans, events
 }
 
 // Get resolves a job by ID.

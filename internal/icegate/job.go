@@ -229,10 +229,13 @@ func newJob(id string, req Request) *Job {
 	return j
 }
 
-// enableTrace arms span recording for the job; called once at Submit,
-// before the job is visible to anything concurrent.
+// enableTrace arms span recording and the live event stream for the
+// job; called once at Submit, before the job is visible to anything
+// concurrent. Streaming is armed before the first span opens so a
+// subscriber's replay always starts at the job root.
 func (j *Job) enableTrace() {
 	j.tr = icescope.NewTrace(j.ID)
+	j.tr.StreamEvents(0)
 	j.root = j.tr.Start(icescope.Span{}, "job "+j.ID)
 	j.qspan = j.root.Child("queued")
 }
@@ -257,8 +260,24 @@ func (j *Job) TraceData() *icescope.Trace {
 // Traced reports whether the job was submitted with tracing on.
 func (j *Job) Traced() bool { return j.tr != nil }
 
+// SubscribeEvents taps the job's live span-event stream: the events
+// published so far, a live channel for the rest (closed when the job
+// reaches a terminal state), and a cancel to detach early. For jobs
+// already terminal — including cache hits — the replay arrives with a
+// pre-closed channel. Untraced jobs get an empty replay and a
+// pre-closed channel; callers gate on Traced() for a 404 instead.
+func (j *Job) SubscribeEvents() (replay []icescope.SpanEvent, live <-chan icescope.SpanEvent, cancel func()) {
+	return j.tr.SubscribeEvents()
+}
+
+// EventsDropped reports live events discarded over the job's stream
+// bound (0 for untraced jobs).
+func (j *Job) EventsDropped() uint64 { return j.tr.EventsDropped() }
+
 // closeTraceLocked ends whatever job-lifecycle spans are still open as
-// the job reaches status; callers hold j.mu. Ending the zero Span is a
+// the job reaches status, then closes the live event stream (the final
+// end events publish first, so subscribers see the root close before
+// their channel does); callers hold j.mu. Ending the zero Span is a
 // no-op, so every path simply calls this once.
 func (j *Job) closeTraceLocked(status Status) {
 	j.qspan.End()
@@ -269,6 +288,7 @@ func (j *Job) closeTraceLocked(status Status) {
 		j.root.End(icescope.StrAttr("status", string(status)))
 		j.root = icescope.Span{}
 	}
+	j.tr.CloseEvents()
 }
 
 // View is the JSON shape of a job's status.

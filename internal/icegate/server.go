@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/icescope"
 )
 
 // TenantHeader carries the tenant identity on API requests; when set it
@@ -38,6 +39,9 @@ func retryAfterSeconds(d time.Duration) string {
 //	GET    /api/v1/jobs/{id}/trace   span trace once terminal (text tree, or
 //	                                 ?format=chrome for Perfetto-loadable JSON);
 //	                                 only for jobs submitted with "trace": true
+//	GET    /api/v1/jobs/{id}/events  live span events as NDJSON while the job
+//	                                 is queued/running (terminal jobs replay
+//	                                 and close); only for traced jobs
 //	GET    /metrics                  gateway counters, Prometheus text style
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
@@ -123,6 +127,9 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		streamJob(s, w, r)
 	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		streamEvents(s, w, r)
+	})
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := s.Get(r.PathValue("id"))
 		if !ok {
@@ -206,6 +213,90 @@ func streamJob(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			emit(streamLine{Cell: &cr})
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// EventLine is one NDJSON record of the live span-event stream: an
+// event while the job runs, then a single terminal record carrying the
+// final status and the stream's drop count. Offsets are microseconds
+// from the job trace's epoch, matching the Chrome export's unit.
+type EventLine struct {
+	Seq     uint64         `json:"seq,omitempty"`
+	Kind    string         `json:"kind,omitempty"`
+	Span    uint64         `json:"span,omitempty"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Tid     int32          `json:"tid,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	StartUS float64        `json:"start_us"`
+	EndUS   float64        `json:"end_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Done    bool           `json:"done,omitempty"`
+	Status  Status         `json:"status,omitempty"`
+	Dropped uint64         `json:"dropped,omitempty"`
+}
+
+func eventLine(ev icescope.SpanEvent) EventLine {
+	l := EventLine{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Span: uint64(ev.Span), Parent: uint64(ev.Parent),
+		Tid: ev.Tid, Name: ev.Name,
+		StartUS: float64(ev.Start) / float64(time.Microsecond),
+		EndUS:   float64(ev.End) / float64(time.Microsecond),
+	}
+	if len(ev.Attrs) > 0 {
+		l.Attrs = make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			l.Attrs[a.Key] = a.Value()
+		}
+	}
+	return l
+}
+
+// streamEvents replays the traced job's span events so far, then
+// follows the stream live until the job reaches a terminal state (the
+// terminal NDJSON line carries the final status and drop count) or the
+// client goes away. Works from submission on: a queued job streams its
+// root/queued spans immediately and the rest as they happen.
+func streamEvents(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if !job.Traced() {
+		writeError(w, http.StatusNotFound, "job was not submitted with trace enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(l EventLine) {
+		_ = enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	replay, live, cancel := job.SubscribeEvents()
+	defer cancel()
+	for _, ev := range replay {
+		emit(eventLine(ev))
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				v := job.View()
+				emit(EventLine{Done: true, Status: v.Status, Dropped: job.EventsDropped()})
+				return
+			}
+			emit(eventLine(ev))
 		case <-r.Context().Done():
 			return
 		}

@@ -160,10 +160,170 @@ func TestGatewayExpositionLints(t *testing.T) {
 		`icegate_backend{name="local"} 1` + "\n",
 		"# TYPE icegate_cell_seconds histogram\n",
 		"# HELP icegate_queue_depth ",
+		"icescope_spans_dropped_total 0\n",
+		"icescope_span_events_dropped_total 0\n",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// The events endpoint's contract end to end: unknown jobs and untraced
+// jobs 404, a queued/running traced job streams span events live (the
+// lifecycle spans arrive while the job is still running), a terminal
+// job replays its whole stream and closes with a done line, and a
+// cache-hit job streams its replay without erroring — all without
+// changing the rendered table even with a subscriber attached mid-run.
+func TestJobEventsEndpoint(t *testing.T) {
+	s, ts := newTestGateway(t, Config{QueueDepth: 4, Executors: 1, Workers: 2})
+
+	if code, _ := get(t, ts, "/api/v1/jobs/nope/events"); code != http.StatusNotFound {
+		t.Fatalf("events of unknown job = %d, want 404", code)
+	}
+
+	plain := Request{Scenario: fleet.ScenarioPCASupervised, Seed: 31, Cells: 2, DurationS: 300}
+	v, code := submit(t, ts, plain)
+	if code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if v = waitDone(t, ts, v.ID); v.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	if code, _ := get(t, ts, "/api/v1/jobs/"+v.ID+"/events"); code != http.StatusNotFound {
+		t.Fatalf("events of untraced job = %d, want 404", code)
+	}
+	plainTable := fetchResult(t, ts, v.ID)
+
+	// Hold the next job in "running" so the live half of the stream is
+	// observable deterministically.
+	running := make(chan struct{})
+	release := make(chan struct{})
+	s.hooks.jobRunning = func(*Job) { close(running); <-release }
+
+	traced := plain
+	traced.Seed = 37 // fresh cache line: the job must actually execute
+	traced.Trace = true
+	tv, code := submit(t, ts, traced)
+	if code != http.StatusCreated {
+		t.Fatalf("traced submit = %d", code)
+	}
+	<-running
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + tv.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream = %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	readLine := func() EventLine {
+		t.Helper()
+		var l EventLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("events stream decode: %v", err)
+		}
+		return l
+	}
+	// The job is running, not terminal: its lifecycle events must be on
+	// the stream already. start(job), start(queued), end(queued),
+	// start(run).
+	wantLive := []struct{ kind, name string }{
+		{"start", "job " + tv.ID}, {"start", "queued"}, {"end", "queued"}, {"start", "run"},
+	}
+	for i, want := range wantLive {
+		l := readLine()
+		if l.Kind != want.kind || l.Name != want.name {
+			t.Fatalf("live event %d = %s %q, want %s %q", i, l.Kind, l.Name, want.kind, want.name)
+		}
+		if l.Done {
+			t.Fatalf("stream terminated while the job was running: %+v", l)
+		}
+	}
+	close(release)
+	// Drain to the terminal line: the stream must close itself with the
+	// final status once the job is terminal.
+	var last EventLine
+	for {
+		l := readLine()
+		if l.Done {
+			last = l
+			break
+		}
+	}
+	if last.Status != StatusDone {
+		t.Fatalf("terminal event line status = %s, want done", last.Status)
+	}
+	if err := dec.Decode(&EventLine{}); err != io.EOF {
+		t.Fatalf("stream not closed after the done line: %v", err)
+	}
+
+	// Byte-identity with a subscriber attached: same table as untraced.
+	if tv = waitDone(t, ts, tv.ID); tv.Status != StatusDone {
+		t.Fatalf("traced job ended %s: %s", tv.Status, tv.Error)
+	}
+	s.hooks.jobRunning = nil
+	tracedPlain := plain
+	tracedPlain.Seed = 37
+	pv, _ := submit(t, ts, tracedPlain)
+	if pv = waitDone(t, ts, pv.ID); pv.Status != StatusDone {
+		t.Fatalf("comparison job ended %s", pv.Status)
+	}
+	if got, want := fetchResult(t, ts, tv.ID), fetchResult(t, ts, pv.ID); got != want {
+		t.Errorf("traced table differs from untraced with a subscriber attached:\n%s\nvs\n%s", got, want)
+	}
+	_ = plainTable // tables differ across seeds; identity is per-request
+
+	// Terminal job: replay and close. Every event arrives at once, the
+	// last line is the terminal record.
+	code, body := get(t, ts, "/api/v1/jobs/"+tv.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("terminal events = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("terminal replay has %d lines, want >= 5:\n%s", len(lines), body)
+	}
+	var terminal EventLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	if !terminal.Done || terminal.Status != StatusDone {
+		t.Fatalf("terminal replay last line = %+v", terminal)
+	}
+
+	// Cache hit: the identical traced request finishes at Submit; its
+	// events stream replays and closes without erroring.
+	cv, code := submit(t, ts, traced)
+	if code != http.StatusCreated {
+		t.Fatalf("cache-hit submit = %d", code)
+	}
+	if !cv.Cached {
+		t.Fatal("resubmission missed the cache")
+	}
+	code, body = get(t, ts, "/api/v1/jobs/"+cv.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("cache-hit events = %d", code)
+	}
+	lines = strings.Split(strings.TrimSpace(body), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatal(err)
+	}
+	if !terminal.Done || terminal.Status != StatusDone {
+		t.Fatalf("cache-hit events last line = %+v", terminal)
+	}
+	var sawCacheHit bool
+	for _, ln := range lines {
+		var l EventLine
+		_ = json.Unmarshal([]byte(ln), &l)
+		if l.Kind == "instant" && l.Name == "cache hit" {
+			sawCacheHit = true
+		}
+	}
+	if !sawCacheHit {
+		t.Errorf("cache-hit replay missing the 'cache hit' instant:\n%s", body)
 	}
 }
 

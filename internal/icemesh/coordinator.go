@@ -91,6 +91,13 @@ type meshMetrics struct {
 	jobs           *icescope.Counter
 	jobsFailed     *icescope.Counter
 
+	// Span forwarding: frames received, spans injected into job traces,
+	// and frames dropped because their locator no longer mapped to a
+	// live traced job (the job finished or was re-assigned — benign).
+	spanBatches      *icescope.Counter
+	spansForwarded   *icescope.Counter
+	spanBatchesStale *icescope.Counter
+
 	// heartbeatJitter observes |actual beat interval − configured
 	// interval| per received heartbeat: the mesh's clock-health signal.
 	heartbeatJitter *icescope.Histogram
@@ -114,6 +121,9 @@ func newMeshMetrics(c *Coordinator) meshMetrics {
 	m.shardRetries = r.Counter("icemesh_shard_retries_total", "Shards re-queued after node loss or deadline.")
 	m.cellsDone = r.Counter("icemesh_cells_done_total", "Cells delivered back and merged.")
 	m.cellBatches = r.Counter("icemesh_cell_batches_total", "Batched CellDone frames received.")
+	m.spanBatches = r.Counter("icemesh_span_batches_total", "SpanBatch frames received from nodes.")
+	m.spansForwarded = r.Counter("icemesh_spans_forwarded_total", "Node spans injected into job traces.")
+	m.spanBatchesStale = r.Counter("icemesh_span_batches_stale_total", "SpanBatch frames dropped: locator no longer a live traced job.")
 	r.GaugeFunc("icemesh_queue_depth", "Shards awaiting a node with window credit.",
 		func() float64 {
 			c.mu.Lock()
@@ -218,12 +228,13 @@ type meshJob struct {
 	span     icescope.Span // engine-side parent, propagated over RunRange's ctx
 
 	// Guarded by Coordinator.mu.
-	base     int // global index of seen[0]
-	seen     []bool
-	pending  int // shards not yet terminally done
-	finished bool
-	failed   error
-	done     chan struct{}
+	base      int // global index of seen[0]
+	seen      []bool
+	pending   int // shards not yet terminally done
+	finished  bool
+	failed    error
+	done      chan struct{}
+	nodeSpans map[string]icescope.Span // per-node umbrella for forwarded spans
 }
 
 func (j *meshJob) finish(err error) {
@@ -383,6 +394,8 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 			c.onCellBatch(node, v)
 		case *ShardDone:
 			c.onShardDone(node, v)
+		case *SpanBatch:
+			c.onSpanBatch(node, v)
 		case *Drain:
 			c.cfg.Logf("icemesh: node %s draining: %s", node.name, v.Reason)
 			c.mu.Lock()
@@ -568,6 +581,9 @@ func (c *Coordinator) assignToLocked(sh *meshShard, target *meshNode) assignment
 		Shard: sh.id, Scenario: sh.job.scenario,
 		Seed: p.Seed, Cells: p.Cells, Start: sh.start, End: sh.end,
 		Duration: p.Duration, Codec: p.WireCodec, Knobs: p.Knobs,
+		// Traced jobs ask the node to forward its spans back; untraced
+		// ones skip the whole forwarding plane on the node.
+		Trace: sh.job.span.Active(),
 	}}
 }
 
@@ -681,6 +697,55 @@ func (c *Coordinator) onShardDone(node *meshNode, m *ShardDone) {
 	c.flush(sends)
 }
 
+// onSpanBatch injects a node's forwarded spans into the owning job's
+// trace. The frame's Shard is a job locator — any assignment of the job
+// still active on the sending node — not an attribution claim; a stale
+// locator (job finished, shard re-assigned) drops the frame, which is
+// benign: spans are observability, and a finished job's trace is
+// already sealed. Node offsets are re-based onto the job trace's epoch
+// by comparing the node's trace clock at flush (NowNS) against ours
+// now; network latency skews every injected offset by the same one-way
+// delay, which is exactly the error bar a cross-node trace carries.
+// Injected spans publish live events, so a subscriber watching the
+// job's /events stream sees node spans mid-job.
+func (c *Coordinator) onSpanBatch(node *meshNode, m *SpanBatch) {
+	c.met.spanBatches.Inc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.shards[m.Shard]
+	if !ok || sh.job.finished || !sh.job.span.Active() {
+		c.met.spanBatchesStale.Inc()
+		return
+	}
+	job := sh.job
+	tr := job.span.Trace()
+	base := tr.Now() - time.Duration(m.NowNS)
+	if base < 0 {
+		base = 0
+	}
+	umbrella, ok := job.nodeSpans[node.name]
+	if !ok {
+		if job.nodeSpans == nil {
+			job.nodeSpans = map[string]icescope.Span{}
+		}
+		umbrella = job.span.Child("node " + node.name)
+		job.nodeSpans[node.name] = umbrella
+	}
+	for i := range m.Spans {
+		rec := &m.Spans[i]
+		var attrs []icescope.Attr
+		for _, a := range rec.Attrs {
+			if a.IsStr {
+				attrs = append(attrs, icescope.StrAttr(a.Key, a.Str))
+			} else {
+				attrs = append(attrs, icescope.NumAttr(a.Key, a.Num))
+			}
+		}
+		tr.InjectSpan(umbrella, rec.Name, base+time.Duration(rec.StartNS), base+time.Duration(rec.EndNS), attrs...)
+	}
+	c.met.spansForwarded.Add(uint64(len(m.Spans)))
+}
+
 // nodeLost evicts a node and re-queues every shard it held.
 func (c *Coordinator) nodeLost(node *meshNode, cause error) {
 	c.mu.Lock()
@@ -759,10 +824,17 @@ func (c *Coordinator) requeueLocked(orphans []*meshShard, cause error) []assignm
 }
 
 // releaseJob drops a finished job's remaining shard bookkeeping,
-// including anything still sitting on the queue.
+// including anything still sitting on the queue, and seals the per-node
+// umbrella spans — RunRange defers it, so the umbrellas end before the
+// gateway finishes the job's trace and they appear in the terminal
+// export.
 func (c *Coordinator) releaseJob(job *meshJob) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for name, um := range job.nodeSpans {
+		um.End(icescope.StrAttr("node", name))
+	}
+	job.nodeSpans = nil
 	for id, sh := range c.shards {
 		if sh.job != job {
 			continue

@@ -7,6 +7,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/icegate"
+	"repro/internal/icescope"
 )
 
 // The acceptance criterion for the distribution layer: every icerun
@@ -14,7 +15,10 @@ import (
 // across a 2-node mesh. Fleet-backed experiments (F1, E6) actually fan
 // out; the rest exercise the fallback paths (hand-built specs and
 // non-fleet runners execute locally even with an engine installed) —
-// either way the bytes must not move.
+// either way the bytes must not move. The third leg runs the mesh with
+// a streamed trace attached (live event subscriber + node span
+// forwarding live), pinning the telemetry plane as observation-only
+// across all 14 tables.
 func TestAllTablesByteIdenticalLocalVsMesh(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 14-table differential; skipped in -short")
@@ -34,6 +38,22 @@ func TestAllTablesByteIdenticalLocalVsMesh(t *testing.T) {
 			if local.String() != mesh.String() {
 				t.Fatalf("table %s differs across backends:\n--- local ---\n%s\n--- mesh ---\n%s",
 					id, local.String(), mesh.String())
+			}
+			tr := icescope.NewTrace("table " + id)
+			tr.StreamEvents(8192)
+			_, live, _ := tr.SubscribeEvents()
+			root := tr.Start(icescope.Span{}, "table "+id)
+			streamed, err := experiments.Run(id, experiments.Options{Workers: 2, Engine: coord, Trace: root})
+			root.End()
+			tr.CloseEvents()
+			for range live {
+			}
+			if err != nil {
+				t.Fatalf("mesh+stream: %v", err)
+			}
+			if local.String() != streamed.String() {
+				t.Fatalf("table %s differs with a streamed trace attached:\n--- local ---\n%s\n--- streamed mesh ---\n%s",
+					id, local.String(), streamed.String())
 			}
 		})
 	}

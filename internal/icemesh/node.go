@@ -102,8 +102,9 @@ type Node struct {
 	wbuf []byte
 
 	mu        sync.Mutex
-	name      string // coordinator-assigned name, set after Welcome
-	inflight  int    // assignments accepted and not yet finished
+	name      string  // coordinator-assigned name, set after Welcome
+	dialMS    float64 // dial+handshake wall time, for forwarded traces
+	inflight  int     // assignments accepted and not yet finished
 	cellsDone uint64
 	draining  bool
 
@@ -121,10 +122,12 @@ type Node struct {
 // nodeSession is one cached (built spec, worker pool) pair, keyed by the
 // assignment's job parameters: every shard of the same job hits the same
 // session, so the ~1%-of-shard build cost is paid once per (job, node)
-// instead of once per shard.
+// instead of once per shard. Traced jobs additionally carry the span
+// forwarder that ships their completed spans to the coordinator.
 type nodeSession struct {
 	sess *fleet.Session
-	refs int // assignments currently executing on it
+	fwd  *spanForwarder // nil for untraced jobs
+	refs int            // assignments currently executing on it
 }
 
 // NewNode returns an unconnected node; Run connects and serves.
@@ -213,12 +216,143 @@ func (b *cellBatcher) sendLocked() {
 	_ = b.n.send(&CellBatch{Cells: batch})
 }
 
+// spanBatchMax bounds how many completed spans coalesce into one
+// SpanBatch frame; the flush timer (BatchFlush, shared with the cell
+// batcher) bounds how stale a partial batch may go.
+const spanBatchMax = 64
+
+// spanForwarder batches a traced job's completed spans into SpanBatch
+// frames. It is fed synchronously by the forwarding trace's event plane
+// (ForwardEvents), so by the time a cell's CellDone is batched on the
+// same goroutine, the cell's span is already buffered here — and
+// detachFlush before ShardDone means it is already on the wire before
+// the shard retires. Spans carry node trace-clock offsets; NowNS lets
+// the coordinator re-base them onto the job trace's epoch.
+type spanForwarder struct {
+	n    *Node
+	tr   *icescope.Trace // the node-side forwarding trace (NowNS source)
+	root icescope.Span   // parent of this job's shard spans on the node
+	max  int
+	wait time.Duration
+
+	mu     sync.Mutex // held across the wire write, like cellBatcher
+	buf    []SpanRec
+	timer  *time.Timer
+	shards map[uint64]struct{} // this job's assignments still executing here
+}
+
+// onEvent converts completed spans (ends and instants; starts carry no
+// duration) into wire records. Runs on whatever goroutine ended the
+// span.
+func (f *spanForwarder) onEvent(ev icescope.SpanEvent) {
+	if ev.Kind == icescope.EventStart {
+		return
+	}
+	rec := SpanRec{Name: ev.Name, StartNS: uint64(ev.Start), EndNS: uint64(ev.End)}
+	for _, a := range ev.Attrs {
+		wa := SpanAttr{Key: a.Key, IsStr: a.IsStr()}
+		if wa.IsStr {
+			wa.Str = a.Str
+		} else {
+			wa.Num = a.Num
+		}
+		rec.Attrs = append(rec.Attrs, wa)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buf = append(f.buf, rec)
+	if len(f.buf) >= f.max {
+		f.flushLocked()
+		return
+	}
+	if f.timer == nil {
+		f.timer = time.AfterFunc(f.wait, func() {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			f.flushLocked()
+		})
+	}
+}
+
+// addShard registers an assignment as a live locator for this job.
+func (f *spanForwarder) addShard(shard uint64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.shards[shard] = struct{}{}
+	f.mu.Unlock()
+}
+
+// detachFlush writes everything pending stamped with shard, then
+// retires shard from the locator set — atomically, so a span frame
+// never carries a locator the coordinator has already seen retired by
+// the ShardDone that the caller sends right after this returns.
+func (f *spanForwarder) detachFlush(shard uint64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sendLocked(shard)
+	delete(f.shards, shard)
+}
+
+// drop retires shard without flushing — the cancelled path, where
+// sending could race the coordinator's eviction and double-record spans
+// for cells that will re-run elsewhere.
+func (f *spanForwarder) drop(shard uint64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	delete(f.shards, shard)
+	f.mu.Unlock()
+}
+
+// flushLocked picks any still-active assignment as the frame's job
+// locator; with none active the spans stay buffered for the next
+// detachFlush (or are discarded with the session — the job is done
+// here). Callers hold f.mu.
+func (f *spanForwarder) flushLocked() {
+	for shard := range f.shards {
+		f.sendLocked(shard)
+		return
+	}
+	if f.timer != nil {
+		f.timer.Stop()
+		f.timer = nil
+	}
+}
+
+// sendLocked writes the pending spans as one frame. Callers hold f.mu.
+func (f *spanForwarder) sendLocked(shard uint64) {
+	if f.timer != nil {
+		f.timer.Stop()
+		f.timer = nil
+	}
+	if len(f.buf) == 0 {
+		return
+	}
+	spans := f.buf
+	f.buf = nil
+	// Send errors are dropped for the same reason as cell batches: a dead
+	// connection surfaces in Run's read loop, and spans are observability,
+	// not results — nothing re-queues them.
+	_ = f.n.send(&SpanBatch{Shard: shard, NowNS: uint64(f.tr.Now()), Spans: spans})
+}
+
 // assignKey identifies the job a shard belongs to by its rebuild
 // parameters — every shard of one job carries identical ones, so the key
-// needs no job id on the wire.
+// needs no job id on the wire. Traced and untraced jobs with identical
+// parameters key separately: a traced session's spans route to its
+// forwarding trace, an untraced one's must not.
 func assignKey(a *Assign) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s|%d|%d|%d|%s", a.Scenario, a.Seed, a.Cells, int64(a.Duration), a.Codec)
+	if a.Trace {
+		sb.WriteString("|traced")
+	}
 	knobs := make([]string, 0, len(a.Knobs))
 	for k := range a.Knobs {
 		knobs = append(knobs, k)
@@ -230,12 +364,17 @@ func assignKey(a *Assign) string {
 	return sb.String()
 }
 
-// sessionFor returns the cached fleet session for the assignment's job,
+// sessionFor returns the cached node session for the assignment's job,
 // building spec and pool on first use, plus a release for when the
 // shard finishes. Creating a session for a new job evicts idle sessions
 // of old ones, so the cache holds one session per concurrently-running
-// job, not one per job ever seen.
-func (n *Node) sessionFor(a *Assign) (*fleet.Session, func(), error) {
+// job, not one per job ever seen. Traced jobs get a forwarding trace:
+// the session's fleet spans parent under its root instead of the local
+// session span (the local -tracefile trace keeps dial/session and
+// untraced jobs' shards; a job's cell spans live in the job's own trace
+// at the coordinator — recording them twice would double memory for
+// nothing), and its completed spans stream back as SpanBatch frames.
+func (n *Node) sessionFor(a *Assign) (*nodeSession, func(), error) {
 	key := assignKey(a)
 	n.smu.Lock()
 	defer n.smu.Unlock()
@@ -251,7 +390,24 @@ func (n *Node) sessionFor(a *Assign) (*fleet.Session, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		runner := fleet.Runner{Workers: n.cfg.Workers, Span: n.sess}
+		var fwd *spanForwarder
+		span := n.sess
+		if a.Trace {
+			name := n.Name()
+			ftr := icescope.NewTrace("node " + name)
+			fwd = &spanForwarder{n: n, tr: ftr, max: spanBatchMax, wait: n.cfg.BatchFlush, shards: map[uint64]struct{}{}}
+			ftr.ForwardEvents(fwd.onEvent)
+			fwd.root = ftr.Start(icescope.Span{}, "node "+name)
+			span = fwd.root
+			// Replay connection context the job missed: how expensive this
+			// node's dial was, and that a session root anchors its spans.
+			n.mu.Lock()
+			dialMS := n.dialMS
+			n.mu.Unlock()
+			ftr.Instant(fwd.root, "dial coordinator", icescope.NumAttr("ms", dialMS))
+			ftr.Instant(fwd.root, "session "+name, icescope.StrAttr("node", name))
+		}
+		runner := fleet.Runner{Workers: n.cfg.Workers, Span: span}
 		if n.cfg.Obs != nil {
 			runner.Obs = n.cfg.Obs.Fleet
 		}
@@ -265,11 +421,14 @@ func (n *Node) sessionFor(a *Assign) (*fleet.Session, func(), error) {
 				delete(n.sessions, k)
 			}
 		}
-		ns = &nodeSession{sess: sess}
+		ns = &nodeSession{sess: sess, fwd: fwd}
 		n.sessions[key] = ns
 	}
+	// Register the assignment as a job locator before any of its spans can
+	// flush; frames always carry a shard the coordinator still holds.
+	ns.fwd.addShard(a.Shard)
 	ns.refs++
-	return ns.sess, func() {
+	return ns, func() {
 		n.smu.Lock()
 		ns.refs--
 		n.smu.Unlock()
@@ -293,6 +452,7 @@ func (n *Node) closeSessions() {
 // is cancelled. A cleanly drained shutdown (Drain, then cancel) returns
 // nil; anything else returns the terminating error.
 func (n *Node) Run(ctx context.Context) error {
+	dialT0 := time.Now()
 	dialSp := n.cfg.Trace.Start(icescope.Span{}, "dial coordinator")
 	var conn net.Conn
 	dial := func() error {
@@ -325,6 +485,7 @@ func (n *Node) Run(ctx context.Context) error {
 	}
 	n.mu.Lock()
 	n.name = welcome.Node
+	n.dialMS = float64(time.Since(dialT0)) / float64(time.Millisecond)
 	n.mu.Unlock()
 	dialSp.End(icescope.StrAttr("node", welcome.Node))
 	n.sess = n.cfg.Trace.Start(icescope.Span{}, "session "+welcome.Node)
@@ -419,26 +580,34 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 	if n.cfg.Obs != nil {
 		t0 = time.Now()
 	}
+	ns, release, err := n.sessionFor(a)
 	sp := icescope.Span{}
-	if n.sess.Active() {
+	switch {
+	case ns != nil && ns.fwd != nil:
+		// Traced job: the shard span rides the forwarding trace, so the
+		// coordinator's job trace shows this node's shards and cells.
+		sp = ns.fwd.root.Child(fmt.Sprintf("shard %d [%d,%d)", a.Shard, a.Start, a.End))
+	case n.sess.Active():
 		sp = n.sess.Child(fmt.Sprintf("shard %d [%d,%d)", a.Shard, a.Start, a.End))
 	}
-	sess, release, err := n.sessionFor(a)
-	if err == nil && a.End > sess.Spec().Cells {
-		err = fmt.Errorf("range [%d,%d) outside rebuilt spec (%d cells)", a.Start, a.End, sess.Spec().Cells)
+	if err == nil && a.End > ns.sess.Spec().Cells {
+		err = fmt.Errorf("range [%d,%d) outside rebuilt spec (%d cells)", a.Start, a.End, ns.sess.Spec().Cells)
 	}
 	if err != nil {
 		if release != nil {
 			release()
 		}
-		_ = n.batch.flushThen(&ShardDone{Shard: a.Shard, Err: err.Error()})
 		sp.End(icescope.StrAttr("outcome", "failed"))
+		if ns != nil {
+			ns.fwd.detachFlush(a.Shard)
+		}
+		_ = n.batch.flushThen(&ShardDone{Shard: a.Shard, Err: err.Error()})
 		if n.cfg.Obs != nil {
 			n.cfg.Obs.ShardsFailed.Inc()
 		}
 		return
 	}
-	_, _ = sess.RunRange(ctx, a.Start, a.End, func(r fleet.Result) {
+	_, _ = ns.sess.RunRange(ctx, a.Start, a.End, func(r fleet.Result) {
 		cd := CellDone{
 			Shard: a.Shard, Index: r.Cell.Index, Seed: r.Cell.Seed,
 			Events: r.Events, WireBytes: r.WireBytes, WireEncodeNS: r.WireEncodeNS,
@@ -461,12 +630,20 @@ func (n *Node) execute(ctx context.Context, a *Assign) {
 		// have been skipped, so a clean ShardDone here could race ahead of
 		// the coordinator's eviction and retire the shard with holes in
 		// it. Send nothing — eviction re-queues everything we held, and
-		// any cells we did deliver are deduplicated on the re-run.
+		// any cells we did deliver are deduplicated on the re-run. Spans
+		// are dropped for the same reason: the re-run records its own.
 		sp.End(icescope.StrAttr("outcome", "cancelled"))
+		ns.fwd.drop(a.Shard)
 		return
 	}
-	_ = n.batch.flushThen(&ShardDone{Shard: a.Shard})
+	// End the shard span (publishing its event), flush the spans it and
+	// its cells produced while this locator is still live, and only then
+	// retire the shard. Frame order is write order on TCP, so the
+	// coordinator injects every span of a shard before the ShardDone —
+	// and before the job can finish — arrives.
 	sp.End(icescope.StrAttr("outcome", "done"), icescope.IntAttr("cells", a.End-a.Start))
+	ns.fwd.detachFlush(a.Shard)
+	_ = n.batch.flushThen(&ShardDone{Shard: a.Shard})
 	if n.cfg.Obs != nil {
 		n.cfg.Obs.ShardsDone.Inc()
 		n.cfg.Obs.ShardSeconds.Observe(time.Since(t0).Seconds())

@@ -53,7 +53,8 @@ func TestMeshTraceCoverage(t *testing.T) {
 }
 
 // Tracing is observability, not identity: the same mesh job with and
-// without a span root reduces to byte-identical tables.
+// without a span root — and with a live event subscriber attached, which
+// also turns on node span forwarding — reduces to byte-identical tables.
 func TestMeshTraceDifferential(t *testing.T) {
 	coord, _ := startMesh(t, Config{ShardCells: 3}, 2, 2)
 
@@ -68,14 +69,87 @@ func TestMeshTraceDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := icescope.NewTrace("diff")
+	tr.StreamEvents(0)
+	_, live, _ := tr.SubscribeEvents()
 	root := tr.Start(icescope.Span{}, "job")
 	traced, err := fleet.Runner{Workers: 2, Engine: coord, Span: root}.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	root.End()
+	tr.CloseEvents()
+	events := 0
+	for range live {
+		events++
+	}
+	if events == 0 {
+		t.Error("streamed trace published no events")
+	}
 	if got, want := summarize(traced), summarize(plain); got != want {
 		t.Fatalf("tracing changed the mesh table:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestMeshForwardsNodeSpans pins the forwarding contract end to end: a
+// traced job on a 2-node mesh ends up with every node's dial, session,
+// shard, and cell spans in the job trace — grouped under per-node
+// umbrella spans — and a live subscriber sees node-originated span
+// events before the job's root closes, which is what the events
+// endpoint streams mid-job.
+func TestMeshForwardsNodeSpans(t *testing.T) {
+	coord, _ := startMesh(t, Config{ShardCells: 2}, 2, 2)
+
+	spec, err := fleet.Build(fleet.ScenarioPCASupervised, fleet.Params{
+		Seed: 11, Cells: 8, Duration: 30 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := icescope.NewTrace("mesh-fwd")
+	tr.StreamEvents(0)
+	_, live, _ := tr.SubscribeEvents()
+	root := tr.Start(icescope.Span{}, "job")
+	if _, err := (fleet.Runner{Workers: 2, Engine: coord, Span: root}).Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot before root.End(): anything seen now arrived mid-job.
+	var preTerminal int
+drain:
+	for {
+		select {
+		case ev := <-live:
+			if ev.Name == "cell run" || strings.HasPrefix(ev.Name, "dial coordinator") {
+				preTerminal++
+			}
+		default:
+			break drain
+		}
+	}
+	root.End()
+	tr.CloseEvents()
+	if preTerminal == 0 {
+		t.Error("no node-originated span events reached the live stream before the job closed")
+	}
+
+	text := tr.TextString()
+	t.Logf("forwarded trace:\n%s", text)
+	for _, want := range []string{"dial coordinator", "session worker-", "shard", "cell run"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("job trace missing forwarded span %q", want)
+		}
+	}
+	// Both nodes must have contributed an umbrella: work on 8 cells at
+	// shard grain 2 across a 2-node window always lands on both.
+	for _, node := range []string{"node worker-a", "node worker-b"} {
+		if !strings.Contains(text, node) {
+			t.Errorf("job trace missing umbrella %q — one node's spans never arrived", node)
+		}
+	}
+	if coord.met.spanBatches.Value() == 0 {
+		t.Error("icemesh_span_batches_total = 0 after a traced mesh job")
+	}
+	if coord.met.spansForwarded.Value() == 0 {
+		t.Error("icemesh_spans_forwarded_total = 0 after a traced mesh job")
 	}
 }
 

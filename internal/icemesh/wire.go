@@ -46,6 +46,7 @@ const (
 	codeShardDone = 6 // node -> coordinator: range finished
 	codeDrain     = 7 // either direction: stop assigning, finish in-flight
 	codeCellBatch = 8 // node -> coordinator: several cells' results in one frame
+	codeSpanBatch = 9 // node -> coordinator: completed trace spans for a traced job
 )
 
 // Hello registers a node with the coordinator: its advertised name and
@@ -83,6 +84,12 @@ type Assign struct {
 	Duration sim.Time
 	Codec    string // fleet.Params.WireCodec: "" = binary
 	Knobs    map[string]float64
+
+	// Trace asks the node to forward its spans for this job's work back
+	// to the coordinator in SpanBatch frames. Like the serving layer's
+	// trace flag it never affects results — only whether telemetry rides
+	// the wire alongside them.
+	Trace bool
 }
 
 // CellDone reports one executed cell: its global index, the lifted
@@ -108,6 +115,40 @@ type CellDone struct {
 // one canonical encoding.
 type CellBatch struct {
 	Cells []CellDone
+}
+
+// SpanAttr is one key/value annotation on a forwarded span; IsStr
+// selects which payload field is meaningful, mirroring icescope.Attr.
+type SpanAttr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsStr bool
+}
+
+// SpanRec is one completed span as it rides a SpanBatch: offsets are
+// nanoseconds on the *sending node's* trace clock (monotonic from its
+// trace epoch). The coordinator re-bases them onto the job trace using
+// the batch's NowNS, so nodes and coordinator need no clock agreement.
+// EndNS >= StartNS is enforced on both ends.
+type SpanRec struct {
+	Name    string
+	StartNS uint64
+	EndNS   uint64
+	Attrs   []SpanAttr
+}
+
+// SpanBatch carries completed node-side spans (dial, session, shard,
+// per-cell) to the coordinator for a traced job. Like CellBatch it is
+// size- and time-bounded on the sending side; Shard names any of the
+// job's still-active assignments (it locates the job, not the spans —
+// a node's session spans cover cells from many shards), and NowNS is
+// the node's trace clock at flush time, the re-basing anchor. An empty
+// batch is rejected on both ends.
+type SpanBatch struct {
+	Shard uint64
+	NowNS uint64
+	Spans []SpanRec
 }
 
 // ShardDone closes one assignment; Err is the range-level failure (every
@@ -232,7 +273,8 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(v.End))
 		dst = appendZigzag(dst, int64(v.Duration))
 		dst = icewire.AppendString(dst, v.Codec)
-		return appendMap(dst, v.Knobs), nil
+		dst = appendMap(dst, v.Knobs)
+		return icewire.AppendBool(dst, v.Trace), nil
 	case *CellDone:
 		if v.Index < 0 {
 			return dst, fmt.Errorf("icemesh: negative cell index %d", v.Index)
@@ -250,6 +292,34 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 				return dst, fmt.Errorf("icemesh: negative cell index %d", v.Cells[i].Index)
 			}
 			dst = appendCellDone(dst, &v.Cells[i])
+		}
+		return dst, nil
+	case *SpanBatch:
+		if len(v.Spans) == 0 {
+			return dst, errors.New("icemesh: empty span batch")
+		}
+		dst = append(dst, MeshV1, codeSpanBatch)
+		dst = binary.AppendUvarint(dst, v.Shard)
+		dst = binary.AppendUvarint(dst, v.NowNS)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Spans)))
+		for i := range v.Spans {
+			sp := &v.Spans[i]
+			if sp.EndNS < sp.StartNS {
+				return dst, fmt.Errorf("icemesh: span %q ends before it starts (%d < %d)", sp.Name, sp.EndNS, sp.StartNS)
+			}
+			dst = icewire.AppendString(dst, sp.Name)
+			dst = binary.AppendUvarint(dst, sp.StartNS)
+			dst = binary.AppendUvarint(dst, sp.EndNS)
+			dst = binary.AppendUvarint(dst, uint64(len(sp.Attrs)))
+			for _, a := range sp.Attrs {
+				dst = icewire.AppendString(dst, a.Key)
+				dst = icewire.AppendBool(dst, a.IsStr)
+				if a.IsStr {
+					dst = icewire.AppendString(dst, a.Str)
+				} else {
+					dst = icewire.AppendFloat(dst, a.Num)
+				}
+			}
 		}
 		return dst, nil
 	case *ShardDone:
@@ -337,6 +407,10 @@ func DecodeMessage(data []byte) (any, error) {
 			}
 		}
 		m = v
+	case codeSpanBatch:
+		v := &SpanBatch{}
+		err = decodeSpanBatch(r, v)
+		m = v
 	case codeShardDone:
 		v := &ShardDone{}
 		if v.Shard, err = r.Uvarint(); err == nil {
@@ -390,8 +464,74 @@ func decodeAssign(r *icewire.Reader, v *Assign) error {
 	if v.Codec, err = r.String(); err != nil {
 		return err
 	}
-	v.Knobs, err = readMap(r)
+	if v.Knobs, err = readMap(r); err != nil {
+		return err
+	}
+	v.Trace, err = r.Bool()
 	return err
+}
+
+func decodeSpanBatch(r *icewire.Reader, v *SpanBatch) error {
+	var err error
+	if v.Shard, err = r.Uvarint(); err != nil {
+		return err
+	}
+	if v.NowNS, err = r.Uvarint(); err != nil {
+		return err
+	}
+	// Each span is at least 4 bytes (name length, two offsets, attr
+	// count, one byte each), so hostile counts die pre-allocation.
+	n, err := readCount(r, 4)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return errors.New("icemesh: empty span batch")
+	}
+	v.Spans = make([]SpanRec, n)
+	for i := range v.Spans {
+		sp := &v.Spans[i]
+		if sp.Name, err = r.String(); err != nil {
+			return err
+		}
+		if sp.StartNS, err = r.Uvarint(); err != nil {
+			return err
+		}
+		if sp.EndNS, err = r.Uvarint(); err != nil {
+			return err
+		}
+		if sp.EndNS < sp.StartNS {
+			return fmt.Errorf("icemesh: span %q ends before it starts (%d < %d)", sp.Name, sp.EndNS, sp.StartNS)
+		}
+		// Each attr is at least 3 bytes: key length, the IsStr bool, and
+		// one payload byte.
+		na, err := readCount(r, 3)
+		if err != nil {
+			return err
+		}
+		if na == 0 {
+			continue
+		}
+		sp.Attrs = make([]SpanAttr, na)
+		for j := range sp.Attrs {
+			a := &sp.Attrs[j]
+			if a.Key, err = r.String(); err != nil {
+				return err
+			}
+			if a.IsStr, err = r.Bool(); err != nil {
+				return err
+			}
+			if a.IsStr {
+				a.Str, err = r.String()
+			} else {
+				a.Num, err = r.Float()
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func decodeCellDone(r *icewire.Reader, v *CellDone) error {

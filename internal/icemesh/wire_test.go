@@ -33,6 +33,8 @@ func goldenMessages() []struct {
 		{"heartbeat", &Heartbeat{Inflight: 2, CellsDone: 300}},
 		{"assign", &Assign{Shard: 9, Scenario: "pca-supervised", Seed: -42, Cells: 64, Start: 16, End: 32,
 			Duration: 2 * sim.Hour, Codec: "binary", Knobs: map[string]float64{"failsafe": 1, "loss": 0.15}}},
+		{"assign-traced", &Assign{Shard: 10, Scenario: "tele-icu-probe", Seed: 7, Cells: 8, Start: 0, End: 4,
+			Duration: sim.Hour, Trace: true}},
 		{"celldone", &CellDone{Shard: 9, Index: 17, Seed: 1234567, Events: 250000, WireBytes: 65536,
 			WireEncodeNS: 777, Metrics: map[string]float64{"alarms": 3, "min_spo2": 88.5}}},
 		{"celldone-err", &CellDone{Shard: 9, Index: 18, Seed: -7, Err: "cell panicked: causality"}},
@@ -40,6 +42,11 @@ func goldenMessages() []struct {
 			{Shard: 9, Index: 17, Seed: 1234567, Events: 250000, WireBytes: 65536,
 				WireEncodeNS: 777, Metrics: map[string]float64{"alarms": 3, "min_spo2": 88.5}},
 			{Shard: 11, Index: 18, Seed: -7, Err: "cell panicked: causality"},
+		}}},
+		{"spanbatch", &SpanBatch{Shard: 9, NowNS: 5_000_000, Spans: []SpanRec{
+			{Name: "cell run", StartNS: 1_000_000, EndNS: 2_500_000, Attrs: []SpanAttr{
+				{Key: "cell", Num: 17}, {Key: "mode", Str: "proto", IsStr: true}}},
+			{Name: "dial coordinator", StartNS: 0, EndNS: 0},
 		}}},
 		{"sharddone", &ShardDone{Shard: 9}},
 		{"sharddone-err", &ShardDone{Shard: 10, Err: "unknown scenario"}},
@@ -98,12 +105,31 @@ func TestMeshVersionAndTypeRejection(t *testing.T) {
 			t.Errorf("version 0x%02x: err = %v, want version rejection", v, err)
 		}
 	}
-	for _, c := range []byte{0, 9, 0xFF} {
+	for _, c := range []byte{0, 10, 0xFF} {
 		bad := append([]byte(nil), payload...)
 		bad[1] = c
 		if _, err := DecodeMessage(bad); err == nil {
 			t.Errorf("type code 0x%02x accepted", c)
 		}
+	}
+}
+
+// SpanBatch validation: an empty batch and a span whose end precedes
+// its start are rejected on the encode side and the decode side alike.
+func TestSpanBatchValidation(t *testing.T) {
+	if _, err := AppendMessage(nil, &SpanBatch{Shard: 1, NowNS: 2}); err == nil {
+		t.Error("empty span batch encoded")
+	}
+	bad := &SpanBatch{Shard: 1, NowNS: 2, Spans: []SpanRec{{Name: "x", StartNS: 5, EndNS: 2}}}
+	if _, err := AppendMessage(nil, bad); err == nil || !strings.Contains(err.Error(), "ends before") {
+		t.Errorf("inverted span encode err = %v", err)
+	}
+	// Hand-built payloads with the same defects die at decode.
+	if _, err := DecodeMessage([]byte{MeshV1, codeSpanBatch, 0, 0, 0}); err == nil {
+		t.Error("empty span batch decoded")
+	}
+	if _, err := DecodeMessage([]byte{MeshV1, codeSpanBatch, 0, 0, 1, 1, 'x', 5, 2, 0}); err == nil {
+		t.Error("inverted span decoded")
 	}
 }
 
@@ -183,6 +209,9 @@ func FuzzDecodeMeshMessage(f *testing.F) {
 	f.Add(append([]byte{MeshV1, codeCellDone}, bytes.Repeat([]byte{0x80}, 11)...))
 	f.Add([]byte{MeshV1, codeCellBatch, 0})                            // empty batch: rejected
 	f.Add([]byte{MeshV1, codeCellBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // hostile count
+	f.Add([]byte{MeshV1, codeSpanBatch, 0, 0, 0})                      // empty span batch: rejected
+	f.Add([]byte{MeshV1, codeSpanBatch, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{MeshV1, codeSpanBatch, 0, 0, 1, 1, 'x', 5, 2, 0}) // span ends before it starts
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMessage(data)
@@ -215,7 +244,7 @@ func FuzzMeshRoundTrip(f *testing.F) {
 			kv = map[string]float64{key: v1}
 		}
 		var msg any
-		switch kind % 8 {
+		switch kind % 9 {
 		case 0:
 			msg = &Hello{Node: s1, Capacity: n}
 		case 1:
@@ -236,6 +265,15 @@ func FuzzMeshRoundTrip(f *testing.F) {
 			msg = &CellBatch{Cells: []CellDone{
 				{Shard: u1, Index: n, Seed: i1, Events: u1, Err: s2, Metrics: kv},
 				{Shard: u1 + 1, Index: n / 2, Seed: -i1, WireBytes: u1 / 2, WireEncodeNS: u1 / 3},
+			}}
+		case 8:
+			var attrs []SpanAttr
+			if key != "" {
+				attrs = []SpanAttr{{Key: key, Num: v1}, {Key: key + "s", Str: s2, IsStr: true}}
+			}
+			msg = &SpanBatch{Shard: u1, NowNS: u1 + uint64(n), Spans: []SpanRec{
+				{Name: s1, StartNS: u1 / 2, EndNS: u1/2 + uint64(n), Attrs: attrs},
+				{Name: s2, StartNS: u1, EndNS: u1},
 			}}
 		}
 		payload, err := AppendMessage(nil, msg)
@@ -282,6 +320,9 @@ func TestMeshFuzzSeedCorpus(t *testing.T) {
 	seeds["overlong-varint"] = append([]byte{MeshV1, codeCellDone}, bytes.Repeat([]byte{0x80}, 11)...)
 	seeds["empty-batch"] = []byte{MeshV1, codeCellBatch, 0}
 	seeds["huge-batch-count"] = []byte{MeshV1, codeCellBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	seeds["empty-span-batch"] = []byte{MeshV1, codeSpanBatch, 0, 0, 0}
+	seeds["huge-span-count"] = []byte{MeshV1, codeSpanBatch, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	seeds["span-ends-before-start"] = []byte{MeshV1, codeSpanBatch, 0, 0, 1, 1, 'x', 5, 2, 0}
 	for name, data := range seeds {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

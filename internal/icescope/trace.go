@@ -30,6 +30,18 @@ func NumAttr(key string, value float64) Attr { return Attr{Key: key, Num: value}
 // IntAttr annotates a span with an integer value.
 func IntAttr(key string, value int) Attr { return Attr{Key: key, Num: float64(value)} }
 
+// Value returns the attribute's payload as the type it was set with —
+// string or float64 — for JSON renderers outside the package.
+func (a Attr) Value() any {
+	if a.isStr {
+		return a.Str
+	}
+	return a.Num
+}
+
+// IsStr reports whether the attribute holds a string (false: numeric).
+func (a Attr) IsStr() bool { return a.isStr }
+
 // spanRec is one completed span as stored in a trace.
 type spanRec struct {
 	id, parent SpanID
@@ -69,6 +81,11 @@ type Trace struct {
 	mu   sync.Mutex
 	ctl  []spanRec
 	bufs []*Buffer
+
+	// events is the live streaming plane (events.go); nil until
+	// StreamEvents arms it, so un-streamed traces pay one pointer load
+	// per publication site.
+	events *eventLog
 }
 
 // NewTrace starts an empty trace whose epoch is now.
@@ -140,10 +157,14 @@ func (t *Trace) Start(parent Span, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{
+	s := Span{
 		tr: t, id: SpanID(t.ids.Add(1)), parent: parent.id,
 		name: name, start: t.since(),
 	}
+	if t.events != nil {
+		t.publish(SpanEvent{Kind: EventStart, Span: s.id, Parent: s.parent, Name: name, Start: s.start})
+	}
+	return s
 }
 
 // Child opens a control-plane span under s; inert when s is.
@@ -155,7 +176,9 @@ func (s Span) Child(name string) Span {
 }
 
 // End completes the span, recording it with optional attributes. A span
-// never ended is never recorded. Ending the zero Span is a no-op.
+// never ended is never recorded. Ending the zero Span is a no-op. The
+// end event publishes even when the span itself drops over the cap —
+// the live stream has its own bound and its own drop counter.
 func (s Span) End(attrs ...Attr) {
 	if s.tr == nil {
 		return
@@ -164,11 +187,19 @@ func (s Span) End(attrs ...Attr) {
 		id: s.id, parent: s.parent, name: s.name,
 		start: s.start, end: s.tr.since(), attrs: attrs,
 	}
+	if s.buf != nil {
+		rec.tid = s.buf.tid
+	}
+	if s.tr.events != nil {
+		s.tr.publish(SpanEvent{
+			Kind: EventEnd, Span: s.id, Parent: s.parent, Tid: rec.tid,
+			Name: s.name, Start: s.start, End: rec.end, Attrs: attrs,
+		})
+	}
 	if !s.tr.admit() {
 		return
 	}
 	if s.buf != nil {
-		rec.tid = s.buf.tid
 		s.buf.spans = append(s.buf.spans, rec)
 		return
 	}
@@ -178,16 +209,25 @@ func (s Span) End(attrs ...Attr) {
 }
 
 // Instant records a zero-duration marker under parent — an event with a
-// timestamp but no extent (a CellDone arrival, a heartbeat send).
+// timestamp but no extent (a CellDone arrival, a heartbeat send). Like
+// End, the live event publishes even when the marker drops over the
+// span cap.
 func (t *Trace) Instant(parent Span, name string, attrs ...Attr) {
-	if t == nil || !t.admit() {
+	if t == nil {
 		return
 	}
 	at := t.since()
-	rec := spanRec{
-		id: SpanID(t.ids.Add(1)), parent: parent.id, name: name,
-		start: at, end: at, attrs: attrs,
+	id := SpanID(t.ids.Add(1))
+	if t.events != nil {
+		t.publish(SpanEvent{
+			Kind: EventInstant, Span: id, Parent: parent.id,
+			Name: name, Start: at, End: at, Attrs: attrs,
+		})
 	}
+	if !t.admit() {
+		return
+	}
+	rec := spanRec{id: id, parent: parent.id, name: name, start: at, end: at, attrs: attrs}
 	t.mu.Lock()
 	t.ctl = append(t.ctl, rec)
 	t.mu.Unlock()
@@ -216,15 +256,21 @@ func (t *Trace) Buffer() *Buffer {
 	return b
 }
 
-// Start opens a data-plane span on the buffer's goroutine.
+// Start opens a data-plane span on the buffer's goroutine. Recording
+// stays lock-free; when the trace's event plane is armed (StreamEvents)
+// the start/end events additionally take the event-log mutex.
 func (b *Buffer) Start(parent Span, name string) Span {
 	if b == nil {
 		return Span{}
 	}
-	return Span{
+	s := Span{
 		tr: b.tr, buf: b, id: SpanID(b.tr.ids.Add(1)), parent: parent.id,
 		name: name, start: b.tr.since(),
 	}
+	if b.tr.events != nil {
+		b.tr.publish(SpanEvent{Kind: EventStart, Span: s.id, Parent: s.parent, Tid: b.tid, Name: name, Start: s.start})
+	}
+	return s
 }
 
 // snapshot collects every recorded span. Callers must ensure the traced
